@@ -1,0 +1,32 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one experiment from DESIGN.md's index
+(F1 or C1..C27): it builds the workload, runs the system, prints the
+paper-style table, saves it under ``benchmarks/reports/`` (the
+artifacts EXPERIMENTS.md cites), and asserts the *shape* of the
+paper's claim.  The ``benchmark`` fixture times the experiment's
+computational core.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.util.tables import Table
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+__all__ = ["emit", "Table"]
+
+
+def emit(experiment_id: str, table: Table | str) -> None:
+    """Print the regenerated table and persist it as an artifact."""
+    text = table.render() if isinstance(table, Table) else str(table)
+    print(f"\n[{experiment_id}]")
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{experiment_id.lower()}.txt"
+    existing = path.read_text() if path.exists() else ""
+    block = f"[{experiment_id}]\n{text}\n"
+    if block not in existing:
+        path.write_text(existing + block + "\n")

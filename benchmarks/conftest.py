@@ -1,0 +1,20 @@
+"""Benchmark-suite conftest: make `pytest benchmarks/` work standalone.
+
+Benches live outside the main testpaths; running them regenerates the
+paper's figure/claim tables into ``benchmarks/reports/``.  Reports are
+cleared once per session so artifacts reflect the current run.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_reports():
+    reports = Path(__file__).parent / "reports"
+    if reports.exists():
+        shutil.rmtree(reports)
+    reports.mkdir()
+    yield

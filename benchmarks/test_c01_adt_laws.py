@@ -1,0 +1,50 @@
+"""C1 — §1a: "We would not think 'to add' two stacks as we would two
+integers."
+
+Regenerates the law table: integers pass the commutative-monoid laws,
+every candidate stack addition fails them, and the stacks' own
+defining laws hold on a random-program sample.
+"""
+
+import operator
+
+from _common import Table, emit
+
+from repro.adt.laws import (
+    check_monoid,
+    refute_stack_addition,
+    stack_lifo_law,
+    stack_push_pop_law,
+)
+from repro.adt.stack import Stack
+from repro.util.rng import make_rng
+
+
+def run_law_suite():
+    integer_report = check_monoid(operator.add, 0, range(-5, 6))
+    failures = refute_stack_addition()
+    rng = make_rng(0)
+    push_pop_ok = all(
+        stack_push_pop_law(Stack.of(rng.integers(0, 100, size=k).tolist()), int(rng.integers(0, 100)))
+        for k in range(20)
+    )
+    lifo_ok = all(
+        stack_lifo_law(rng.integers(0, 100, size=k).tolist()) for k in range(20)
+    )
+    return integer_report, failures, push_pop_ok, lifo_ok
+
+
+def test_c01_stacks_dont_add(benchmark):
+    integer_report, failures, push_pop_ok, lifo_ok = benchmark(run_law_suite)
+    table = Table(
+        ["abstraction", "law set", "holds?", "counterexample law"],
+        caption="C1: algebraic laws — integers vs stacks",
+    )
+    table.add_row("integers (+, 0)", "commutative monoid", integer_report.holds, "-")
+    for name, (law, _) in sorted(failures.items()):
+        table.add_row(f"stacks ({name})", "commutative monoid", False, law)
+    table.add_row("stacks", "push/pop + LIFO (their own laws)", push_pop_ok and lifo_ok, "-")
+    emit("C1", table)
+    assert integer_report.holds
+    assert len(failures) == 3
+    assert push_pop_ok and lifo_ok

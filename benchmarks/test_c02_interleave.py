@@ -1,0 +1,69 @@
+"""C2 — §1a: "to interleave two algorithms, perhaps for efficient
+parallel processing", measured on the simulated multicore.
+
+Sweeps core counts for a balanced workload (near-linear speedup) and
+a skewed one (straggler-limited), and ablates work stealing vs static
+list scheduling under skew (DESIGN.md ablation #4).
+"""
+
+from _common import Table, emit
+
+from repro.core.combinators import StepAlgorithm
+from repro.parallel.multicore import Multicore
+from repro.parallel.scheduler import TaskGraph, list_schedule, work_stealing_schedule
+
+
+def busy(name, steps):
+    def factory(_):
+        for _ in range(steps):
+            yield
+        return name
+
+    return StepAlgorithm(name, factory)
+
+
+def run_speedup_sweep():
+    balanced = [busy(f"b{i}", 32) for i in range(8)]
+    skewed = [busy("straggler", 128)] + [busy(f"s{i}", 16) for i in range(7)]
+    rows = []
+    for cores in (1, 2, 4, 8):
+        sb = Multicore(cores).speedup_vs_serial(balanced, [None] * 8)
+        ss = Multicore(cores).speedup_vs_serial(skewed, [None] * 8)
+        rows.append((cores, round(sb, 2), round(ss, 2)))
+    return rows
+
+
+def test_c02_interleaving_speedup(benchmark):
+    rows = benchmark(run_speedup_sweep)
+    table = Table(
+        ["cores", "balanced speedup", "skewed speedup"],
+        caption="C2: measured speedup of interleaved algorithms",
+    )
+    table.extend(rows)
+    emit("C2", table)
+    by_cores = {r[0]: r for r in rows}
+    assert by_cores[8][1] > 6.0          # balanced scales
+    assert by_cores[8][2] < by_cores[8][1]  # the straggler caps the skewed load
+    assert by_cores[1][1] == 1.0
+
+
+def test_c02_work_stealing_ablation(benchmark):
+    def ablate():
+        costs = {f"t{i}": (20.0 if i == 0 else 2.0) for i in range(24)}
+        graph = TaskGraph.build(costs)
+        rows = []
+        for cores in (2, 4, 8):
+            ls = list_schedule(graph, cores).makespan
+            ws = work_stealing_schedule(graph, cores, seed=0).makespan
+            rows.append((cores, round(ls, 2), round(ws, 2)))
+        return rows
+
+    rows = benchmark(ablate)
+    table = Table(
+        ["cores", "list-schedule makespan", "work-stealing makespan"],
+        caption="C2 ablation: static vs work stealing under skew",
+    )
+    table.extend(rows)
+    emit("C2-ablation", table)
+    for _, ls, ws in rows:
+        assert ws <= ls * 1.5  # stealing stays competitive

@@ -1,0 +1,41 @@
+"""C3 — §1a: the thin-waist layering claim.
+
+Regenerates (a) the adapter-count growth table (O(B+T) vs O(B·T)) and
+(b) the executable demonstration: the same applications run unchanged
+over every medium through the one IP waist.
+"""
+
+from _common import Table, emit
+
+from repro.netstack.hourglass import demonstrate_plug_in, growth_table
+
+
+def test_c03_adapter_growth(benchmark):
+    rows = benchmark(growth_table, 10)
+    table = Table(
+        ["n (= B = T)", "pairwise adapters", "hourglass adapters"],
+        caption="C3: integration cost without vs with a thin waist",
+    )
+    table.extend(rows)
+    emit("C3", table)
+    assert rows[-1] == (10, 100, 20)
+    for n, pairwise, hourglass in rows[2:]:
+        assert pairwise > hourglass
+
+
+def test_c03_plug_in_demonstration(benchmark):
+    results = benchmark.pedantic(demonstrate_plug_in, rounds=1, iterations=1)
+    table = Table(
+        ["medium", "app", "response", "segment transmissions"],
+        caption="C3: every app over every medium through one unchanged waist",
+    )
+    for r in results:
+        table.add_row(r.medium, r.app_verb, r.response.decode(errors="replace"), r.attempts)
+    emit("C3-plugin", table)
+    media = {r.medium for r in results}
+    apps = {r.app_verb for r in results}
+    assert len(media) == 3 and len(apps) == 4
+    # Same answers on every medium.
+    for verb in apps:
+        answers = {r.response for r in results if r.app_verb == verb and verb != "TIME"}
+        assert len(answers) <= 1 or verb == "TIME"

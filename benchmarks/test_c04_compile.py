@@ -1,0 +1,72 @@
+"""C4 — §1a: refinement and compiler correctness.
+
+"Proving the correctness of an implementation with respect to a
+specification" and "compiling a program written in a high-level
+language to more efficient machine code": random programs are checked
+interpreter-vs-VM, and the optimiser's code-size/step savings are
+tabulated — with equivalence re-checked on the optimised code.
+"""
+
+from _common import Table, emit
+
+from repro.complang.compile import compile_program
+from repro.complang.equiv import observationally_equivalent, random_program
+from repro.complang.opt import fold_constants, optimize
+from repro.complang.parser import parse
+from repro.complang.vm import VM
+
+ENV = {"x": 3, "y": -2, "z": 7, "w": 0, "k": 0}
+
+
+def run_equivalence_sweep(n=60):
+    naive_ok = optimized_ok = 0
+    for seed in range(n):
+        prog = random_program(seed)
+        naive_ok += bool(observationally_equivalent(prog, env=dict(ENV)))
+        optimized_ok += bool(
+            observationally_equivalent(fold_constants(prog), env=dict(ENV), code=optimize(prog))
+        )
+    return naive_ok, optimized_ok, n
+
+
+def test_c04_compiler_correctness(benchmark):
+    naive_ok, optimized_ok, n = benchmark.pedantic(run_equivalence_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["check", "programs", "equivalent"],
+        caption="C4: observational equivalence, interpreter vs (optimised) VM",
+    )
+    table.add_row("naive compilation", n, naive_ok)
+    table.add_row("optimised compilation", n, optimized_ok)
+    emit("C4", table)
+    assert naive_ok == n and optimized_ok == n
+
+
+def test_c04_optimizer_wins(benchmark):
+    source = """
+    a = 2 + 3 * 4;
+    b = a * 1 + 0;
+    if 1 { c = 10 / 2; } else { c = 999; }
+    total = 0; i = 0;
+    while i < n { total = total + a + b + c; i = i + 1; }
+    print total;
+    """
+
+    def measure():
+        prog = parse(source)
+        naive_code = compile_program(prog)
+        tight_code = optimize(prog)
+        naive = VM(naive_code).run(env={"n": 200})
+        tight = VM(tight_code).run(env={"n": 200})
+        assert naive.output == tight.output
+        return len(naive_code), len(tight_code), naive.steps, tight.steps
+
+    naive_len, tight_len, naive_steps, tight_steps = benchmark(measure)
+    table = Table(
+        ["variant", "code size (ops)", "executed steps"],
+        caption="C4: 'more efficient machine code' — optimiser effect",
+    )
+    table.add_row("naive", naive_len, naive_steps)
+    table.add_row("folded+peephole", tight_len, tight_steps)
+    emit("C4-optimizer", table)
+    assert tight_len < naive_len
+    assert tight_steps < naive_steps

@@ -1,0 +1,70 @@
+"""C5 — §1a: human vs machine vs hybrid computers.
+
+"Humans are still better than machines at parsing and interpreting
+images; machines are much better at executing certain kinds of
+instructions" — regenerated as makespan/accuracy rows over pure and
+mixed workloads; the hybrid wins on the mix.
+"""
+
+from _common import Table, emit
+
+from repro.core.automation import automate
+from repro.core.computer import (
+    HumanComputer,
+    HybridComputer,
+    MachineComputer,
+    NetworkComputer,
+    Task,
+    TaskKind,
+)
+
+WORKLOADS = {
+    "instructions": [Task(TaskKind.INSTRUCTIONS, size=1e6, difficulty=0.1) for _ in range(4)],
+    "images": [Task(TaskKind.IMAGES, size=200, difficulty=0.4) for _ in range(4)],
+    "mixed": [
+        Task(TaskKind.INSTRUCTIONS, size=1e6, difficulty=0.1),
+        Task(TaskKind.INSTRUCTIONS, size=1e6, difficulty=0.1),
+        Task(TaskKind.IMAGES, size=200, difficulty=0.4),
+        Task(TaskKind.IMAGES, size=200, difficulty=0.4),
+    ],
+}
+
+
+def run_matrix():
+    computers = {
+        "machine": MachineComputer(),
+        "human": HumanComputer(),
+        "hybrid": HybridComputer([MachineComputer(), HumanComputer()]),
+        "network(2 hybrids)": NetworkComputer(
+            [
+                HybridComputer([MachineComputer(), HumanComputer()], name="h1"),
+                HybridComputer([MachineComputer(), HumanComputer()], name="h2"),
+            ]
+        ),
+    }
+    rows = []
+    for wname, tasks in WORKLOADS.items():
+        for cname, computer in computers.items():
+            result = automate(tasks, computer)
+            rows.append((wname, cname, result.makespan, round(result.expected_accuracy, 4)))
+    return rows
+
+
+def test_c05_hybrid_wins_on_mixed(benchmark):
+    rows = benchmark(run_matrix)
+    table = Table(
+        ["workload", "computer", "makespan (su)", "expected accuracy"],
+        caption="C5: who should compute what",
+    )
+    table.extend(rows)
+    emit("C5", table)
+    cell = {(w, c): (m, a) for w, c, m, a in rows}
+    # Machines win pure instructions; humans win pure images.
+    assert cell[("instructions", "machine")][0] < cell[("instructions", "human")][0]
+    assert cell[("images", "human")][0] < cell[("images", "machine")][0]
+    # The hybrid beats both pure kinds on the mixed workload, in time AND accuracy.
+    for pure in ("machine", "human"):
+        assert cell[("mixed", "hybrid")][0] < cell[("mixed", pure)][0]
+        assert cell[("mixed", "hybrid")][1] >= cell[("mixed", pure)][1]
+    # The recursive network is at least as fast as one hybrid.
+    assert cell[("mixed", "network(2 hybrids)")][0] <= cell[("mixed", "hybrid")][0] + 1e-9

@@ -1,0 +1,70 @@
+"""C7 — §1b: "the shotgun sequencing algorithm accelerating our
+ability to sequence the human genome".
+
+Regenerates assembly quality vs coverage and the min-overlap ablation
+(DESIGN.md ablation #1).
+"""
+
+from _common import Table, emit
+
+from repro.bio.assembly import GreedyAssembler, identity
+from repro.bio.genome import random_genome, shotgun_fragments
+
+
+def run_coverage_sweep():
+    genome = random_genome(400, seed=20)
+    rows = []
+    for coverage in (1.5, 3.0, 6.0, 12.0):
+        reads = shotgun_fragments(genome, coverage=coverage, read_length=60, seed=21)
+        result = GreedyAssembler(min_overlap=15).assemble(reads)
+        rows.append(
+            (
+                coverage,
+                len(reads),
+                len(result.contigs),
+                result.n50,
+                round(identity(result.longest, genome), 3),
+            )
+        )
+    return rows
+
+
+def test_c07_coverage_sweep(benchmark):
+    rows = benchmark.pedantic(run_coverage_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["coverage", "reads", "contigs", "N50", "identity"],
+        caption="C7: assembly quality vs shotgun coverage (400 bp genome, 60 bp reads)",
+    )
+    table.extend(rows)
+    emit("C7", table)
+    identities = [r[4] for r in rows]
+    assert identities[-1] >= 0.99            # high coverage reconstructs
+    assert identities[-1] >= identities[0]   # more coverage never hurts
+    assert rows[-1][2] == 1                  # single contig at 12x
+
+
+def test_c07_min_overlap_ablation(benchmark):
+    def ablate():
+        genome = random_genome(300, seed=22)
+        reads = shotgun_fragments(genome, coverage=8.0, read_length=50, seed=22)
+        rows = []
+        for min_overlap in (4, 10, 18, 30):
+            result = GreedyAssembler(min_overlap=min_overlap).assemble(reads)
+            rows.append(
+                (
+                    min_overlap,
+                    len(result.contigs),
+                    round(identity(result.longest, genome), 3),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    table = Table(
+        ["min overlap", "contigs", "identity"],
+        caption="C7 ablation: overlap threshold trades chimeras vs fragmentation",
+    )
+    table.extend(rows)
+    emit("C7-ablation", table)
+    # Very strict thresholds fragment the assembly.
+    assert rows[-1][1] >= rows[1][1]

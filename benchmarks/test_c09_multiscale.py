@@ -1,0 +1,96 @@
+"""C9 — §1b: "abstractions representing dynamic processes found in
+nature, from the cell cycle to protein folding ... play these models
+backwards and forwards in time".
+
+Regenerates the cell-cycle attractor table and the time-reversal
+census: how many states can be played backwards exactly (unique
+predecessor), ambiguously, or not at all (Garden of Eden).
+"""
+
+from _common import Table, emit
+
+from repro.bio.celldyn import yeast_cell_cycle
+
+
+def run_attractor_analysis():
+    net = yeast_cell_cycle()
+    attractors = net.attractors()
+    reversal = {"exact": 0, "ambiguous": 0, "garden-of-eden": 0}
+    for state in net.all_states():
+        predecessors = net.step_back(state)
+        if len(predecessors) == 1:
+            reversal["exact"] += 1
+        elif predecessors:
+            reversal["ambiguous"] += 1
+        else:
+            reversal["garden-of-eden"] += 1
+    start = net.pack({"cln": True})
+    trajectory = net.trajectory(start, steps=8)
+    return net, attractors, reversal, trajectory
+
+
+def test_c09_cell_cycle(benchmark):
+    net, attractors, reversal, trajectory = benchmark(run_attractor_analysis)
+    table = Table(
+        ["attractor", "kind", "basin size"],
+        caption="C9: attractors of the 4-gene cell-cycle network (16 states)",
+    )
+    for a in attractors:
+        label = " / ".join("".join("1" if b else "0" for b in s) for s in a.states)
+        table.add_row(label, "fixed point" if a.is_fixed_point else f"cycle({len(a.states)})", a.basin_size)
+    emit("C9", table)
+
+    reverse_table = Table(
+        ["reversal class", "states"],
+        caption="C9: playing the model backwards in time",
+    )
+    for k, v in reversal.items():
+        reverse_table.add_row(k, v)
+    emit("C9-reversal", reverse_table)
+
+    g1 = net.pack({"cdh": True})
+    assert attractors[0].states == (g1,)          # dominant G1 rest state
+    assert attractors[0].basin_size >= 8
+    assert trajectory[-1] == g1                   # the start pulse completes a cycle
+    assert any(net.unpack(s)["clb"] for s in trajectory)  # mitotic phase happened
+    assert reversal["garden-of-eden"] > 0         # reversal is not always possible
+    assert sum(reversal.values()) == 16
+
+
+def test_c09_multiresolution(benchmark):
+    """'Model systems at multiple resolutions ... validate against
+    ground truth': coarse diffusion models vs the fine lattice."""
+    import numpy as np
+
+    from repro.core.multiscale import validate_coarse_model
+
+    def sweep():
+        field = np.zeros(128)
+        field[60:68] = 1.0
+        rows = []
+        for factor in (2, 4, 8):
+            for horizon in (5.0, 50.0):
+                report = validate_coarse_model(field, factor=factor, simulated_time=horizon)
+                rows.append(
+                    (
+                        factor,
+                        horizon,
+                        round(report.commutation_error, 5),
+                        round(report.step_savings, 1),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["coarsening factor", "simulated time", "commutation error", "fine-steps saved per coarse step"],
+        caption="C9: multi-resolution modelling, validated against ground truth",
+    )
+    table.extend(rows)
+    emit("C9-multiresolution", table)
+    by_key = {(r[0], r[1]): r for r in rows}
+    for factor in (2, 4, 8):
+        # Running longer makes the abstraction better (diffusion forgets detail).
+        assert by_key[(factor, 50.0)][2] <= by_key[(factor, 5.0)][2]
+        # Speed dividend ~ factor^2.
+        assert by_key[(factor, 50.0)][3] >= factor * factor * 0.5

@@ -1,0 +1,72 @@
+"""C10 — §1b: the open feedback loop of the data deluge.
+
+Sweeps the loop gain across the convergent, critical, and explosive
+regimes and regenerates the sensor-net reconstruction-error table
+(more sensors, better knowledge — the loop's motive force).
+"""
+
+import numpy as np
+from _common import Table, emit
+
+from repro.data.deluge import FeedbackLoop
+from repro.data.sensornet import SensorGrid
+
+
+def run_gain_sweep():
+    rows = []
+    for gain in (0.5, 0.9, 1.0, 1.1):
+        loop = FeedbackLoop.with_gain(gain)
+        trajectory = loop.run(rounds=600)
+        fixed = loop.fixed_point()
+        rows.append(
+            (
+                gain,
+                round(trajectory.data[-1], 1),
+                round(trajectory.data_growth_ratio(), 4),
+                "-" if fixed is None else round(fixed, 1),
+                trajectory.diverged,
+            )
+        )
+    return rows
+
+
+def test_c10_loop_gain(benchmark):
+    rows = benchmark(run_gain_sweep)
+    table = Table(
+        ["loop gain", "data @600 rounds", "late growth ratio", "fixed point", "diverged"],
+        caption="C10: data -> knowledge -> questions -> data",
+    )
+    table.extend(rows)
+    emit("C10", table)
+    by_gain = {r[0]: r for r in rows}
+    assert not by_gain[0.5][4] and not by_gain[0.9][4]
+    assert by_gain[0.9][1] > by_gain[0.5][1]           # more curiosity, more data
+    assert by_gain[1.1][2] > 1.0                        # explosive regime grows
+    assert by_gain[0.5][3] != "-"                       # convergent has a fixed point
+    assert by_gain[1.1][3] == "-"
+
+
+def test_c10_sensor_density(benchmark):
+    def reconstruct_errors():
+        rows = []
+        for failure in (0.0, 0.5, 0.8):
+            grid = SensorGrid(10, 10, noise=0.02, failure_rate=failure, recovery_rate=0.05, seed=5)
+            grid.stream(5)  # let failures reach steady state
+            readings = grid.tick()
+            if not readings:
+                rows.append((failure, 0.0, float("nan")))
+                continue
+            t = readings[0].time
+            error = float(np.abs(grid.reconstruct(readings, t) - grid.field(t)).mean())
+            rows.append((failure, round(grid.live_fraction, 2), round(error, 4)))
+        return rows
+
+    rows = benchmark.pedantic(reconstruct_errors, rounds=1, iterations=1)
+    table = Table(
+        ["sensor failure rate", "live fraction", "field reconstruction error"],
+        caption="C10: knowledge quality vs data collection density",
+    )
+    table.extend(rows)
+    emit("C10-sensors", table)
+    errors = [r[2] for r in rows]
+    assert errors[0] < errors[-1]  # denser sensing, better knowledge

@@ -1,0 +1,80 @@
+"""C11 — §1c: "viscerally show the difference between a
+polynomial-time algorithm and an exponential-time one or show that a
+tree is a special kind of graph".
+
+Regenerates the measured-runtime table for subset-sum by brute force
+(2^n) vs dynamic programming, the fitted growth laws, the crossover
+point, and the executable tree-subset-of-graph check.
+"""
+
+from _common import Table, emit
+
+from repro.adt.graph import Graph
+from repro.adt.tree import BinaryTree, is_tree_graph, tree_as_graph
+from repro.complexity.growth import (
+    crossover_size,
+    measure_growth,
+    random_subset_sum_instance,
+    subset_sum_bruteforce,
+    subset_sum_dp,
+)
+from repro.util.timing import time_callable
+
+
+def run_growth_measurement():
+    sizes = [10, 12, 14, 16, 18]
+    rows = []
+    for n in sizes:
+        instance = random_subset_sum_instance(n, seed=1, solvable=False)
+        bf = time_callable(lambda: subset_sum_bruteforce(instance), repeats=1)
+        dp = time_callable(lambda: subset_sum_dp(instance), repeats=1)
+        rows.append((n, bf, dp))
+    bf_fit = measure_growth(
+        lambda n: random_subset_sum_instance(n, seed=1, solvable=False),
+        subset_sum_bruteforce,
+        sizes,
+        repeats=1,
+    )
+    dp_fit = measure_growth(
+        lambda n: (tuple([1] * n), 25 * n), subset_sum_dp, [100, 200, 400, 800], repeats=1
+    )
+    return rows, bf_fit, dp_fit
+
+
+def test_c11_poly_vs_exponential(benchmark):
+    rows, bf_fit, dp_fit = benchmark.pedantic(run_growth_measurement, rounds=1, iterations=1)
+    table = Table(
+        ["n", "brute force (s)", "dynamic programming (s)"],
+        caption="C11: subset-sum runtimes",
+    )
+    table.extend(rows)
+    emit("C11", table)
+    fit_table = Table(["algorithm", "fitted growth law", "polynomial?"],
+                      caption="C11: fitted growth classes")
+    fit_table.add_row("brute force", bf_fit.best_law, bf_fit.is_polynomial())
+    fit_table.add_row("dynamic programming", dp_fit.best_law, dp_fit.is_polynomial())
+    emit("C11-fits", fit_table)
+    assert bf_fit.best_law == "2^n"
+    assert dp_fit.is_polynomial()
+    n_star = crossover_size(1000.0, 2, 1.0)
+    assert n_star is not None and n_star < 30
+
+
+def test_c11_tree_is_a_graph(benchmark):
+    def check():
+        tree = BinaryTree.leaf(8)
+        for v in (3, 12, 1, 5, 10, 15):
+            tree = tree.insert_bst(v)
+        as_graph = tree_as_graph(tree)
+        cyclic = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+        return as_graph, is_tree_graph(as_graph), is_tree_graph(cyclic)
+
+    as_graph, tree_ok, cycle_ok = benchmark(check)
+    table = Table(
+        ["object", "|V|", "|E|", "is a tree-graph?"],
+        caption="C11: 'a tree is a special kind of graph', executably",
+    )
+    table.add_row("BST embedded as graph", as_graph.num_nodes(), as_graph.num_edges(), tree_ok)
+    table.add_row("triangle graph", 3, 3, cycle_ok)
+    emit("C11-tree", table)
+    assert tree_ok and not cycle_ok

@@ -1,0 +1,86 @@
+"""C12 — §1c, Challenge no. 1: curriculum orderings per learner kind,
+the random-order ablation (#6), the tool-vs-concept gap, and formal
+vs informal schedules.
+"""
+
+from _common import Table, emit
+
+from repro.edu.concepts import ct_concept_graph
+from repro.edu.curriculum import best_ordering, random_order_penalty, score_ordering
+from repro.edu.informal import simulate_schedule
+from repro.edu.learner import KINDS, Learner
+
+
+def run_ordering_study():
+    graph = ct_concept_graph()
+    rows = []
+    for kind_name, kind in KINDS.items():
+        _, best = best_ordering(graph, kind, sample_limit=25)
+        valid_mean, shuffled_mean = random_order_penalty(graph, kind_name, trials=8, seed=4)
+        rows.append((kind_name, round(best, 3), round(valid_mean, 3), round(shuffled_mean, 3)))
+    return graph, rows
+
+
+def test_c12_orderings(benchmark):
+    graph, rows = benchmark.pedantic(run_ordering_study, rounds=1, iterations=1)
+    table = Table(
+        ["learner kind", "best ordering", "valid-order mean", "shuffled mean"],
+        caption="C12: mastery by curriculum ordering and learner kind",
+    )
+    table.extend(rows)
+    emit("C12", table)
+    for _, best, valid_mean, shuffled_mean in rows:
+        assert best >= valid_mean - 1e-9
+        assert valid_mean > shuffled_mean  # prerequisites matter (ablation #6)
+
+
+def test_c12_tool_vs_concept(benchmark):
+    def study():
+        graph = ct_concept_graph()
+        order = graph.topological_orders_sample(1)[0]
+        rows = []
+        for reliance in (0.0, 0.5, 0.9):
+            learner = Learner(graph, KINDS["steady"], tool_reliance=reliance)
+            for concept in order:
+                learner.study(concept, effort=2.0)
+            names = graph.names()
+            assisted = sum(learner.assisted_score(n) for n in names) / len(names)
+            transfer = sum(learner.transfer_score(n) for n in names) / len(names)
+            rows.append((reliance, round(assisted, 3), round(transfer, 3), round(learner.understanding_gap(), 3)))
+        return rows
+
+    rows = benchmark(study)
+    table = Table(
+        ["tool reliance", "assisted score", "transfer score", "gap"],
+        caption="C12: the calculator warning — tool skill is not understanding",
+    )
+    table.extend(rows)
+    emit("C12-tool", table)
+    transfers = [r[2] for r in rows]
+    gaps = [r[3] for r in rows]
+    assert transfers == sorted(transfers, reverse=True)  # reliance erodes transfer
+    assert gaps == sorted(gaps)                          # and widens the gap
+
+
+def test_c12_informal_channels(benchmark):
+    def schedules():
+        graph = ct_concept_graph()
+        kind = KINDS["steady"]
+        rows = []
+        for name, hours in [
+            ("classroom only (5h)", {"classroom": 5.0}),
+            ("classroom+peers+museum (5+2+1h)", {"classroom": 5.0, "peers": 2.0, "museum": 1.0}),
+            ("informal only (8h)", {"peers": 3.0, "family": 2.0, "web": 3.0}),
+        ]:
+            rows.append((name, round(simulate_schedule(graph, kind, hours, weeks=30, seed=7), 3)))
+        return rows
+
+    rows = benchmark.pedantic(schedules, rounds=1, iterations=1)
+    table = Table(
+        ["weekly schedule", "mean mastery after 30 weeks"],
+        caption="C12: formal and informal learning channels",
+    )
+    table.extend(rows)
+    emit("C12-informal", table)
+    by_name = dict(rows)
+    assert by_name["classroom+peers+museum (5+2+1h)"] > by_name["classroom only (5h)"]

@@ -1,0 +1,77 @@
+"""C13 — §2a: "the end of Moore's law ... the immediate consequence
+is multi-core machines; the challenge is programming them".
+
+Regenerates the 1990–2030 trajectory table (transistors, frequency,
+cores, single-thread vs throughput) and the Amdahl-vs-measured
+speedup comparison on the simulated multicore.
+"""
+
+from _common import Table, emit
+
+from repro.core.combinators import StepAlgorithm
+from repro.devices.moore import MooreModel
+from repro.parallel.laws import amdahl_speedup, gustafson_speedup, karp_flatt, measured_speedups
+
+
+def test_c13_trajectory(benchmark):
+    model = MooreModel()
+    points = benchmark(model.trajectory, 2030, 5)
+    table = Table(
+        ["year", "transistors (M)", "freq (GHz)", "cores", "single-thread", "throughput"],
+        caption="C13: the stylised industry trajectory (serial fraction 0.1)",
+    )
+    for p in points:
+        table.add_row(
+            p.year,
+            round(p.transistors_m, 1),
+            round(p.frequency_ghz, 3),
+            p.cores,
+            round(p.single_thread_perf, 1),
+            round(p.throughput, 1),
+        )
+    emit("C13", table)
+    by_year = {p.year: p for p in points}
+    assert by_year[2015].single_thread_perf == by_year[2005].single_thread_perf
+    assert by_year[2015].cores > 1
+    assert by_year[2020].throughput > by_year[2005].throughput
+    # Amdahl ceiling: throughput never exceeds 1/s times single-thread.
+    for p in points:
+        assert p.throughput <= p.single_thread_perf / 0.1 + 1e-9
+
+
+def busy(name, steps):
+    def factory(_):
+        for _ in range(steps):
+            yield
+        return None
+
+    return StepAlgorithm(name, factory)
+
+
+def test_c13_amdahl_vs_measured(benchmark):
+    def measure():
+        # 1 serial straggler (10% of total work) + parallel jobs.
+        total_steps = 160
+        serial = busy("serial", int(total_steps * 0.1))
+        parallel = [busy(f"p{i}", int(total_steps * 0.9 / 8)) for i in range(8)]
+        algs = [serial, *parallel]
+        return measured_speedups(algs, [None] * 9, [1, 2, 4, 8])
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = Table(
+        ["cores", "measured speedup", "Amdahl bound (s=0.1)", "Gustafson (s=0.1)", "Karp-Flatt serial frac"],
+        caption="C13: measured vs law speedups",
+    )
+    for cores, speedup in measured.items():
+        kf = karp_flatt(speedup, cores) if cores >= 2 else float("nan")
+        table.add_row(
+            cores,
+            round(speedup, 2),
+            round(amdahl_speedup(0.1, cores), 2),
+            round(gustafson_speedup(0.1, cores), 2),
+            round(kf, 3) if cores >= 2 else "-",
+        )
+    emit("C13-laws", table)
+    for cores, speedup in measured.items():
+        assert speedup <= amdahl_speedup(0.1, cores) + 0.6  # ~bounded by the law
+    assert measured[8] > measured[2]

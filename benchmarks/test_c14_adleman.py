@@ -1,0 +1,74 @@
+"""C14 — §2a: "Adleman solved the seven-point Hamiltonian path
+problem with DNA computing".
+
+Regenerates: the success-probability-vs-population curve on the
+published 7-vertex instance, the per-stage molecule counts of one
+protocol run, and the molecules-vs-backtracking cost comparison —
+molecular hardware trades an exponential count of molecules for time.
+"""
+
+from _common import Table, emit
+
+from repro.bio.adleman import AdlemanComputer
+from repro.complexity.reductions import adleman_graph, hamiltonian_path_instance, solve_hamiltonian_path
+
+
+def run_population_sweep():
+    graph, start, end = adleman_graph()
+    computer = AdlemanComputer(graph, start, end)
+    rows = []
+    for population in (100, 1000, 10_000, 60_000):
+        p = computer.success_probability(population, trials=12, seed=9)
+        rows.append((population, round(p, 3)))
+    stage = computer.run(population=60_000, seed=0)
+    return rows, stage
+
+
+def test_c14_population_curve(benchmark):
+    rows, stage = benchmark.pedantic(run_population_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["molecule population", "P(find the path)"],
+        caption="C14: success probability vs DNA population (7-vertex instance)",
+    )
+    table.extend(rows)
+    emit("C14", table)
+    stage_table = Table(
+        ["protocol stage", "molecules"],
+        caption="C14: one run of the generate-and-filter protocol",
+    )
+    for name, count in stage.stage_counts.items():
+        stage_table.add_row(name, count)
+    emit("C14-stages", stage_table)
+    probabilities = [p for _, p in rows]
+    assert probabilities == sorted(probabilities)   # more molecules, more success
+    assert probabilities[-1] >= 0.9
+    assert stage.survivors == [(0, 1, 2, 3, 4, 5, 6)]  # the published answer
+
+
+def test_c14_molecules_vs_backtracking(benchmark):
+    def compare():
+        rows = []
+        for n in (5, 6, 7, 8):
+            graph, start, end = hamiltonian_path_instance(n, seed=n)
+            _, explored = solve_hamiltonian_path(graph, start, end)
+            computer = AdlemanComputer(graph, start, end)
+            # Smallest population (powers of 4) reaching >= 50% success.
+            needed = None
+            population = 64
+            while population <= 262_144:
+                if computer.success_probability(population, trials=8, seed=n) >= 0.5:
+                    needed = population
+                    break
+                population *= 4
+            rows.append((n, explored, needed if needed else f">{population // 4}"))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    table = Table(
+        ["vertices", "backtracking nodes", "molecules for P>=0.5"],
+        caption="C14: classical search cost vs molecular population cost",
+    )
+    table.extend(rows)
+    emit("C14-cost", table)
+    populations = [r[2] for r in rows if isinstance(r[2], int)]
+    assert populations == sorted(populations)  # molecule demand grows with n

@@ -1,0 +1,81 @@
+"""C16 — §2a: "quantum cryptography to secure ballots in Swiss
+elections".
+
+Regenerates the QBER table (clean ~ channel noise; intercept-resend
+Eve ~ 25%), the detection-rate curve vs photon count, and the
+end-to-end election with a transient eavesdropper.
+"""
+
+from _common import Table, emit
+
+from repro.devices.ballots import run_election
+from repro.devices.bb84 import BB84Session
+
+
+def run_qber_table():
+    rows = []
+    for name, kwargs in [
+        ("clean", {}),
+        ("noise 2%", {"channel_noise": 0.02}),
+        ("noise 5%", {"channel_noise": 0.05}),
+        ("Eve (intercept-resend)", {"eavesdropper": True}),
+    ]:
+        result = BB84Session(photons=2048, seed=13, **kwargs).run()
+        rows.append((name, result.sifted_bits, round(result.qber, 3), result.eavesdropper_detected))
+    return rows
+
+
+def test_c16_qber(benchmark):
+    rows = benchmark.pedantic(run_qber_table, rounds=1, iterations=1)
+    table = Table(
+        ["channel", "sifted bits", "QBER", "alarm?"],
+        caption="C16: BB84 error rates (2048 photons, threshold 11%)",
+    )
+    table.extend(rows)
+    emit("C16", table)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["clean"][2] == 0.0
+    assert abs(by_name["Eve (intercept-resend)"][2] - 0.25) < 0.05  # the 25% signature
+    assert by_name["Eve (intercept-resend)"][3]
+    assert not by_name["noise 2%"][3]
+
+
+def test_c16_detection_vs_photons(benchmark):
+    def detection_curve():
+        rows = []
+        for photons in (64, 256, 1024):
+            detections = sum(
+                BB84Session(photons=photons, eavesdropper=True, seed=s).run().eavesdropper_detected
+                for s in range(10)
+            )
+            rows.append((photons, detections / 10))
+        return rows
+
+    rows = benchmark.pedantic(detection_curve, rounds=1, iterations=1)
+    table = Table(
+        ["photons", "P(detect Eve)"],
+        caption="C16: detection probability vs key length",
+    )
+    table.extend(rows)
+    emit("C16-detection", table)
+    assert rows[-1][1] == 1.0  # long keys always catch the tap
+    assert rows[-1][1] >= rows[0][1]
+
+
+def test_c16_election(benchmark):
+    def election():
+        votes = ["ja"] * 9 + ["nein"] * 5 + ["blank"]
+        return run_election(votes, eavesdropper_attempts=1, photons=4096, seed=3)
+
+    outcome = benchmark.pedantic(election, rounds=1, iterations=1)
+    table = Table(
+        ["metric", "value"],
+        caption="C16: end-to-end quantum-keyed election",
+    )
+    table.add_row("ballots", outcome.ballots_transmitted)
+    table.add_row("QKD attempts", outcome.qkd_attempts)
+    table.add_row("eavesdropper detections", outcome.eavesdropper_detections)
+    table.add_row("tally", str(dict(sorted(outcome.tally.items()))))
+    emit("C16-election", table)
+    assert outcome.tally == {"blank": 1, "ja": 9, "nein": 5}
+    assert outcome.eavesdropper_detections == 1

@@ -1,0 +1,66 @@
+"""C18 — §2b: "availability 24 hours per day, every day, 100 per cent
+reliability".
+
+Regenerates the nines-vs-replicas-vs-cost table (analytic + simulated
+with fault injection) and the naive-vs-defended client comparison
+against a flaky backend (C24's sibling, service side).
+"""
+
+from _common import Table, emit
+
+from repro.society.availability import ReplicatedService, nines
+
+
+def run_replica_sweep():
+    rows = []
+    for replicas in (1, 2, 3, 5, 7):
+        service = ReplicatedService(replicas, fail_rate=0.05, repair_rate=0.3)
+        analytic = service.analytic_availability()
+        sim = service.simulate(ticks=20_000, seed=replicas)
+        rows.append(
+            (
+                replicas,
+                round(analytic, 6),
+                round(sim.measured_availability, 6),
+                round(nines(min(analytic, 1 - 1e-12)), 2),
+                service.cost(),
+            )
+        )
+    return rows
+
+
+def test_c18_replicas(benchmark):
+    rows = benchmark.pedantic(run_replica_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["replicas", "analytic availability", "simulated", "nines", "cost"],
+        caption="C18: availability vs replication (fail 5%, repair 30% per tick)",
+    )
+    table.extend(rows)
+    emit("C18", table)
+    analytic = [r[1] for r in rows]
+    assert analytic == sorted(analytic)           # replicas help
+    assert analytic[-1] > 0.99999
+    assert all(abs(r[1] - r[2]) < 0.01 for r in rows)  # simulation matches theory
+    costs = [r[4] for r in rows]
+    assert costs == sorted(costs)                 # the price of nines is linear hardware
+
+
+def test_c18_diminishing_nines(benchmark):
+    def marginal_nines():
+        rows = []
+        prev = None
+        for replicas in (1, 2, 3, 4, 5, 6):
+            a = ReplicatedService(replicas, fail_rate=0.05, repair_rate=0.3).analytic_availability()
+            n = nines(min(a, 1 - 1e-15))
+            rows.append((replicas, round(n, 2), "-" if prev is None else round(n - prev, 2)))
+            prev = n
+        return rows
+
+    rows = benchmark(marginal_nines)
+    table = Table(
+        ["replicas", "nines", "marginal nines"],
+        caption="C18: each extra replica buys roughly constant nines — 100% never arrives",
+    )
+    table.extend(rows)
+    emit("C18-nines", table)
+    assert rows[-1][1] < 16  # still finite nines: never 100%

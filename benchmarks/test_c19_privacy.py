@@ -1,0 +1,89 @@
+"""C19 — §2b, Challenge no. 2: "How do we balance openness with
+privacy?"
+
+Regenerates: k-anonymity utility loss vs k, DP error vs epsilon, and
+the personalisation-vs-re-identification tradeoff curve.
+"""
+
+import numpy as np
+from _common import Table, emit
+
+from repro.society.personalization import simulate_tradeoff
+from repro.society.privacy import dp_count, k_anonymize
+from repro.util.rng import make_rng
+
+
+def make_records(n=60, *, seed=0):
+    rng = make_rng(seed)
+    return [
+        {
+            "age": int(rng.integers(18, 80)),
+            "zip": f"152{int(rng.integers(10, 40))}",
+            "diagnosis": ["flu", "cold", "ok"][int(rng.integers(0, 3))],
+        }
+        for _ in range(n)
+    ]
+
+
+def test_c19_k_anonymity(benchmark):
+    def sweep():
+        records = make_records()
+        rows = []
+        for k in (1, 2, 5, 10, 20):
+            result = k_anonymize(records, ["age", "zip"], k)
+            rows.append((k, result.k_achieved, round(result.utility_loss, 3)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["k", "k achieved", "utility loss"],
+        caption="C19: k-anonymity — privacy bought with generality",
+    )
+    table.extend(rows)
+    emit("C19", table)
+    losses = [r[2] for r in rows]
+    assert losses == sorted(losses)      # more privacy, less utility
+    assert all(r[1] >= r[0] for r in rows)
+
+
+def test_c19_dp_epsilon(benchmark):
+    def sweep():
+        records = make_records()
+        true = sum(1 for r in records if r["diagnosis"] == "flu")
+        rows = []
+        for epsilon in (0.1, 0.5, 2.0, 10.0):
+            errors = [
+                abs(dp_count(records, lambda r: r["diagnosis"] == "flu", epsilon=epsilon, seed=s) - true)
+                for s in range(200)
+            ]
+            rows.append((epsilon, round(float(np.mean(errors)), 2)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["epsilon", "mean |error| of DP count"],
+        caption="C19: differential privacy — accuracy bought with privacy budget",
+    )
+    table.extend(rows)
+    emit("C19-dp", table)
+    errors = [r[1] for r in rows]
+    assert errors == sorted(errors, reverse=True)  # bigger budget, smaller error
+
+
+def test_c19_personalization_tradeoff(benchmark):
+    def sweep():
+        rows = []
+        for window in (0, 10, 50, 150):
+            point = simulate_tradeoff(history_window=window, seed=4)
+            rows.append((window, round(point.relevance, 3), round(point.reidentification, 3)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["history window", "recommendation relevance", "re-identification accuracy"],
+        caption="C19: tracking helps the recommender and the adversary alike",
+    )
+    table.extend(rows)
+    emit("C19-tracking", table)
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][2] > rows[0][2]

@@ -1,0 +1,66 @@
+"""C20 — §2a/§2b: "the unanticipated and rapid rise of social
+networks".
+
+Regenerates the preferential-attachment vs random-graph comparison
+(degree inequality, tail exponent) and the adoption S-curves.
+"""
+
+from _common import Table, emit
+
+from repro.society.socialnet import (
+    adoption_curve,
+    degree_tail_exponent,
+    gini_of_degrees,
+    preferential_attachment,
+    random_graph,
+)
+
+
+def run_topology_comparison():
+    ba = preferential_attachment(600, 2, seed=20)
+    er = random_graph(600, ba.num_edges(), seed=20)
+    max_deg_ba = max(ba.degree(v) for v in ba.nodes())
+    max_deg_er = max(er.degree(v) for v in er.nodes())
+    return (
+        ("preferential attachment", round(gini_of_degrees(ba), 3), max_deg_ba,
+         round(degree_tail_exponent(ba, xmin=3), 2)),
+        ("random (Erdos-Renyi)", round(gini_of_degrees(er), 3), max_deg_er, "-"),
+        ba,
+        er,
+    )
+
+
+def test_c20_topology(benchmark):
+    ba_row, er_row, ba, er = benchmark.pedantic(run_topology_comparison, rounds=1, iterations=1)
+    table = Table(
+        ["growth model", "degree Gini", "max degree", "tail exponent"],
+        caption="C20: hubs emerge from preferential attachment",
+    )
+    table.add_row(*ba_row)
+    table.add_row(*er_row)
+    emit("C20", table)
+    assert ba_row[1] > er_row[1]   # more unequal
+    assert ba_row[2] > er_row[2]   # celebrity hubs
+    assert 1.5 < ba_row[3] < 4.0   # scale-free-ish exponent
+
+
+def test_c20_adoption(benchmark):
+    def curves():
+        ba = preferential_attachment(400, 2, seed=21)
+        er = random_graph(400, ba.num_edges(), seed=21)
+        rounds = 10
+        ba_curve = adoption_curve(ba, adopt_probability=0.2, rounds=rounds, seed=21)
+        er_curve = adoption_curve(er, adopt_probability=0.2, rounds=rounds, seed=21)
+        return ba_curve, er_curve
+
+    ba_curve, er_curve = benchmark.pedantic(curves, rounds=1, iterations=1)
+    table = Table(
+        ["round", "adopters (pref. attach.)", "adopters (random)"],
+        caption="C20: the rapid rise — contagion on each topology",
+    )
+    for t, (a, b) in enumerate(zip(ba_curve, er_curve)):
+        table.add_row(t, a, b)
+    emit("C20-adoption", table)
+    assert ba_curve[-1] > ba_curve[0] * 5           # rapid rise
+    assert ba_curve[4] >= er_curve[4]               # hubs accelerate early growth
+    assert all(b >= a for a, b in zip(ba_curve, ba_curve[1:]))

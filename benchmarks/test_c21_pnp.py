@@ -1,0 +1,64 @@
+"""C21 — §2c: "Does P equal NP?" — the verify/search asymmetry,
+measured, plus the DPLL ablation (#3).
+"""
+
+from _common import Table, emit
+
+from repro.complexity.sat import brute_force_sat, dpll_sat, random_ksat
+from repro.complexity.verify import verify_assignment
+from repro.util.timing import time_callable
+
+
+def run_asymmetry_sweep():
+    rows = []
+    for n in (10, 14, 18):
+        formula = random_ksat(n, int(3.5 * n), seed=n)
+        solution = dpll_sat(formula)
+        search_time = time_callable(lambda: brute_force_sat(formula), repeats=1)
+        if solution.satisfiable:
+            certificate = solution.assignment
+            verify_time = time_callable(
+                lambda: verify_assignment(formula, certificate), repeats=1, min_time=0.001
+            )
+        else:
+            verify_time = float("nan")
+        rows.append((n, verify_time, search_time,
+                     round(search_time / verify_time, 1) if solution.satisfiable else "-"))
+    return rows
+
+
+def test_c21_verify_vs_search(benchmark):
+    rows = benchmark.pedantic(run_asymmetry_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["variables", "verify cert (s)", "brute-force search (s)", "ratio"],
+        caption="C21: checking a certificate vs finding one",
+    )
+    table.extend(rows)
+    emit("C21", table)
+    ratios = [r[3] for r in rows if r[3] != "-"]
+    assert ratios, "need at least one satisfiable instance"
+    assert ratios[-1] > 100          # the asymmetry is orders of magnitude
+    assert ratios == sorted(ratios)  # and it widens with n
+
+
+def test_c21_dpll_ablation(benchmark):
+    def ablate():
+        rows = []
+        for n in (10, 14, 18):
+            formula = random_ksat(n, int(3.5 * n), seed=100 + n)
+            bf = brute_force_sat(formula).nodes_explored
+            full = dpll_sat(formula).nodes_explored
+            no_up = dpll_sat(formula, unit_propagation=False).nodes_explored
+            rows.append((n, bf, no_up, full))
+        return rows
+
+    rows = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    table = Table(
+        ["variables", "brute-force nodes", "DPLL w/o unit prop", "DPLL full"],
+        caption="C21 ablation: what unit propagation buys",
+    )
+    table.extend(rows)
+    emit("C21-ablation", table)
+    for _, bf, no_up, full in rows:
+        assert full <= no_up
+        assert full < bf

@@ -1,0 +1,85 @@
+"""C22 — §2c: "What is computable?"
+
+Regenerates the machine-zoo table (same functions, different models,
+different costs), the busy-beaver growth table with scores verified by
+execution, and the fuel-bounded halting census.
+"""
+
+from _common import Table, emit
+
+from repro.machines.busybeaver import BB_CHAMPIONS, busy_beaver_machine, halting_survey, score
+from repro.machines.ram import RamMachine, multiply_program
+from repro.machines.rewriting import unary_addition_system
+from repro.machines.turing import BLANK, TuringMachine, unary_adder
+from repro.machines.universal import UniversalMachine
+
+
+def run_zoo():
+    m, n = 9, 7
+    tm_result = unary_adder().run("1" * m + "+" + "1" * n)
+    rw_result = unary_addition_system().normalize("1" * m + "+" + "1" * n + "=")
+    ram_result = RamMachine().run(multiply_program(), registers=[0, m, n])
+    u_result = UniversalMachine().run_machine(unary_adder(), "1" * m + "+" + "1" * n)
+    return tm_result, rw_result, ram_result, u_result, m, n
+
+
+def test_c22_model_zoo(benchmark):
+    tm, rw, ram, u, m, n = benchmark(run_zoo)
+    table = Table(
+        ["model", "task", "steps", "answer correct?"],
+        caption=f"C22: the same arithmetic across the model zoo (m={m}, n={n})",
+    )
+    table.add_row("Turing machine", f"{m}+{n} (unary)", tm.steps, tm.tape == "1" * (m + n))
+    table.add_row("universal TM", f"{m}+{n} (encoded)", u.steps, u.tape == "1" * (m + n))
+    table.add_row("rewriting system", f"{m}+{n} (unary)", rw.steps, rw.normal_form == "1" * (m + n))
+    table.add_row("RAM machine", f"{m}*{n}", ram.steps, ram.output == m * n)
+    emit("C22", table)
+    assert tm.tape == "1" * (m + n)
+    assert rw.normal_form == "1" * (m + n)
+    assert ram.output == m * n
+    assert u.steps == tm.steps + UniversalMachine.DECODE_OVERHEAD  # universality ~ free
+
+
+def test_c22_busy_beaver_growth(benchmark):
+    def verify_champions():
+        rows = []
+        for states in (1, 2, 3, 4):
+            sigma, steps = BB_CHAMPIONS[states]
+            got_sigma, got_steps = score(busy_beaver_machine(states))
+            rows.append((states, sigma, steps, got_sigma == sigma and got_steps == steps))
+        return rows
+
+    rows = benchmark(verify_champions)
+    table = Table(
+        ["states", "sigma (1s written)", "steps", "verified by execution"],
+        caption="C22: busy-beaver champions — uncomputable growth, verified",
+    )
+    table.extend(rows)
+    emit("C22-bb", table)
+    steps = [r[2] for r in rows]
+    assert all(r[3] for r in rows)
+    assert steps[3] / steps[2] > steps[2] / steps[1]  # super-exponential flavour
+
+
+def test_c22_halting_census(benchmark):
+    def census():
+        family = [busy_beaver_machine(k) for k in (1, 2, 3, 4)] + [
+            TuringMachine.from_rules([("s", BLANK, "s", BLANK, "S")], initial="s"),
+            TuringMachine.from_rules(
+                [("a", BLANK, "b", "1", "R"), ("b", "1", "a", "1", "L"), ("a", "1", "b", "1", "R"), ("b", BLANK, "a", "1", "L")],
+                initial="a",
+            ),
+        ]
+        return [(fuel, halting_survey(family, fuel=fuel)) for fuel in (5, 50, 500)]
+
+    surveys = benchmark(census)
+    table = Table(
+        ["fuel", "halted", "still running", "undecided fraction"],
+        caption="C22: fuel-bounded halting — no budget settles every machine",
+    )
+    for fuel, report in surveys:
+        table.add_row(fuel, report.halted, report.running, round(report.undecided_fraction, 2))
+    emit("C22-halting", table)
+    halted = [report.halted for _, report in surveys]
+    assert halted == sorted(halted)               # fuel only ever helps
+    assert surveys[-1][1].running >= 2            # the spinners never halt

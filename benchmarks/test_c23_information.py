@@ -1,0 +1,67 @@
+"""C23 — §2c: "What is information?"
+
+Regenerates the source-coding table (Huffman vs the entropy bound vs
+fixed-width) and the channel-coding table (raw vs repetition vs
+Hamming(7,4) against BSC capacity).
+"""
+
+from _common import Table, emit
+
+from repro.info.channel import bsc_capacity, simulate_code
+from repro.info.entropy import empirical_distribution, entropy
+from repro.info.huffman import HuffmanCode
+from repro.util.rng import make_rng
+
+
+def run_source_coding():
+    rng = make_rng(30)
+    # A skewed 6-symbol source.
+    symbols = "abcdef"
+    probabilities = [0.45, 0.25, 0.12, 0.08, 0.06, 0.04]
+    samples = [symbols[i] for i in rng.choice(6, size=20_000, p=probabilities)]
+    code = HuffmanCode.from_samples(samples)
+    bound, achieved, naive = code.efficiency_report(samples)
+    return bound, achieved, naive, entropy(empirical_distribution(samples))
+
+
+def test_c23_source_coding(benchmark):
+    bound, achieved, naive, h = benchmark.pedantic(run_source_coding, rounds=1, iterations=1)
+    table = Table(
+        ["coder", "bits/symbol"],
+        caption="C23: source coding against the entropy floor",
+    )
+    table.add_row("entropy bound H", round(bound, 4))
+    table.add_row("Huffman", round(achieved, 4))
+    table.add_row("fixed width", naive)
+    emit("C23", table)
+    assert h - 1e-9 <= achieved < h + 1   # the source coding theorem band
+    assert achieved < naive               # Huffman beats fixed width
+
+
+def test_c23_channel_coding(benchmark):
+    def sweep():
+        rows = []
+        for p in (0.01, 0.05, 0.1):
+            capacity = bsc_capacity(p)
+            for kind in ("none", "repetition", "hamming74"):
+                rate, residual = simulate_code(kind, 20_000, p, seed=31)
+                rows.append((p, round(capacity, 3), kind, round(rate, 3), residual))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["flip p", "capacity C", "code", "rate", "residual BER"],
+        caption="C23: channel coding on the binary symmetric channel",
+    )
+    table.extend(rows)
+    emit("C23-channel", table)
+    by_key = {(r[0], r[2]): r for r in rows}
+    for p in (0.01, 0.05, 0.1):
+        raw = by_key[(p, "none")][4]
+        rep = by_key[(p, "repetition")][4]
+        ham = by_key[(p, "hamming74")][4]
+        assert rep < raw and ham < raw        # codes reduce errors
+        # All operating rates stay below capacity only for small p;
+        # where rate > C, errors persist (Shannon's converse, visible).
+        if by_key[(p, "hamming74")][3] > by_key[(p, "hamming74")][1]:
+            assert ham > 0

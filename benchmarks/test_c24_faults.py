@@ -1,0 +1,136 @@
+"""C24 — §1a: "What happens when the disk is full or the server is
+not responding?"
+
+Regenerates the fault-handling comparison: naive vs retry vs circuit
+breaker against a flaky server, disk-full handling with and without
+cleanup, and the sliding-window ablation (#5) on a lossy link.
+"""
+
+from _common import Table, emit
+
+from repro.faults.injection import DiskFullError, FaultSchedule, FaultyDisk, FlakyServer, ServerTimeout
+from repro.faults.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+from repro.netstack.ip import IPLayer
+from repro.netstack.link import LinkLayer
+from repro.netstack.medium import LossyRadio
+from repro.netstack.transport import SlidingWindowTransport
+
+
+def run_server_policies():
+    def fresh_server(rate):
+        return FlakyServer(lambda x: "ok", schedule=FaultSchedule(rate=rate, seed=3))
+
+    rows = []
+    for rate in (0.1, 0.3, 0.6):
+        naive_server = fresh_server(rate)
+        naive_ok = 0
+        for _ in range(200):
+            try:
+                naive_server.request(None)
+                naive_ok += 1
+            except ServerTimeout:
+                pass
+        retry_server = fresh_server(rate)
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01)
+        retry_ok = sum(
+            policy.call(lambda: retry_server.request(None)).succeeded for _ in range(200)
+        )
+        rows.append((rate, naive_ok / 200, retry_ok / 200))
+    return rows
+
+
+def test_c24_retry_beats_naive(benchmark):
+    rows = benchmark.pedantic(run_server_policies, rounds=1, iterations=1)
+    table = Table(
+        ["fault rate", "naive success", "retry(5) success"],
+        caption="C24: the server is not responding — naive vs retry",
+    )
+    table.extend(rows)
+    emit("C24", table)
+    for _, naive, retry in rows:
+        assert retry > naive
+    assert rows[0][2] > 0.99  # retries make low fault rates invisible
+
+
+def test_c24_circuit_breaker_sheds_load(benchmark):
+    def hammer():
+        dead = FlakyServer(lambda x: "ok")
+        dead.crash()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=1e9)
+        reached = rejected = 0
+        for _ in range(100):
+            try:
+                breaker.call(lambda: dead.request(None))
+            except ServerTimeout:
+                reached += 1
+            except CircuitOpenError:
+                rejected += 1
+        return reached, rejected
+
+    reached, rejected = benchmark(hammer)
+    table = Table(
+        ["outcome", "calls"],
+        caption="C24: circuit breaker against a dead backend (100 calls)",
+    )
+    table.add_row("reached the dead server", reached)
+    table.add_row("shed by the breaker", rejected)
+    emit("C24-breaker", table)
+    assert reached == 3
+    assert rejected == 97
+
+
+def test_c24_disk_full(benchmark):
+    def exercise():
+        disk = FaultyDisk(100)
+        written = 0
+        refused = 0
+        for i in range(30):
+            try:
+                disk.write(f"log{i}", b"x" * 10)
+                written += 1
+            except DiskFullError:
+                refused += 1
+                # Defensive client: rotate the oldest log and retry.
+                disk.delete(disk.files()[0])
+                disk.write(f"log{i}", b"x" * 10)
+                written += 1
+        return written, refused, disk.used_blocks
+
+    written, refused, used = benchmark(exercise)
+    table = Table(
+        ["metric", "value"],
+        caption="C24: the disk is full — rotation keeps the writer alive",
+    )
+    table.add_row("writes completed", written)
+    table.add_row("disk-full events handled", refused)
+    table.add_row("blocks in use at end", used)
+    emit("C24-disk", table)
+    assert written == 30
+    assert refused == 20
+    assert used == 100
+
+
+def test_c24_window_ablation(benchmark):
+    def sweep():
+        rows = []
+        message = bytes(range(256)) * 4
+        for window in (1, 4, 16):
+            transport = SlidingWindowTransport(
+                IPLayer("client", LinkLayer(LossyRadio(loss_rate=0.2, corruption_rate=0.05, seed=7))),
+                window=window,
+                max_rounds=20_000,
+            )
+            delivered = transport.send("server", message)
+            assert delivered == message
+            rows.append((window, transport.rounds, transport.segments_sent))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["window", "rounds (latency proxy)", "segments sent"],
+        caption="C24 ablation: ARQ window size on a 20%-loss radio link",
+    )
+    table.extend(rows)
+    emit("C24-window", table)
+    round_counts = [r[1] for r in rows]
+    assert round_counts == sorted(round_counts, reverse=True)  # bigger window, fewer rounds

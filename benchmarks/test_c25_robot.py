@@ -1,0 +1,45 @@
+"""C25 — §1a: "How do we get a robot to move down a hallway without
+bumping into people?"
+
+Regenerates the controller comparison across crowd densities: static
+A* collides; space-time planning and replanning arrive clean.
+"""
+
+from _common import Table, emit
+
+from repro.robotics.controller import POLICIES, run_episode
+from repro.robotics.gridworld import Hallway
+
+
+def run_crowd_sweep():
+    rows = []
+    for pedestrians in (2, 6, 12):
+        for policy in POLICIES:
+            safe = collisions = arrivals = 0
+            episodes = 8
+            for seed in range(episodes):
+                world = Hallway(5, 30, num_pedestrians=pedestrians, seed=seed)
+                result = run_episode(world, policy)
+                safe += result.safe_arrival
+                collisions += result.collisions
+                arrivals += result.reached_goal
+            rows.append((pedestrians, policy, arrivals, safe, collisions))
+    return rows
+
+
+def test_c25_hallway(benchmark):
+    rows = benchmark.pedantic(run_crowd_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["pedestrians", "policy", "arrivals/8", "safe arrivals/8", "total collisions"],
+        caption="C25: moving down the hallway without bumping into people",
+    )
+    table.extend(rows)
+    emit("C25", table)
+    cell = {(p, pol): (a, s, c) for p, pol, a, s, c in rows}
+    for crowd in (2, 6, 12):
+        assert cell[(crowd, "spacetime")][2] == 0     # never bumps
+        assert cell[(crowd, "replan")][2] == 0
+    assert cell[(12, "static")][2] > 0                # blind planning bumps
+    # Collisions of the static policy grow with crowd density.
+    static = [cell[(p, "static")][2] for p in (2, 6, 12)]
+    assert static[-1] >= static[0]

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Shotgun sequencing end to end (paper §1b).
+
+Generate a synthetic genome, shotgun it into reads at several
+coverage depths, assemble with the greedy overlap assembler, and
+report identity and N50 — then distribute the per-coverage assemblies
+across MPI-style ranks with :func:`repro.parallel.comm.run_spmd`,
+because the real pipelines are cluster jobs.
+
+Run:  python examples/genome_pipeline.py
+"""
+
+from repro.bio.assembly import GreedyAssembler, identity
+from repro.bio.genome import random_genome, shotgun_fragments
+from repro.parallel.comm import run_spmd
+from repro.util.tables import Table
+
+GENOME_LENGTH = 400
+READ_LENGTH = 60
+COVERAGES = [1.5, 3.0, 6.0, 12.0]
+
+
+def assemble_at(coverage: float, genome: str):
+    reads = shotgun_fragments(
+        genome, coverage=coverage, read_length=READ_LENGTH, seed=int(coverage * 10)
+    )
+    result = GreedyAssembler(min_overlap=15).assemble(reads)
+    return (
+        coverage,
+        len(reads),
+        len(result.contigs),
+        result.n50,
+        identity(result.longest, genome),
+    )
+
+
+def main() -> None:
+    genome = random_genome(GENOME_LENGTH, seed=42)
+    print(f"synthetic genome: {GENOME_LENGTH} bp, reads {READ_LENGTH} bp\n")
+
+    # One rank per coverage level — scatter/gather, mpi4py-style.
+    def worker(comm):
+        coverage = comm.scatter(COVERAGES if comm.rank == 0 else None, root=0)
+        row = assemble_at(coverage, genome)
+        return comm.gather(row, root=0)
+
+    rows = run_spmd(worker, len(COVERAGES))[0]
+    table = Table(
+        ["coverage", "reads", "contigs", "N50", "identity"],
+        caption="assembly quality vs coverage (greedy overlap assembler)",
+    )
+    table.extend(rows)
+    print(table.render())
+    print("\nshape: identity -> 1.0 and contigs -> 1 as coverage grows,")
+    print("the Lander-Waterman story the paper's exemplar relies on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The hallway robot (paper §1a): "How do we get a robot to move down
+a hallway without bumping into people?"
+
+Compares three controllers across seeds and renders one episode as
+ASCII frames.
+
+Run:  python examples/hallway_robot.py
+"""
+
+from repro.robotics.controller import POLICIES, run_episode
+from repro.robotics.gridworld import Hallway
+from repro.robotics.planner import time_expanded_astar
+from repro.util.tables import Table
+
+
+def render_frame(world: Hallway, robot, t: int) -> str:
+    rows = []
+    pedestrians = world.pedestrian_positions(t)
+    for r in range(world.rows):
+        line = []
+        for c in range(world.cols):
+            cell = (r, c)
+            if cell == robot:
+                line.append("R")
+            elif cell in pedestrians:
+                line.append("p")
+            elif cell == world.goal:
+                line.append("G")
+            else:
+                line.append(".")
+        rows.append("".join(line))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    table = Table(
+        ["policy", "episodes", "safe arrivals", "total collisions", "mean steps"],
+        caption="controller comparison, 10 seeded hallways (5x30, 12 pedestrians)",
+    )
+    for policy in POLICIES:
+        safe = collisions = steps = 0
+        n = 10
+        for seed in range(n):
+            world = Hallway(5, 30, num_pedestrians=12, seed=seed)
+            result = run_episode(world, policy)
+            safe += result.safe_arrival
+            collisions += result.collisions
+            steps += result.steps
+        table.add_row(policy, n, safe, collisions, steps / n)
+    print(table.render())
+
+    print("\none space-time episode, every 6th tick:\n")
+    world = Hallway(5, 30, num_pedestrians=8, seed=3)
+    plan = time_expanded_astar(world)
+    for t in range(0, len(plan), 6):
+        print(f"t={t}")
+        print(render_frame(world, plan[t], t))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Clearing a kidney-exchange market (paper §1b).
+
+Build a pool of incompatible patient-donor pairs, clear it optimally
+under different cycle caps, and print the Abraham/Blum/Sandholm
+shape: 3-cycles rescue substantially more patients than 2-cycles,
+with little left beyond 3.
+
+Run:  python examples/kidney_exchange.py
+"""
+
+from repro.econ.kidney import random_pool
+from repro.util.tables import Table
+
+
+def main() -> None:
+    pool = random_pool(28, crossmatch_failure=0.5, seed=1)
+    print(f"pool: {len(pool.pairs)} incompatible pairs, "
+          f"{pool.graph.num_edges()} compatible donor->patient edges\n")
+    table = Table(
+        ["cycle cap", "matched pairs", "transplant cycles", "B&B nodes"],
+        caption="optimal clearings by maximum cycle length",
+    )
+    for cap in (2, 3, 4):
+        clearing = pool.clear(cycle_cap=cap)
+        table.add_row(cap, clearing.matched_pairs, len(clearing.cycles), clearing.nodes_explored)
+    print(table.render())
+    best = pool.clear(cycle_cap=3)
+    print("\nexample 3-cycle surgeries (pair indices):")
+    for cycle in best.cycles:
+        if len(cycle) == 3:
+            a, b, c = cycle
+            print(f"  donor{a} -> patient{b}, donor{b} -> patient{c}, donor{c} -> patient{a}")
+            break
+
+
+if __name__ == "__main__":
+    main()

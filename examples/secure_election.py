@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quantum-secured ballots (paper §2a).
+
+Runs BB84 key distribution over a clean channel and over a tapped
+one, shows the eavesdropper lighting up the QBER alarm at ~25%, then
+runs a small election whose ballots ride a one-time pad keyed by the
+quantum channel.
+
+Run:  python examples/secure_election.py
+"""
+
+from repro.devices.ballots import run_election
+from repro.devices.bb84 import BB84Session
+from repro.util.tables import Table
+
+
+def main() -> None:
+    table = Table(
+        ["scenario", "sifted bits", "QBER", "detected?", "key bits"],
+        caption="BB84 sessions (1024 photons)",
+    )
+    for name, kwargs in [
+        ("clean channel", {}),
+        ("2% channel noise", {"channel_noise": 0.02}),
+        ("intercept-resend Eve", {"eavesdropper": True}),
+    ]:
+        result = BB84Session(photons=1024, seed=11, **kwargs).run()
+        table.add_row(
+            name,
+            result.sifted_bits,
+            result.qber,
+            result.eavesdropper_detected,
+            len(result.key),
+        )
+    print(table.render())
+
+    print("\nrunning the election (Eve taps the first QKD attempt)...")
+    votes = ["ja"] * 9 + ["nein"] * 5 + ["blank"]
+    outcome = run_election(votes, eavesdropper_attempts=1, photons=4096, seed=3)
+    print(f"QKD attempts: {outcome.qkd_attempts} "
+          f"(eavesdropper detections: {outcome.eavesdropper_detections})")
+    print(f"tally: {outcome.tally} from {outcome.ballots_transmitted} ballots")
+    assert outcome.tally == {"ja": 9, "nein": 5, "blank": 1}
+    print("tally matches the cast votes; the tap was detected, never decrypted.")
+
+
+if __name__ == "__main__":
+    main()

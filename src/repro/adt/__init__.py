@@ -1,0 +1,19 @@
+"""Abstract data types with checkable algebraic laws (paper §1a).
+
+The paper's first example of computing's "rich abstractions" is the
+stack: "We would not think 'to add' two stacks as we would two
+integers."  This package provides the classic persistent ADTs —
+:class:`Stack`, :class:`Queue`, binary and rose trees, and a simple
+adjacency :class:`Graph` — together with :mod:`repro.adt.laws`, which
+states their defining algebraic equations as executable predicates and
+makes the paper's point precise: the stack signature admits no
+commutative, associative "add" with an identity that also respects the
+push/pop laws.
+"""
+
+from repro.adt.graph import Graph
+from repro.adt.queue import Queue
+from repro.adt.stack import Stack
+from repro.adt.tree import BinaryTree, RoseTree, tree_as_graph
+
+__all__ = ["Stack", "Queue", "BinaryTree", "RoseTree", "Graph", "tree_as_graph"]

@@ -1,0 +1,251 @@
+"""A small production-grade adjacency graph.
+
+Used throughout the library (trees-as-graphs, kidney-exchange
+compatibility graphs, Hamiltonian-path instances, social networks,
+concept prerequisite DAGs).  Supports directed and undirected modes,
+optional edge weights, and the classic traversals.  ``networkx`` is
+used in the *tests* as an oracle; production code paths use this class.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator
+
+__all__ = ["Graph"]
+
+Node = Hashable
+
+
+class Graph:
+    """Adjacency-set graph, directed or undirected, optionally weighted."""
+
+    def __init__(self, *, directed: bool = False) -> None:
+        self.directed = directed
+        self._adj: dict[Node, dict[Node, float]] = {}
+        self._pred: dict[Node, set[Node]] = {}  # only maintained when directed
+
+    # -- construction -------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node not in self._adj:
+            self._adj[node] = {}
+            if self.directed:
+                self._pred[node] = set()
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = weight
+        if self.directed:
+            self._pred[v].add(u)
+        else:
+            self._adj[v][u] = weight
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        try:
+            del self._adj[u][v]
+        except KeyError:
+            raise KeyError(f"no edge {u!r}->{v!r}") from None
+        if self.directed:
+            self._pred[v].discard(u)
+        else:
+            del self._adj[v][u]
+
+    @staticmethod
+    def from_edges(edges: Iterable[tuple], *, directed: bool = False) -> "Graph":
+        g = Graph(directed=directed)
+        for edge in edges:
+            if len(edge) == 3:
+                u, v, w = edge
+                g.add_edge(u, v, float(w))
+            else:
+                u, v = edge
+                g.add_edge(u, v)
+        return g
+
+    # -- queries -------------------------------------------------------
+    def nodes(self) -> list[Node]:
+        return list(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]:
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if not self.directed:
+                    key = frozenset((u, v)) if u != v else (u, v)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                yield u, v, w
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> list[Node]:
+        return list(self._adj[node])
+
+    def predecessors(self, node: Node) -> list[Node]:
+        if not self.directed:
+            return self.neighbors(node)
+        return list(self._pred[node])
+
+    def weight(self, u: Node, v: Node) -> float:
+        return self._adj[u][v]
+
+    def degree(self, node: Node) -> int:
+        return len(self._adj[node])
+
+    def in_degree(self, node: Node) -> int:
+        if not self.directed:
+            return self.degree(node)
+        return len(self._pred[node])
+
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        total = sum(len(nbrs) for nbrs in self._adj.values())
+        if self.directed:
+            return total
+        self_loops = sum(1 for u, nbrs in self._adj.items() if u in nbrs)
+        return (total + self_loops) // 2
+
+    # -- traversal -----------------------------------------------------
+    def bfs_order(self, source: Node) -> list[Node]:
+        seen = {source}
+        order = [source]
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    frontier.append(v)
+        return order
+
+    def dfs_order(self, source: Node) -> list[Node]:
+        seen: set[Node] = set()
+        order: list[Node] = []
+        stack = [source]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            order.append(u)
+            stack.extend(reversed(self.neighbors(u)))
+        return order
+
+    def is_connected(self) -> bool:
+        """Connectivity (weak connectivity for directed graphs)."""
+        if not self._adj:
+            return True
+        if not self.directed:
+            start = next(iter(self._adj))
+            return len(self.bfs_order(start)) == len(self._adj)
+        undirected = Graph()
+        for node in self._adj:
+            undirected.add_node(node)
+        for u, v, w in self.edges():
+            undirected.add_edge(u, v, w)
+        return undirected.is_connected()
+
+    def connected_components(self) -> list[set[Node]]:
+        if self.directed:
+            raise ValueError("connected_components is defined for undirected graphs")
+        seen: set[Node] = set()
+        components = []
+        for node in self._adj:
+            if node in seen:
+                continue
+            comp = set(self.bfs_order(node))
+            seen |= comp
+            components.append(comp)
+        return components
+
+    def has_cycle(self) -> bool:
+        if self.directed:
+            return self.topological_order() is None
+        # Undirected: DFS with parent tracking.
+        seen: set[Node] = set()
+        for root in self._adj:
+            if root in seen:
+                continue
+            stack: list[tuple[Node, Node | None]] = [(root, None)]
+            parent: dict[Node, Node | None] = {root: None}
+            while stack:
+                u, par = stack.pop()
+                if u in seen:
+                    continue
+                seen.add(u)
+                for v in self._adj[u]:
+                    if v not in seen:
+                        parent[v] = u
+                        stack.append((v, u))
+                    elif v != par:
+                        return True
+        return False
+
+    def topological_order(self) -> list[Node] | None:
+        """Kahn's algorithm; ``None`` if the directed graph has a cycle."""
+        if not self.directed:
+            raise ValueError("topological order is defined for directed graphs")
+        indeg = {node: len(self._pred[node]) for node in self._adj}
+        ready = deque(sorted((n for n, d in indeg.items() if d == 0), key=repr))
+        order = []
+        while ready:
+            u = ready.popleft()
+            order.append(u)
+            for v in self._adj[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        return order if len(order) == len(self._adj) else None
+
+    def shortest_path(self, source: Node, target: Node) -> tuple[float, list[Node]]:
+        """Dijkstra shortest path; raises ``KeyError`` if unreachable."""
+        dist: dict[Node, float] = {source: 0.0}
+        prev: dict[Node, Node] = {}
+        heap: list[tuple[float, int, Node]] = [(0.0, 0, source)]
+        counter = 0
+        done: set[Node] = set()
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            if u == target:
+                path = [u]
+                while path[-1] != source:
+                    path.append(prev[path[-1]])
+                return d, list(reversed(path))
+            done.add(u)
+            for v, w in self._adj[u].items():
+                if w < 0:
+                    raise ValueError("Dijkstra requires nonnegative weights")
+                nd = d + w
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, v))
+        raise KeyError(f"{target!r} unreachable from {source!r}")
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        keep = set(nodes)
+        g = Graph(directed=self.directed)
+        for node in keep:
+            if node in self._adj:
+                g.add_node(node)
+        for u, v, w in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v, w)
+        return g
+
+    def __repr__(self) -> str:
+        kind = "DiGraph" if self.directed else "Graph"
+        return f"{kind}(|V|={self.num_nodes()}, |E|={self.num_edges()})"

@@ -1,0 +1,167 @@
+"""Algebraic laws of the ADTs, as executable predicates.
+
+The paper's point (§1a) is that computing's abstractions "do not
+necessarily enjoy the clean, elegant or easily definable algebraic
+properties of mathematical abstractions, such as real numbers":
+integers form a commutative monoid under ``+``, but the stack
+signature does not.  This module states:
+
+* the defining laws of stacks and queues (checked by unit and
+  hypothesis tests);
+* :func:`check_monoid` — a generic monoid-law checker over a sample;
+* :func:`stack_add_candidates` — the plausible "add two stacks"
+  definitions (concatenate either way, interleave), each of which
+  :func:`refute_stack_addition` shows violates commutativity or
+  identity-coherence with push/pop on concrete witnesses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.adt.queue import Queue
+from repro.adt.stack import Stack
+
+__all__ = [
+    "stack_push_pop_law",
+    "stack_lifo_law",
+    "queue_fifo_law",
+    "queue_order_law",
+    "check_monoid",
+    "MonoidReport",
+    "stack_add_candidates",
+    "refute_stack_addition",
+]
+
+
+# -- defining laws ------------------------------------------------------
+
+def stack_push_pop_law(stack: Stack, item: Any) -> bool:
+    """pop(push(s, x)) == (x, s)."""
+    top, rest = stack.push(item).pop()
+    return top == item and rest == stack
+
+
+def stack_lifo_law(items: Sequence[Any]) -> bool:
+    """Pushing a sequence then draining yields the reverse sequence."""
+    s = Stack.of(items)
+    drained = []
+    while not s.is_empty():
+        top, s = s.pop()
+        drained.append(top)
+    return drained == list(reversed(items))
+
+
+def queue_fifo_law(items: Sequence[Any]) -> bool:
+    """Enqueuing a sequence then draining yields the same sequence."""
+    q = Queue.of(items)
+    drained = []
+    while not q.is_empty():
+        head, q = q.dequeue()
+        drained.append(head)
+    return drained == list(items)
+
+
+def queue_order_law(queue: Queue, item: Any) -> bool:
+    """Enqueue never changes the current front (unless empty)."""
+    if queue.is_empty():
+        return queue.enqueue(item).front() == item
+    return queue.enqueue(item).front() == queue.front()
+
+
+# -- monoid checking -----------------------------------------------------
+
+@dataclass
+class MonoidReport:
+    """Outcome of checking monoid laws on a finite sample.
+
+    ``counterexample`` names the violated law and the witnesses when
+    ``holds`` is ``False``.
+    """
+
+    holds: bool
+    counterexample: tuple[str, tuple] | None = None
+
+
+def check_monoid(
+    op: Callable[[Any, Any], Any],
+    identity: Any,
+    sample: Iterable[Any],
+    *,
+    commutative: bool = True,
+) -> MonoidReport:
+    """Check identity, associativity, and optionally commutativity of
+    ``op`` over every pair/triple drawn from ``sample``.
+
+    Exhaustive over the sample, so a ``holds=True`` result is evidence
+    (not proof) while ``holds=False`` carries a concrete witness —
+    exactly the asymmetry that makes refutation easy and law-abidance
+    hard, which is the paper's point about rich abstractions.
+    """
+    items = list(sample)
+    for a in items:
+        if op(identity, a) != a:
+            return MonoidReport(False, ("left-identity", (a,)))
+        if op(a, identity) != a:
+            return MonoidReport(False, ("right-identity", (a,)))
+    for a in items:
+        for b in items:
+            if commutative and op(a, b) != op(b, a):
+                return MonoidReport(False, ("commutativity", (a, b)))
+            for c in items:
+                if op(op(a, b), c) != op(a, op(b, c)):
+                    return MonoidReport(False, ("associativity", (a, b, c)))
+    return MonoidReport(True)
+
+
+# -- "adding" two stacks --------------------------------------------------
+
+def _concat_under(a: Stack, b: Stack) -> Stack:
+    """b's elements below a's (a stays on top)."""
+    return Stack.of(list(reversed(list(b))) + list(reversed(list(a))))
+
+
+def _concat_over(a: Stack, b: Stack) -> Stack:
+    return _concat_under(b, a)
+
+
+def _interleave(a: Stack, b: Stack) -> Stack:
+    xs, ys = list(a), list(b)
+    merged: list[Any] = []
+    for i in range(max(len(xs), len(ys))):
+        if i < len(xs):
+            merged.append(xs[i])
+        if i < len(ys):
+            merged.append(ys[i])
+    return Stack.of(list(reversed(merged)))
+
+
+def stack_add_candidates() -> dict[str, Callable[[Stack, Stack], Stack]]:
+    """The natural candidate definitions for ``stack + stack``."""
+    return {
+        "concat-under": _concat_under,
+        "concat-over": _concat_over,
+        "interleave": _interleave,
+    }
+
+
+def refute_stack_addition() -> dict[str, tuple[str, tuple]]:
+    """Show every candidate stack-addition fails the integer-like laws.
+
+    Returns a map from candidate name to the violated law and its
+    witness.  All candidates respect identity (empty stack) but break
+    commutativity — and any commutative repair (e.g. sorting) would
+    break the push/pop law.  This is the paper's "we would not think to
+    add two stacks" claim, certified by counterexample.
+    """
+    sample = [Stack.empty(), Stack.of([1]), Stack.of([1, 2]), Stack.of([3, 1])]
+    failures: dict[str, tuple[str, tuple]] = {}
+    for name, op in stack_add_candidates().items():
+        report = check_monoid(op, Stack.empty(), sample, commutative=True)
+        if report.holds:  # pragma: no cover - mathematically impossible
+            raise AssertionError(f"candidate {name} unexpectedly satisfied monoid laws")
+        assert report.counterexample is not None
+        failures[name] = report.counterexample
+    return failures

@@ -1,0 +1,90 @@
+"""A persistent FIFO queue (Okasaki's two-list ("banker's") queue).
+
+``enqueue`` is O(1); ``dequeue`` is amortised O(1): elements are pushed
+onto a back list and reversed into a front list when the front runs
+dry.  Persistence keeps the FIFO law comparisons value-based, as with
+:class:`repro.adt.stack.Stack`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+__all__ = ["Queue", "QueueUnderflow"]
+
+
+class QueueUnderflow(LookupError):
+    """Raised when ``dequeue`` or ``front`` is applied to an empty queue."""
+
+
+class Queue:
+    """Immutable FIFO queue.
+
+    >>> q = Queue.of([1, 2, 3])
+    >>> head, rest = q.dequeue()
+    >>> head, rest.front()
+    (1, 2)
+    """
+
+    __slots__ = ("_front", "_back")
+
+    def __init__(self, _front: tuple[Any, ...] = (), _back: tuple[Any, ...] = ()) -> None:
+        # Invariant: if _front is empty, _back is empty too.
+        if not _front and _back:
+            _front = tuple(reversed(_back))
+            _back = ()
+        self._front = _front
+        self._back = _back
+
+    @staticmethod
+    def empty() -> "Queue":
+        return _EMPTY
+
+    @staticmethod
+    def of(items: Iterable[Any]) -> "Queue":
+        q = _EMPTY
+        for item in items:
+            q = q.enqueue(item)
+        return q
+
+    def enqueue(self, item: Any) -> "Queue":
+        if not self._front:
+            return Queue((item,), ())
+        return Queue(self._front, (item,) + self._back)
+
+    def dequeue(self) -> tuple[Any, "Queue"]:
+        if not self._front:
+            raise QueueUnderflow("dequeue from empty queue")
+        head = self._front[0]
+        return head, Queue(self._front[1:], self._back)
+
+    def front(self) -> Any:
+        if not self._front:
+            raise QueueUnderflow("front of empty queue")
+        return self._front[0]
+
+    def is_empty(self) -> bool:
+        return not self._front
+
+    def __len__(self) -> int:
+        return len(self._front) + len(self._back)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate in dequeue (FIFO) order."""
+        yield from self._front
+        yield from reversed(self._back)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Queue):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return f"Queue(front->back: {list(self)!r})"
+
+
+_EMPTY = Queue()

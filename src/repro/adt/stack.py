@@ -1,0 +1,89 @@
+"""A persistent (immutable) stack.
+
+Persistence makes the algebraic laws in :mod:`repro.adt.laws` directly
+testable: ``s.push(x).pop() == (x, s)`` compares *values*, not mutated
+aliases.  The representation is a cons-list of tuples, so ``push`` and
+``pop`` are O(1) and share structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+__all__ = ["Stack", "StackUnderflow"]
+
+
+class StackUnderflow(LookupError):
+    """Raised when ``pop`` or ``peek`` is applied to an empty stack."""
+
+
+class Stack:
+    """Immutable LIFO stack.
+
+    >>> s = Stack.empty().push(1).push(2)
+    >>> s.peek()
+    2
+    >>> top, rest = s.pop()
+    >>> top, rest.peek()
+    (2, 1)
+    """
+
+    __slots__ = ("_cell", "_size")
+
+    def __init__(self, _cell: tuple[Any, Any] | None = None, _size: int = 0) -> None:
+        self._cell = _cell
+        self._size = _size
+
+    @staticmethod
+    def empty() -> "Stack":
+        return _EMPTY
+
+    @staticmethod
+    def of(items: Iterable[Any]) -> "Stack":
+        """Build a stack by pushing ``items`` in order (last is on top)."""
+        s = _EMPTY
+        for item in items:
+            s = s.push(item)
+        return s
+
+    def push(self, item: Any) -> "Stack":
+        return Stack((item, self._cell), self._size + 1)
+
+    def pop(self) -> tuple[Any, "Stack"]:
+        if self._cell is None:
+            raise StackUnderflow("pop from empty stack")
+        head, tail = self._cell
+        return head, Stack(tail, self._size - 1)
+
+    def peek(self) -> Any:
+        if self._cell is None:
+            raise StackUnderflow("peek at empty stack")
+        return self._cell[0]
+
+    def is_empty(self) -> bool:
+        return self._cell is None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate top-to-bottom."""
+        cell = self._cell
+        while cell is not None:
+            yield cell[0]
+            cell = cell[1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Stack):
+            return NotImplemented
+        return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return f"Stack(top->bottom: {list(self)!r})"
+
+
+_EMPTY = Stack()

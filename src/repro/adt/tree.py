@@ -1,0 +1,133 @@
+"""Binary and rose trees, and the embedding of trees into graphs.
+
+The paper (§1c) wants us to "show that a tree is a special kind of
+graph" — :func:`tree_as_graph` performs that embedding, and
+:func:`is_tree_graph` checks the converse characterisation (connected,
+acyclic, |E| = |V| - 1), so the subset relation is executable in both
+directions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.adt.graph import Graph
+
+__all__ = ["BinaryTree", "RoseTree", "tree_as_graph", "is_tree_graph"]
+
+
+@dataclass(frozen=True)
+class BinaryTree:
+    """An immutable binary tree node; leaves have ``left is right is None``."""
+
+    value: Any
+    left: Optional["BinaryTree"] = None
+    right: Optional["BinaryTree"] = None
+
+    @staticmethod
+    def leaf(value: Any) -> "BinaryTree":
+        return BinaryTree(value)
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in (self.left, self.right) if c is not None)
+
+    def height(self) -> int:
+        """Height of a single node is 0."""
+        child_heights = [c.height() for c in (self.left, self.right) if c is not None]
+        return 1 + max(child_heights) if child_heights else 0
+
+    def inorder(self) -> Iterator[Any]:
+        if self.left is not None:
+            yield from self.left.inorder()
+        yield self.value
+        if self.right is not None:
+            yield from self.right.inorder()
+
+    def preorder(self) -> Iterator[Any]:
+        yield self.value
+        if self.left is not None:
+            yield from self.left.preorder()
+        if self.right is not None:
+            yield from self.right.preorder()
+
+    def insert_bst(self, value: Any) -> "BinaryTree":
+        """Persistent binary-search-tree insert (duplicates go right)."""
+        if value < self.value:
+            if self.left is None:
+                return BinaryTree(self.value, BinaryTree(value), self.right)
+            return BinaryTree(self.value, self.left.insert_bst(value), self.right)
+        if self.right is None:
+            return BinaryTree(self.value, self.left, BinaryTree(value))
+        return BinaryTree(self.value, self.left, self.right.insert_bst(value))
+
+    def contains_bst(self, value: Any) -> bool:
+        node: Optional[BinaryTree] = self
+        while node is not None:
+            if value == node.value:
+                return True
+            node = node.left if value < node.value else node.right
+        return False
+
+
+@dataclass(frozen=True)
+class RoseTree:
+    """An immutable tree with any number of ordered children."""
+
+    value: Any
+    children: tuple["RoseTree", ...] = field(default_factory=tuple)
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+    def height(self) -> int:
+        return 1 + max((c.height() for c in self.children), default=-1) if self.children else 0
+
+    def preorder(self) -> Iterator[Any]:
+        yield self.value
+        for child in self.children:
+            yield from child.preorder()
+
+    def map(self, fn) -> "RoseTree":
+        return RoseTree(fn(self.value), tuple(c.map(fn) for c in self.children))
+
+
+def _edges_of(tree: BinaryTree | RoseTree, path: tuple[int, ...] = ()) -> Iterator[tuple]:
+    """Yield (parent_id, child_id) pairs; node ids are root-paths."""
+    if isinstance(tree, BinaryTree):
+        children: Sequence[BinaryTree | RoseTree | None] = [tree.left, tree.right]
+    else:
+        children = list(tree.children)
+    for i, child in enumerate(children):
+        if child is None:
+            continue
+        child_path = path + (i,)
+        yield path, child_path
+        yield from _edges_of(child, child_path)
+
+
+def tree_as_graph(tree: BinaryTree | RoseTree) -> Graph:
+    """Embed a tree into an undirected :class:`Graph`.
+
+    Node identity is the path from the root (so equal values at
+    different positions stay distinct), demonstrating "a tree is a
+    special kind of graph" constructively.
+    """
+    g = Graph()
+    g.add_node(())
+    for parent, child in _edges_of(tree):
+        g.add_edge(parent, child)
+    return g
+
+
+def is_tree_graph(g: Graph) -> bool:
+    """Check the graph-theoretic characterisation of a tree.
+
+    A graph is a tree iff it is connected and has exactly |V| - 1
+    edges.  (Empty graphs are vacuously not trees here.)
+    """
+    n = g.num_nodes()
+    if n == 0:
+        return False
+    return g.is_connected() and g.num_edges() == n - 1

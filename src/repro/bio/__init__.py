@@ -1,0 +1,25 @@
+"""Biology exemplars (paper §1b, §2a).
+
+The paper cites three concrete bio-computational systems as evidence
+that "computational thinking is transforming biology":
+
+* shotgun sequencing "accelerating our ability to sequence the human
+  genome" — :mod:`repro.bio.genome` (synthetic genomes + fragmenting)
+  and :mod:`repro.bio.assembly` (greedy overlap assembly);
+* Adleman's DNA computer solving the seven-point Hamiltonian path
+  problem — :mod:`repro.bio.adleman`, a molecule-population simulation
+  of the wet-lab protocol;
+* Benenson et al.'s "autonomous molecular computer for logical control
+  of gene expression" — :mod:`repro.bio.geneautomaton`, a molecular
+  finite automaton over mRNA markers;
+* "our abstractions representing dynamic processes found in nature,
+  from the cell cycle to protein folding" (Fisher & Henzinger's
+  executable biology) — :mod:`repro.bio.celldyn`, a boolean-network
+  cell-cycle model with attractor analysis.
+"""
+
+from repro.bio.assembly import GreedyAssembler
+from repro.bio.genome import random_genome, shotgun_fragments
+from repro.bio.adleman import AdlemanComputer
+
+__all__ = ["random_genome", "shotgun_fragments", "GreedyAssembler", "AdlemanComputer"]

@@ -1,0 +1,136 @@
+"""A molecule-population simulation of Adleman's DNA computation.
+
+Adleman (1994) solved a 7-vertex Hamiltonian-path instance with DNA:
+oligonucleotides for vertices and edges self-assemble into random
+paths (massively parallel generate), then wet-lab filtering steps keep
+only molecules that (1) start at v_in and end at v_out, (2) have
+exactly n vertices, and (3) contain every vertex.  Survivors, if any,
+*are* the answers.
+
+We have no wet lab, so the simulation (substitution documented in
+DESIGN.md) represents each molecule as a vertex sequence grown by a
+random walk along edges — the same generate-and-filter code path:
+
+1. :meth:`AdlemanComputer.anneal` — grow ``population`` random-walk
+   molecules (the ligation soup);
+2. :meth:`filter_endpoints`, :meth:`filter_length`,
+   :meth:`filter_vertices` — the three laboratory filters, each a
+   plain population filter;
+3. :meth:`run` — the full protocol, returning surviving molecules and
+   per-stage counts.
+
+The success probability as a function of population size is the C14
+bench's headline curve: molecular "hardware" trades an exponential
+*count of molecules* for time, it does not beat the exponential.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.adt.graph import Graph
+from repro.complexity.verify import verify_hamiltonian_path
+from repro.util.rng import make_rng
+
+__all__ = ["AdlemanComputer", "AdlemanRun"]
+
+
+@dataclass
+class AdlemanRun:
+    """Outcome of one simulated protocol run."""
+
+    survivors: list[tuple[Hashable, ...]]
+    stage_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.survivors)
+
+
+class AdlemanComputer:
+    """Simulates the generate-and-filter DNA protocol on a digraph."""
+
+    def __init__(self, graph: Graph, start: Hashable, end: Hashable) -> None:
+        if not graph.directed:
+            raise ValueError("Adleman's construction uses a directed graph")
+        for v in (start, end):
+            if not graph.has_node(v):
+                raise KeyError(f"endpoint {v!r} not in graph")
+        self.graph = graph
+        self.start = start
+        self.end = end
+
+    # -- stage 1: annealing (generate) ---------------------------------
+    def anneal(self, population: int, *, seed: int | None = 0) -> list[tuple[Hashable, ...]]:
+        """Grow ``population`` random-walk molecules from random starts.
+
+        Each molecule extends along random out-edges until it reaches a
+        dead end or a random termination — mirroring that ligation
+        joins whatever oligos collide, with no global control.
+        Molecule length is capped at 2n (long chimeras happen in vitro
+        too; the length filter removes them).
+        """
+        if population < 1:
+            raise ValueError("population must be positive")
+        rng = make_rng(seed)
+        nodes = self.graph.nodes()
+        n = len(nodes)
+        molecules: list[tuple[Hashable, ...]] = []
+        for _ in range(population):
+            # Bias toward starting at v_in (Adleman's primers favour it).
+            current = self.start if rng.random() < 0.5 else nodes[int(rng.integers(0, n))]
+            path = [current]
+            while len(path) < 2 * n:
+                neighbors = self.graph.neighbors(current)
+                if not neighbors or rng.random() < 0.05:  # spontaneous termination
+                    break
+                current = neighbors[int(rng.integers(0, len(neighbors)))]
+                path.append(current)
+            molecules.append(tuple(path))
+        return molecules
+
+    # -- stage 2: the three filters -------------------------------------
+    def filter_endpoints(self, molecules: list[tuple]) -> list[tuple]:
+        """PCR amplification keeps molecules starting/ending correctly."""
+        return [m for m in molecules if m and m[0] == self.start and m[-1] == self.end]
+
+    def filter_length(self, molecules: list[tuple]) -> list[tuple]:
+        """Gel electrophoresis keeps molecules of exactly n vertices."""
+        n = self.graph.num_nodes()
+        return [m for m in molecules if len(m) == n]
+
+    def filter_vertices(self, molecules: list[tuple]) -> list[tuple]:
+        """Affinity purification keeps molecules containing every vertex."""
+        everyone = set(self.graph.nodes())
+        return [m for m in molecules if set(m) == everyone]
+
+    # -- full protocol -----------------------------------------------------
+    def run(self, population: int = 10_000, *, seed: int | None = 0) -> AdlemanRun:
+        soup = self.anneal(population, seed=seed)
+        counts = {"annealed": len(soup)}
+        soup = self.filter_endpoints(soup)
+        counts["after_endpoints"] = len(soup)
+        soup = self.filter_length(soup)
+        counts["after_length"] = len(soup)
+        soup = self.filter_vertices(soup)
+        counts["after_vertices"] = len(soup)
+        survivors = sorted(set(soup))
+        # Every survivor is necessarily a Hamiltonian path; assert the
+        # invariant loudly in simulation (it is the protocol's whole point).
+        for molecule in survivors:
+            assert verify_hamiltonian_path(
+                self.graph, list(molecule), start=self.start, end=self.end
+            ), "filter pipeline let a non-solution through"
+        return AdlemanRun(survivors, counts)
+
+    def success_probability(
+        self, population: int, *, trials: int = 20, seed: int | None = 0
+    ) -> float:
+        """Fraction of independent protocol runs that find a path."""
+        rng = make_rng(seed)
+        hits = 0
+        for _ in range(trials):
+            if self.run(population, seed=int(rng.integers(0, 2**31))).succeeded:
+                hits += 1
+        return hits / trials

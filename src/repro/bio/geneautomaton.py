@@ -1,0 +1,150 @@
+"""A Benenson-style molecular automaton for gene-expression logic.
+
+Benenson et al. (2004, *Nature*) built a DNA automaton that reads
+disease markers (mRNA levels) and releases a drug molecule only when a
+diagnostic rule holds.  The computational skeleton is a finite
+automaton whose transitions are gated by marker observations, with a
+stochastic twist: each marker test succeeds with a probability tied to
+how strongly the marker is expressed, and the automaton releases the
+drug only if *all* tests pass (otherwise it releases the suppressor).
+
+:class:`DiagnosticRule` holds the marker conditions;
+:class:`MolecularAutomaton` runs a population of automata over a cell
+state and reports the release fraction — the analogue readout the
+paper's exemplar actually produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.automata import DFA
+from repro.util.rng import make_rng
+
+__all__ = ["MarkerCondition", "DiagnosticRule", "MolecularAutomaton", "Diagnosis"]
+
+
+@dataclass(frozen=True)
+class MarkerCondition:
+    """One diagnostic clause: marker must be high (>= threshold) or
+    low (< threshold)."""
+
+    marker: str
+    want_high: bool
+    threshold: float = 0.5
+
+    def satisfied_by(self, level: float) -> bool:
+        return level >= self.threshold if self.want_high else level < self.threshold
+
+    def pass_probability(self, level: float, *, sharpness: float = 8.0) -> float:
+        """Soft version: a sigmoid in the marker level.
+
+        Molecules do not read thresholds exactly; the transition
+        succeeds with probability approaching 0/1 away from the
+        threshold.  ``sharpness`` controls the chemistry's crispness.
+        """
+        import math
+
+        x = (level - self.threshold) * sharpness
+        p_high = 1.0 / (1.0 + math.exp(-x))
+        return p_high if self.want_high else 1.0 - p_high
+
+
+@dataclass(frozen=True)
+class DiagnosticRule:
+    """Conjunction of marker conditions (Benenson's rules are ANDs)."""
+
+    conditions: tuple[MarkerCondition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise ValueError("a rule needs at least one condition")
+        markers = [c.marker for c in self.conditions]
+        if len(set(markers)) != len(markers):
+            raise ValueError("duplicate marker in rule")
+
+    def holds(self, cell: dict[str, float]) -> bool:
+        """Ideal (noise-free) evaluation."""
+        return all(c.satisfied_by(cell.get(c.marker, 0.0)) for c in self.conditions)
+
+    def as_dfa(self) -> DFA:
+        """The rule as a chain DFA over pass/fail symbols — the
+        mathematical skeleton of the molecular machine."""
+        transitions = []
+        n = len(self.conditions)
+        for i in range(n):
+            transitions.append((f"s{i}", "pass", f"s{i+1}"))
+            transitions.append((f"s{i}", "fail", "reject"))
+        return DFA.build(transitions, initial="s0", accepting=[f"s{n}"])
+
+
+@dataclass
+class Diagnosis:
+    """Population readout for one cell."""
+
+    release_fraction: float
+    drug_released: bool
+    molecules: int
+
+
+class MolecularAutomaton:
+    """A population of stochastic automata executing one rule."""
+
+    def __init__(
+        self,
+        rule: DiagnosticRule,
+        *,
+        release_threshold: float = 0.5,
+        sharpness: float = 8.0,
+    ) -> None:
+        if not 0.0 < release_threshold < 1.0:
+            raise ValueError("release_threshold must be in (0, 1)")
+        self.rule = rule
+        self.release_threshold = release_threshold
+        self.sharpness = sharpness
+
+    def diagnose(
+        self,
+        cell: dict[str, float],
+        *,
+        molecules: int = 1000,
+        seed: int | None = 0,
+    ) -> Diagnosis:
+        """Run ``molecules`` automata; the drug is released if the
+        releasing fraction clears the threshold (majority chemistry)."""
+        if molecules < 1:
+            raise ValueError("need at least one molecule")
+        rng = make_rng(seed)
+        released = 0
+        for _ in range(molecules):
+            ok = True
+            for condition in self.rule.conditions:
+                level = cell.get(condition.marker, 0.0)
+                if rng.random() >= condition.pass_probability(level, sharpness=self.sharpness):
+                    ok = False
+                    break
+            if ok:
+                released += 1
+        fraction = released / molecules
+        return Diagnosis(fraction, fraction >= self.release_threshold, molecules)
+
+    def accuracy(
+        self,
+        cells: list[dict[str, float]],
+        *,
+        molecules: int = 500,
+        seed: int | None = 0,
+    ) -> float:
+        """Agreement between the stochastic population readout and the
+        ideal rule across a panel of cells."""
+        if not cells:
+            raise ValueError("need at least one cell")
+        rng = make_rng(seed)
+        agree = 0
+        for cell in cells:
+            ideal = self.rule.holds(cell)
+            readout = self.diagnose(
+                cell, molecules=molecules, seed=int(rng.integers(0, 2**31))
+            ).drug_released
+            agree += ideal == readout
+        return agree / len(cells)

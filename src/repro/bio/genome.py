@@ -1,0 +1,95 @@
+"""Synthetic genomes and shotgun fragmentation.
+
+The paper's substrate gate: we have no human genome on disk, so we
+generate seeded synthetic genomes over {A, C, G, T} and fragment them
+the way a shotgun sequencer does — random starting positions at a
+chosen coverage depth, fixed read length, optional per-base error
+rate.  The workload knobs (genome length, coverage, read length,
+error) are exactly the sweep axes of experiment C7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng
+
+__all__ = ["random_genome", "shotgun_fragments", "Read", "coverage_of"]
+
+ALPHABET = "ACGT"
+
+
+def random_genome(length: int, *, seed: int | None = 0, gc_content: float = 0.5) -> str:
+    """A random genome of ``length`` bases with given GC fraction."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError("gc_content must be a probability")
+    rng = make_rng(seed)
+    p = [(1 - gc_content) / 2, gc_content / 2, gc_content / 2, (1 - gc_content) / 2]
+    indices = rng.choice(4, size=length, p=p)
+    return "".join(ALPHABET[i] for i in indices)
+
+
+@dataclass(frozen=True)
+class Read:
+    """One sequenced fragment; ``origin`` is kept for evaluation only.
+
+    A real assembler never sees ``origin`` — tests assert the
+    assembler does not use it by checking assembly quality is
+    invariant under shuffling origins.
+    """
+
+    sequence: str
+    origin: int
+
+
+def shotgun_fragments(
+    genome: str,
+    *,
+    coverage: float = 8.0,
+    read_length: int = 100,
+    error_rate: float = 0.0,
+    seed: int | None = 0,
+) -> list[Read]:
+    """Fragment ``genome`` into reads at ``coverage``-fold depth.
+
+    The number of reads is ceil(coverage * len / read_length); each
+    read starts uniformly at random (the genome's tail is always
+    covered by clamping).  ``error_rate`` substitutes random bases to
+    model sequencing error.
+    """
+    if not genome:
+        raise ValueError("genome must be nonempty")
+    if read_length < 2 or read_length > len(genome):
+        raise ValueError("read_length must be in [2, len(genome)]")
+    if coverage <= 0:
+        raise ValueError("coverage must be positive")
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must be a probability")
+    rng = make_rng(seed)
+    num_reads = int(-(-coverage * len(genome) // read_length))  # ceil
+    reads: list[Read] = []
+    max_start = len(genome) - read_length
+    for _ in range(num_reads):
+        start = int(rng.integers(0, max_start + 1))
+        fragment = genome[start : start + read_length]
+        if error_rate > 0:
+            bases = list(fragment)
+            for i in range(len(bases)):
+                if rng.random() < error_rate:
+                    bases[i] = ALPHABET[int(rng.integers(0, 4))]
+            fragment = "".join(bases)
+        reads.append(Read(fragment, start))
+    # Guarantee the two ends are represented so assembly is possible.
+    reads.append(Read(genome[:read_length], 0))
+    reads.append(Read(genome[-read_length:], max_start))
+    return reads
+
+
+def coverage_of(reads: list[Read], genome_length: int) -> float:
+    """Mean per-base depth implied by the reads (via origins)."""
+    if genome_length < 1:
+        raise ValueError("genome_length must be positive")
+    total = sum(len(r.sequence) for r in reads)
+    return total / genome_length

@@ -1,0 +1,33 @@
+"""A programming language as an abstraction (paper §1a).
+
+    "A programming language is an abstraction of a set of strings each
+    of which when interpreted effects some computation."
+
+MiniLang is a small imperative language: integer expressions,
+assignment, ``print``, ``if``/``else``, ``while``.  The package gives
+it the full classical treatment:
+
+* :mod:`repro.complang.ast` — the abstract syntax;
+* :mod:`repro.complang.parser` — lexer + recursive-descent parser
+  (the "set of strings");
+* :mod:`repro.complang.interp` — the reference big-step interpreter
+  (the "when interpreted effects some computation");
+* :mod:`repro.complang.vm` — a stack-machine "machine code" target;
+* :mod:`repro.complang.compile` — the code generator;
+* :mod:`repro.complang.opt` — constant folding and peephole passes;
+* :mod:`repro.complang.equiv` — observational equivalence of source
+  and compiled program, the executable form of the paper's
+  "proving the correctness of an implementation with respect to a
+  specification";
+* :mod:`repro.complang.combine` — "what does it mean to combine two
+  programming languages?": MiniLang with embedded RAM-machine blocks
+  sharing state through an explicit marshalling boundary.
+"""
+
+from repro.complang.compile import compile_program
+from repro.complang.equiv import observationally_equivalent
+from repro.complang.interp import run_program
+from repro.complang.parser import parse
+from repro.complang.vm import VM
+
+__all__ = ["parse", "run_program", "compile_program", "VM", "observationally_equivalent"]

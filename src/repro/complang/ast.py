@@ -1,0 +1,93 @@
+"""MiniLang abstract syntax.
+
+Expressions evaluate to integers (booleans are 0/1, C-style).
+Statements mutate an environment and append to an output stream — the
+observable behaviour that the equivalence checker compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Expr", "Num", "Var", "BinOp", "UnaryOp",
+    "Stmt", "Assign", "Print", "If", "While", "Block", "Program",
+    "BINARY_OPS", "UNARY_OPS",
+]
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+BINARY_OPS = ("+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "and", "or")
+UNARY_OPS = ("-", "not")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Print(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Block
+    orelse: Block
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Block
+
+
+@dataclass(frozen=True)
+class Program:
+    body: tuple[Stmt, ...]

@@ -1,0 +1,100 @@
+"""Combining two programming languages (paper §1a).
+
+    "What does it mean 'to combine' two programming languages?  These
+    kinds of combinators are themselves abstractions that take careful
+    thought ... to define."
+
+This module gives one careful answer for a concrete pair: MiniLang
+(high-level, variables and control flow) and the RAM machine
+(low-level, registers and jumps).  A :class:`HybridProgram` is a
+sequence of stages; each stage is either a MiniLang program or a RAM
+program plus a *binding map* — the explicit abstraction function
+between the two worlds: which MiniLang variables marshal into which
+RAM registers on entry, and which registers marshal back on exit.
+
+The design choices the combinator has to make (and the docstring of
+each piece records) are exactly the "careful thought" the paper
+flags: a shared store vs marshalling (we marshal — no hidden
+aliasing), fault propagation (RAM fuel exhaustion surfaces as a
+MiniLang error), and representation mismatch (MiniLang integers are
+signed and unbounded; RAM registers are naturals — negative values
+are rejected at the boundary rather than silently wrapped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.complang.ast import Program
+from repro.complang.interp import MiniLangError, Outcome, run_program
+from repro.machines.ram import RamMachine, RamProgram
+
+__all__ = ["MiniStage", "RamStage", "HybridProgram", "BoundaryError"]
+
+
+class BoundaryError(MiniLangError):
+    """A value could not cross the language boundary."""
+
+
+@dataclass(frozen=True)
+class MiniStage:
+    """A MiniLang stage: runs against the shared environment."""
+
+    program: Program
+
+
+@dataclass(frozen=True)
+class RamStage:
+    """A RAM stage with explicit marshalling.
+
+    ``reads`` maps MiniLang variable -> register index (copied in);
+    ``writes`` maps register index -> MiniLang variable (copied out).
+    """
+
+    program: RamProgram
+    reads: dict[str, int]
+    writes: dict[int, str]
+    fuel: int = 100_000
+
+
+class HybridProgram:
+    """A combined-language program: an alternating pipeline of stages."""
+
+    def __init__(self, stages: list[MiniStage | RamStage]) -> None:
+        if not stages:
+            raise ValueError("a hybrid program needs at least one stage")
+        self.stages = list(stages)
+
+    def run(self, *, env: dict[str, int] | None = None) -> Outcome:
+        """Run all stages over one shared MiniLang environment."""
+        outcome = Outcome(env=dict(env or {}))
+        machine = RamMachine(num_registers=16)
+        for stage in self.stages:
+            if isinstance(stage, MiniStage):
+                sub = run_program(stage.program, env=outcome.env)
+                outcome.env = sub.env
+                outcome.output.extend(sub.output)
+            elif isinstance(stage, RamStage):
+                registers = [0] * 16
+                for var, reg in stage.reads.items():
+                    if var not in outcome.env:
+                        raise BoundaryError(f"variable {var!r} not bound at boundary")
+                    value = outcome.env[var]
+                    if value < 0:
+                        raise BoundaryError(
+                            f"cannot marshal negative value {var}={value} into a "
+                            "natural-number register"
+                        )
+                    if not 0 <= reg < 16:
+                        raise BoundaryError(f"register {reg} out of range")
+                    registers[reg] = value
+                result = machine.run(stage.program, registers=registers, fuel=stage.fuel)
+                if not result.halted:
+                    raise MiniLangError("embedded RAM stage exhausted its fuel")
+                for reg, var in stage.writes.items():
+                    if not 0 <= reg < 16:
+                        raise BoundaryError(f"register {reg} out of range")
+                    outcome.env[var] = result.registers[reg]
+            else:
+                raise TypeError(f"unknown stage type {stage!r}")
+        return outcome

@@ -1,0 +1,137 @@
+"""Code generation: MiniLang AST -> stack-machine bytecode.
+
+The abstraction mapping between layers is the compilation scheme
+below; :mod:`repro.complang.equiv` checks it behaves as an abstraction
+function should (source semantics = machine semantics, observably).
+
+Scheme (⟦·⟧ is expression compilation; labels resolved to indices):
+
+* ⟦n⟧ = PUSH n;  ⟦x⟧ = LOAD x
+* ⟦a op b⟧ = ⟦a⟧ ⟦b⟧ OP           (strict operators)
+* ⟦a and b⟧ = ⟦a⟧ JZ Lf ⟦b⟧ JMP Le Lf: PUSH 0 Le:
+* ⟦a or b⟧  = ⟦a⟧ DUP JNZ Le POP ⟦b⟧ Le:
+* assignment/print push then STORE/PRINT
+* if/while via JZ/JMP in the standard way
+"""
+
+from __future__ import annotations
+
+from repro.complang.ast import (
+    Assign,
+    BinOp,
+    Block,
+    Expr,
+    If,
+    Num,
+    Print,
+    Program,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.complang.vm import Op
+
+__all__ = ["compile_program", "compile_expr"]
+
+_STRICT_BINOPS = {
+    "+": "ADD", "-": "SUB", "*": "MUL", "/": "DIV", "%": "MOD",
+    "<": "LT", "<=": "LE", ">": "GT", ">=": "GE", "==": "EQ", "!=": "NE",
+}
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.code: list[Op] = []
+
+    def emit(self, code: str, arg=None) -> int:
+        """Append an op; return its index (for later patching)."""
+        self.code.append(Op(code, arg))
+        return len(self.code) - 1
+
+    def patch(self, index: int, target: int) -> None:
+        self.code[index] = Op(self.code[index].code, target)
+
+    @property
+    def here(self) -> int:
+        return len(self.code)
+
+    def expr(self, e: Expr) -> None:
+        if isinstance(e, Num):
+            self.emit("PUSH", e.value)
+        elif isinstance(e, Var):
+            self.emit("LOAD", e.name)
+        elif isinstance(e, UnaryOp):
+            self.expr(e.operand)
+            self.emit("NEG" if e.op == "-" else "NOT")
+        elif isinstance(e, BinOp) and e.op == "and":
+            self.expr(e.left)
+            jz = self.emit("JZ")
+            self.expr(e.right)
+            jmp = self.emit("JMP")
+            self.patch(jz, self.here)
+            self.emit("PUSH", 0)
+            self.patch(jmp, self.here)
+        elif isinstance(e, BinOp) and e.op == "or":
+            self.expr(e.left)
+            self.emit("DUP")
+            jnz = self.emit("JNZ")
+            self.emit("POP")
+            self.expr(e.right)
+            self.patch(jnz, self.here)
+        elif isinstance(e, BinOp):
+            self.expr(e.left)
+            self.expr(e.right)
+            self.emit(_STRICT_BINOPS[e.op])
+        else:
+            raise TypeError(f"cannot compile expression {e!r}")
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, Assign):
+            self.expr(s.value)
+            self.emit("STORE", s.name)
+        elif isinstance(s, Print):
+            self.expr(s.value)
+            self.emit("PRINT")
+        elif isinstance(s, Block):
+            for inner in s.body:
+                self.stmt(inner)
+        elif isinstance(s, If):
+            self.expr(s.cond)
+            jz = self.emit("JZ")
+            for inner in s.then.body:
+                self.stmt(inner)
+            if s.orelse.body:
+                jmp = self.emit("JMP")
+                self.patch(jz, self.here)
+                for inner in s.orelse.body:
+                    self.stmt(inner)
+                self.patch(jmp, self.here)
+            else:
+                self.patch(jz, self.here)
+        elif isinstance(s, While):
+            top = self.here
+            self.expr(s.cond)
+            jz = self.emit("JZ")
+            for inner in s.body.body:
+                self.stmt(inner)
+            self.emit("JMP", top)
+            self.patch(jz, self.here)
+        else:
+            raise TypeError(f"cannot compile statement {s!r}")
+
+
+def compile_expr(e: Expr) -> list[Op]:
+    """Compile a single expression (leaves its value on the stack)."""
+    em = _Emitter()
+    em.expr(e)
+    return em.code
+
+
+def compile_program(program: Program) -> list[Op]:
+    """Compile a program to bytecode ending in HALT."""
+    em = _Emitter()
+    for s in program.body:
+        em.stmt(s)
+    em.emit("HALT")
+    return em.code

@@ -1,0 +1,144 @@
+"""Observational equivalence of source and compiled programs.
+
+The paper's proof obligation — "proving the correctness of an
+implementation with respect to a specification" — instantiated for the
+compiler: for every program and input environment, the interpreter
+(specification) and the VM running the compiled code (implementation)
+must produce the same observable behaviour: the same output stream and
+final environment, or *matching faults*.
+
+:func:`random_program` generates seeded random MiniLang programs so
+the property tests can quantify over programs, not just examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.complang.ast import (
+    Assign,
+    BinOp,
+    Block,
+    Expr,
+    If,
+    Num,
+    Print,
+    Program,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.complang.compile import compile_program
+from repro.complang.interp import MiniLangError, run_program
+from repro.complang.vm import VM, VMError
+from repro.util.rng import make_rng
+
+__all__ = ["observationally_equivalent", "EquivalenceReport", "random_program"]
+
+
+@dataclass
+class EquivalenceReport:
+    equivalent: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def observationally_equivalent(
+    program: Program,
+    *,
+    env: dict[str, int] | None = None,
+    code=None,
+    fuel: int = 100_000,
+) -> EquivalenceReport:
+    """Compare interpreter and VM behaviour on one input.
+
+    ``code`` overrides the bytecode (to check *optimised* code against
+    the same source).  Both faulting counts as equivalent — the fault
+    is the observable behaviour — but only if both fault.
+    """
+    src_err = vm_err = None
+    src_out = vm_out = None
+    try:
+        src_out = run_program(program, env=dict(env or {}), fuel=fuel)
+    except MiniLangError as exc:
+        src_err = exc
+    bytecode = code if code is not None else compile_program(program)
+    try:
+        vm_out = VM(bytecode).run(env=dict(env or {}), fuel=10 * fuel)
+    except VMError as exc:
+        vm_err = exc
+    if (src_err is None) != (vm_err is None):
+        return EquivalenceReport(
+            False, f"fault mismatch: interp={src_err!r}, vm={vm_err!r}"
+        )
+    if src_err is not None:
+        return EquivalenceReport(True, "both faulted")
+    assert src_out is not None and vm_out is not None
+    if src_out.output != vm_out.output:
+        return EquivalenceReport(
+            False, f"output mismatch: {src_out.output} vs {vm_out.output}"
+        )
+    if src_out.env != vm_out.env:
+        return EquivalenceReport(False, f"env mismatch: {src_out.env} vs {vm_out.env}")
+    return EquivalenceReport(True)
+
+
+# -- random program generation ---------------------------------------------
+
+_VARS = ["x", "y", "z", "w"]
+
+
+def _random_expr(rng, depth: int) -> Expr:
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return Num(int(rng.integers(-10, 11)))
+        return Var(_VARS[int(rng.integers(0, len(_VARS)))])
+    roll = rng.random()
+    if roll < 0.15:
+        return UnaryOp("-" if rng.random() < 0.5 else "not", _random_expr(rng, depth - 1))
+    op = ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "and", "or"][
+        int(rng.integers(0, 13))
+    ]
+    return BinOp(op, _random_expr(rng, depth - 1), _random_expr(rng, depth - 1))
+
+
+def _random_stmt(rng, depth: int) -> Stmt:
+    roll = rng.random()
+    var = _VARS[int(rng.integers(0, len(_VARS)))]
+    if depth <= 0 or roll < 0.45:
+        return Assign(var, _random_expr(rng, 2))
+    if roll < 0.65:
+        return Print(_random_expr(rng, 2))
+    if roll < 0.85:
+        return If(
+            _random_expr(rng, 1),
+            Block(tuple(_random_stmt(rng, depth - 1) for _ in range(int(rng.integers(1, 3))))),
+            Block(tuple(_random_stmt(rng, depth - 1) for _ in range(int(rng.integers(0, 2))))),
+        )
+    # Bounded while: countdown on a fresh counter so programs terminate.
+    counter = "k"
+    return Block(
+        (
+            Assign(counter, Num(int(rng.integers(0, 5)))),
+            While(
+                BinOp(">", Var(counter), Num(0)),
+                Block(
+                    (
+                        _random_stmt(rng, depth - 1),
+                        Assign(counter, BinOp("-", Var(counter), Num(1))),
+                    )
+                ),
+            ),
+        )
+    )
+
+
+def random_program(seed: int, *, num_stmts: int = 6, depth: int = 2) -> Program:
+    """A seeded random program over variables x, y, z, w (all of which
+    should be bound in the input environment to avoid trivial
+    unbound-variable faults, though those are compared correctly too)."""
+    rng = make_rng(seed)
+    return Program(tuple(_random_stmt(rng, depth) for _ in range(num_stmts)))

@@ -1,0 +1,144 @@
+"""The reference big-step interpreter — MiniLang's semantics.
+
+Everything downstream (compiler, optimiser) is judged against this
+module: the observable behaviour of a program is its printed output
+plus its final environment, produced here by direct AST walking.
+
+Semantics notes: integers only; division and modulo truncate toward
+negative infinity (Python's) and raise :class:`MiniLangError` on zero
+divisors; ``and``/``or`` short-circuit; loops are fuel-bounded so
+non-terminating programs fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.complang.ast import (
+    Assign,
+    BinOp,
+    Block,
+    Expr,
+    If,
+    Num,
+    Print,
+    Program,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+
+__all__ = ["run_program", "eval_expr", "MiniLangError", "Outcome"]
+
+
+class MiniLangError(RuntimeError):
+    """Runtime error: unbound variable, zero division, fuel exhausted."""
+
+
+@dataclass
+class Outcome:
+    """Observable behaviour of one run."""
+
+    output: list[int] = field(default_factory=list)
+    env: dict[str, int] = field(default_factory=dict)
+
+
+def eval_expr(expr: Expr, env: dict[str, int]) -> int:
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise MiniLangError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, UnaryOp):
+        if expr.op == "-":
+            return -eval_expr(expr.operand, env)
+        return 0 if eval_expr(expr.operand, env) else 1  # not
+    if isinstance(expr, BinOp):
+        if expr.op == "and":
+            return eval_expr(expr.right, env) if eval_expr(expr.left, env) else 0
+        if expr.op == "or":
+            left = eval_expr(expr.left, env)
+            return left if left else eval_expr(expr.right, env)
+        a = eval_expr(expr.left, env)
+        b = eval_expr(expr.right, env)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "/":
+            if b == 0:
+                raise MiniLangError("division by zero")
+            return a // b
+        if expr.op == "%":
+            if b == 0:
+                raise MiniLangError("modulo by zero")
+            return a % b
+        if expr.op == "<":
+            return int(a < b)
+        if expr.op == "<=":
+            return int(a <= b)
+        if expr.op == ">":
+            return int(a > b)
+        if expr.op == ">=":
+            return int(a >= b)
+        if expr.op == "==":
+            return int(a == b)
+        if expr.op == "!=":
+            return int(a != b)
+    raise MiniLangError(f"cannot evaluate {expr!r}")
+
+
+class _Interp:
+    def __init__(self, fuel: int) -> None:
+        self.fuel = fuel
+        self.outcome = Outcome()
+
+    def tick(self) -> None:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise MiniLangError("fuel exhausted (infinite loop?)")
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        self.tick()
+        env = self.outcome.env
+        if isinstance(stmt, Assign):
+            env[stmt.name] = eval_expr(stmt.value, env)
+        elif isinstance(stmt, Print):
+            self.outcome.output.append(eval_expr(stmt.value, env))
+        elif isinstance(stmt, Block):
+            for s in stmt.body:
+                self.exec_stmt(s)
+        elif isinstance(stmt, If):
+            branch = stmt.then if eval_expr(stmt.cond, env) else stmt.orelse
+            for s in branch.body:
+                self.exec_stmt(s)
+        elif isinstance(stmt, While):
+            while eval_expr(stmt.cond, env):
+                self.tick()
+                for s in stmt.body.body:
+                    self.exec_stmt(s)
+        else:
+            raise MiniLangError(f"cannot execute {stmt!r}")
+
+
+def run_program(
+    program: Program,
+    *,
+    env: dict[str, int] | None = None,
+    fuel: int = 100_000,
+) -> Outcome:
+    """Execute ``program``; return its observable :class:`Outcome`.
+
+    ``env`` seeds the initial variable bindings (the program's input).
+    """
+    interp = _Interp(fuel)
+    if env:
+        interp.outcome.env.update(env)
+    for stmt in program.body:
+        interp.exec_stmt(stmt)
+    return interp.outcome

@@ -1,0 +1,215 @@
+"""Optimisation passes: constant folding (AST) and peephole (bytecode).
+
+The paper's "compiling a program written in a high-level language to
+*more efficient* machine code" — with the safety obligation that the
+optimised code is observably equivalent, which the equivalence tests
+enforce over random programs.
+
+Folding is deliberately conservative: an expression folds only when it
+is pure and total on its inputs (no folding of ``x/0`` — that must
+still fault at runtime).  Short-circuit operators fold only on their
+left operand so side-effect-free-but-faulting right operands keep
+their conditional behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.complang.ast import (
+    Assign,
+    BinOp,
+    Block,
+    Expr,
+    If,
+    Num,
+    Print,
+    Program,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.complang.vm import Op
+
+__all__ = ["fold_constants", "peephole", "optimize"]
+
+
+def _fold_expr(e: Expr) -> Expr:
+    if isinstance(e, (Num, Var)):
+        return e
+    if isinstance(e, UnaryOp):
+        inner = _fold_expr(e.operand)
+        if isinstance(inner, Num):
+            return Num(-inner.value if e.op == "-" else (0 if inner.value else 1))
+        return UnaryOp(e.op, inner)
+    if isinstance(e, BinOp):
+        left = _fold_expr(e.left)
+        right = _fold_expr(e.right)
+        if e.op == "and":
+            if isinstance(left, Num):
+                # '0 and X' never evaluates X; 'k and X' (k truthy)
+                # always evaluates X and takes its value.
+                return Num(0) if left.value == 0 else right
+            return BinOp(e.op, left, right)
+        if e.op == "or":
+            if isinstance(left, Num):
+                return left if left.value != 0 else right
+            return BinOp(e.op, left, right)
+        if isinstance(left, Num) and isinstance(right, Num):
+            a, b = left.value, right.value
+            table = {
+                "+": lambda: a + b,
+                "-": lambda: a - b,
+                "*": lambda: a * b,
+                "<": lambda: int(a < b),
+                "<=": lambda: int(a <= b),
+                ">": lambda: int(a > b),
+                ">=": lambda: int(a >= b),
+                "==": lambda: int(a == b),
+                "!=": lambda: int(a != b),
+            }
+            if e.op in table:
+                return Num(table[e.op]())
+            if e.op == "/" and b != 0:
+                return Num(a // b)
+            if e.op == "%" and b != 0:
+                return Num(a % b)
+            return BinOp(e.op, left, right)  # x/0: keep the fault
+        # Algebraic identities (safe: operand already evaluated strictly).
+        if e.op == "+" and isinstance(right, Num) and right.value == 0:
+            return left
+        if e.op == "+" and isinstance(left, Num) and left.value == 0:
+            return right
+        if e.op == "*" and isinstance(right, Num) and right.value == 1:
+            return left
+        if e.op == "*" and isinstance(left, Num) and left.value == 1:
+            return right
+        return BinOp(e.op, left, right)
+    raise TypeError(f"cannot fold {e!r}")
+
+
+def _fold_stmt(s: Stmt) -> Stmt | None:
+    """Fold a statement; ``None`` means the statement is dead."""
+    if isinstance(s, Assign):
+        return Assign(s.name, _fold_expr(s.value))
+    if isinstance(s, Print):
+        return Print(_fold_expr(s.value))
+    if isinstance(s, Block):
+        return Block(_fold_block(s))
+    if isinstance(s, If):
+        cond = _fold_expr(s.cond)
+        if isinstance(cond, Num):
+            branch = s.then if cond.value else s.orelse
+            folded = _fold_block(branch)
+            return Block(folded) if folded else None
+        return If(cond, Block(_fold_block(s.then)), Block(_fold_block(s.orelse)))
+    if isinstance(s, While):
+        cond = _fold_expr(s.cond)
+        if isinstance(cond, Num) and cond.value == 0:
+            return None  # loop never runs
+        return While(cond, Block(_fold_block(s.body)))
+    raise TypeError(f"cannot fold {s!r}")
+
+
+def _fold_block(block: Block) -> tuple[Stmt, ...]:
+    out = []
+    for s in block.body:
+        folded = _fold_stmt(s)
+        if folded is not None:
+            out.append(folded)
+    return tuple(out)
+
+
+def fold_constants(program: Program) -> Program:
+    """Constant-fold a whole program."""
+    return Program(_fold_block(Block(program.body)))
+
+
+def peephole(code: list[Op]) -> list[Op]:
+    """Bytecode peephole pass, currently three safe rewrites:
+
+    * ``PUSH a; PUSH b; <strict binop>`` -> ``PUSH (a op b)``
+      (guarded against /0 and %0);
+    * ``PUSH k; POP`` -> (nothing);
+    * ``JMP t`` where ``t`` is the next instruction -> (nothing).
+
+    Jump-target bookkeeping: rewrites never delete an instruction that
+    is a jump target (targets are recomputed and remapped).
+    """
+    ops2 = {
+        "ADD": lambda a, b: a + b,
+        "SUB": lambda a, b: a - b,
+        "MUL": lambda a, b: a * b,
+        "LT": lambda a, b: int(a < b),
+        "LE": lambda a, b: int(a <= b),
+        "GT": lambda a, b: int(a > b),
+        "GE": lambda a, b: int(a >= b),
+        "EQ": lambda a, b: int(a == b),
+        "NE": lambda a, b: int(a != b),
+    }
+    changed = True
+    while changed:
+        changed = False
+        targets = {
+            op.arg for op in code if op.code in ("JMP", "JZ", "JNZ")
+        }
+        i = 0
+        out: list[Op] = []
+        remap: dict[int, int] = {}
+        while i < len(code):
+            remap[i] = len(out)
+            window = code[i : i + 3]
+            # PUSH a; PUSH b; BINOP  (no jump may land mid-window)
+            if (
+                len(window) == 3
+                and window[0].code == "PUSH"
+                and window[1].code == "PUSH"
+                and window[2].code in ops2 | {"DIV": None, "MOD": None}.keys()
+                and i + 1 not in targets
+                and i + 2 not in targets
+            ):
+                a, b = window[0].arg, window[1].arg
+                if window[2].code in ops2:
+                    out.append(Op("PUSH", ops2[window[2].code](a, b)))
+                    i += 3
+                    changed = True
+                    continue
+                if window[2].code == "DIV" and b != 0:
+                    out.append(Op("PUSH", a // b))
+                    i += 3
+                    changed = True
+                    continue
+                if window[2].code == "MOD" and b != 0:
+                    out.append(Op("PUSH", a % b))
+                    i += 3
+                    changed = True
+                    continue
+            # PUSH k; POP
+            if (
+                len(window) >= 2
+                and window[0].code == "PUSH"
+                and window[1].code == "POP"
+                and i + 1 not in targets
+            ):
+                i += 2
+                changed = True
+                continue
+            # JMP to the immediately following instruction
+            if window and window[0].code == "JMP" and window[0].arg == i + 1:
+                i += 1
+                changed = True
+                continue
+            out.append(code[i])
+            i += 1
+        remap[len(code)] = len(out)
+        code = [
+            Op(op.code, remap[op.arg]) if op.code in ("JMP", "JZ", "JNZ") else op
+            for op in out
+        ]
+    return code
+
+
+def optimize(program: Program) -> list[Op]:
+    """Full pipeline: fold constants, compile, peephole."""
+    from repro.complang.compile import compile_program
+
+    return peephole(compile_program(fold_constants(program)))

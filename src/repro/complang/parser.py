@@ -1,0 +1,229 @@
+"""MiniLang lexer and recursive-descent parser.
+
+Grammar (EBNF, whitespace-insensitive, ``#`` line comments)::
+
+    program   := stmt*
+    stmt      := ident '=' expr ';'
+               | 'print' expr ';'
+               | 'if' expr block ('else' block)?
+               | 'while' expr block
+    block     := '{' stmt* '}'
+    expr      := or_expr
+    or_expr   := and_expr ('or' and_expr)*
+    and_expr  := not_expr ('and' not_expr)*
+    not_expr  := 'not' not_expr | cmp_expr
+    cmp_expr  := add_expr (('<'|'<='|'>'|'>='|'=='|'!=') add_expr)?
+    add_expr  := mul_expr (('+'|'-') mul_expr)*
+    mul_expr  := unary (('*'|'/'|'%') unary)*
+    unary     := '-' unary | atom
+    atom      := number | ident | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.complang.ast import (
+    Assign,
+    BinOp,
+    Block,
+    Expr,
+    If,
+    Num,
+    Print,
+    Program,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+
+__all__ = ["parse", "ParseError", "tokenize"]
+
+
+class ParseError(SyntaxError):
+    """Raised on any lexical or syntactic error, with position info."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'ident' | 'kw' | 'op'
+    text: str
+    pos: int
+
+
+KEYWORDS = {"print", "if", "else", "while", "and", "or", "not"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|[-+*/%<>=(){};])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        text = m.group()
+        if m.lastgroup == "ident" and text in KEYWORDS:
+            tokens.append(Token("kw", text, m.start()))
+        else:
+            tokens.append(Token(m.lastgroup, text, m.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token helpers ----------------------------------------------------
+    def peek(self) -> Token | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}, got {tok.text!r} at {tok.pos}")
+        return tok
+
+    def match(self, kind: str, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.kind == kind and tok.text == text:
+            self.i += 1
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+    def program(self) -> Program:
+        body = []
+        while self.peek() is not None:
+            body.append(self.stmt())
+        return Program(tuple(body))
+
+    def stmt(self) -> Stmt:
+        tok = self.peek()
+        assert tok is not None
+        if tok.kind == "kw" and tok.text == "print":
+            self.next()
+            value = self.expr()
+            self.expect("op", ";")
+            return Print(value)
+        if tok.kind == "kw" and tok.text == "if":
+            self.next()
+            cond = self.expr()
+            then = self.block()
+            orelse = self.block() if self.match("kw", "else") else Block(())
+            return If(cond, then, orelse)
+        if tok.kind == "kw" and tok.text == "while":
+            self.next()
+            cond = self.expr()
+            return While(cond, self.block())
+        if tok.kind == "ident":
+            name = self.next().text
+            self.expect("op", "=")
+            value = self.expr()
+            self.expect("op", ";")
+            return Assign(name, value)
+        raise ParseError(f"unexpected token {tok.text!r} at {tok.pos}")
+
+    def block(self) -> Block:
+        self.expect("op", "{")
+        body = []
+        while not self.match("op", "}"):
+            if self.peek() is None:
+                raise ParseError("unterminated block")
+            body.append(self.stmt())
+        return Block(tuple(body))
+
+    def expr(self) -> Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self.match("kw", "or"):
+            left = BinOp("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self.match("kw", "and"):
+            left = BinOp("and", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self.match("kw", "not"):
+            return UnaryOp("not", self.not_expr())
+        return self.cmp_expr()
+
+    def cmp_expr(self) -> Expr:
+        left = self.add_expr()
+        tok = self.peek()
+        if tok is not None and tok.kind == "op" and tok.text in ("<", "<=", ">", ">=", "==", "!="):
+            self.next()
+            return BinOp(tok.text, left, self.add_expr())
+        return left
+
+    def add_expr(self) -> Expr:
+        left = self.mul_expr()
+        while True:
+            tok = self.peek()
+            if tok is not None and tok.kind == "op" and tok.text in ("+", "-"):
+                self.next()
+                left = BinOp(tok.text, left, self.mul_expr())
+            else:
+                return left
+
+    def mul_expr(self) -> Expr:
+        left = self.unary()
+        while True:
+            tok = self.peek()
+            if tok is not None and tok.kind == "op" and tok.text in ("*", "/", "%"):
+                self.next()
+                left = BinOp(tok.text, left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> Expr:
+        if self.match("op", "-"):
+            return UnaryOp("-", self.unary())
+        return self.atom()
+
+    def atom(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "num":
+            return Num(int(tok.text))
+        if tok.kind == "ident":
+            return Var(tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(f"unexpected token {tok.text!r} at {tok.pos}")
+
+
+def parse(source: str) -> Program:
+    """Parse MiniLang source into a :class:`Program`."""
+    parser = _Parser(tokenize(source))
+    program = parser.program()
+    return program

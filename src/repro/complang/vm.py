@@ -1,0 +1,160 @@
+"""The stack-machine target: MiniLang's "machine code".
+
+A tiny bytecode VM one abstraction layer below the AST.  The
+instruction set is deliberately minimal — it is the *relationship*
+between this layer and the source layer (checked by
+:mod:`repro.complang.equiv`) that carries the paper's point.
+
+Instructions (operand in parentheses):
+
+=========  ==========================================================
+PUSH (k)    push constant
+LOAD (x)    push variable x          (unbound -> VMError)
+STORE (x)   pop into variable x
+ADD SUB MUL DIV MOD   binary arithmetic (pop b, pop a, push a op b)
+LT LE GT GE EQ NE     comparisons, push 0/1
+NEG         arithmetic negation
+NOT         logical negation, push 0/1
+DUP         duplicate top of stack
+POP         discard top of stack
+JMP (t)     unconditional jump
+JZ (t)      pop; jump if zero
+JNZ (t)     pop; jump if nonzero
+PRINT       pop and append to output
+HALT        stop
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Op", "VM", "VMError", "VMOutcome"]
+
+
+class VMError(RuntimeError):
+    """Machine-level fault: bad opcode, stack underflow, zero division…"""
+
+
+@dataclass(frozen=True)
+class Op:
+    code: str
+    arg: Any = None
+
+    def __repr__(self) -> str:
+        return f"{self.code}({self.arg})" if self.arg is not None else self.code
+
+
+_BINARY = {
+    "ADD": lambda a, b: a + b,
+    "SUB": lambda a, b: a - b,
+    "MUL": lambda a, b: a * b,
+    "LT": lambda a, b: int(a < b),
+    "LE": lambda a, b: int(a <= b),
+    "GT": lambda a, b: int(a > b),
+    "GE": lambda a, b: int(a >= b),
+    "EQ": lambda a, b: int(a == b),
+    "NE": lambda a, b: int(a != b),
+}
+
+KNOWN_CODES = set(_BINARY) | {
+    "PUSH", "LOAD", "STORE", "DIV", "MOD", "NEG", "NOT",
+    "DUP", "POP", "JMP", "JZ", "JNZ", "PRINT", "HALT",
+}
+
+
+@dataclass
+class VMOutcome:
+    """Observable behaviour of one VM run (mirrors interp.Outcome)."""
+
+    output: list[int] = field(default_factory=list)
+    env: dict[str, int] = field(default_factory=dict)
+    steps: int = 0
+
+
+class VM:
+    """Executes a bytecode sequence with a fuel bound."""
+
+    def __init__(self, code: list[Op]) -> None:
+        for i, op in enumerate(code):
+            if op.code not in KNOWN_CODES:
+                raise VMError(f"unknown opcode {op.code!r} at {i}")
+            if op.code in ("JMP", "JZ", "JNZ") and not (
+                isinstance(op.arg, int) and 0 <= op.arg <= len(code)
+            ):
+                raise VMError(f"jump target {op.arg!r} out of range at {i}")
+        self.code = list(code)
+
+    def run(
+        self,
+        *,
+        env: dict[str, int] | None = None,
+        fuel: int = 1_000_000,
+    ) -> VMOutcome:
+        outcome = VMOutcome(env=dict(env or {}))
+        stack: list[int] = []
+        pc = 0
+
+        def pop() -> int:
+            try:
+                return stack.pop()
+            except IndexError:
+                raise VMError(f"stack underflow at pc={pc}") from None
+
+        while pc < len(self.code):
+            outcome.steps += 1
+            if outcome.steps > fuel:
+                raise VMError("fuel exhausted (infinite loop?)")
+            op = self.code[pc]
+            pc += 1
+            code = op.code
+            if code == "PUSH":
+                stack.append(op.arg)
+            elif code == "LOAD":
+                if op.arg not in outcome.env:
+                    raise VMError(f"unbound variable {op.arg!r}")
+                stack.append(outcome.env[op.arg])
+            elif code == "STORE":
+                outcome.env[op.arg] = pop()
+            elif code in _BINARY:
+                b = pop()
+                a = pop()
+                stack.append(_BINARY[code](a, b))
+            elif code == "DIV":
+                b = pop()
+                a = pop()
+                if b == 0:
+                    raise VMError("division by zero")
+                stack.append(a // b)
+            elif code == "MOD":
+                b = pop()
+                a = pop()
+                if b == 0:
+                    raise VMError("modulo by zero")
+                stack.append(a % b)
+            elif code == "NEG":
+                stack.append(-pop())
+            elif code == "NOT":
+                stack.append(0 if pop() else 1)
+            elif code == "DUP":
+                v = pop()
+                stack.append(v)
+                stack.append(v)
+            elif code == "POP":
+                pop()
+            elif code == "JMP":
+                pc = op.arg
+            elif code == "JZ":
+                if pop() == 0:
+                    pc = op.arg
+            elif code == "JNZ":
+                if pop() != 0:
+                    pc = op.arg
+            elif code == "PRINT":
+                outcome.output.append(pop())
+            elif code == "HALT":
+                break
+        if stack:
+            raise VMError(f"program left {len(stack)} values on the stack")
+        return outcome

@@ -1,0 +1,25 @@
+"""Computational complexity — "Does P equal NP?" (paper §2c) and the
+polynomial-vs-exponential object lesson (§1c).
+
+* :mod:`repro.complexity.sat` — CNF formulas, brute-force and DPLL
+  solvers (ablation #3: unit propagation on/off);
+* :mod:`repro.complexity.verify` — the NP asymmetry: checking a
+  certificate is polynomial, finding one is (as far as we know) not;
+* :mod:`repro.complexity.reductions` — 3-SAT → Clique and
+  Vertex-Cover ↔ Independent-Set, plus the Hamiltonian-path instance
+  encoder that :mod:`repro.bio.adleman` consumes;
+* :mod:`repro.complexity.growth` — measure a callable over a size
+  sweep and classify its empirical growth law.
+"""
+
+from repro.complexity.sat import CNF, brute_force_sat, dpll_sat
+from repro.complexity.verify import verify_assignment, verify_clique, verify_vertex_cover
+
+__all__ = [
+    "CNF",
+    "brute_force_sat",
+    "dpll_sat",
+    "verify_assignment",
+    "verify_clique",
+    "verify_vertex_cover",
+]

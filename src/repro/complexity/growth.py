@@ -1,0 +1,111 @@
+"""Empirical growth-class measurement (paper §1c).
+
+    "Through effective visualization and animation, even at early
+    grades we can viscerally show the difference between a
+    polynomial-time algorithm and an exponential-time one."
+
+Our visualization is a table: :func:`measure_growth` times a callable
+over a size sweep and fits the observed runtimes with
+:func:`repro.util.timing.fit_growth`; :func:`crossover_size` finds
+where an exponential cost model overtakes a polynomial one — the "n
+where brute force dies" number the C11 bench prints.
+
+Two ready-made subject algorithms: subset-sum by brute force (2^n)
+and by dynamic programming (n·target), the smallest honest example of
+choosing the right abstraction beating horsepower.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.util.rng import make_rng
+from repro.util.timing import GrowthFit, fit_growth, time_callable
+
+__all__ = [
+    "measure_growth",
+    "crossover_size",
+    "subset_sum_bruteforce",
+    "subset_sum_dp",
+    "random_subset_sum_instance",
+]
+
+
+def measure_growth(
+    make_input: Callable[[int], object],
+    run: Callable[[object], object],
+    sizes: Sequence[int],
+    *,
+    repeats: int = 3,
+) -> GrowthFit:
+    """Time ``run(make_input(n))`` across ``sizes`` and fit the law."""
+    if len(sizes) < 3:
+        raise ValueError("need at least 3 sizes to fit a growth law")
+    times = []
+    for n in sizes:
+        payload = make_input(n)
+        times.append(max(1e-9, time_callable(lambda: run(payload), repeats=repeats)))
+    return fit_growth(sizes, times)
+
+
+def crossover_size(
+    poly_coeff: float,
+    poly_degree: int,
+    exp_coeff: float,
+    exp_base: float = 2.0,
+    *,
+    max_n: int = 10_000,
+) -> int | None:
+    """Smallest n where exp_coeff·base^n exceeds poly_coeff·n^degree."""
+    if poly_coeff <= 0 or exp_coeff <= 0 or exp_base <= 1:
+        raise ValueError("coefficients must be positive and base > 1")
+    for n in range(1, max_n + 1):
+        if exp_coeff * exp_base**n > poly_coeff * n**poly_degree:
+            return n
+    return None
+
+
+def subset_sum_bruteforce(instance: tuple[tuple[int, ...], int]) -> bool:
+    """Does any subset sum to the target?  2^n enumeration."""
+    values, target = instance
+    n = len(values)
+    for mask in range(1 << n):
+        total = 0
+        for i in range(n):
+            if mask >> i & 1:
+                total += values[i]
+        if total == target:
+            return True
+    return False
+
+
+def subset_sum_dp(instance: tuple[tuple[int, ...], int]) -> bool:
+    """Pseudo-polynomial dynamic program, O(n·target)."""
+    values, target = instance
+    if target < 0:
+        raise ValueError("target must be nonnegative")
+    reachable = bytearray(target + 1)
+    reachable[0] = 1
+    for v in values:
+        if v <= 0:
+            raise ValueError("values must be positive for the DP formulation")
+        for total in range(target, v - 1, -1):
+            if reachable[total - v]:
+                reachable[total] = 1
+    return bool(reachable[target])
+
+
+def random_subset_sum_instance(
+    n: int, *, seed: int | None = 0, solvable: bool = True
+) -> tuple[tuple[int, ...], int]:
+    """n positive values with a target that is (not) a subset sum."""
+    rng = make_rng(seed)
+    values = tuple(int(v) for v in rng.integers(1, 50, size=n))
+    if solvable:
+        chosen = rng.random(n) < 0.5
+        target = int(sum(v for v, c in zip(values, chosen) if c))
+        if target == 0:
+            target = values[0]
+    else:
+        target = sum(values) + 1
+    return values, target

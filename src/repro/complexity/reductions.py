@@ -1,0 +1,160 @@
+"""Polynomial-time reductions between NP-complete problems.
+
+Reductions are the connective tissue of the P-vs-NP question: they
+transport hardness.  Implemented here with both directions of the
+certificate mapping, so tests can check *correctness* of the
+reduction (yes-instances map to yes-instances and certificates
+translate):
+
+* :func:`sat_to_clique` — 3-SAT formula φ with m clauses → graph G and
+  bound k=m such that φ satisfiable iff G has a k-clique;
+* :func:`vertex_cover_to_independent_set` — VC(G, k) iff IS(G, n-k);
+* :func:`hamiltonian_path_instance` — the paper's Adleman exemplar:
+  the 7-vertex instance (and seeded random instances) that
+  :mod:`repro.bio.adleman` solves "molecularly", plus an exact
+  backtracking solver used as the oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.adt.graph import Graph
+from repro.complexity.sat import CNF
+from repro.util.rng import make_rng
+
+__all__ = [
+    "sat_to_clique",
+    "clique_certificate_to_assignment",
+    "vertex_cover_to_independent_set",
+    "hamiltonian_path_instance",
+    "adleman_graph",
+    "solve_hamiltonian_path",
+]
+
+
+def sat_to_clique(formula: CNF) -> tuple[Graph, int]:
+    """Standard construction: a node per (clause index, literal);
+    edges between compatible literals in different clauses."""
+    g = Graph()
+    nodes = []
+    for ci, clause in enumerate(formula.clauses):
+        for lit in clause:
+            node = (ci, lit)
+            g.add_node(node)
+            nodes.append(node)
+    for i, (ci, li) in enumerate(nodes):
+        for cj, lj in nodes[i + 1 :]:
+            if ci != cj and li != -lj:
+                g.add_edge((ci, li), (cj, lj))
+    return g, len(formula.clauses)
+
+
+def clique_certificate_to_assignment(clique: Sequence[tuple[int, int]]) -> dict[int, bool]:
+    """Translate a k-clique back into a (partial) satisfying assignment."""
+    assignment: dict[int, bool] = {}
+    for _, lit in clique:
+        var = abs(lit)
+        value = lit > 0
+        if assignment.get(var, value) != value:
+            raise ValueError("clique contains contradictory literals; not from the reduction")
+        assignment[var] = value
+    return assignment
+
+
+def vertex_cover_to_independent_set(
+    graph: Graph, cover_size: int
+) -> tuple[Graph, int]:
+    """VC(G, k) iff IS(G, |V|-k): the complement-certificate duality.
+
+    The graph is unchanged; only the bound flips.  (Returned as a pair
+    for symmetry with the other reductions.)
+    """
+    if cover_size < 0 or cover_size > graph.num_nodes():
+        raise ValueError("cover size out of range")
+    return graph, graph.num_nodes() - cover_size
+
+
+def adleman_graph() -> tuple[Graph, Hashable, Hashable]:
+    """The 7-vertex directed instance of Adleman (1994).
+
+    Vertices 0..6, start 0, end 6; the edge set admits exactly one
+    Hamiltonian path 0→1→2→3→4→5→6 (the published instance).
+    """
+    edges = [
+        (0, 1), (0, 3), (0, 6),
+        (1, 2), (1, 3),
+        (2, 1), (2, 3),
+        (3, 2), (3, 4),
+        (4, 1), (4, 5),
+        (5, 2), (5, 6),
+    ]
+    return Graph.from_edges(edges, directed=True), 0, 6
+
+
+def hamiltonian_path_instance(
+    num_vertices: int,
+    *,
+    edge_probability: float = 0.4,
+    seed: int | None = 0,
+    ensure_path: bool = True,
+) -> tuple[Graph, Hashable, Hashable]:
+    """A seeded random directed instance with endpoints (0, n-1).
+
+    With ``ensure_path`` a random Hamiltonian path is planted so the
+    instance is a yes-instance (the Adleman bench needs solvable
+    cases); otherwise it may or may not be solvable.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least 2 vertices")
+    rng = make_rng(seed)
+    g = Graph(directed=True)
+    for v in range(num_vertices):
+        g.add_node(v)
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if u != v and rng.random() < edge_probability:
+                g.add_edge(u, v)
+    if ensure_path:
+        middle = list(range(1, num_vertices - 1))
+        rng.shuffle(middle)
+        planted = [0, *middle, num_vertices - 1]
+        for a, b in zip(planted, planted[1:]):
+            if not g.has_edge(a, b):
+                g.add_edge(a, b)
+    return g, 0, num_vertices - 1
+
+
+def solve_hamiltonian_path(
+    graph: Graph, start: Hashable, end: Hashable
+) -> tuple[list | None, int]:
+    """Exact backtracking solver; returns (path or None, nodes explored).
+
+    The classical-computer baseline for the Adleman comparison (C14).
+    """
+    n = graph.num_nodes()
+    explored = 0
+
+    def extend(path: list, visited: set) -> list | None:
+        nonlocal explored
+        explored += 1
+        if len(path) == n:
+            return list(path) if path[-1] == end else None
+        for nxt in graph.neighbors(path[-1]):
+            if nxt in visited:
+                continue
+            if nxt == end and len(path) != n - 1:
+                continue  # don't land on the exit early
+            path.append(nxt)
+            visited.add(nxt)
+            found = extend(path, visited)
+            if found is not None:
+                return found
+            path.pop()
+            visited.remove(nxt)
+        return None
+
+    if not graph.has_node(start) or not graph.has_node(end):
+        raise KeyError("endpoints must be in the graph")
+    result = extend([start], {start})
+    return result, explored

@@ -1,0 +1,90 @@
+"""The NP asymmetry: verification is cheap, search is not.
+
+"Does P equal NP?" (paper §2c) is, operationally, the question of
+whether the gap these functions exhibit is fundamental.  Each verifier
+runs in low polynomial time in the certificate and instance size; the
+C21 bench times them against the exponential search that *finds* the
+certificates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.adt.graph import Graph
+from repro.complexity.sat import CNF
+
+__all__ = [
+    "verify_assignment",
+    "verify_clique",
+    "verify_vertex_cover",
+    "verify_independent_set",
+    "verify_hamiltonian_path",
+]
+
+
+def verify_assignment(formula: CNF, assignment: dict[int, bool]) -> bool:
+    """O(formula size): is this a satisfying assignment?
+
+    The certificate must be total over the formula's variables — a
+    partial certificate is rejected rather than defaulted, because a
+    verifier must not do any searching of its own.
+    """
+    missing = set(formula.variables()) - set(assignment)
+    if missing:
+        return False
+    return formula.evaluate(assignment)
+
+
+def verify_clique(graph: Graph, nodes: Sequence) -> bool:
+    """O(k²): are these k nodes pairwise adjacent (and distinct)?"""
+    nodes = list(nodes)
+    if len(set(nodes)) != len(nodes):
+        return False
+    if not all(graph.has_node(v) for v in nodes):
+        return False
+    return all(
+        graph.has_edge(a, b)
+        for i, a in enumerate(nodes)
+        for b in nodes[i + 1 :]
+    )
+
+
+def verify_vertex_cover(graph: Graph, nodes: Iterable) -> bool:
+    """O(E): does this node set touch every edge?"""
+    cover = set(nodes)
+    if not all(graph.has_node(v) for v in cover):
+        return False
+    return all(u in cover or v in cover for u, v, _ in graph.edges())
+
+
+def verify_independent_set(graph: Graph, nodes: Sequence) -> bool:
+    """O(k²): no two of these nodes adjacent?"""
+    nodes = list(nodes)
+    if len(set(nodes)) != len(nodes):
+        return False
+    if not all(graph.has_node(v) for v in nodes):
+        return False
+    return not any(
+        graph.has_edge(a, b)
+        for i, a in enumerate(nodes)
+        for b in nodes[i + 1 :]
+    )
+
+
+def verify_hamiltonian_path(graph: Graph, path: Sequence, *, start=None, end=None) -> bool:
+    """O(V): does this path visit every vertex exactly once along edges?
+
+    ``start``/``end`` optionally pin the endpoints (Adleman's
+    formulation fixes v_in and v_out).
+    """
+    path = list(path)
+    if len(path) != graph.num_nodes() or len(set(path)) != len(path):
+        return False
+    if not all(graph.has_node(v) for v in path):
+        return False
+    if start is not None and (not path or path[0] != start):
+        return False
+    if end is not None and (not path or path[-1] != end):
+        return False
+    return all(graph.has_edge(a, b) for a, b in zip(path, path[1:]))

@@ -1,0 +1,62 @@
+"""The paper's primary contribution, made executable (§1a).
+
+    "The essence of computational thinking is abstraction. ...
+     Computing is the automation of our abstractions."
+
+This package turns that two-part thesis into a working framework:
+
+* **Abstraction** — :mod:`repro.core.statemachine` (labelled transition
+  systems), :mod:`repro.core.abstraction` (abstraction functions,
+  simulation relations, refinement checking), :mod:`repro.core.layers`
+  (layered architectures with well-defined interfaces and a "thin
+  waist" metric), and :mod:`repro.core.process` (the abstraction
+  *process*: choosing which details to highlight and which to ignore).
+
+* **Automation** — :mod:`repro.core.computer` ("the computer could be a
+  machine, a human, the combination of a machine and a human, or
+  recursively the combination of such computers") and
+  :mod:`repro.core.automation` (binding an abstraction to a computer
+  and accounting for cost, latency and error).
+
+* **Combinators** — :mod:`repro.core.combinators` answers, concretely,
+  the paper's two koans: "What does it mean to interleave two
+  algorithms?" and "What does it mean to combine two programming
+  languages?"
+"""
+
+from repro.core.abstraction import AbstractionFunction, Refinement, SimulationRelation
+from repro.core.automation import AutomationResult, automate
+from repro.core.combinators import InterleavedAlgorithm, StepAlgorithm, interleave
+from repro.core.computer import (
+    Computer,
+    HumanComputer,
+    HybridComputer,
+    MachineComputer,
+    NetworkComputer,
+    Task,
+    TaskKind,
+)
+from repro.core.layers import Interface, Layer, LayerStack
+from repro.core.statemachine import StateMachine
+
+__all__ = [
+    "StateMachine",
+    "AbstractionFunction",
+    "SimulationRelation",
+    "Refinement",
+    "Layer",
+    "Interface",
+    "LayerStack",
+    "Computer",
+    "MachineComputer",
+    "HumanComputer",
+    "HybridComputer",
+    "NetworkComputer",
+    "Task",
+    "TaskKind",
+    "automate",
+    "AutomationResult",
+    "StepAlgorithm",
+    "InterleavedAlgorithm",
+    "interleave",
+]

@@ -1,0 +1,160 @@
+"""Abstraction functions, simulation relations, refinement checking.
+
+The paper (§1a): "we necessarily keep in mind the relationship between
+each pair of layers, be it defined via an abstraction function, a
+simulation relation, a transformation or a more general kind of
+mapping.  We use these mappings in showing the observable equivalence
+between an abstract state machine and one of its possible refinements,
+in proving the correctness of an implementation with respect to a
+specification..."
+
+This module implements exactly those mappings over
+:class:`repro.core.statemachine.StateMachine`:
+
+* :class:`AbstractionFunction` — a total map from concrete to abstract
+  states (the classical Hoare-style abstraction function);
+* :class:`SimulationRelation` — the more general relational form;
+* :class:`Refinement` — a forward-simulation checker: every concrete
+  transition must be matched (on observable actions) by the abstract
+  machine, starting from related initial states.  A successful check
+  certifies that the implementation's observable behaviours are
+  contained in the specification's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+
+from repro.core.statemachine import StateMachine
+
+__all__ = ["AbstractionFunction", "SimulationRelation", "Refinement", "RefinementReport"]
+
+State = Hashable
+Action = Hashable
+
+
+class AbstractionFunction:
+    """A total function from concrete states to abstract states.
+
+    Wraps a plain callable and exposes it as a
+    :class:`SimulationRelation` (its graph), so the refinement checker
+    has one code path for both forms of layer mapping.
+    """
+
+    def __init__(self, fn: Callable[[State], State]) -> None:
+        self._fn = fn
+
+    def __call__(self, concrete_state: State) -> State:
+        return self._fn(concrete_state)
+
+    def as_relation(self) -> "SimulationRelation":
+        fn = self._fn
+        return SimulationRelation(lambda c, a: fn(c) == a)
+
+
+class SimulationRelation:
+    """A relation R(concrete, abstract) given as a predicate."""
+
+    def __init__(self, predicate: Callable[[State, State], bool]) -> None:
+        self._pred = predicate
+
+    def holds(self, concrete_state: State, abstract_state: State) -> bool:
+        return bool(self._pred(concrete_state, abstract_state))
+
+
+@dataclass
+class RefinementReport:
+    """Outcome of a refinement check.
+
+    When ``holds`` is ``False``, ``counterexample`` is the pair
+    (concrete transition, abstract state) at which forward simulation
+    failed — the concrete step that the specification cannot match.
+    """
+
+    holds: bool
+    checked_pairs: int = 0
+    counterexample: tuple | None = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+@dataclass
+class Refinement:
+    """Forward-simulation refinement of ``abstract`` by ``concrete``.
+
+    ``relation`` relates concrete to abstract states.  Hidden
+    (non-observable) concrete actions are treated as stuttering steps:
+    the abstract machine may stay put, provided the relation still
+    holds.  Observable concrete actions must be matched by an abstract
+    transition with the *same label* leading to a related state.
+    """
+
+    abstract: StateMachine
+    concrete: StateMachine
+    relation: SimulationRelation
+    _visited: set = field(default_factory=set, init=False, repr=False)
+
+    @staticmethod
+    def via_function(
+        abstract: StateMachine, concrete: StateMachine, fn: Callable[[State], State]
+    ) -> "Refinement":
+        return Refinement(abstract, concrete, AbstractionFunction(fn).as_relation())
+
+    def check(self, *, max_pairs: int = 100_000) -> RefinementReport:
+        """Breadth-first forward-simulation check over reachable pairs.
+
+        Explores pairs (concrete state, abstract state) related by R,
+        starting from the initial states.  For each concrete transition
+        c --a--> c' it requires either
+
+        * ``a`` hidden in the concrete machine and R(c', s) for the
+          current abstract state s (stuttering), or
+        * some abstract transition s --a--> s' with R(c', s').
+
+        Returns a report with a counterexample on failure.
+        """
+        if not self.relation.holds(self.concrete.initial, self.abstract.initial):
+            return RefinementReport(
+                False,
+                0,
+                (self.concrete.initial, self.abstract.initial),
+                "initial states unrelated",
+            )
+        start = (self.concrete.initial, self.abstract.initial)
+        seen: set[tuple[State, State]] = {start}
+        frontier: deque[tuple[State, State]] = deque([start])
+        checked = 0
+        while frontier:
+            c, s = frontier.popleft()
+            for action in self.concrete.enabled(c):
+                for c_next in self.concrete.step(c, action):
+                    checked += 1
+                    if checked > max_pairs:
+                        return RefinementReport(
+                            False, checked, None, "state space exceeded max_pairs"
+                        )
+                    matches: list[State] = []
+                    if not self.concrete.is_observable(action) and self.relation.holds(
+                        c_next, s
+                    ):
+                        matches.append(s)
+                    for s_next in self.abstract.step(s, action):
+                        if self.relation.holds(c_next, s_next):
+                            matches.append(s_next)
+                    if not matches:
+                        return RefinementReport(
+                            False,
+                            checked,
+                            ((c, action, c_next), s),
+                            f"abstract machine cannot match {action!r}",
+                        )
+                    for s_next in matches:
+                        pair = (c_next, s_next)
+                        if pair not in seen:
+                            seen.add(pair)
+                            frontier.append(pair)
+        return RefinementReport(True, checked)

@@ -1,0 +1,290 @@
+"""What is a computer?  Machine, human, hybrid, network (paper §1a, §2c).
+
+    "The most obvious kind of computer is a machine ... but more
+    subtly it could be a human.  Humans process information; humans
+    compute. ... when we consider the combination of a human and a
+    machine as a computer, we can exploit the combined processing
+    power ... humans are still better than machines at parsing and
+    interpreting images; on the other hand, machines are much better
+    at executing certain kinds of instructions far more quickly ...
+    the computer could be a machine, a human, the combination of a
+    machine and a human, or recursively, the combination (e.g. a
+    network) of such computers."
+
+The model: a :class:`Task` has a :class:`TaskKind` (symbolic
+instruction streams vs perceptual/image interpretation), a size, and a
+difficulty.  Each :class:`Computer` reports a processing *rate* and an
+*error probability* per task kind; executing a task yields a
+:class:`WorkResult` with elapsed simulated time and correctness.
+:class:`HybridComputer` routes each task to whichever member is better
+suited; :class:`NetworkComputer` composes computers recursively and
+balances load — making the paper's recursive definition literal.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "TaskKind",
+    "Task",
+    "WorkResult",
+    "Computer",
+    "MachineComputer",
+    "HumanComputer",
+    "HybridComputer",
+    "NetworkComputer",
+]
+
+
+class TaskKind(enum.Enum):
+    """The two poles of the paper's human/machine comparison."""
+
+    INSTRUCTIONS = "instructions"  # symbolic, high-volume, exact
+    IMAGES = "images"              # perceptual interpretation
+
+
+@dataclass(frozen=True)
+class Task:
+    """A unit of work.
+
+    ``size`` is in abstract work units (instructions, pixels…);
+    ``difficulty`` in [0, 1] scales the error probability.
+    """
+
+    kind: TaskKind
+    size: float
+    difficulty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("task size must be positive")
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError("difficulty must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkResult:
+    """Outcome of running one task on one computer."""
+
+    task: Task
+    elapsed: float
+    correct: bool
+    worker: str
+
+
+class Computer:
+    """Abstract computer: anything that automates an abstraction.
+
+    Subclasses define per-kind ``rate`` (work units per simulated
+    second) and ``error_rate`` (probability of an incorrect result at
+    difficulty 1).  ``capacity`` is the number of tasks it can work on
+    concurrently (humans: 1; machines: #cores).
+    """
+
+    name: str = "computer"
+
+    def rate(self, kind: TaskKind) -> float:
+        raise NotImplementedError
+
+    def error_rate(self, kind: TaskKind) -> float:
+        raise NotImplementedError
+
+    @property
+    def capacity(self) -> int:
+        return 1
+
+    def execute(self, task: Task, *, seed: int | None = None) -> WorkResult:
+        """Run one task; elapsed time = size / rate, correctness sampled."""
+        rng = make_rng(seed)
+        r = self.rate(task.kind)
+        if r <= 0:
+            raise ValueError(f"{self.name} cannot process {task.kind.value} at all")
+        elapsed = task.size / r
+        p_err = min(1.0, self.error_rate(task.kind) * task.difficulty)
+        correct = bool(rng.random() >= p_err)
+        return WorkResult(task, elapsed, correct, self.name)
+
+    def execute_batch(
+        self, tasks: Sequence[Task], *, seed: int | None = None
+    ) -> list[WorkResult]:
+        rng = make_rng(seed)
+        return [self.execute(t, seed=int(rng.integers(0, 2**31))) for t in tasks]
+
+    def makespan(self, tasks: Sequence[Task]) -> float:
+        """Simulated completion time for a batch under ``capacity``-way
+        parallelism with greedy longest-processing-time assignment."""
+        durations = sorted((t.size / self.rate(t.kind) for t in tasks), reverse=True)
+        lanes = [0.0] * max(1, self.capacity)
+        for d in durations:
+            lanes[lanes.index(min(lanes))] += d
+        return max(lanes) if durations else 0.0
+
+
+class MachineComputer(Computer):
+    """A mechanical computer: blazing at instructions, poor at images."""
+
+    def __init__(
+        self,
+        name: str = "machine",
+        *,
+        instruction_rate: float = 1e9,
+        image_rate: float = 10.0,
+        instruction_error: float = 1e-9,
+        image_error: float = 0.45,
+        cores: int = 1,
+    ) -> None:
+        if cores < 1:
+            raise ValueError("a machine needs at least one core")
+        self.name = name
+        self._rates = {TaskKind.INSTRUCTIONS: instruction_rate, TaskKind.IMAGES: image_rate}
+        self._errors = {TaskKind.INSTRUCTIONS: instruction_error, TaskKind.IMAGES: image_error}
+        self._cores = cores
+
+    def rate(self, kind: TaskKind) -> float:
+        return self._rates[kind]
+
+    def error_rate(self, kind: TaskKind) -> float:
+        return self._errors[kind]
+
+    @property
+    def capacity(self) -> int:
+        return self._cores
+
+
+class HumanComputer(Computer):
+    """A human computer: slow and error-prone at instruction streams,
+    excellent at parsing and interpreting images."""
+
+    def __init__(
+        self,
+        name: str = "human",
+        *,
+        instruction_rate: float = 0.5,
+        image_rate: float = 100.0,
+        instruction_error: float = 0.05,
+        image_error: float = 0.02,
+        fatigue_halflife: float = math.inf,
+    ) -> None:
+        self.name = name
+        self._rates = {TaskKind.INSTRUCTIONS: instruction_rate, TaskKind.IMAGES: image_rate}
+        self._errors = {TaskKind.INSTRUCTIONS: instruction_error, TaskKind.IMAGES: image_error}
+        self.fatigue_halflife = fatigue_halflife
+        self._worked = 0.0
+
+    def rate(self, kind: TaskKind) -> float:
+        base = self._rates[kind]
+        if math.isinf(self.fatigue_halflife):
+            return base
+        # Rate halves every `fatigue_halflife` units of accumulated work.
+        return base * 0.5 ** (self._worked / self.fatigue_halflife)
+
+    def error_rate(self, kind: TaskKind) -> float:
+        return self._errors[kind]
+
+    def execute(self, task: Task, *, seed: int | None = None) -> WorkResult:
+        result = super().execute(task, seed=seed)
+        self._worked += result.elapsed
+        return result
+
+
+class HybridComputer(Computer):
+    """Human + machine: each task goes to whoever does that kind best.
+
+    "we can exploit the combined processing power of a human with that
+    of a machine" — the routing policy minimises expected time subject
+    to an error ceiling.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Computer],
+        name: str = "hybrid",
+        *,
+        max_error: float = 1.0,
+    ) -> None:
+        if not members:
+            raise ValueError("hybrid computer needs members")
+        self.name = name
+        self.members = list(members)
+        self.max_error = max_error
+
+    def route(self, kind: TaskKind) -> Computer:
+        """Pick the fastest member whose error rate is acceptable."""
+        eligible = [m for m in self.members if m.error_rate(kind) <= self.max_error]
+        pool = eligible or self.members
+        return max(pool, key=lambda m: m.rate(kind))
+
+    def rate(self, kind: TaskKind) -> float:
+        return self.route(kind).rate(kind)
+
+    def error_rate(self, kind: TaskKind) -> float:
+        return self.route(kind).error_rate(kind)
+
+    @property
+    def capacity(self) -> int:
+        return sum(m.capacity for m in self.members)
+
+    def execute(self, task: Task, *, seed: int | None = None) -> WorkResult:
+        result = self.route(task.kind).execute(task, seed=seed)
+        return WorkResult(result.task, result.elapsed, result.correct, f"{self.name}/{result.worker}")
+
+    def makespan(self, tasks: Sequence[Task]) -> float:
+        """Members work in parallel on the tasks routed to them."""
+        per_member: dict[int, list[Task]] = {}
+        for t in tasks:
+            member = self.route(t.kind)
+            per_member.setdefault(id(member), []).append(t)
+        by_id = {id(m): m for m in self.members}
+        return max(
+            (by_id[mid].makespan(ts) for mid, ts in per_member.items()),
+            default=0.0,
+        )
+
+
+class NetworkComputer(Computer):
+    """A recursive combination — a network — of computers.
+
+    Members may themselves be hybrids or networks.  Batch work is
+    balanced across members proportionally to their rates, which is the
+    simple "scatter" collective of the parallel substrate.
+    """
+
+    def __init__(self, members: Sequence[Computer], name: str = "network") -> None:
+        if not members:
+            raise ValueError("network computer needs members")
+        self.name = name
+        self.members = list(members)
+
+    def rate(self, kind: TaskKind) -> float:
+        return sum(m.rate(kind) for m in self.members)
+
+    def error_rate(self, kind: TaskKind) -> float:
+        total_rate = self.rate(kind)
+        return sum(m.error_rate(kind) * m.rate(kind) for m in self.members) / total_rate
+
+    @property
+    def capacity(self) -> int:
+        return sum(m.capacity for m in self.members)
+
+    def execute(self, task: Task, *, seed: int | None = None) -> WorkResult:
+        best = max(self.members, key=lambda m: m.rate(task.kind))
+        result = best.execute(task, seed=seed)
+        return WorkResult(result.task, result.elapsed, result.correct, f"{self.name}/{result.worker}")
+
+    def makespan(self, tasks: Sequence[Task]) -> float:
+        """Greedy balance: assign each task to the member finishing it soonest."""
+        finish = {id(m): 0.0 for m in self.members}
+        by_id = {id(m): m for m in self.members}
+        for t in sorted(tasks, key=lambda t: -t.size):
+            best_id = min(
+                finish,
+                key=lambda mid: finish[mid] + t.size / by_id[mid].rate(t.kind),
+            )
+            finish[best_id] += t.size / by_id[best_id].rate(t.kind)
+        return max(finish.values()) if tasks else 0.0

@@ -1,0 +1,171 @@
+"""Layered architectures with well-defined interfaces (paper §1a).
+
+    "The abstraction process introduces layers. ... Well-defined
+    interfaces between layers enable us to build large, complex
+    systems. ... The layered architecture of the Internet, in
+    particular the 'thin waist' Internet protocol layer, supports both
+    the incorporation of new computing devices and networking
+    technology at the bottom and the addition of new, unforeseen
+    applications at the top."
+
+A :class:`Layer` transforms requests downward and responses upward
+through named :class:`Interface` boundaries; a :class:`LayerStack`
+composes layers, enforcing that adjacent interfaces match.  The module
+also quantifies the thin-waist argument:
+:func:`adapter_count_hourglass` vs :func:`adapter_count_pairwise`
+count the integration components needed to connect B bottom
+technologies with T top applications with and without a common waist —
+O(B + T) versus O(B × T).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "Interface",
+    "Layer",
+    "LayerStack",
+    "adapter_count_hourglass",
+    "adapter_count_pairwise",
+]
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A named boundary between adjacent layers.
+
+    Interfaces are compared by name: a stack composes only when each
+    layer's lower interface equals the next layer's upper interface —
+    "a user need not know the details of the component's
+    implementation to know how to interact with it".
+    """
+
+    name: str
+
+
+class Layer:
+    """One abstraction layer.
+
+    ``down`` encodes a request from the upper interface into the lower
+    one; ``up`` decodes a lower response back up.  The identity
+    defaults make pass-through layers trivial to declare.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        upper: Interface,
+        lower: Interface,
+        down: Callable[[Any], Any] | None = None,
+        up: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.upper = upper
+        self.lower = lower
+        self._down = down or (lambda x: x)
+        self._up = up or (lambda x: x)
+
+    def encode(self, request: Any) -> Any:
+        return self._down(request)
+
+    def decode(self, response: Any) -> Any:
+        return self._up(response)
+
+    def __repr__(self) -> str:
+        return f"Layer({self.name}: {self.upper.name} -> {self.lower.name})"
+
+
+class LayerStack:
+    """An ordered stack of layers, top first.
+
+    Composition is checked at construction: mismatched adjacent
+    interfaces raise immediately, which is the executable form of
+    "well-defined interfaces between layers".
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("a layer stack needs at least one layer")
+        for above, below in zip(layers, layers[1:]):
+            if above.lower != below.upper:
+                raise ValueError(
+                    f"interface mismatch: {above.name} exposes {above.lower.name!r} "
+                    f"but {below.name} expects {below.upper.name!r}"
+                )
+        self.layers = list(layers)
+
+    @property
+    def top(self) -> Interface:
+        return self.layers[0].upper
+
+    @property
+    def bottom(self) -> Interface:
+        return self.layers[-1].lower
+
+    def send_down(self, request: Any) -> Any:
+        """Thread ``request`` through every layer's encoder, top to bottom."""
+        for layer in self.layers:
+            request = layer.encode(request)
+        return request
+
+    def send_up(self, response: Any) -> Any:
+        """Thread ``response`` through every layer's decoder, bottom to top."""
+        for layer in reversed(self.layers):
+            response = layer.decode(response)
+        return response
+
+    def round_trip(self, request: Any, service: Callable[[Any], Any]) -> Any:
+        """Send a request to the bottom ``service`` and decode its reply."""
+        return self.send_up(service(self.send_down(request)))
+
+    def replace_layer(self, name: str, new_layer: Layer) -> "LayerStack":
+        """Swap one layer for another with identical interfaces.
+
+        This is the paper's modularity claim as an operation: because
+        interfaces are checked, replacement is safe-by-construction.
+        """
+        replaced = False
+        out = []
+        for layer in self.layers:
+            if layer.name == name:
+                if (layer.upper, layer.lower) != (new_layer.upper, new_layer.lower):
+                    raise ValueError(
+                        f"replacement for {name!r} must keep interfaces "
+                        f"({layer.upper.name!r}, {layer.lower.name!r})"
+                    )
+                out.append(new_layer)
+                replaced = True
+            else:
+                out.append(layer)
+        if not replaced:
+            raise KeyError(f"no layer named {name!r}")
+        return LayerStack(out)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:
+        chain = " / ".join(layer.name for layer in self.layers)
+        return f"LayerStack({chain})"
+
+
+def adapter_count_pairwise(num_bottom: int, num_top: int) -> int:
+    """Adapters needed when every app speaks to every technology directly."""
+    if num_bottom < 0 or num_top < 0:
+        raise ValueError("counts must be nonnegative")
+    return num_bottom * num_top
+
+
+def adapter_count_hourglass(num_bottom: int, num_top: int) -> int:
+    """Adapters needed with a common thin-waist protocol.
+
+    Each bottom technology implements the waist once, and each top
+    application targets the waist once: B + T components total.
+    """
+    if num_bottom < 0 or num_top < 0:
+        raise ValueError("counts must be nonnegative")
+    return num_bottom + num_top

@@ -1,0 +1,130 @@
+"""Multi-scale modelling with a checked abstraction function (§1b).
+
+    "Looking to the future, deeper computational thinking — through
+    the choice of cleverer or more sophisticated abstractions — may
+    enable scientists and engineers to model and analyse their systems
+    on a scale orders of magnitude greater ... model systems at
+    multiple time scales and at multiple resolutions ... and validate
+    these models against ground truth."
+
+The minimal honest instance: a 1-D diffusion lattice at fine
+resolution (ground truth) and a coarse model obtained by block
+averaging.  The abstraction function is :func:`coarsen`; *validation*
+is the commutation error
+
+    || coarsen(fine-simulate(x, T))  -  coarse-simulate(coarsen(x), T) ||
+
+— how far "abstract then simulate" drifts from "simulate then
+abstract".  Diffusion smooths, so the error shrinks over time; and the
+coarse model runs factor² faster per unit of simulated time (fewer
+cells *and* a larger stable time step), which is exactly the
+orders-of-magnitude win the paper forecasts — bought at a measured,
+not asserted, fidelity cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiffusionLattice", "coarsen", "MultiscaleReport", "validate_coarse_model"]
+
+
+class DiffusionLattice:
+    """Explicit-Euler 1-D diffusion with reflecting boundaries.
+
+    ``dt`` defaults to the largest stable step for the cell size
+    (stability requires D·dt/dx² <= 1/2; we use 1/4 for margin).
+    """
+
+    def __init__(self, field: np.ndarray, *, diffusivity: float = 1.0, dx: float = 1.0) -> None:
+        arr = np.asarray(field, dtype=float)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ValueError("field must be a 1-D array of >= 2 cells")
+        if diffusivity <= 0 or dx <= 0:
+            raise ValueError("diffusivity and dx must be positive")
+        self.field = arr.copy()
+        self.diffusivity = diffusivity
+        self.dx = dx
+        self.dt = 0.25 * dx * dx / diffusivity
+        self.steps_taken = 0
+
+    def step(self) -> None:
+        """One explicit step, vectorised (no Python loop over cells)."""
+        f = self.field
+        left = np.concatenate(([f[0]], f[:-1]))
+        right = np.concatenate((f[1:], [f[-1]]))
+        self.field = f + self.diffusivity * self.dt / (self.dx * self.dx) * (
+            left - 2 * f + right
+        )
+        self.steps_taken += 1
+
+    def run_until(self, simulated_time: float) -> np.ndarray:
+        """Advance to (at least) ``simulated_time``; returns the field."""
+        if simulated_time < 0:
+            raise ValueError("time must be nonnegative")
+        steps = int(np.ceil(simulated_time / self.dt))
+        for _ in range(steps):
+            self.step()
+        return self.field
+
+    def total_mass(self) -> float:
+        return float(self.field.sum() * self.dx)
+
+
+def coarsen(field: np.ndarray, factor: int) -> np.ndarray:
+    """Block-average abstraction function (fine cells -> coarse cells)."""
+    arr = np.asarray(field, dtype=float)
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if arr.size % factor:
+        raise ValueError(f"field size {arr.size} not divisible by factor {factor}")
+    return arr.reshape(-1, factor).mean(axis=1)
+
+
+@dataclass(frozen=True)
+class MultiscaleReport:
+    """Validation of a coarse model against fine ground truth."""
+
+    factor: int
+    simulated_time: float
+    commutation_error: float   # relative L2 distance of the two routes
+    fine_steps: int
+    coarse_steps: int
+
+    @property
+    def step_savings(self) -> float:
+        """How many fine steps each coarse step replaces."""
+        return self.fine_steps / max(1, self.coarse_steps)
+
+
+def validate_coarse_model(
+    initial: np.ndarray,
+    *,
+    factor: int,
+    simulated_time: float,
+    diffusivity: float = 1.0,
+) -> MultiscaleReport:
+    """Run both routes and measure the commutation error.
+
+    Route A: fine-simulate then coarsen (ground truth at coarse
+    resolution).  Route B: coarsen then coarse-simulate (the abstract
+    model).  The coarse lattice has dx' = factor·dx, so its stable dt
+    is factor² larger — the speed dividend.
+    """
+    fine = DiffusionLattice(initial, diffusivity=diffusivity, dx=1.0)
+    truth = coarsen(fine.run_until(simulated_time), factor)
+    coarse = DiffusionLattice(
+        coarsen(initial, factor), diffusivity=diffusivity, dx=float(factor)
+    )
+    modelled = coarse.run_until(simulated_time)
+    scale = float(np.linalg.norm(truth))
+    error = float(np.linalg.norm(truth - modelled)) / (scale if scale > 0 else 1.0)
+    return MultiscaleReport(
+        factor=factor,
+        simulated_time=simulated_time,
+        commutation_error=error,
+        fine_steps=fine.steps_taken,
+        coarse_steps=coarse.steps_taken,
+    )

@@ -1,0 +1,156 @@
+"""Labelled transition systems ("abstract state machines").
+
+The paper's refinement vocabulary — "showing the observable
+equivalence between an abstract state machine and one of its possible
+refinements" — needs a concrete machine model.  :class:`StateMachine`
+is a deterministic-or-nondeterministic labelled transition system over
+hashable states and action labels, with the operations the abstraction
+layer (:mod:`repro.core.abstraction`) builds on: stepping, trace
+generation, reachability, and observable-trace equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+__all__ = ["StateMachine", "Transition"]
+
+State = Hashable
+Action = Hashable
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One labelled transition ``source --action--> target``."""
+
+    source: State
+    action: Action
+    target: State
+
+
+class StateMachine:
+    """A labelled transition system.
+
+    ``observable`` optionally restricts which actions are visible: two
+    machines are *observably* equivalent when their visible trace sets
+    agree (internal actions are projected away), which is exactly the
+    notion refinement checking needs.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial: State,
+        transitions: Iterable[tuple[State, Action, State]] = (),
+        observable: Iterable[Action] | None = None,
+    ) -> None:
+        self.initial = initial
+        self._delta: dict[State, dict[Action, set[State]]] = {}
+        self._actions: set[Action] = set()
+        for s, a, t in transitions:
+            self.add_transition(s, a, t)
+        self._observable = set(observable) if observable is not None else None
+
+    # -- construction ---------------------------------------------------
+    def add_transition(self, source: State, action: Action, target: State) -> None:
+        self._delta.setdefault(source, {}).setdefault(action, set()).add(target)
+        self._actions.add(action)
+
+    # -- basic queries ----------------------------------------------------
+    @property
+    def actions(self) -> set[Action]:
+        return set(self._actions)
+
+    def is_observable(self, action: Action) -> bool:
+        return self._observable is None or action in self._observable
+
+    def enabled(self, state: State) -> list[Action]:
+        """Actions with at least one transition out of ``state``."""
+        return list(self._delta.get(state, {}))
+
+    def step(self, state: State, action: Action) -> set[State]:
+        """All successors of ``state`` under ``action`` (empty if none)."""
+        return set(self._delta.get(state, {}).get(action, set()))
+
+    def is_deterministic(self) -> bool:
+        return all(
+            len(targets) <= 1
+            for by_action in self._delta.values()
+            for targets in by_action.values()
+        )
+
+    # -- reachability and traces -----------------------------------------
+    def reachable_states(self) -> set[State]:
+        seen = {self.initial}
+        frontier = deque([self.initial])
+        while frontier:
+            s = frontier.popleft()
+            for targets in self._delta.get(s, {}).values():
+                for t in targets:
+                    if t not in seen:
+                        seen.add(t)
+                        frontier.append(t)
+        return seen
+
+    def run(self, actions: Sequence[Action]) -> set[State]:
+        """States reachable from the initial state via exactly ``actions``."""
+        frontier = {self.initial}
+        for a in actions:
+            frontier = {t for s in frontier for t in self.step(s, a)}
+            if not frontier:
+                return set()
+        return frontier
+
+    def accepts(self, actions: Sequence[Action]) -> bool:
+        """True when the full action sequence can be executed."""
+        return bool(self.run(actions))
+
+    def traces(self, max_length: int) -> set[tuple[Action, ...]]:
+        """All executable action sequences of length <= ``max_length``."""
+        out: set[tuple[Action, ...]] = {()}
+        frontier: list[tuple[State, tuple[Action, ...]]] = [(self.initial, ())]
+        for _ in range(max_length):
+            nxt: list[tuple[State, tuple[Action, ...]]] = []
+            for state, trace in frontier:
+                for action, targets in self._delta.get(state, {}).items():
+                    new_trace = trace + (action,)
+                    for t in targets:
+                        nxt.append((t, new_trace))
+                    out.add(new_trace)
+            frontier = nxt
+            if not frontier:
+                break
+        return out
+
+    def observable_traces(self, max_length: int) -> set[tuple[Action, ...]]:
+        """Visible projections of all traces of length <= ``max_length``.
+
+        ``max_length`` bounds the *underlying* trace length, so hidden
+        actions consume budget but do not appear in the output.
+        """
+        return {
+            tuple(a for a in trace if self.is_observable(a))
+            for trace in self.traces(max_length)
+        }
+
+    def observably_equivalent(self, other: "StateMachine", *, depth: int = 6) -> bool:
+        """Bounded observable-trace equivalence.
+
+        Complete for machines whose reachable graphs are DAGs shorter
+        than ``depth``; a sound bounded check otherwise — the standard
+        engineering compromise the paper's "observable equivalence"
+        demands in practice.
+        """
+        return self.observable_traces(depth) == other.observable_traces(depth)
+
+    def transitions(self) -> Iterator[Transition]:
+        for s, by_action in self._delta.items():
+            for a, targets in by_action.items():
+                for t in targets:
+                    yield Transition(s, a, t)
+
+    def __repr__(self) -> str:
+        n_trans = sum(1 for _ in self.transitions())
+        return f"StateMachine(initial={self.initial!r}, |delta|={n_trans})"

@@ -1,0 +1,23 @@
+"""The data deluge (paper §1b, §2a).
+
+    "We are drowning in data ... Through deployment of distributed
+    sensor nets ... we will be collecting and generating more and more
+    data to analyse. ... There is an open feedback loop: this
+    knowledge, piquing our curiosity, will lead us to ask new
+    questions that require collection of more data."
+
+* :mod:`repro.data.sensornet` — a sensor-grid stream generator with
+  drift and failing sensors;
+* :mod:`repro.data.deluge` — the open feedback loop as a growth
+  process: data → knowledge → questions → more data, with the loop
+  gain deciding convergence vs explosion (experiment C10);
+* :mod:`repro.data.federation` — "data federation" over digital-
+  library records: blocking + similarity entity resolution
+  (experiment C27).
+"""
+
+from repro.data.deluge import FeedbackLoop
+from repro.data.federation import resolve_entities
+from repro.data.sensornet import SensorGrid
+
+__all__ = ["SensorGrid", "FeedbackLoop", "resolve_entities"]

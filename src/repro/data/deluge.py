@@ -1,0 +1,127 @@
+"""The open feedback loop of the data deluge (paper §1b).
+
+    "There is an open feedback loop: this knowledge, piquing our
+    curiosity, will lead us to ask new questions that require
+    collection of more data; and this knowledge will help us to
+    fine-tune our simulation models, thereby generating even more
+    data."
+
+Model per round t (all quantities nonnegative):
+
+    knowledge_t = extraction_rate · data_t
+    questions_t = curiosity · knowledge_t
+    data_{t+1}  = data_t·(1 - obsolescence)
+                  + baseline_collection
+                  + per_question_data · questions_t
+
+The loop is linear, so its behaviour is governed by one dimensionless
+number, the **loop gain**
+
+    g = curiosity · extraction_rate · per_question_data / obsolescence:
+
+* g < 1 — the loop converges to the fixed point
+  baseline / (obsolescence · (1 - g)): curiosity amplifies the
+  baseline by 1/(1-g) but saturates;
+* g > 1 — data (and with it knowledge and questions) grows
+  geometrically without bound: the "drowning in data" regime;
+* g = 1 — the critical line: linear growth.
+
+Experiment C10 sweeps g across the three regimes and prints the
+trajectories and growth ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FeedbackLoop", "LoopTrajectory"]
+
+
+@dataclass(frozen=True)
+class LoopTrajectory:
+    data: list[float]
+    knowledge: list[float]
+    questions: list[float]
+
+    @property
+    def diverged(self) -> bool:
+        return self.data[-1] > 1e9
+
+    def data_growth_ratio(self) -> float:
+        """Late-stage per-round data growth factor."""
+        if len(self.data) < 3 or self.data[-2] == 0:
+            return 1.0
+        return self.data[-1] / self.data[-2]
+
+
+class FeedbackLoop:
+    """The data→knowledge→questions→data loop."""
+
+    def __init__(
+        self,
+        *,
+        extraction_rate: float = 0.5,
+        curiosity: float = 0.5,
+        per_question_data: float = 0.2,
+        obsolescence: float = 0.1,
+        baseline_collection: float = 1.0,
+    ) -> None:
+        if extraction_rate <= 0:
+            raise ValueError("extraction rate must be positive")
+        if curiosity < 0 or per_question_data < 0 or baseline_collection < 0:
+            raise ValueError("rates must be nonnegative")
+        if not 0.0 < obsolescence < 1.0:
+            raise ValueError("obsolescence must be in (0, 1)")
+        self.extraction_rate = extraction_rate
+        self.curiosity = curiosity
+        self.per_question_data = per_question_data
+        self.obsolescence = obsolescence
+        self.baseline_collection = baseline_collection
+
+    @property
+    def loop_gain(self) -> float:
+        """The dimensionless knob of the C10 sweep; 1.0 is critical."""
+        return (
+            self.curiosity * self.extraction_rate * self.per_question_data
+            / self.obsolescence
+        )
+
+    @staticmethod
+    def with_gain(gain: float, *, obsolescence: float = 0.1) -> "FeedbackLoop":
+        """A loop tuned to an exact gain (convenient for the sweep)."""
+        if gain < 0:
+            raise ValueError("gain must be nonnegative")
+        return FeedbackLoop(
+            extraction_rate=1.0,
+            curiosity=1.0,
+            per_question_data=gain * obsolescence,
+            obsolescence=obsolescence,
+        )
+
+    def run(self, *, initial_data: float = 1.0, rounds: int = 100) -> LoopTrajectory:
+        if initial_data < 0:
+            raise ValueError("initial data must be nonnegative")
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        data = [initial_data]
+        knowledge: list[float] = []
+        questions: list[float] = []
+        for _ in range(rounds):
+            k = self.extraction_rate * data[-1]
+            q = self.curiosity * k
+            knowledge.append(k)
+            questions.append(q)
+            nxt = (
+                data[-1] * (1.0 - self.obsolescence)
+                + self.baseline_collection
+                + self.per_question_data * q
+            )
+            data.append(min(nxt, 1e18))  # keep floats finite
+        return LoopTrajectory(data, knowledge, questions)
+
+    def fixed_point(self) -> float | None:
+        """Analytic fixed point for g < 1; None in the explosive regime."""
+        g = self.loop_gain
+        if g >= 1.0:
+            return None
+        return self.baseline_collection / (self.obsolescence * (1.0 - g))

@@ -1,0 +1,194 @@
+"""Data federation over digital-library records (paper §1b).
+
+    "In the humanities and the arts, digital libraries of books,
+    collections and artefacts create opportunities through
+    computational methods such as data mining and data federation..."
+
+Synthetic setting: R library catalogues each describe an overlapping
+set of works, with per-source typos, abbreviations and year slips.
+:func:`resolve_entities` performs the classic pipeline — blocking (on
+a title-prefix key) then pairwise similarity scoring then
+connected-component clustering — and :func:`evaluate_resolution`
+scores it against the hidden ground truth (pairwise F1), versus the
+naive exact-key baseline experiment C27 compares against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.adt.graph import Graph
+from repro.util.rng import make_rng
+
+__all__ = [
+    "CatalogueRecord",
+    "noisy_catalogues",
+    "resolve_entities",
+    "exact_key_baseline",
+    "evaluate_resolution",
+]
+
+
+@dataclass(frozen=True)
+class CatalogueRecord:
+    record_id: int
+    source: int
+    title: str
+    author: str
+    year: int
+    true_work: int  # hidden ground truth, used only by the evaluator
+
+
+_WORKS = [
+    ("the art of computer programming", "donald knuth", 1968),
+    ("structure and interpretation of computer programs", "abelson sussman", 1985),
+    ("a discipline of programming", "edsger dijkstra", 1976),
+    ("communicating sequential processes", "tony hoare", 1978),
+    ("the mythical man month", "fred brooks", 1975),
+    ("computers and intractability", "garey johnson", 1979),
+    ("introduction to algorithms", "cormen leiserson rivest", 1990),
+    ("the c programming language", "kernighan ritchie", 1978),
+    ("goedel escher bach", "douglas hofstadter", 1979),
+    ("computational thinking", "jeannette wing", 2006),
+]
+
+
+def _perturb(text: str, rng, *, typo_rate: float) -> str:
+    chars = list(text)
+    for i, ch in enumerate(chars):
+        if ch.isalpha() and rng.random() < typo_rate:
+            chars[i] = chr((ord(ch) - 97 + int(rng.integers(1, 25))) % 26 + 97)
+    out = "".join(chars)
+    if rng.random() < typo_rate * 3 and len(out.split()) > 2:
+        words = out.split()
+        words[-1] = words[-1][:3] + "."  # abbreviation
+        out = " ".join(words)
+    return out
+
+
+def noisy_catalogues(
+    num_sources: int,
+    *,
+    typo_rate: float = 0.02,
+    coverage: float = 0.8,
+    seed: int | None = 0,
+) -> list[CatalogueRecord]:
+    """R noisy catalogues over the shared work list."""
+    if num_sources < 1:
+        raise ValueError("need at least one source")
+    if not 0.0 <= typo_rate <= 0.3:
+        raise ValueError("typo_rate out of sane range")
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    rng = make_rng(seed)
+    records: list[CatalogueRecord] = []
+    rid = 0
+    for source in range(num_sources):
+        for work_id, (title, author, year) in enumerate(_WORKS):
+            if rng.random() > coverage:
+                continue
+            records.append(
+                CatalogueRecord(
+                    record_id=rid,
+                    source=source,
+                    title=_perturb(title, rng, typo_rate=typo_rate),
+                    author=_perturb(author, rng, typo_rate=typo_rate),
+                    year=int(year + (rng.integers(-1, 2) if rng.random() < 0.2 else 0)),
+                    true_work=work_id,
+                )
+            )
+            rid += 1
+    return records
+
+
+def _trigrams(text: str) -> set[str]:
+    padded = f"  {text} "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def _jaccard(a: set, b: set) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def record_similarity(a: CatalogueRecord, b: CatalogueRecord) -> float:
+    """Weighted trigram similarity of title/author plus year proximity."""
+    title = _jaccard(_trigrams(a.title), _trigrams(b.title))
+    author = _jaccard(_trigrams(a.author), _trigrams(b.author))
+    year = 1.0 if a.year == b.year else (0.6 if abs(a.year - b.year) <= 1 else 0.0)
+    return 0.55 * title + 0.3 * author + 0.15 * year
+
+
+def resolve_entities(
+    records: list[CatalogueRecord],
+    *,
+    threshold: float = 0.62,
+    block_prefix: int = 2,
+) -> list[set[int]]:
+    """Blocking + similarity + connected components.
+
+    Records sharing a block key (first ``block_prefix`` letters of any
+    title word) are compared pairwise; pairs above ``threshold`` are
+    linked; clusters are the connected components.  Returns clusters
+    of ``record_id``.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if block_prefix < 1:
+        raise ValueError("block_prefix must be >= 1")
+    blocks: dict[str, list[CatalogueRecord]] = defaultdict(list)
+    for r in records:
+        keys = {w[:block_prefix] for w in r.title.split() if len(w) >= block_prefix}
+        for key in keys:
+            blocks[key].append(r)
+    g = Graph()
+    for r in records:
+        g.add_node(r.record_id)
+    compared: set[tuple[int, int]] = set()
+    for members in blocks.values():
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                pair = (min(a.record_id, b.record_id), max(a.record_id, b.record_id))
+                if pair in compared:
+                    continue
+                compared.add(pair)
+                if record_similarity(a, b) >= threshold:
+                    g.add_edge(a.record_id, b.record_id)
+    return g.connected_components()
+
+
+def exact_key_baseline(records: list[CatalogueRecord]) -> list[set[int]]:
+    """Naive federation: group by exact (title, author, year)."""
+    groups: dict[tuple, set[int]] = defaultdict(set)
+    for r in records:
+        groups[(r.title, r.author, r.year)].add(r.record_id)
+    return list(groups.values())
+
+
+def evaluate_resolution(
+    records: list[CatalogueRecord], clusters: list[set[int]]
+) -> tuple[float, float, float]:
+    """(precision, recall, F1) over record pairs vs hidden truth."""
+    truth = {r.record_id: r.true_work for r in records}
+    ids = sorted(truth)
+    cluster_of: dict[int, int] = {}
+    for ci, cluster in enumerate(clusters):
+        for rid in cluster:
+            cluster_of[rid] = ci
+    tp = fp = fn = 0
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            same_truth = truth[a] == truth[b]
+            same_cluster = cluster_of.get(a) == cluster_of.get(b) and a in cluster_of and b in cluster_of
+            if same_cluster and same_truth:
+                tp += 1
+            elif same_cluster and not same_truth:
+                fp += 1
+            elif same_truth and not same_cluster:
+                fn += 1
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1

@@ -1,0 +1,112 @@
+"""A distributed sensor grid generating measurement streams.
+
+Sensors sample a smooth synthetic field (sum of drifting Gaussian
+plumes) with per-sensor noise and independent failure/recovery, so
+downstream consumers see the realistic mess: missing readings, noise,
+and genuine spatial structure worth mining.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["SensorGrid", "Reading"]
+
+
+@dataclass(frozen=True)
+class Reading:
+    time: int
+    sensor: tuple[int, int]
+    value: float
+
+
+class SensorGrid:
+    """rows x cols sensors over a drifting two-plume field."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        noise: float = 0.05,
+        failure_rate: float = 0.01,
+        recovery_rate: float = 0.2,
+        seed: int | None = 0,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must be nonempty")
+        if noise < 0:
+            raise ValueError("noise must be nonnegative")
+        for rate in (failure_rate, recovery_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rates must be probabilities")
+        self.rows = rows
+        self.cols = cols
+        self.noise = noise
+        self.failure_rate = failure_rate
+        self.recovery_rate = recovery_rate
+        self._rng = make_rng(seed)
+        self._alive = np.ones((rows, cols), dtype=bool)
+        self._t = 0
+
+    def field(self, t: int) -> np.ndarray:
+        """The ground-truth field at time t (for evaluation)."""
+        r = np.arange(self.rows)[:, None]
+        c = np.arange(self.cols)[None, :]
+        cr1 = self.rows / 2 + self.rows / 4 * math.sin(t / 20)
+        cc1 = self.cols / 2 + self.cols / 4 * math.cos(t / 20)
+        cr2 = self.rows / 3
+        cc2 = (t / 2) % self.cols
+        plume1 = np.exp(-(((r - cr1) ** 2 + (c - cc1) ** 2) / (2 * (self.rows / 3) ** 2)))
+        plume2 = 0.6 * np.exp(-(((r - cr2) ** 2 + (c - cc2) ** 2) / (2 * (self.cols / 6) ** 2)))
+        return plume1 + plume2
+
+    @property
+    def live_fraction(self) -> float:
+        return float(self._alive.mean())
+
+    def tick(self) -> list[Reading]:
+        """Advance one step: fail/recover sensors, emit readings."""
+        fail = self._rng.random(self._alive.shape) < self.failure_rate
+        recover = self._rng.random(self._alive.shape) < self.recovery_rate
+        self._alive = (self._alive & ~fail) | (~self._alive & recover)
+        truth = self.field(self._t)
+        noise = self._rng.normal(0.0, self.noise, truth.shape)
+        readings = [
+            Reading(self._t, (i, j), float(truth[i, j] + noise[i, j]))
+            for i in range(self.rows)
+            for j in range(self.cols)
+            if self._alive[i, j]
+        ]
+        self._t += 1
+        return readings
+
+    def stream(self, ticks: int) -> list[Reading]:
+        if ticks < 1:
+            raise ValueError("ticks must be positive")
+        out: list[Reading] = []
+        for _ in range(ticks):
+            out.extend(self.tick())
+        return out
+
+    def reconstruct(self, readings: list[Reading], t: int) -> np.ndarray:
+        """Nearest-reading interpolation of the field at time t —
+        the consumer-side 'analysis' whose error the C10 bench tracks
+        against sensor density."""
+        at_t = [r for r in readings if r.time == t]
+        if not at_t:
+            raise ValueError(f"no readings at time {t}")
+        grid = np.zeros((self.rows, self.cols))
+        for i in range(self.rows):
+            for j in range(self.cols):
+                nearest = min(
+                    at_t,
+                    key=lambda r: (r.sensor[0] - i) ** 2 + (r.sensor[1] - j) ** 2,
+                )
+                grid[i, j] = nearest.value
+        return grid

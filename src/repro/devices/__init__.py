@@ -1,0 +1,26 @@
+"""Technology drivers (paper §2a).
+
+One module per named technology trend:
+
+* :mod:`repro.devices.moore` — Moore's law, the frequency wall, and
+  the single-core → multicore transition model;
+* :mod:`repro.devices.memristor` — the Strukov et al. (2008)
+  charge-controlled memristor ODE ("the missing memristor found"),
+  with its signature pinched hysteresis loop;
+* :mod:`repro.devices.crossbar` — a memristive crossbar memory;
+* :mod:`repro.devices.quantum` — a small pure-state qubit simulator
+  (gates + measurement);
+* :mod:`repro.devices.bb84` — BB84 quantum key distribution with
+  eavesdropper detection ("quantum cryptography to secure ballots in
+  Swiss elections");
+* :mod:`repro.devices.ballots` — the election pipeline on top of BB84;
+* :mod:`repro.devices.cortex` — a Numenta/Blue-Brain flavoured
+  cortical sequence predictor ("machines that model the human brain").
+"""
+
+from repro.devices.bb84 import BB84Session
+from repro.devices.memristor import Memristor
+from repro.devices.moore import MooreModel
+from repro.devices.quantum import QuantumRegister
+
+__all__ = ["Memristor", "QuantumRegister", "BB84Session", "MooreModel"]

@@ -1,0 +1,127 @@
+"""A cortical-column sequence predictor (Numenta / Blue Brain, §2a).
+
+    "People aspire to build machines that model the human brain. ...
+    Numenta is building a software platform for intelligent computing
+    modelled after the human neocortex."
+
+A lightweight hierarchical-temporal-memory-flavoured model: a layer of
+columns, one per input symbol, each containing ``cells_per_column``
+cells.  Prediction is learned in the *which cell fired* dimension:
+distinct sequential contexts activate distinct cells in the same
+column, so the model distinguishes "B after A" from "B after C" —
+first-order transition models cannot.  The C17 bench compares its
+next-symbol accuracy against an order-0 (frequency) and order-1
+(Markov) baseline on sequences with shared subsequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+
+__all__ = ["CorticalPredictor", "order0_baseline", "order1_baseline"]
+
+
+class CorticalPredictor:
+    """Sequence memory over a fixed symbol alphabet.
+
+    Internally a sparse higher-order transition model: states are
+    (column, cell) pairs, with cells allocated per distinct
+    predecessor context — a faithful skeleton of HTM's sequence
+    memory without the dendrite machinery.
+    """
+
+    def __init__(self, *, cells_per_column: int = 8) -> None:
+        if cells_per_column < 1:
+            raise ValueError("need at least one cell per column")
+        self.cells_per_column = cells_per_column
+        # context -> cell index, per column; allocated on demand.
+        self._cell_of_context: dict[str, dict[str, int]] = defaultdict(dict)
+        # (symbol, cell) -> Counter of next symbols.
+        self._transitions: dict[tuple[str, int], Counter] = defaultdict(Counter)
+        self._seen: Counter = Counter()
+
+    def _cell_for(self, symbol: str, context: str) -> int:
+        cells = self._cell_of_context[symbol]
+        if context not in cells:
+            # Allocate a fresh cell; recycle round-robin when full.
+            cells[context] = len(cells) % self.cells_per_column
+        return cells[context]
+
+    def train(self, sequences: Sequence[Sequence[str]]) -> "CorticalPredictor":
+        for seq in sequences:
+            previous = ""
+            for current, nxt in zip(seq, seq[1:]):
+                # The active cell within `current`'s column encodes the
+                # predecessor — HTM's "same input, different context"
+                # trick, one step deep.
+                cell = self._cell_for(current, previous)
+                self._transitions[(current, cell)][nxt] += 1
+                self._seen[current] += 1
+                previous = current
+            if seq:
+                self._seen[seq[-1]] += 1
+        return self
+
+    def predict(self, prefix: Sequence[str]) -> str | None:
+        """Most likely next symbol after ``prefix`` (None if unseen)."""
+        if not prefix:
+            return None
+        context = prefix[-2] if len(prefix) >= 2 else ""
+        current = prefix[-1]
+        cells = self._cell_of_context.get(current, {})
+        cell = cells.get(context)
+        if cell is not None:
+            votes = self._transitions.get((current, cell))
+            if votes:
+                return votes.most_common(1)[0][0]
+        # Fall back: pool all cells of the column.
+        pooled: Counter = Counter()
+        for (sym, _), votes in self._transitions.items():
+            if sym == current:
+                pooled.update(votes)
+        return pooled.most_common(1)[0][0] if pooled else None
+
+    def accuracy(self, sequences: Sequence[Sequence[str]]) -> float:
+        """Next-symbol accuracy over all positions with >= 2 symbols
+        of context."""
+        hits = 0
+        total = 0
+        for seq in sequences:
+            for i in range(1, len(seq) - 1):
+                prediction = self.predict(seq[: i + 1])
+                total += 1
+                hits += prediction == seq[i + 1]
+        if total == 0:
+            raise ValueError("no predictable positions in the sequences")
+        return hits / total
+
+
+def order0_baseline(train: Sequence[Sequence[str]], test: Sequence[Sequence[str]]) -> float:
+    """Always predict the globally most frequent symbol."""
+    counts: Counter = Counter(s for seq in train for s in seq)
+    if not counts:
+        raise ValueError("empty training data")
+    guess = counts.most_common(1)[0][0]
+    hits = total = 0
+    for seq in test:
+        for i in range(1, len(seq) - 1):
+            total += 1
+            hits += guess == seq[i + 1]
+    return hits / total if total else 0.0
+
+
+def order1_baseline(train: Sequence[Sequence[str]], test: Sequence[Sequence[str]]) -> float:
+    """First-order Markov: predict argmax P(next | current)."""
+    transitions: dict[str, Counter] = defaultdict(Counter)
+    for seq in train:
+        for a, b in zip(seq, seq[1:]):
+            transitions[a][b] += 1
+    hits = total = 0
+    for seq in test:
+        for i in range(1, len(seq) - 1):
+            total += 1
+            votes = transitions.get(seq[i])
+            if votes and votes.most_common(1)[0][0] == seq[i + 1]:
+                hits += 1
+    return hits / total if total else 0.0

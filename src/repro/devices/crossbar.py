@@ -1,0 +1,109 @@
+"""A memristive crossbar memory.
+
+An N×M grid of :class:`repro.devices.memristor.Memristor` cells.
+Writing drives a selected cell with a programming voltage until its
+state crosses the target; reading applies a small probe voltage and
+thresholds the conductance.  The probe disturbs the state slightly
+(read disturb) and unselected neighbours leak (sneak paths) — both
+effects are modelled, bounded, and measured by the C15 bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.memristor import Memristor
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """A grid of memristive cells storing bits."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        write_voltage: float = 2.0,
+        read_voltage: float = 0.1,
+        sneak_fraction: float = 0.02,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("crossbar needs positive dimensions")
+        if write_voltage <= 0 or read_voltage <= 0:
+            raise ValueError("voltages must be positive")
+        if not 0.0 <= sneak_fraction < 1.0:
+            raise ValueError("sneak_fraction must be in [0, 1)")
+        self.rows = rows
+        self.cols = cols
+        self.write_voltage = write_voltage
+        self.read_voltage = read_voltage
+        self.sneak_fraction = sneak_fraction
+        self.cells = [
+            [Memristor(initial_state=0.1) for _ in range(cols)] for _ in range(rows)
+        ]
+        self.write_pulses = 0
+
+    def _check(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell ({row}, {col}) out of range")
+
+    def write_bit(self, row: int, col: int, bit: bool, *, max_pulses: int = 10_000) -> int:
+        """Program a cell to high state (1) or low state (0).
+
+        Applies fixed-width pulses of ±write_voltage until the state
+        crosses the target threshold; returns pulses used.
+        """
+        self._check(row, col)
+        cell = self.cells[row][col]
+        target_high = 0.9
+        target_low = 0.1
+        pulses = 0
+        dt = 1e-4
+        while pulses < max_pulses:
+            if bit and cell.state >= target_high:
+                return pulses
+            if not bit and cell.state <= target_low:
+                return pulses
+            polarity = 1.0 if bit else -1.0
+            cell.step(polarity * self.write_voltage, dt)
+            pulses += 1
+            self.write_pulses += 1
+        raise RuntimeError("cell failed to program within pulse budget")
+
+    def read_bit(self, row: int, col: int) -> bool:
+        """Probe a cell; sneak paths add neighbour leakage to the
+        measured current before thresholding."""
+        self._check(row, col)
+        cell = self.cells[row][col]
+        dt = 1e-7  # tiny probe: read disturb is real but small
+        current = cell.step(self.read_voltage, dt)
+        leakage = 0.0
+        neighbours = []
+        if self.rows > 1:
+            neighbours.append(self.cells[(row + 1) % self.rows][col])
+        if self.cols > 1:
+            neighbours.append(self.cells[row][(col + 1) % self.cols])
+        for other in neighbours:
+            leakage += self.sneak_fraction * self.read_voltage / other.resistance()
+        measured = current + leakage
+        # Threshold at the geometric mean of the programmed-high and
+        # programmed-low conductances — equidistant in log space, where
+        # the two states are well separated.
+        r_high_state = cell.r_on * 0.9 + cell.r_off * 0.1
+        r_low_state = cell.r_on * 0.1 + cell.r_off * 0.9
+        g_threshold = 1.0 / (r_high_state * r_low_state) ** 0.5
+        return measured >= self.read_voltage * g_threshold
+
+    def store_word(self, row: int, bits: list[bool]) -> None:
+        if len(bits) != self.cols:
+            raise ValueError(f"word must have {self.cols} bits")
+        for col, bit in enumerate(bits):
+            self.write_bit(row, col, bit)
+
+    def load_word(self, row: int) -> list[bool]:
+        return [self.read_bit(row, col) for col in range(self.cols)]
+
+    def state_matrix(self) -> np.ndarray:
+        return np.array([[c.state for c in row] for row in self.cells])

@@ -1,0 +1,106 @@
+"""The HP/Strukov charge-controlled memristor model.
+
+Strukov, Snider, Stewart & Williams (2008) identified TiO₂ devices
+with Chua's (1971) missing fourth circuit element.  Their linear drift
+model: a device of length D with doped region width w has resistance
+
+    M(x) = R_on·x + R_off·(1 - x),      x = w/D ∈ [0, 1]
+
+and the state drifts with current:  dx/dt = μ·R_on/D² · i(t).
+
+The fingerprints the C15 bench reproduces:
+
+* a pinched hysteresis loop in the i–v plane (current is zero exactly
+  when voltage is zero, but the loop has two lobes);
+* lobe area shrinking with drive frequency (at high frequency the
+  device behaves as a plain resistor);
+* nonvolatility: state persists when the drive stops (memory).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Memristor", "IVTrace", "hysteresis_lobe_area"]
+
+
+@dataclass
+class IVTrace:
+    """One sweep of drive voltage, device current, and state."""
+
+    time: np.ndarray
+    voltage: np.ndarray
+    current: np.ndarray
+    state: np.ndarray
+
+
+class Memristor:
+    """Linear-drift memristor with hard state bounds."""
+
+    def __init__(
+        self,
+        *,
+        r_on: float = 100.0,
+        r_off: float = 16_000.0,
+        drift: float = 1e4,
+        initial_state: float = 0.5,
+    ) -> None:
+        if r_on <= 0 or r_off <= r_on:
+            raise ValueError("need 0 < r_on < r_off")
+        if not 0.0 <= initial_state <= 1.0:
+            raise ValueError("state must be in [0, 1]")
+        if drift <= 0:
+            raise ValueError("drift coefficient must be positive")
+        self.r_on = r_on
+        self.r_off = r_off
+        self.drift = drift  # μ·R_on/D², lumped
+        self.state = initial_state
+
+    def resistance(self) -> float:
+        return self.r_on * self.state + self.r_off * (1.0 - self.state)
+
+    def step(self, voltage: float, dt: float) -> float:
+        """Advance the ODE one explicit-Euler step; returns current."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        current = voltage / self.resistance()
+        self.state = float(np.clip(self.state + self.drift * current * dt, 0.0, 1.0))
+        return current
+
+    def sweep(
+        self,
+        *,
+        amplitude: float = 1.0,
+        frequency: float = 1.0,
+        cycles: int = 1,
+        steps_per_cycle: int = 2000,
+    ) -> IVTrace:
+        """Drive with v(t) = A·sin(2πft) and record the i–v trajectory."""
+        if amplitude <= 0 or frequency <= 0 or cycles < 1 or steps_per_cycle < 10:
+            raise ValueError("bad sweep parameters")
+        total_steps = cycles * steps_per_cycle
+        dt = 1.0 / (frequency * steps_per_cycle)
+        t = np.arange(total_steps) * dt
+        v = amplitude * np.sin(2 * math.pi * frequency * t)
+        i = np.empty(total_steps)
+        x = np.empty(total_steps)
+        for k in range(total_steps):
+            i[k] = self.step(float(v[k]), dt)
+            x[k] = self.state
+        return IVTrace(t, v, i, x)
+
+
+def hysteresis_lobe_area(trace: IVTrace) -> float:
+    """Area enclosed by the i–v loop (shoelace over the trajectory).
+
+    Collapses toward zero at high frequency — the memristor
+    fingerprint the bench sweeps.
+    """
+    v = trace.voltage
+    i = trace.current
+    if v.size < 3:
+        raise ValueError("trace too short")
+    return float(abs(np.sum(v * np.roll(i, -1) - i * np.roll(v, -1))) / 2.0)

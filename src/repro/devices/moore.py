@@ -1,0 +1,108 @@
+"""Moore's law, the frequency wall, and the multicore transition.
+
+Paper §2a: "we are predicting the end of Moore's law within the next
+10–15 years ... the immediate consequence for silicon-based
+technology is the production of multi-core architecture machines."
+
+:class:`MooreModel` generates the stylised 1990–2030 trajectory:
+
+* transistor count doubles every ``doubling_years`` until the end
+  year, then saturates (logistic tail);
+* clock frequency rides transistor scaling until the power wall year
+  (2005ish), then plateaus;
+* single-thread performance tracks frequency; cores-per-chip absorbs
+  the continuing transistor budget after the wall;
+* aggregate throughput = single-thread × cores × parallel efficiency
+  (Amdahl, via :mod:`repro.parallel.laws`).
+
+The C13 bench prints the table: the single-thread plateau versus the
+multicore line, and the Amdahl ceiling that makes "how to program
+them" the challenge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.laws import amdahl_speedup
+
+__all__ = ["MooreModel", "YearPoint"]
+
+
+@dataclass(frozen=True)
+class YearPoint:
+    year: int
+    transistors_m: float        # millions
+    frequency_ghz: float
+    cores: int
+    single_thread_perf: float   # arbitrary units, 1.0 at start year
+    throughput: float           # with the model's parallel efficiency
+
+
+class MooreModel:
+    """A stylised, parameterised industry trajectory."""
+
+    def __init__(
+        self,
+        *,
+        start_year: int = 1990,
+        power_wall_year: int = 2005,
+        moore_end_year: int = 2020,
+        doubling_years: float = 2.0,
+        start_transistors_m: float = 1.0,
+        start_frequency_ghz: float = 0.033,
+        serial_fraction: float = 0.1,
+    ) -> None:
+        if not start_year < power_wall_year < moore_end_year:
+            raise ValueError("need start < power wall < Moore end")
+        if doubling_years <= 0:
+            raise ValueError("doubling period must be positive")
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ValueError("serial fraction must be in [0, 1]")
+        self.start_year = start_year
+        self.power_wall_year = power_wall_year
+        self.moore_end_year = moore_end_year
+        self.doubling_years = doubling_years
+        self.start_transistors_m = start_transistors_m
+        self.start_frequency_ghz = start_frequency_ghz
+        self.serial_fraction = serial_fraction
+
+    def transistors_m(self, year: int) -> float:
+        effective = min(year, self.moore_end_year)
+        growth = 2.0 ** ((effective - self.start_year) / self.doubling_years)
+        # Saturating tail after the end of Moore's law: 10%/yr.
+        tail = 1.1 ** max(0, year - self.moore_end_year)
+        return self.start_transistors_m * growth * min(tail, 2.0)
+
+    def frequency_ghz(self, year: int) -> float:
+        effective = min(year, self.power_wall_year)
+        growth = 2.0 ** ((effective - self.start_year) / self.doubling_years)
+        return self.start_frequency_ghz * growth
+
+    def cores(self, year: int) -> int:
+        if year <= self.power_wall_year:
+            return 1
+        # The transistor budget since the wall goes into cores.
+        ratio = self.transistors_m(year) / self.transistors_m(self.power_wall_year)
+        return max(1, int(ratio))
+
+    def point(self, year: int) -> YearPoint:
+        if year < self.start_year:
+            raise ValueError(f"model starts at {self.start_year}")
+        frequency = self.frequency_ghz(year)
+        single = frequency / self.start_frequency_ghz
+        n_cores = self.cores(year)
+        throughput = single * amdahl_speedup(self.serial_fraction, n_cores)
+        return YearPoint(
+            year=year,
+            transistors_m=self.transistors_m(year),
+            frequency_ghz=frequency,
+            cores=n_cores,
+            single_thread_perf=single,
+            throughput=throughput,
+        )
+
+    def trajectory(self, end_year: int = 2030, step: int = 5) -> list[YearPoint]:
+        if end_year < self.start_year:
+            raise ValueError("end before start")
+        return [self.point(y) for y in range(self.start_year, end_year + 1, step)]

@@ -1,0 +1,93 @@
+"""A small pure-state qubit simulator.
+
+Dense state-vector simulation, adequate to ~16 qubits — enough for
+BB84 (which needs exactly one) and for the library's quantum demos.
+Gates are applied by index with explicit tensor bookkeeping;
+measurement collapses the state and is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["QuantumRegister", "H", "X", "Z", "CNOT_apply"]
+
+_SQRT2 = math.sqrt(2.0)
+
+H = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+class QuantumRegister:
+    """n qubits in a pure state, little-endian (qubit 0 is the LSB)."""
+
+    def __init__(self, num_qubits: int, *, seed: int | None = 0) -> None:
+        if not 1 <= num_qubits <= 16:
+            raise ValueError("supported register size is 1..16 qubits")
+        self.n = num_qubits
+        self.state = np.zeros(2**num_qubits, dtype=complex)
+        self.state[0] = 1.0
+        self._rng = make_rng(seed)
+
+    def _check_qubit(self, q: int) -> None:
+        if not 0 <= q < self.n:
+            raise IndexError(f"qubit {q} out of range")
+
+    def apply(self, gate: np.ndarray, qubit: int) -> None:
+        """Apply a single-qubit gate."""
+        self._check_qubit(qubit)
+        if gate.shape != (2, 2):
+            raise ValueError("single-qubit gates are 2x2")
+        full = self.state.reshape([2] * self.n)
+        # Move the axis for `qubit` to the front, matmul, move back.
+        axis = self.n - 1 - qubit  # little-endian storage
+        moved = np.moveaxis(full, axis, 0)
+        updated = np.tensordot(gate, moved, axes=([1], [0]))
+        self.state = np.moveaxis(updated, 0, axis).reshape(-1)
+
+    def cnot(self, control: int, target: int) -> None:
+        self._check_qubit(control)
+        self._check_qubit(target)
+        if control == target:
+            raise ValueError("control and target must differ")
+        CNOT_apply(self, control, target)
+
+    def probability(self, qubit: int, outcome: int) -> float:
+        """P(measuring ``qubit`` = outcome) without measuring."""
+        self._check_qubit(qubit)
+        if outcome not in (0, 1):
+            raise ValueError("outcome is 0 or 1")
+        indices = np.arange(self.state.size)
+        mask = (indices >> qubit & 1) == outcome
+        return float(np.sum(np.abs(self.state[mask]) ** 2))
+
+    def measure(self, qubit: int) -> int:
+        """Projective Z-measurement; collapses the state."""
+        p1 = self.probability(qubit, 1)
+        outcome = int(self._rng.random() < p1)
+        indices = np.arange(self.state.size)
+        keep = (indices >> qubit & 1) == outcome
+        self.state = np.where(keep, self.state, 0.0)
+        norm = np.linalg.norm(self.state)
+        if norm == 0:  # pragma: no cover - numerically impossible
+            raise RuntimeError("state collapsed to zero")
+        self.state = self.state / norm
+        return outcome
+
+    def measure_all(self) -> list[int]:
+        return [self.measure(q) for q in range(self.n)]
+
+
+def CNOT_apply(register: QuantumRegister, control: int, target: int) -> None:
+    """Apply CNOT by basis-state index permutation."""
+    indices = np.arange(register.state.size)
+    controlled = (indices >> control & 1) == 1
+    flipped = indices ^ (1 << target)
+    new_state = register.state.copy()
+    new_state[indices[controlled]] = register.state[flipped[controlled]]
+    register.state = new_state

@@ -1,0 +1,29 @@
+"""Computational microeconomics (paper §1b).
+
+    "Computational thinking is transforming economics, spawning a new
+    field of computational microeconomics, with applications such as
+    advertisement placement, online auctions, reputation services and
+    even finding optimal donors for n-way kidney exchange."
+
+One module per named application:
+
+* :mod:`repro.econ.kidney` — barter-exchange clearing with a cycle
+  cap (Abraham, Blum & Sandholm 2007);
+* :mod:`repro.econ.auction` — second-price auctions and GSP/VCG
+  position auctions for advertisement placement;
+* :mod:`repro.econ.reputation` — a beta-distribution reputation
+  service with adversarial raters.
+"""
+
+from repro.econ.auction import gsp_auction, second_price_auction, vcg_position_auction
+from repro.econ.kidney import KidneyExchange, clear_market
+from repro.econ.reputation import ReputationSystem
+
+__all__ = [
+    "KidneyExchange",
+    "clear_market",
+    "second_price_auction",
+    "gsp_auction",
+    "vcg_position_auction",
+    "ReputationSystem",
+]

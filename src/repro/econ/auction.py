@@ -1,0 +1,139 @@
+"""Auctions for advertisement placement (paper §1b).
+
+* :func:`second_price_auction` — single-item Vickrey: truthful, the
+  winner pays the second-highest bid;
+* :func:`gsp_auction` — generalised second price over ad positions
+  with click-through rates, the mechanism search engines actually
+  deployed (not truthful);
+* :func:`vcg_position_auction` — the truthful benchmark for the same
+  setting (each winner pays the externality they impose).
+
+Experiment C26's comparison: GSP revenue >= VCG revenue at equal bids,
+and GSP admits profitable misreports where VCG does not — both
+checked by tests and printed by the bench.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "AuctionResult",
+    "PositionResult",
+    "second_price_auction",
+    "gsp_auction",
+    "vcg_position_auction",
+    "utility_in_position_auction",
+]
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    winner: int
+    price: float
+
+
+@dataclass(frozen=True)
+class PositionResult:
+    """assignment[p] = bidder index at position p; prices per position
+    are *per-click*; revenue is expectation over clicks."""
+
+    assignment: tuple[int, ...]
+    prices: tuple[float, ...]
+    revenue: float
+
+
+def _check_bids(bids: Sequence[float]) -> None:
+    if not bids:
+        raise ValueError("need at least one bid")
+    if any(b < 0 for b in bids):
+        raise ValueError("bids must be nonnegative")
+
+
+def second_price_auction(bids: Sequence[float]) -> AuctionResult:
+    """Vickrey: highest bidder wins at the second-highest price.
+
+    Ties break toward the lower index (deterministic).
+    """
+    _check_bids(bids)
+    order = sorted(range(len(bids)), key=lambda i: (-bids[i], i))
+    winner = order[0]
+    price = bids[order[1]] if len(bids) > 1 else 0.0
+    return AuctionResult(winner, price)
+
+
+def _position_order(bids: Sequence[float], slots: int) -> list[int]:
+    order = sorted(range(len(bids)), key=lambda i: (-bids[i], i))
+    return order[:slots]
+
+
+def gsp_auction(bids: Sequence[float], ctrs: Sequence[float]) -> PositionResult:
+    """Generalised second price: position p pays the (p+1)-th bid.
+
+    ``ctrs`` are position click-through rates, decreasing.
+    """
+    _check_bids(bids)
+    _check_ctrs(ctrs)
+    slots = min(len(ctrs), len(bids))
+    order = sorted(range(len(bids)), key=lambda i: (-bids[i], i))
+    assignment = tuple(order[:slots])
+    prices = []
+    for p in range(slots):
+        next_index = p + 1
+        prices.append(bids[order[next_index]] if next_index < len(bids) else 0.0)
+    revenue = sum(ctrs[p] * prices[p] for p in range(slots))
+    return PositionResult(assignment, tuple(prices), revenue)
+
+
+def vcg_position_auction(bids: Sequence[float], ctrs: Sequence[float]) -> PositionResult:
+    """VCG: winner at position p pays (per click) the welfare loss their
+    presence imposes on bidders below."""
+    _check_bids(bids)
+    _check_ctrs(ctrs)
+    slots = min(len(ctrs), len(bids))
+    order = sorted(range(len(bids)), key=lambda i: (-bids[i], i))
+    assignment = tuple(order[:slots])
+    prices = []
+    for p in range(slots):
+        # Payment (total) = sum over displaced bidders of their lost clicks * value.
+        total = 0.0
+        for q in range(p + 1, slots + 1):
+            if q >= len(order):
+                break
+            ctr_if_promoted = ctrs[q - 1]
+            ctr_actual = ctrs[q] if q < slots else 0.0
+            total += bids[order[q]] * (ctr_if_promoted - ctr_actual)
+        per_click = total / ctrs[p] if ctrs[p] > 0 else 0.0
+        prices.append(per_click)
+    revenue = sum(ctrs[p] * prices[p] for p in range(slots))
+    return PositionResult(assignment, tuple(prices), revenue)
+
+
+def _check_ctrs(ctrs: Sequence[float]) -> None:
+    if not ctrs:
+        raise ValueError("need at least one position")
+    if any(not 0.0 <= c <= 1.0 for c in ctrs):
+        raise ValueError("CTRs must be probabilities")
+    if list(ctrs) != sorted(ctrs, reverse=True):
+        raise ValueError("CTRs must be non-increasing by position")
+
+
+def utility_in_position_auction(
+    mechanism: str,
+    values: Sequence[float],
+    bids: Sequence[float],
+    ctrs: Sequence[float],
+    bidder: int,
+) -> float:
+    """Expected utility of ``bidder`` with private ``values`` when the
+    submitted ``bids`` are run through GSP or VCG — the probe the
+    truthfulness tests use."""
+    run = gsp_auction if mechanism == "gsp" else vcg_position_auction
+    if mechanism not in ("gsp", "vcg"):
+        raise ValueError("mechanism must be 'gsp' or 'vcg'")
+    result = run(bids, ctrs)
+    if bidder not in result.assignment:
+        return 0.0
+    position = result.assignment.index(bidder)
+    return ctrs[position] * (values[bidder] - result.prices[position])

@@ -1,0 +1,25 @@
+"""The education challenge (paper §1c, Challenge no. 1).
+
+    "What are effective ways of learning (teaching) computational
+    thinking by (to) children? ... What would be an effective ordering
+    of concepts in teaching children as their learning ability
+    progresses over the years?"
+
+* :mod:`repro.edu.concepts` — a computational-thinking concept graph
+  with prerequisites and per-concept difficulty, including the
+  paper's own examples (numbers → algebra → calculus; recursion;
+  infinity; parallel-vs-sequential);
+* :mod:`repro.edu.learner` — a mastery/forgetting learner model with
+  learner kinds, plus the "calculator vs arithmetic" tool-reliance
+  model;
+* :mod:`repro.edu.curriculum` — ordering search: score orderings
+  against learner models, compare prerequisite-respecting vs random
+  orders (ablation #6);
+* :mod:`repro.edu.informal` — formal vs informal learning channels.
+"""
+
+from repro.edu.concepts import ct_concept_graph
+from repro.edu.curriculum import best_ordering, score_ordering
+from repro.edu.learner import Learner, LearnerKind
+
+__all__ = ["ct_concept_graph", "Learner", "LearnerKind", "score_ordering", "best_ordering"]

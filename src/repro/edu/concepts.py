@@ -1,0 +1,139 @@
+"""The computational-thinking concept graph.
+
+Concepts carry a difficulty (how much learning effort mastery takes)
+and an age floor (the paper's analogy: numbers at 5, algebra at 12,
+calculus at 18).  Prerequisite edges form a DAG over
+:class:`repro.adt.graph.Graph`; the curriculum optimiser consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adt.graph import Graph
+
+__all__ = ["Concept", "ConceptGraph", "ct_concept_graph"]
+
+
+@dataclass(frozen=True)
+class Concept:
+    name: str
+    difficulty: float   # effort units to reach mastery
+    age_floor: int      # earliest school age it can land
+
+    def __post_init__(self) -> None:
+        if self.difficulty <= 0:
+            raise ValueError("difficulty must be positive")
+        if self.age_floor < 3:
+            raise ValueError("age floor below preschool is implausible")
+
+
+class ConceptGraph:
+    """Concepts plus prerequisite edges (before -> after)."""
+
+    def __init__(self) -> None:
+        self._concepts: dict[str, Concept] = {}
+        self._dag = Graph(directed=True)
+
+    def add(self, concept: Concept) -> None:
+        if concept.name in self._concepts:
+            raise ValueError(f"duplicate concept {concept.name!r}")
+        self._concepts[concept.name] = concept
+        self._dag.add_node(concept.name)
+
+    def require(self, before: str, after: str) -> None:
+        for c in (before, after):
+            if c not in self._concepts:
+                raise KeyError(f"unknown concept {c!r}")
+        self._dag.add_edge(before, after)
+        if self._dag.topological_order() is None:
+            self._dag.remove_edge(before, after)
+            raise ValueError(f"prerequisite {before}->{after} creates a cycle")
+
+    def concept(self, name: str) -> Concept:
+        return self._concepts[name]
+
+    def names(self) -> list[str]:
+        return list(self._concepts)
+
+    def prerequisites(self, name: str) -> set[str]:
+        return set(self._dag.predecessors(name))
+
+    def valid_order(self, order: list[str]) -> bool:
+        """Does the ordering cover every concept and respect edges?"""
+        if sorted(order) != sorted(self._concepts):
+            return False
+        seen: set[str] = set()
+        for name in order:
+            if not self.prerequisites(name) <= seen:
+                return False
+            seen.add(name)
+        return True
+
+    def topological_orders_sample(self, limit: int = 50) -> list[list[str]]:
+        """Up to ``limit`` distinct valid orderings (DFS enumeration)."""
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        out: list[list[str]] = []
+        names = sorted(self._concepts)
+
+        def extend(prefix: list[str], available: set[str]) -> None:
+            if len(out) >= limit:
+                return
+            if len(prefix) == len(names):
+                out.append(list(prefix))
+                return
+            for name in sorted(available):
+                if self.prerequisites(name) <= set(prefix):
+                    prefix.append(name)
+                    extend(prefix, available - {name})
+                    prefix.pop()
+                    if len(out) >= limit:
+                        return
+
+        extend([], set(names))
+        return out
+
+
+def ct_concept_graph() -> ConceptGraph:
+    """The paper-derived concept inventory.
+
+    Ages follow the paper's analogy anchors; prerequisite edges encode
+    the obvious teaching dependencies (e.g. you meet sequencing before
+    iteration, iteration before recursion).
+    """
+    g = ConceptGraph()
+    rows = [
+        ("numbers", 1.0, 5),
+        ("sequencing", 1.0, 5),          # steps in order: recipes
+        ("decomposition", 1.5, 7),       # break a problem into parts
+        ("patterns", 1.5, 7),            # spot regularities
+        ("iteration", 2.0, 8),           # do it again
+        ("abstraction", 3.0, 10),        # ignore the right details
+        ("algebra", 3.0, 12),            # the paper's 12-year anchor
+        ("algorithms", 2.5, 10),
+        ("recursion", 3.5, 12),          # "children experience ... recursion"
+        ("infinity", 2.5, 12),           # "... notions of infinity"
+        ("parallelism", 3.5, 13),        # "human vision is parallel processing"
+        ("calculus", 4.0, 18),           # the paper's 18-year anchor
+    ]
+    for name, difficulty, age in rows:
+        g.add(Concept(name, difficulty, age))
+    edges = [
+        ("numbers", "algebra"),
+        ("algebra", "calculus"),
+        ("sequencing", "iteration"),
+        ("sequencing", "decomposition"),
+        ("patterns", "abstraction"),
+        ("decomposition", "abstraction"),
+        ("iteration", "algorithms"),
+        ("decomposition", "algorithms"),
+        ("algorithms", "recursion"),
+        ("numbers", "infinity"),
+        ("iteration", "infinity"),
+        ("algorithms", "parallelism"),
+        ("abstraction", "recursion"),
+    ]
+    for before, after in edges:
+        g.require(before, after)
+    return g

@@ -1,0 +1,136 @@
+"""Learner models: mastery, forgetting, learner kinds, tool reliance.
+
+The paper asks "which [ordering] is the most effective for which kind
+of learner?" — so the model is parameterised by
+:class:`LearnerKind`: how fast mastery accrues, how fast it decays,
+and how much missing prerequisites hurt.
+
+It also asks the calculator question: "we do not want people just to
+be able to use the tool but not have learned the concepts".
+:class:`Learner` therefore distinguishes *mastery* (transferable
+understanding) from *tool proficiency* (score on tool-assisted tasks);
+a ``tool_reliance`` in [0, 1] diverts study effort from the former to
+the latter, and :meth:`transfer_score` — performance without the tool
+— exposes the gap the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edu.concepts import ConceptGraph
+
+__all__ = ["LearnerKind", "Learner", "KINDS"]
+
+
+@dataclass(frozen=True)
+class LearnerKind:
+    """Parameters of a kind of learner."""
+
+    name: str
+    learning_rate: float       # mastery gained per unit effort (scaled by difficulty)
+    forgetting: float          # per-lesson decay of unreinforced mastery
+    prereq_sensitivity: float  # how sharply missing prerequisites cut learning
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= self.forgetting < 1.0:
+            raise ValueError("forgetting must be in [0, 1)")
+        if not 0.0 <= self.prereq_sensitivity <= 1.0:
+            raise ValueError("prereq_sensitivity must be in [0, 1]")
+
+
+KINDS = {
+    "steady": LearnerKind("steady", learning_rate=1.0, forgetting=0.02, prereq_sensitivity=0.8),
+    "quick-forgetful": LearnerKind(
+        "quick-forgetful", learning_rate=1.6, forgetting=0.12, prereq_sensitivity=0.8
+    ),
+    "foundation-dependent": LearnerKind(
+        "foundation-dependent", learning_rate=1.0, forgetting=0.02, prereq_sensitivity=1.0
+    ),
+}
+
+
+class Learner:
+    """Mastery state over a concept graph for one learner."""
+
+    def __init__(
+        self,
+        graph: ConceptGraph,
+        kind: LearnerKind,
+        *,
+        tool_reliance: float = 0.0,
+    ) -> None:
+        if not 0.0 <= tool_reliance <= 1.0:
+            raise ValueError("tool_reliance must be in [0, 1]")
+        self.graph = graph
+        self.kind = kind
+        self.tool_reliance = tool_reliance
+        self.mastery: dict[str, float] = {name: 0.0 for name in graph.names()}
+        self.tool_skill: dict[str, float] = {name: 0.0 for name in graph.names()}
+
+    def prerequisite_support(self, concept: str) -> float:
+        """Mean prerequisite mastery, attenuated by sensitivity.
+
+        1.0 with no prerequisites; with sensitivity s, support is
+        (1-s) + s·mean(prereq mastery) — a learner with s=1 gets
+        nothing from a lesson whose prerequisites they lack.
+        """
+        prereqs = self.graph.prerequisites(concept)
+        if not prereqs:
+            return 1.0
+        mean = sum(self.mastery[p] for p in prereqs) / len(prereqs)
+        s = self.kind.prereq_sensitivity
+        return (1.0 - s) + s * mean
+
+    def study(self, concept: str, effort: float = 1.0) -> None:
+        """One lesson: decay everything, then learn the concept.
+
+        Tool reliance diverts that fraction of the effort into tool
+        skill, which accrues without needing prerequisites (pressing
+        buttons works regardless) — exactly why it is seductive.
+        """
+        if concept not in self.mastery:
+            raise KeyError(f"unknown concept {concept!r}")
+        if effort <= 0:
+            raise ValueError("effort must be positive")
+        # Forgetting is proportional to elapsed study time, not to the
+        # number of lessons — otherwise splitting the same hours across
+        # more sessions would spuriously punish the learner.
+        decay = (1.0 - self.kind.forgetting) ** effort
+        for name in self.mastery:
+            if name != concept:
+                self.mastery[name] *= decay
+        difficulty = self.graph.concept(concept).difficulty
+        understanding_effort = effort * (1.0 - self.tool_reliance)
+        tool_effort = effort * self.tool_reliance
+        gain = (
+            self.kind.learning_rate
+            * understanding_effort
+            * self.prerequisite_support(concept)
+            / difficulty
+        )
+        self.mastery[concept] = min(1.0, self.mastery[concept] + gain)
+        self.tool_skill[concept] = min(
+            1.0, self.tool_skill[concept] + self.kind.learning_rate * tool_effort / difficulty
+        )
+
+    def mean_mastery(self) -> float:
+        return sum(self.mastery.values()) / len(self.mastery)
+
+    def assisted_score(self, concept: str) -> float:
+        """Performance with the tool available: the max of the two
+        skills — the flattering number that hides the gap."""
+        return max(self.mastery[concept], self.tool_skill[concept])
+
+    def transfer_score(self, concept: str) -> float:
+        """Performance on a transfer task (no tool): mastery only."""
+        return self.mastery[concept]
+
+    def understanding_gap(self) -> float:
+        """Mean (assisted - transfer): the paper's warning, quantified."""
+        names = self.graph.names()
+        return sum(
+            self.assisted_score(n) - self.transfer_score(n) for n in names
+        ) / len(names)

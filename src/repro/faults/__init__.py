@@ -1,0 +1,28 @@
+"""Edge cases and failure cases (paper §1a).
+
+    "Because our abstractions are ultimately implemented to work
+    within the constraints of the physical world, we have to worry
+    about edge cases and failure cases.  What happens when the disk is
+    full or the server is not responding?"
+
+:mod:`repro.faults.injection` provides exactly those two canonical
+faulty components — a :class:`FaultyDisk` that fills up and a
+:class:`FlakyServer` that stops responding — driven by deterministic
+fault schedules so tests are reproducible.
+:mod:`repro.faults.retry` provides the defensive patterns (retry with
+backoff, circuit breaker) whose value experiment C24 measures.
+"""
+
+from repro.faults.injection import DiskFullError, FaultSchedule, FaultyDisk, FlakyServer, ServerTimeout
+from repro.faults.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+__all__ = [
+    "FaultyDisk",
+    "FlakyServer",
+    "FaultSchedule",
+    "DiskFullError",
+    "ServerTimeout",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+]

@@ -1,0 +1,163 @@
+"""Deterministic fault injection: the full disk and the silent server.
+
+A :class:`FaultSchedule` decides, per operation index, whether the
+operation faults — either from an explicit set of failing indices or
+from a seeded Bernoulli stream.  Components consume one schedule slot
+per operation, so a test can script "the 3rd and 4th writes fail" and
+get exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.util.rng import make_rng
+
+__all__ = ["FaultSchedule", "FaultyDisk", "DiskFullError", "FlakyServer", "ServerTimeout"]
+
+
+class DiskFullError(OSError):
+    """The disk has no room for the requested write."""
+
+
+class ServerTimeout(ConnectionError):
+    """The server did not respond."""
+
+
+class FaultSchedule:
+    """Decides which operation indices fault.
+
+    Either ``failing`` (explicit indices) or ``rate`` + ``seed``
+    (Bernoulli) — not both.
+    """
+
+    def __init__(
+        self,
+        *,
+        failing: Iterable[int] | None = None,
+        rate: float | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if (failing is None) == (rate is None):
+            raise ValueError("specify exactly one of failing= or rate=")
+        if rate is not None and not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self._failing = set(failing) if failing is not None else None
+        self._rate = rate
+        self._rng = make_rng(seed)
+        self._index = 0
+
+    @staticmethod
+    def never() -> "FaultSchedule":
+        return FaultSchedule(failing=[])
+
+    def next_faults(self) -> bool:
+        """Consume one slot; True means this operation faults."""
+        i = self._index
+        self._index += 1
+        if self._failing is not None:
+            return i in self._failing
+        return bool(self._rng.random() < self._rate)
+
+    @property
+    def operations_seen(self) -> int:
+        return self._index
+
+
+class FaultyDisk:
+    """A named-blob store with finite capacity and scheduled faults.
+
+    Writes consume blocks (default: one per byte, minimum one); when
+    the capacity would be exceeded the write raises
+    :class:`DiskFullError` — the paper's first edge case.  Scheduled
+    faults model transient I/O errors even when space remains.
+    Overwrites release the old allocation first, atomically: a failed
+    write never corrupts the existing blob.
+    """
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        *,
+        schedule: FaultSchedule | None = None,
+    ) -> None:
+        if capacity_blocks < 0:
+            raise ValueError("capacity must be nonnegative")
+        self.capacity_blocks = capacity_blocks
+        self.schedule = schedule or FaultSchedule.never()
+        self._store: dict[str, bytes] = {}
+        self._sizes: dict[str, int] = {}
+        self._used = 0
+
+    @property
+    def used_blocks(self) -> int:
+        return self._used
+
+    @property
+    def free_blocks(self) -> int:
+        return self.capacity_blocks - self._used
+
+    def write(self, name: str, data: bytes, *, blocks: int | None = None) -> None:
+        """Write a named blob occupying ``blocks`` (default: its size)."""
+        need = blocks if blocks is not None else max(1, len(data))
+        if self.schedule.next_faults():
+            raise OSError(f"transient I/O error writing {name!r}")
+        released = self._sizes.get(name, 0)
+        if self._used - released + need > self.capacity_blocks:
+            raise DiskFullError(
+                f"disk full: need {need} blocks, {self.free_blocks + released} free"
+            )
+        self._used = self._used - released + need
+        self._store[name] = data
+        self._sizes[name] = need
+
+    def read(self, name: str) -> bytes:
+        if self.schedule.next_faults():
+            raise OSError(f"transient I/O error reading {name!r}")
+        try:
+            return self._store[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def delete(self, name: str) -> None:
+        if name not in self._store:
+            raise FileNotFoundError(name)
+        self._used -= self._sizes.pop(name)
+        del self._store[name]
+
+    def files(self) -> list[str]:
+        return sorted(self._store)
+
+
+class FlakyServer:
+    """A request/response server that sometimes does not respond.
+
+    ``handler`` computes the response; the schedule injects
+    :class:`ServerTimeout` — the paper's second edge case.  The server
+    also exposes ``crash``/``restart`` so availability experiments can
+    take it down outright.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Any], Any],
+        *,
+        schedule: FaultSchedule | None = None,
+    ) -> None:
+        self.handler = handler
+        self.schedule = schedule or FaultSchedule.never()
+        self.is_up = True
+        self.requests_served = 0
+
+    def crash(self) -> None:
+        self.is_up = False
+
+    def restart(self) -> None:
+        self.is_up = True
+
+    def request(self, payload: Any) -> Any:
+        if not self.is_up or self.schedule.next_faults():
+            raise ServerTimeout("server is not responding")
+        self.requests_served += 1
+        return self.handler(payload)

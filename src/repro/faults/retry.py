@@ -1,0 +1,123 @@
+"""Defensive patterns against the paper's edge cases: retry with
+exponential backoff, and the circuit breaker.
+
+Both are *simulated-time* implementations: instead of sleeping, they
+account elapsed virtual time, so experiment C24 can compare completion
+rates and total latency deterministically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RetryPolicy", "RetryOutcome", "CircuitBreaker", "CircuitOpenError"]
+
+
+@dataclass
+class RetryOutcome:
+    """Account of one guarded call."""
+
+    succeeded: bool
+    attempts: int
+    virtual_time: float
+    result: Any = None
+    last_error: BaseException | None = None
+
+
+@dataclass
+class RetryPolicy:
+    """Retry with exponential backoff.
+
+    ``base_delay`` doubles each attempt up to ``max_delay``; the
+    per-call attempt budget is ``max_attempts``.  ``retry_on`` limits
+    which exception types are retried — anything else propagates
+    immediately (don't retry a programming error).
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.1
+    max_delay: float = 10.0
+    retry_on: tuple[type[BaseException], ...] = (OSError, ConnectionError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+
+    def call(self, fn: Callable[[], Any]) -> RetryOutcome:
+        clock = 0.0
+        delay = self.base_delay
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = fn()
+                return RetryOutcome(True, attempt, clock, result=result)
+            except self.retry_on as exc:
+                last = exc
+                if attempt < self.max_attempts:
+                    clock += delay
+                    delay = min(self.max_delay, delay * 2)
+        return RetryOutcome(False, self.max_attempts, clock, last_error=last)
+
+
+class CircuitOpenError(ConnectionError):
+    """The circuit breaker is open; the call was not attempted."""
+
+
+@dataclass
+class CircuitBreaker:
+    """Classic three-state circuit breaker over simulated time.
+
+    Closed: calls pass through; ``failure_threshold`` consecutive
+    failures open the circuit.  Open: calls fail fast with
+    :class:`CircuitOpenError` until ``reset_timeout`` of virtual time
+    passes (advanced via :meth:`advance`).  Half-open: one probe call
+    is allowed; success closes the circuit, failure re-opens it.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 30.0
+    _state: str = field(default="closed", init=False)
+    _consecutive_failures: int = field(default=0, init=False)
+    _opened_at: float = field(default=0.0, init=False)
+    _clock: float = field(default=0.0, init=False)
+    calls_attempted: int = field(default=0, init=False)
+    calls_rejected: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def advance(self, dt: float) -> None:
+        """Advance virtual time (e.g. between simulation ticks)."""
+        if dt < 0:
+            raise ValueError("time moves forward")
+        self._clock += dt
+        if self._state == "open" and self._clock - self._opened_at >= self.reset_timeout:
+            self._state = "half-open"
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        if self._state == "open":
+            self.calls_rejected += 1
+            raise CircuitOpenError("circuit is open")
+        self.calls_attempted += 1
+        try:
+            result = fn()
+        except Exception:
+            self._consecutive_failures += 1
+            if self._state == "half-open" or self._consecutive_failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock
+            raise
+        self._consecutive_failures = 0
+        self._state = "closed"
+        return result

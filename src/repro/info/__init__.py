@@ -1,0 +1,29 @@
+"""Information theory — "What is information?" (paper §2c).
+
+The paper lists Shannon's information theory among the foundations
+that new technology "tests the adequacy of".  This package implements
+its operational core:
+
+* :mod:`repro.info.entropy` — entropy, cross entropy, KL divergence,
+  mutual information;
+* :mod:`repro.info.huffman` — optimal prefix codes, approaching the
+  entropy bound (source coding theorem, measurable);
+* :mod:`repro.info.channel` — the binary symmetric channel, its
+  capacity, and repetition vs Hamming(7,4) codes racing the Shannon
+  limit (channel coding theorem, measurable).
+"""
+
+from repro.info.channel import BinarySymmetricChannel, bsc_capacity, hamming74_decode, hamming74_encode
+from repro.info.entropy import entropy, kl_divergence, mutual_information
+from repro.info.huffman import HuffmanCode
+
+__all__ = [
+    "entropy",
+    "kl_divergence",
+    "mutual_information",
+    "HuffmanCode",
+    "BinarySymmetricChannel",
+    "bsc_capacity",
+    "hamming74_encode",
+    "hamming74_decode",
+]

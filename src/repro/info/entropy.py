@@ -1,0 +1,96 @@
+"""Entropy and related information measures (bits throughout).
+
+Distributions are mappings from outcome to probability, validated to
+sum to 1 (within tolerance).  Joint distributions for mutual
+information map (x, y) pairs to probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+__all__ = [
+    "entropy",
+    "cross_entropy",
+    "kl_divergence",
+    "mutual_information",
+    "empirical_distribution",
+    "binary_entropy",
+]
+
+_TOL = 1e-9
+
+
+def _validate(dist: Mapping[Any, float], name: str = "distribution") -> None:
+    total = 0.0
+    for p in dist.values():
+        if p < -_TOL:
+            raise ValueError(f"{name} has a negative probability")
+        total += p
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"{name} sums to {total}, not 1")
+
+
+def entropy(dist: Mapping[Any, float]) -> float:
+    """Shannon entropy H(X) = -Σ p log₂ p."""
+    _validate(dist)
+    return -sum(p * math.log2(p) for p in dist.values() if p > 0)
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) for a Bernoulli(p) source."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+
+
+def cross_entropy(p: Mapping[Any, float], q: Mapping[Any, float]) -> float:
+    """H(p, q) = -Σ p log₂ q; infinite if q misses support of p."""
+    _validate(p, "p")
+    _validate(q, "q")
+    total = 0.0
+    for outcome, pp in p.items():
+        if pp <= 0:
+            continue
+        qq = q.get(outcome, 0.0)
+        if qq <= 0:
+            return math.inf
+        total -= pp * math.log2(qq)
+    return total
+
+
+def kl_divergence(p: Mapping[Any, float], q: Mapping[Any, float]) -> float:
+    """D(p ‖ q) = H(p, q) - H(p), nonnegative, 0 iff p == q."""
+    ce = cross_entropy(p, q)
+    if math.isinf(ce):
+        return math.inf
+    return max(0.0, ce - entropy(p))
+
+
+def mutual_information(joint: Mapping[tuple[Any, Any], float]) -> float:
+    """I(X; Y) from a joint distribution over (x, y) pairs."""
+    _validate(joint, "joint")
+    px: dict[Any, float] = {}
+    py: dict[Any, float] = {}
+    for (x, y), p in joint.items():
+        px[x] = px.get(x, 0.0) + p
+        py[y] = py.get(y, 0.0) + p
+    total = 0.0
+    for (x, y), p in joint.items():
+        if p > 0:
+            total += p * math.log2(p / (px[x] * py[y]))
+    return max(0.0, total)
+
+
+def empirical_distribution(samples: Iterable[Any]) -> dict[Any, float]:
+    """Maximum-likelihood distribution from observed samples."""
+    counts = Counter(samples)
+    n = sum(counts.values())
+    if n == 0:
+        raise ValueError("need at least one sample")
+    return {outcome: c / n for outcome, c in counts.items()}

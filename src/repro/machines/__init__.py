@@ -1,0 +1,23 @@
+"""Models of computation — "What is computable?" (paper §2c).
+
+The paper names the Turing machine as "the fundamental model of
+computation" and asks whether technological trends "test [its]
+adequacy".  This package supplies the classical model zoo:
+
+* :mod:`repro.machines.turing` — deterministic Turing machines with a
+  builder API and a library of standard machines;
+* :mod:`repro.machines.universal` — a universal machine: an
+  interpreter for *encoded* TMs, demonstrating the stored-program idea;
+* :mod:`repro.machines.automata` — DFAs/NFAs, subset construction,
+  product constructions;
+* :mod:`repro.machines.ram` — a random-access register machine, the
+  cost model closer to real hardware;
+* :mod:`repro.machines.busybeaver` — the busy-beaver champions and the
+  fuel-bounded halting analysis that makes undecidability palpable.
+"""
+
+from repro.machines.automata import DFA, NFA
+from repro.machines.ram import RamMachine, RamProgram
+from repro.machines.turing import TuringMachine, TMResult
+
+__all__ = ["TuringMachine", "TMResult", "DFA", "NFA", "RamMachine", "RamProgram"]

@@ -1,0 +1,183 @@
+"""Finite automata: DFAs, NFAs, subset construction, products.
+
+The bottom of the machine hierarchy.  Used by tests to show strict
+containment (automata cannot do what TMs can) and by
+:mod:`repro.bio.geneautomaton` as the mathematical skeleton of the
+Benenson-style molecular automaton.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+__all__ = ["DFA", "NFA"]
+
+
+@dataclass(frozen=True)
+class DFA:
+    """Deterministic finite automaton over an explicit alphabet."""
+
+    states: frozenset[str]
+    alphabet: frozenset[str]
+    delta: Mapping[tuple[str, str], str]
+    initial: str
+    accepting: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise ValueError("initial state not in states")
+        if not self.accepting <= self.states:
+            raise ValueError("accepting states not a subset of states")
+        for (s, a), t in self.delta.items():
+            if s not in self.states or t not in self.states:
+                raise ValueError(f"transition {s!r}-{a!r}->{t!r} uses unknown state")
+            if a not in self.alphabet:
+                raise ValueError(f"transition uses unknown symbol {a!r}")
+
+    @staticmethod
+    def build(
+        transitions: Iterable[tuple[str, str, str]],
+        *,
+        initial: str,
+        accepting: Iterable[str],
+    ) -> "DFA":
+        delta = {}
+        states = {initial}
+        alphabet = set()
+        for s, a, t in transitions:
+            if (s, a) in delta:
+                raise ValueError(f"nondeterministic transition at ({s!r}, {a!r})")
+            delta[(s, a)] = t
+            states |= {s, t}
+            alphabet.add(a)
+        states |= set(accepting)
+        return DFA(
+            frozenset(states), frozenset(alphabet), delta, initial, frozenset(accepting)
+        )
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        state = self.initial
+        for symbol in word:
+            nxt = self.delta.get((state, symbol))
+            if nxt is None:
+                return False  # implicit dead state
+            state = nxt
+        return state in self.accepting
+
+    def product(self, other: "DFA", *, mode: str = "intersection") -> "DFA":
+        """Product automaton for language intersection or union."""
+        if mode not in ("intersection", "union"):
+            raise ValueError("mode must be 'intersection' or 'union'")
+        alphabet = self.alphabet | other.alphabet
+        delta = {}
+        states = set()
+        accepting = set()
+
+        def key(a: str, b: str) -> str:
+            return f"({a}&{b})"
+
+        frontier = [(self.initial, other.initial)]
+        seen = {(self.initial, other.initial)}
+        while frontier:
+            a, b = frontier.pop()
+            name = key(a, b)
+            states.add(name)
+            a_acc, b_acc = a in self.accepting, b in other.accepting
+            if (mode == "intersection" and a_acc and b_acc) or (
+                mode == "union" and (a_acc or b_acc)
+            ):
+                accepting.add(name)
+            for symbol in alphabet:
+                na = self.delta.get((a, symbol))
+                nb = other.delta.get((b, symbol))
+                if na is None or nb is None:
+                    continue
+                delta[(name, symbol)] = key(na, nb)
+                if (na, nb) not in seen:
+                    seen.add((na, nb))
+                    frontier.append((na, nb))
+        return DFA(
+            frozenset(states),
+            frozenset(alphabet),
+            delta,
+            key(self.initial, other.initial),
+            frozenset(accepting),
+        )
+
+
+@dataclass(frozen=True)
+class NFA:
+    """Nondeterministic finite automaton (no epsilon moves).
+
+    ``delta`` maps (state, symbol) to a frozenset of successors.
+    """
+
+    states: frozenset[str]
+    alphabet: frozenset[str]
+    delta: Mapping[tuple[str, str], frozenset[str]]
+    initial: frozenset[str]
+    accepting: frozenset[str]
+
+    @staticmethod
+    def build(
+        transitions: Iterable[tuple[str, str, str]],
+        *,
+        initial: Iterable[str],
+        accepting: Iterable[str],
+    ) -> "NFA":
+        delta: dict[tuple[str, str], set[str]] = {}
+        states = set(initial) | set(accepting)
+        alphabet = set()
+        for s, a, t in transitions:
+            delta.setdefault((s, a), set()).add(t)
+            states |= {s, t}
+            alphabet.add(a)
+        return NFA(
+            frozenset(states),
+            frozenset(alphabet),
+            {k: frozenset(v) for k, v in delta.items()},
+            frozenset(initial),
+            frozenset(accepting),
+        )
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        current = set(self.initial)
+        for symbol in word:
+            current = {
+                t for s in current for t in self.delta.get((s, symbol), frozenset())
+            }
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def determinize(self) -> DFA:
+        """Subset construction: an equivalent DFA.
+
+        The construction's exponential worst case is itself one of the
+        poly-vs-exponential object lessons (tested on the classic
+        "k-th symbol from the end" family).
+        """
+
+        def name(subset: frozenset[str]) -> str:
+            return "{" + ",".join(sorted(subset)) + "}"
+
+        start = frozenset(self.initial)
+        frontier = [start]
+        seen = {start}
+        delta: dict[tuple[str, str], str] = {}
+        accepting = set()
+        while frontier:
+            subset = frontier.pop()
+            if subset & self.accepting:
+                accepting.add(name(subset))
+            for symbol in self.alphabet:
+                target = frozenset(
+                    t for s in subset for t in self.delta.get((s, symbol), frozenset())
+                )
+                delta[(name(subset), symbol)] = name(target)
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        states = frozenset(name(s) for s in seen)
+        return DFA(states, self.alphabet, delta, name(start), frozenset(accepting))

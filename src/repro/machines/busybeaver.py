@@ -1,0 +1,107 @@
+"""Busy beavers and the halting problem, made palpable (paper §2c).
+
+"What is computable?" is sharpest at its boundary.  This module ships
+the known 2-symbol busy-beaver champions for n = 1..4 states as actual
+:class:`TuringMachine` instances, verifies their scores by running
+them, and provides :func:`halting_survey` — a fuel-bounded halting
+analysis over an enumerable family of machines.  The survey's honest
+trichotomy (halted / still running at fuel F / unknown) is the
+practical face of undecidability: no fuel bound settles every machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.turing import BLANK, TuringMachine
+
+__all__ = ["BB_CHAMPIONS", "busy_beaver_machine", "score", "halting_survey", "HaltingReport"]
+
+# (states, (rules…), known sigma score [#1s], known step count)
+# Rules are (state, read, next_state, write, move); halt state is "H".
+_BB_TABLE = {
+    1: (
+        [("A", BLANK, "H", "1", "R")],
+        1,
+        1,
+    ),
+    2: (
+        [
+            ("A", BLANK, "B", "1", "R"),
+            ("A", "1", "B", "1", "L"),
+            ("B", BLANK, "A", "1", "L"),
+            ("B", "1", "H", "1", "R"),
+        ],
+        4,
+        6,
+    ),
+    3: (
+        [
+            ("A", BLANK, "B", "1", "R"),
+            ("A", "1", "H", "1", "R"),
+            ("B", BLANK, "C", BLANK, "R"),
+            ("B", "1", "B", "1", "R"),
+            ("C", BLANK, "C", "1", "L"),
+            ("C", "1", "A", "1", "L"),
+        ],
+        6,
+        14,
+    ),
+    4: (
+        [
+            ("A", BLANK, "B", "1", "R"),
+            ("A", "1", "B", "1", "L"),
+            ("B", BLANK, "A", "1", "L"),
+            ("B", "1", "C", BLANK, "L"),
+            ("C", BLANK, "H", "1", "R"),
+            ("C", "1", "D", "1", "L"),
+            ("D", BLANK, "D", "1", "R"),
+            ("D", "1", "A", BLANK, "R"),
+        ],
+        13,
+        107,
+    ),
+}
+
+BB_CHAMPIONS = {n: (sigma, steps) for n, (_, sigma, steps) in _BB_TABLE.items()}
+
+
+def busy_beaver_machine(n: int) -> TuringMachine:
+    """The n-state 2-symbol busy-beaver champion (n in 1..4)."""
+    if n not in _BB_TABLE:
+        raise ValueError(f"no champion stored for n={n} (have {sorted(_BB_TABLE)})")
+    rules, _, _ = _BB_TABLE[n]
+    return TuringMachine.from_rules(rules, initial="A", accept=["H"])
+
+
+def score(machine: TuringMachine, *, fuel: int = 1_000_000) -> tuple[int, int]:
+    """(number of 1s on the final tape, steps) for a halting machine."""
+    result = machine.run("", fuel=fuel)
+    if not result.halted:
+        raise RuntimeError("machine did not halt within fuel")
+    return result.tape.count("1"), result.steps
+
+
+@dataclass
+class HaltingReport:
+    """Census of a machine family under a fuel bound."""
+
+    fuel: int
+    halted: int
+    running: int
+    total: int
+
+    @property
+    def undecided_fraction(self) -> float:
+        return self.running / self.total if self.total else 0.0
+
+
+def halting_survey(machines: list[TuringMachine], *, fuel: int) -> HaltingReport:
+    """Run every machine for ``fuel`` steps; count who halted.
+
+    Raising the fuel can only move machines from ``running`` to
+    ``halted`` — monotonicity that tests verify — but no finite fuel
+    empties ``running`` for arbitrary families: the halting problem.
+    """
+    halted = sum(1 for m in machines if m.run("", fuel=fuel).halted)
+    return HaltingReport(fuel, halted, len(machines) - halted, len(machines))

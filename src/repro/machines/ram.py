@@ -1,0 +1,140 @@
+"""A random-access register machine.
+
+The RAM model is the cost model closest to real hardware and the one
+most algorithm analysis implicitly assumes.  Programs are lists of
+:class:`Instr`; the machine executes them with a fuel bound and counts
+instructions, so the same algorithm can be compared across the model
+zoo (a TM pays quadratic tape-walking overhead where a RAM does not).
+
+Instruction set (registers are nonnegative integers addressed by
+index; ``r0`` is the conventional accumulator/output):
+
+==========  =======================================================
+LOADI r, k    r := k (immediate)
+MOV   r, s    r := s
+ADD   r, s    r := r + s
+SUB   r, s    r := max(0, r - s)   (natural subtraction)
+LOAD  r, s    r := mem[s]          (indirect read)
+STORE r, s    mem[r] := s          (indirect write)
+JMP   k       jump to instruction k
+JZ    r, k    if r == 0 jump to k
+HALT
+==========  =======================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["Instr", "RamProgram", "RamMachine", "RamResult"]
+
+
+@dataclass(frozen=True)
+class Instr:
+    op: str
+    a: int = 0
+    b: int = 0
+
+
+OPS = {"LOADI", "MOV", "ADD", "SUB", "LOAD", "STORE", "JMP", "JZ", "HALT"}
+
+
+class RamProgram:
+    """A validated instruction sequence."""
+
+    def __init__(self, instructions: Iterable[Instr | tuple]) -> None:
+        self.instructions: list[Instr] = []
+        for ins in instructions:
+            if isinstance(ins, tuple):
+                ins = Instr(*ins)
+            if ins.op not in OPS:
+                raise ValueError(f"unknown opcode {ins.op!r}")
+            self.instructions.append(ins)
+        for i, ins in enumerate(self.instructions):
+            if ins.op == "JMP" and not 0 <= ins.a <= len(self.instructions):
+                raise ValueError(f"JMP target {ins.a} out of range at {i}")
+            if ins.op == "JZ" and not 0 <= ins.b <= len(self.instructions):
+                raise ValueError(f"JZ target {ins.b} out of range at {i}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class RamResult:
+    halted: bool
+    steps: int
+    registers: list[int]
+    memory: dict[int, int]
+
+    @property
+    def output(self) -> int:
+        return self.registers[0]
+
+
+class RamMachine:
+    """Executes a :class:`RamProgram` with a fuel bound."""
+
+    def __init__(self, num_registers: int = 8) -> None:
+        if num_registers < 1:
+            raise ValueError("need at least one register")
+        self.num_registers = num_registers
+
+    def run(
+        self,
+        program: RamProgram,
+        *,
+        registers: Sequence[int] = (),
+        memory: dict[int, int] | None = None,
+        fuel: int = 100_000,
+    ) -> RamResult:
+        regs = list(registers) + [0] * (self.num_registers - len(registers))
+        if len(regs) > self.num_registers:
+            raise ValueError("more initial registers than the machine has")
+        if any(r < 0 for r in regs):
+            raise ValueError("registers hold nonnegative integers")
+        mem = dict(memory or {})
+        pc = 0
+        steps = 0
+        code = program.instructions
+        while 0 <= pc < len(code) and steps < fuel:
+            ins = code[pc]
+            steps += 1
+            pc += 1
+            if ins.op == "HALT":
+                return RamResult(True, steps, regs, mem)
+            if ins.op == "LOADI":
+                regs[ins.a] = ins.b
+            elif ins.op == "MOV":
+                regs[ins.a] = regs[ins.b]
+            elif ins.op == "ADD":
+                regs[ins.a] = regs[ins.a] + regs[ins.b]
+            elif ins.op == "SUB":
+                regs[ins.a] = max(0, regs[ins.a] - regs[ins.b])
+            elif ins.op == "LOAD":
+                regs[ins.a] = mem.get(regs[ins.b], 0)
+            elif ins.op == "STORE":
+                mem[regs[ins.a]] = regs[ins.b]
+            elif ins.op == "JMP":
+                pc = ins.a
+            elif ins.op == "JZ":
+                if regs[ins.a] == 0:
+                    pc = ins.b
+        # Fell off the end (treated as halt) or out of fuel.
+        return RamResult(pc >= len(code) or pc < 0, steps, regs, mem)
+
+
+def multiply_program() -> RamProgram:
+    """r0 := r1 * r2, by repeated addition — a standard fixture."""
+    return RamProgram(
+        [
+            Instr("LOADI", 0, 0),       # r0 = 0
+            Instr("JZ", 2, 6),          # while r2 != 0:
+            Instr("ADD", 0, 1),         #   r0 += r1
+            Instr("LOADI", 3, 1),       #   r3 = 1
+            Instr("SUB", 2, 3),         #   r2 -= 1
+            Instr("JMP", 1),
+            Instr("HALT"),
+        ]
+    )

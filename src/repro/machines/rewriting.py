@@ -1,0 +1,69 @@
+"""String rewriting (semi-Thue) systems.
+
+A third face of "what is computable": rewriting systems are Turing
+complete, and their *word problem* is undecidable in general.  Here we
+provide deterministic leftmost-outermost rewriting with a fuel bound,
+plus a termination probe.  Used in tests to show the same computations
+(e.g. unary addition) expressed in a model with no head, no tape and
+no state — only rules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["RewriteSystem", "RewriteResult"]
+
+
+@dataclass
+class RewriteResult:
+    normal_form: str
+    steps: int
+    terminated: bool
+
+
+class RewriteSystem:
+    """An ordered list of (pattern, replacement) string rules.
+
+    Each step applies the first rule (in declaration order) that
+    matches, at its leftmost occurrence.  Declaration order therefore
+    resolves overlaps deterministically.
+    """
+
+    def __init__(self, rules: Iterable[tuple[str, str]]) -> None:
+        self.rules = list(rules)
+        if not self.rules:
+            raise ValueError("a rewrite system needs at least one rule")
+        for lhs, _ in self.rules:
+            if lhs == "":
+                raise ValueError("empty left-hand side would loop forever")
+
+    def step(self, word: str) -> str | None:
+        """One leftmost-outermost step, or None if in normal form."""
+        for lhs, rhs in self.rules:
+            idx = word.find(lhs)
+            if idx != -1:
+                return word[:idx] + rhs + word[idx + len(lhs):]
+        return None
+
+    def normalize(self, word: str, *, fuel: int = 10_000) -> RewriteResult:
+        """Rewrite to normal form or until fuel runs out."""
+        steps = 0
+        while steps < fuel:
+            nxt = self.step(word)
+            if nxt is None:
+                return RewriteResult(word, steps, True)
+            word = nxt
+            steps += 1
+        return RewriteResult(word, steps, False)
+
+    def terminates_on(self, word: str, *, fuel: int = 10_000) -> bool:
+        """Fuel-bounded termination probe (sound "yes", agnostic "no")."""
+        return self.normalize(word, fuel=fuel).terminated
+
+
+def unary_addition_system() -> RewriteSystem:
+    """'1^m+1^n=' rewrites to '1^(m+n)': [('1+', '+1') would loop; we
+    shift the plus right and erase it at the equals sign]."""
+    return RewriteSystem([("+1", "1+"), ("+=", ""), ("=", "")])

@@ -1,0 +1,204 @@
+"""Deterministic single-tape Turing machines.
+
+The transition table maps (state, symbol) -> (new state, written
+symbol, head move).  Execution is fuel-bounded: ``run`` returns a
+:class:`TMResult` that says whether the machine halted within the
+budget — the honest interface to a model whose halting is undecidable.
+
+A small library of standard machines (:func:`binary_increment`,
+:func:`palindrome_checker`, :func:`unary_adder`, :func:`copier`)
+doubles as test fixtures and as the encoded programs fed to the
+universal machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TuringMachine",
+    "TMResult",
+    "BLANK",
+    "binary_increment",
+    "palindrome_checker",
+    "unary_adder",
+    "copier",
+]
+
+BLANK = "_"
+LEFT, RIGHT, STAY = "L", "R", "S"
+
+
+@dataclass
+class TMResult:
+    """Outcome of a fuel-bounded run."""
+
+    halted: bool
+    accepted: bool
+    steps: int
+    tape: str
+    final_state: str
+
+    def __bool__(self) -> bool:
+        return self.halted
+
+
+@dataclass
+class TuringMachine:
+    """A deterministic TM.
+
+    ``delta`` maps (state, symbol) to (state, symbol, move) with move
+    in {"L", "R", "S"}.  Missing entries mean the machine halts (and
+    rejects unless it halted in an accept state).
+    """
+
+    delta: Mapping[tuple[str, str], tuple[str, str, str]]
+    initial: str
+    accept_states: frozenset[str] = field(default_factory=frozenset)
+    reject_states: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for (state, sym), (nstate, nsym, move) in self.delta.items():
+            if move not in (LEFT, RIGHT, STAY):
+                raise ValueError(f"bad move {move!r} in delta[{state!r},{sym!r}]")
+            if len(sym) != 1 or len(nsym) != 1:
+                raise ValueError("tape symbols must be single characters")
+
+    @staticmethod
+    def from_rules(
+        rules: Iterable[tuple[str, str, str, str, str]],
+        *,
+        initial: str,
+        accept: Iterable[str] = (),
+        reject: Iterable[str] = (),
+    ) -> "TuringMachine":
+        """Build from (state, read, next_state, write, move) tuples."""
+        delta = {}
+        for state, read, nstate, write, move in rules:
+            key = (state, read)
+            if key in delta:
+                raise ValueError(f"duplicate rule for {key}")
+            delta[key] = (nstate, write, move)
+        return TuringMachine(delta, initial, frozenset(accept), frozenset(reject))
+
+    def run(self, tape_input: str, *, fuel: int = 10_000) -> TMResult:
+        """Execute on ``tape_input``; stop after ``fuel`` steps.
+
+        The tape is a dict from position to symbol (unbounded both
+        ways); the returned ``tape`` string is the trimmed content.
+        """
+        tape: dict[int, str] = {i: c for i, c in enumerate(tape_input)}
+        head = 0
+        state = self.initial
+        steps = 0
+        while steps < fuel:
+            if state in self.accept_states or state in self.reject_states:
+                break
+            symbol = tape.get(head, BLANK)
+            action = self.delta.get((state, symbol))
+            if action is None:
+                break
+            state, write, move = action
+            if write == BLANK:
+                tape.pop(head, None)
+            else:
+                tape[head] = write
+            head += {LEFT: -1, RIGHT: 1, STAY: 0}[move]
+            steps += 1
+        else:
+            return TMResult(False, False, steps, self._render(tape), state)
+        halted = True
+        accepted = state in self.accept_states
+        return TMResult(halted, accepted, steps, self._render(tape), state)
+
+    @staticmethod
+    def _render(tape: dict[int, str]) -> str:
+        if not tape:
+            return ""
+        lo, hi = min(tape), max(tape)
+        return "".join(tape.get(i, BLANK) for i in range(lo, hi + 1)).strip(BLANK)
+
+    def states(self) -> set[str]:
+        out = {self.initial} | set(self.accept_states) | set(self.reject_states)
+        for (s, _), (t, _, _) in self.delta.items():
+            out.add(s)
+            out.add(t)
+        return out
+
+
+def binary_increment() -> TuringMachine:
+    """Increment a binary number written MSB-first on the tape."""
+    rules = [
+        # scan right to the end
+        ("scan", "0", "scan", "0", RIGHT),
+        ("scan", "1", "scan", "1", RIGHT),
+        ("scan", BLANK, "add", BLANK, LEFT),
+        # add one with carry, moving left
+        ("add", "0", "done", "1", STAY),
+        ("add", "1", "add", "0", LEFT),
+        ("add", BLANK, "done", "1", STAY),
+    ]
+    return TuringMachine.from_rules(rules, initial="scan", accept=["done"])
+
+
+def palindrome_checker() -> TuringMachine:
+    """Accept palindromes over {a, b} (classic bouncing machine)."""
+    rules = [
+        # pick up the leftmost symbol
+        ("start", "a", "have_a", BLANK, RIGHT),
+        ("start", "b", "have_b", BLANK, RIGHT),
+        ("start", BLANK, "accept", BLANK, STAY),
+        # run right to the last symbol
+        ("have_a", "a", "have_a", "a", RIGHT),
+        ("have_a", "b", "have_a", "b", RIGHT),
+        ("have_a", BLANK, "check_a", BLANK, LEFT),
+        ("have_b", "a", "have_b", "a", RIGHT),
+        ("have_b", "b", "have_b", "b", RIGHT),
+        ("have_b", BLANK, "check_b", BLANK, LEFT),
+        # compare the rightmost symbol
+        ("check_a", "a", "rewind", BLANK, LEFT),
+        ("check_a", "b", "reject", "b", STAY),
+        ("check_a", BLANK, "accept", BLANK, STAY),  # odd length, middle char
+        ("check_b", "b", "rewind", BLANK, LEFT),
+        ("check_b", "a", "reject", "a", STAY),
+        ("check_b", BLANK, "accept", BLANK, STAY),
+        # run back left to the start
+        ("rewind", "a", "rewind", "a", LEFT),
+        ("rewind", "b", "rewind", "b", LEFT),
+        ("rewind", BLANK, "start", BLANK, RIGHT),
+    ]
+    return TuringMachine.from_rules(
+        rules, initial="start", accept=["accept"], reject=["reject"]
+    )
+
+
+def unary_adder() -> TuringMachine:
+    """Compute m+n for input ``1^m + 1^n`` in unary, e.g. '111+11' -> '11111'."""
+    rules = [
+        ("scan", "1", "scan", "1", RIGHT),
+        ("scan", "+", "fill", "1", RIGHT),       # replace '+' with '1'
+        ("fill", "1", "fill", "1", RIGHT),
+        ("fill", BLANK, "chop", BLANK, LEFT),    # then delete the last '1'
+        ("chop", "1", "done", BLANK, STAY),
+    ]
+    return TuringMachine.from_rules(rules, initial="scan", accept=["done"])
+
+
+def copier() -> TuringMachine:
+    """Duplicate a unary string: '111' -> '111_111' (separator blank)."""
+    rules = [
+        ("start", "1", "carry", "x", RIGHT),
+        ("start", BLANK, "clean", BLANK, LEFT),
+        ("carry", "1", "carry", "1", RIGHT),
+        ("carry", BLANK, "gap", BLANK, RIGHT),
+        ("gap", "1", "gap", "1", RIGHT),
+        ("gap", BLANK, "back", "1", LEFT),
+        ("back", "1", "back", "1", LEFT),
+        ("back", BLANK, "rewind", BLANK, LEFT),
+        ("rewind", "1", "rewind", "1", LEFT),
+        ("rewind", "x", "start", "x", RIGHT),
+        ("clean", "x", "clean", "1", LEFT),
+        ("clean", BLANK, "done", BLANK, STAY),
+    ]
+    return TuringMachine.from_rules(rules, initial="start", accept=["done"])

@@ -1,0 +1,24 @@
+"""Machine learning / statistics exemplars (paper §1b).
+
+    "Computational thinking is transforming statistics, where with
+    machine learning the automation of Bayesian methods and the use of
+    probabilistic graphical models make it possible to identify
+    patterns and anomalies in voluminous datasets as diverse as ...
+    credit card purchases and grocery store receipts."
+
+* :mod:`repro.ml.naivebayes` — a categorical naive Bayes classifier;
+* :mod:`repro.ml.bayesnet` — discrete Bayesian networks with exact
+  inference by variable elimination (the "probabilistic graphical
+  models");
+* :mod:`repro.ml.anomaly` — a synthetic credit-card stream and
+  Gaussian anomaly scoring (the "anomalies in voluminous datasets");
+* :mod:`repro.ml.patterns` — Apriori frequent-itemset mining (the
+  "grocery store receipts").
+"""
+
+from repro.ml.anomaly import AnomalyDetector, transaction_stream
+from repro.ml.bayesnet import BayesNet
+from repro.ml.naivebayes import NaiveBayes
+from repro.ml.patterns import apriori
+
+__all__ = ["NaiveBayes", "BayesNet", "AnomalyDetector", "transaction_stream", "apriori"]

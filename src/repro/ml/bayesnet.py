@@ -1,0 +1,229 @@
+"""Discrete Bayesian networks with exact variable-elimination inference.
+
+The "probabilistic graphical models" of §1b.  A network is a DAG of
+categorical variables, each with a CPT conditioned on its parents.
+:meth:`BayesNet.query` computes P(target | evidence) exactly by factor
+multiplication and summation in a heuristic (min-degree) elimination
+order; :meth:`BayesNet.sample` draws joint samples for the tests'
+Monte-Carlo cross-checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.adt.graph import Graph
+from repro.util.rng import make_rng
+
+__all__ = ["BayesNet", "Factor", "sprinkler_network"]
+
+
+@dataclass(frozen=True)
+class Factor:
+    """A table over a tuple of variables: assignment -> weight."""
+
+    variables: tuple[str, ...]
+    table: Mapping[tuple, float]
+
+    def restrict(self, var: str, value) -> "Factor":
+        if var not in self.variables:
+            return self
+        idx = self.variables.index(var)
+        new_vars = self.variables[:idx] + self.variables[idx + 1 :]
+        new_table = {
+            key[:idx] + key[idx + 1 :]: w
+            for key, w in self.table.items()
+            if key[idx] == value
+        }
+        return Factor(new_vars, new_table)
+
+    def multiply(self, other: "Factor") -> "Factor":
+        merged_vars = self.variables + tuple(
+            v for v in other.variables if v not in self.variables
+        )
+        positions_self = [merged_vars.index(v) for v in self.variables]
+        positions_other = [merged_vars.index(v) for v in other.variables]
+        # Domain of each merged variable = values seen in either table.
+        domains: dict[str, set] = {v: set() for v in merged_vars}
+        for key in self.table:
+            for v, val in zip(self.variables, key):
+                domains[v].add(val)
+        for key in other.table:
+            for v, val in zip(other.variables, key):
+                domains[v].add(val)
+        table = {}
+        for combo in itertools.product(*(sorted(domains[v], key=repr) for v in merged_vars)):
+            k1 = tuple(combo[i] for i in positions_self)
+            k2 = tuple(combo[i] for i in positions_other)
+            w = self.table.get(k1, 0.0) * other.table.get(k2, 0.0)
+            if w:
+                table[combo] = w
+        return Factor(merged_vars, table)
+
+    def sum_out(self, var: str) -> "Factor":
+        if var not in self.variables:
+            return self
+        idx = self.variables.index(var)
+        new_vars = self.variables[:idx] + self.variables[idx + 1 :]
+        table: dict[tuple, float] = {}
+        for key, w in self.table.items():
+            reduced = key[:idx] + key[idx + 1 :]
+            table[reduced] = table.get(reduced, 0.0) + w
+        return Factor(new_vars, table)
+
+    def normalise(self) -> "Factor":
+        z = sum(self.table.values())
+        if z == 0:
+            raise ZeroDivisionError("factor sums to zero (contradictory evidence?)")
+        return Factor(self.variables, {k: w / z for k, w in self.table.items()})
+
+
+class BayesNet:
+    """A DAG of categorical variables with CPTs."""
+
+    def __init__(self) -> None:
+        self._dag = Graph(directed=True)
+        self._domains: dict[str, tuple] = {}
+        self._parents: dict[str, tuple[str, ...]] = {}
+        self._cpts: dict[str, dict[tuple, dict]] = {}
+
+    def add_variable(
+        self,
+        name: str,
+        domain: Sequence,
+        parents: Sequence[str] = (),
+        cpt: Mapping[tuple, Mapping] | None = None,
+    ) -> None:
+        """Add a variable with P(name | parents) given as
+        ``cpt[parent_values][value] = prob``.  Parents must exist.
+        """
+        if name in self._domains:
+            raise ValueError(f"variable {name!r} already exists")
+        if not domain:
+            raise ValueError("domain must be nonempty")
+        for p in parents:
+            if p not in self._domains:
+                raise KeyError(f"unknown parent {p!r}")
+        cpt = dict(cpt or {})
+        expected_keys = set(
+            itertools.product(*(self._domains[p] for p in parents))
+        )
+        if set(cpt) != expected_keys:
+            raise ValueError(
+                f"CPT for {name!r} must cover parent combinations {sorted(expected_keys, key=repr)}"
+            )
+        for key, dist in cpt.items():
+            if set(dist) != set(domain):
+                raise ValueError(f"CPT row {key} must cover the domain")
+            total = sum(dist.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(f"CPT row {key} sums to {total}")
+        self._domains[name] = tuple(domain)
+        self._parents[name] = tuple(parents)
+        self._cpts[name] = {k: dict(v) for k, v in cpt.items()}
+        self._dag.add_node(name)
+        for p in parents:
+            self._dag.add_edge(p, name)
+        if self._dag.topological_order() is None:
+            raise ValueError("adding this variable created a cycle")
+
+    def variables(self) -> list[str]:
+        return list(self._domains)
+
+    def domain(self, name: str) -> tuple:
+        return self._domains[name]
+
+    def _factor_of(self, name: str) -> Factor:
+        variables = self._parents[name] + (name,)
+        table = {}
+        for parent_key, dist in self._cpts[name].items():
+            for value, p in dist.items():
+                table[parent_key + (value,)] = p
+        return Factor(variables, table)
+
+    def query(self, target: str, evidence: Mapping[str, object] | None = None) -> dict:
+        """Exact P(target | evidence) by variable elimination."""
+        if target not in self._domains:
+            raise KeyError(f"unknown variable {target!r}")
+        evidence = dict(evidence or {})
+        for var, value in evidence.items():
+            if var not in self._domains:
+                raise KeyError(f"unknown evidence variable {var!r}")
+            if value not in self._domains[var]:
+                raise ValueError(f"{value!r} not in domain of {var!r}")
+        factors = [self._factor_of(v) for v in self._domains]
+        for var, value in evidence.items():
+            factors = [f.restrict(var, value) for f in factors]
+        hidden = [v for v in self._domains if v != target and v not in evidence]
+        # Min-degree heuristic: eliminate the variable in fewest factors.
+        while hidden:
+            var = min(
+                hidden,
+                key=lambda v: sum(1 for f in factors if v in f.variables),
+            )
+            hidden.remove(var)
+            involved = [f for f in factors if var in f.variables]
+            others = [f for f in factors if var not in f.variables]
+            if not involved:
+                continue
+            product = involved[0]
+            for f in involved[1:]:
+                product = product.multiply(f)
+            factors = others + [product.sum_out(var)]
+        result = factors[0]
+        for f in factors[1:]:
+            result = result.multiply(f)
+        result = result.normalise()
+        idx = result.variables.index(target)
+        out = {value: 0.0 for value in self._domains[target]}
+        for key, w in result.table.items():
+            out[key[idx]] += w
+        return out
+
+    def sample(self, n: int, *, seed: int | None = 0) -> list[dict]:
+        """Ancestral sampling of n joint assignments."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        order = self._dag.topological_order()
+        assert order is not None
+        rng = make_rng(seed)
+        out = []
+        for _ in range(n):
+            assignment: dict = {}
+            for var in order:
+                key = tuple(assignment[p] for p in self._parents[var])
+                dist = self._cpts[var][key]
+                values = list(dist)
+                probs = [dist[v] for v in values]
+                assignment[var] = values[int(rng.choice(len(values), p=probs))]
+            out.append(assignment)
+        return out
+
+
+def sprinkler_network() -> BayesNet:
+    """The textbook rain/sprinkler/wet-grass network."""
+    net = BayesNet()
+    net.add_variable("rain", (True, False), cpt={(): {True: 0.2, False: 0.8}})
+    net.add_variable(
+        "sprinkler",
+        (True, False),
+        parents=("rain",),
+        cpt={
+            (True,): {True: 0.01, False: 0.99},
+            (False,): {True: 0.4, False: 0.6},
+        },
+    )
+    net.add_variable(
+        "wet",
+        (True, False),
+        parents=("sprinkler", "rain"),
+        cpt={
+            (True, True): {True: 0.99, False: 0.01},
+            (True, False): {True: 0.9, False: 0.1},
+            (False, True): {True: 0.8, False: 0.2},
+            (False, False): {True: 0.0, False: 1.0},
+        },
+    )
+    return net

@@ -1,0 +1,94 @@
+"""Categorical naive Bayes with Laplace smoothing.
+
+Instances are dicts of feature name -> categorical value.  The model
+stores log-probabilities; prediction returns the argmax class and
+:meth:`NaiveBayes.posterior` the full normalised distribution, which
+the anomaly detector consumes as a likelihood model.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["NaiveBayes"]
+
+Instance = Mapping[str, Any]
+
+
+class NaiveBayes:
+    """Fit with :meth:`fit`, query with :meth:`predict` / :meth:`posterior`."""
+
+    def __init__(self, *, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("smoothing alpha must be positive")
+        self.alpha = alpha
+        self._classes: list[Any] = []
+        self._class_counts: Counter = Counter()
+        self._value_counts: dict[Any, dict[str, Counter]] = {}
+        self._feature_values: dict[str, set[Any]] = defaultdict(set)
+        self._total = 0
+
+    def fit(self, instances: Sequence[Instance], labels: Sequence[Any]) -> "NaiveBayes":
+        if len(instances) != len(labels):
+            raise ValueError("instances and labels must align")
+        if not instances:
+            raise ValueError("need training data")
+        features = set(instances[0])
+        for inst in instances:
+            if set(inst) != features:
+                raise ValueError("all instances must share the same features")
+        for inst, label in zip(instances, labels):
+            self._class_counts[label] += 1
+            per_class = self._value_counts.setdefault(
+                label, defaultdict(Counter)
+            )
+            for feature, value in inst.items():
+                per_class[feature][value] += 1
+                self._feature_values[feature].add(value)
+        self._classes = sorted(self._class_counts, key=repr)
+        self._total = len(instances)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self._classes:
+            raise RuntimeError("model is not fitted")
+
+    def log_likelihood(self, instance: Instance, label: Any) -> float:
+        """log P(x | class) + log P(class), Laplace-smoothed."""
+        self._check_fitted()
+        if label not in self._class_counts:
+            raise KeyError(f"unknown class {label!r}")
+        logp = math.log(self._class_counts[label] / self._total)
+        per_class = self._value_counts[label]
+        for feature, value in instance.items():
+            if feature not in self._feature_values:
+                raise KeyError(f"unknown feature {feature!r}")
+            cardinality = len(self._feature_values[feature])
+            count = per_class[feature][value]
+            class_total = self._class_counts[label]
+            logp += math.log(
+                (count + self.alpha) / (class_total + self.alpha * cardinality)
+            )
+        return logp
+
+    def posterior(self, instance: Instance) -> dict[Any, float]:
+        """Normalised P(class | x)."""
+        self._check_fitted()
+        logs = {c: self.log_likelihood(instance, c) for c in self._classes}
+        peak = max(logs.values())
+        unnorm = {c: math.exp(v - peak) for c, v in logs.items()}
+        z = sum(unnorm.values())
+        return {c: v / z for c, v in unnorm.items()}
+
+    def predict(self, instance: Instance) -> Any:
+        post = self.posterior(instance)
+        return max(post, key=lambda c: (post[c], repr(c)))
+
+    def accuracy(self, instances: Sequence[Instance], labels: Sequence[Any]) -> float:
+        if not instances:
+            raise ValueError("need evaluation data")
+        hits = sum(self.predict(x) == y for x, y in zip(instances, labels))
+        return hits / len(instances)

@@ -1,0 +1,126 @@
+"""Frequent-itemset mining over basket data — the "grocery store
+receipts" of §1b.
+
+Classic Apriori: level-wise candidate generation with the downward
+closure pruning (every subset of a frequent itemset is frequent),
+plus association rules with confidence and lift.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.util.rng import make_rng
+
+__all__ = ["apriori", "association_rules", "Rule", "random_baskets"]
+
+
+def apriori(
+    baskets: Sequence[Iterable],
+    *,
+    min_support: float = 0.1,
+) -> dict[frozenset, float]:
+    """All itemsets with support >= ``min_support``.
+
+    Support is the fraction of baskets containing the itemset.
+    """
+    if not baskets:
+        raise ValueError("need at least one basket")
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    sets = [frozenset(b) for b in baskets]
+    n = len(sets)
+    # Level 1.
+    counts = Counter(item for basket in sets for item in basket)
+    frequent: dict[frozenset, float] = {
+        frozenset([item]): c / n for item, c in counts.items() if c / n >= min_support
+    }
+    current = sorted(s for s in frequent if len(s) == 1)
+    k = 2
+    while current:
+        # Candidate generation by joining (k-1)-sets sharing a prefix.
+        items = sorted({item for s in current for item in s}, key=repr)
+        candidates = []
+        for combo in combinations(items, k):
+            candidate = frozenset(combo)
+            if all(
+                frozenset(sub) in frequent for sub in combinations(combo, k - 1)
+            ):
+                candidates.append(candidate)
+        level: dict[frozenset, float] = {}
+        for candidate in candidates:
+            support = sum(1 for basket in sets if candidate <= basket) / n
+            if support >= min_support:
+                level[candidate] = support
+        frequent.update(level)
+        current = sorted(level)
+        k += 1
+    return frequent
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule antecedent -> consequent."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+
+
+def association_rules(
+    frequent: dict[frozenset, float],
+    *,
+    min_confidence: float = 0.5,
+) -> list[Rule]:
+    """Rules A -> B from frequent itemsets, with confidence and lift."""
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in (0, 1]")
+    rules: list[Rule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for antecedent in map(frozenset, combinations(sorted(itemset, key=repr), r)):
+                consequent = itemset - antecedent
+                if antecedent not in frequent or consequent not in frequent:
+                    continue
+                confidence = support / frequent[antecedent]
+                if confidence >= min_confidence:
+                    lift = confidence / frequent[consequent]
+                    rules.append(Rule(antecedent, consequent, support, confidence, lift))
+    return sorted(rules, key=lambda rule: (-rule.lift, -rule.confidence, repr(rule.antecedent)))
+
+
+def random_baskets(
+    n: int,
+    *,
+    seed: int | None = 0,
+) -> list[list[str]]:
+    """Synthetic receipts with planted correlations.
+
+    Bread+butter co-occur strongly; beer implies chips; everything
+    else is background noise — the planted patterns the C6/C27 tests
+    expect Apriori to surface.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = make_rng(seed)
+    catalogue = ["milk", "eggs", "apples", "pasta", "rice", "soap", "coffee"]
+    baskets = []
+    for _ in range(n):
+        basket = {catalogue[i] for i in rng.choice(len(catalogue), size=2, replace=False)}
+        if rng.random() < 0.4:
+            basket.add("bread")
+            if rng.random() < 0.9:
+                basket.add("butter")
+        if rng.random() < 0.25:
+            basket.add("beer")
+            if rng.random() < 0.8:
+                basket.add("chips")
+        baskets.append(sorted(basket))
+    return baskets

@@ -1,0 +1,44 @@
+"""A layered network stack with a thin waist (paper §1a).
+
+    "The layered architecture of the Internet, in particular the 'thin
+    waist' Internet protocol layer, supports both the incorporation of
+    new computing devices and networking technology at the bottom and
+    the addition of new, unforeseen applications at the top."
+
+Layers, bottom to top:
+
+* :mod:`repro.netstack.medium` — physical media: lossy, delaying,
+  corrupting bit pipes (several interchangeable technologies);
+* :mod:`repro.netstack.link` — framing with CRC-16 detection;
+* :mod:`repro.netstack.ip` — the **thin waist**: a minimal datagram
+  layer (addressing, TTL, forwarding) that never changes while the
+  layers around it do;
+* :mod:`repro.netstack.transport` — unreliable datagrams plus two ARQ
+  reliability schemes (stop-and-wait and sliding window);
+* :mod:`repro.netstack.app` — request/response applications over the
+  transport (several interchangeable applications);
+* :mod:`repro.netstack.network` — a multi-node simulator with static
+  routing gluing it together;
+* :mod:`repro.netstack.hourglass` — the quantified thin-waist
+  argument (experiment C3).
+"""
+
+from repro.netstack.ip import Datagram, IPLayer
+from repro.netstack.link import FrameCorrupt, LinkLayer
+from repro.netstack.medium import CopperWire, LossyRadio, Medium, PerfectFiber
+from repro.netstack.network import Network
+from repro.netstack.transport import SlidingWindowTransport, StopAndWaitTransport
+
+__all__ = [
+    "Medium",
+    "PerfectFiber",
+    "CopperWire",
+    "LossyRadio",
+    "LinkLayer",
+    "FrameCorrupt",
+    "IPLayer",
+    "Datagram",
+    "StopAndWaitTransport",
+    "SlidingWindowTransport",
+    "Network",
+]

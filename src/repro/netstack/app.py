@@ -1,0 +1,88 @@
+"""Application layer: interchangeable top-layer protocols.
+
+Three toy applications — key/value lookup, echo, and a tiny
+time-of-day service — all speaking the same transport interface.
+Like the media at the bottom, applications are interchangeable at the
+top while the waist stays fixed (experiment C3's other half).
+
+Requests/responses are encoded as ``verb SP argument`` byte strings;
+servers are plain callables registered on a :class:`AppServer`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = ["AppServer", "KeyValueApp", "EchoApp", "ClockApp", "AppError"]
+
+
+class AppError(RuntimeError):
+    """Malformed request or application-level failure."""
+
+
+class AppServer:
+    """Dispatches encoded requests to registered applications."""
+
+    def __init__(self) -> None:
+        self._apps: dict[str, Callable[[bytes], bytes]] = {}
+
+    def register(self, verb: str, handler: Callable[[bytes], bytes]) -> None:
+        if " " in verb or not verb:
+            raise ValueError("verb must be a nonempty word")
+        if verb in self._apps:
+            raise ValueError(f"verb {verb!r} already registered")
+        self._apps[verb] = handler
+
+    def verbs(self) -> list[str]:
+        return sorted(self._apps)
+
+    def handle(self, request: bytes) -> bytes:
+        verb, _, arg = request.partition(b" ")
+        handler = self._apps.get(verb.decode(errors="replace"))
+        if handler is None:
+            raise AppError(f"unknown verb {verb!r}")
+        return handler(arg)
+
+
+class KeyValueApp:
+    """GET/PUT over an in-memory dict."""
+
+    def __init__(self) -> None:
+        self._store: dict[bytes, bytes] = {}
+
+    def install(self, server: AppServer) -> None:
+        server.register("GET", self.get)
+        server.register("PUT", self.put)
+
+    def put(self, arg: bytes) -> bytes:
+        key, _, value = arg.partition(b"=")
+        if not key:
+            raise AppError("PUT needs key=value")
+        self._store[key] = value
+        return b"OK"
+
+    def get(self, arg: bytes) -> bytes:
+        if arg not in self._store:
+            raise AppError(f"no such key {arg!r}")
+        return self._store[arg]
+
+
+class EchoApp:
+    """The classic: returns its argument."""
+
+    def install(self, server: AppServer) -> None:
+        server.register("ECHO", lambda arg: arg)
+
+
+class ClockApp:
+    """Returns a monotonically increasing simulated timestamp."""
+
+    def __init__(self) -> None:
+        self._ticks = 0
+
+    def install(self, server: AppServer) -> None:
+        server.register("TIME", self._time)
+
+    def _time(self, _arg: bytes) -> bytes:
+        self._ticks += 1
+        return str(self._ticks).encode()

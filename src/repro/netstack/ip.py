@@ -1,0 +1,91 @@
+"""The thin waist: a minimal datagram layer.
+
+This is the layer the paper singles out.  Its interface is
+deliberately tiny — addresses, a TTL, a payload — and *every* medium
+below and every application above speaks through it unchanged.  The
+module has no knowledge of media technologies or applications; that
+ignorance is the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netstack.link import LinkLayer
+
+__all__ = ["Datagram", "IPLayer", "TTLExpired"]
+
+DEFAULT_TTL = 16
+
+
+class TTLExpired(RuntimeError):
+    """A datagram ran out of hops."""
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """The waist's one data structure."""
+
+    src: str
+    dst: str
+    payload: bytes
+    ttl: int = DEFAULT_TTL
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ValueError("ttl must be nonnegative")
+
+    def hop(self) -> "Datagram":
+        """One forwarding step: decrement TTL."""
+        if self.ttl == 0:
+            raise TTLExpired(f"datagram {self.src}->{self.dst} exceeded hop limit")
+        return Datagram(self.src, self.dst, self.payload, self.ttl - 1)
+
+    def encode(self) -> bytes:
+        src = self.src.encode()
+        dst = self.dst.encode()
+        return (
+            bytes([len(src)]) + src + bytes([len(dst)]) + dst
+            + bytes([self.ttl]) + self.payload
+        )
+
+    @staticmethod
+    def decode(raw: bytes) -> "Datagram":
+        if len(raw) < 3:
+            raise ValueError("datagram too short")
+        i = 0
+        src_len = raw[i]; i += 1
+        src = raw[i : i + src_len].decode(); i += src_len
+        dst_len = raw[i]; i += 1
+        dst = raw[i : i + dst_len].decode(); i += dst_len
+        ttl = raw[i]; i += 1
+        return Datagram(src, dst, raw[i:], ttl)
+
+
+class IPLayer:
+    """One host's endpoint at the waist.
+
+    Bound to a local address and one :class:`LinkLayer` (one interface
+    is enough for the simulator; the :class:`repro.netstack.network.Network`
+    handles multi-hop forwarding).  ``send`` returns the delivered
+    :class:`Datagram` or ``None`` (the link's loss surfaces here).
+    """
+
+    def __init__(self, address: str, link: LinkLayer) -> None:
+        if not address:
+            raise ValueError("address must be nonempty")
+        self.address = address
+        self.link = link
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+
+    def send(self, dst: str, payload: bytes, *, ttl: int = DEFAULT_TTL) -> Datagram | None:
+        """One-hop send over this host's link."""
+        dgram = Datagram(self.address, dst, payload, ttl)
+        self.datagrams_sent += 1
+        delivered = self.link.send(dgram.encode())
+        if delivered is None:
+            return None
+        out = Datagram.decode(delivered)
+        self.datagrams_delivered += 1
+        return out

@@ -1,0 +1,80 @@
+"""Link layer: framing with CRC-16 error *detection*.
+
+The link layer's contract upward: deliver whole frames or nothing —
+corrupted transmissions become drops.  That contract is what lets the
+thin waist above assume "datagrams arrive intact or not at all".
+"""
+
+from __future__ import annotations
+
+from repro.netstack.medium import Medium
+
+__all__ = ["crc16", "LinkLayer", "FrameCorrupt"]
+
+_CRC_POLY = 0x1021  # CRC-16/CCITT
+
+
+def crc16(data: bytes) -> int:
+    """Bitwise CRC-16/CCITT (init 0xFFFF, no reflection)."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+class FrameCorrupt(ValueError):
+    """A frame failed its CRC check."""
+
+
+class LinkLayer:
+    """Frames payloads over a :class:`Medium`.
+
+    Frame format: 2-byte big-endian length, payload, 2-byte CRC over
+    the payload.  ``send`` returns the delivered payload or ``None``
+    (lost in transit *or* corrupted — detection turns corruption into
+    loss, and ``frames_dropped`` counts how often).
+    """
+
+    def __init__(self, medium: Medium) -> None:
+        self.medium = medium
+        self.frames_sent = 0
+        self.frames_dropped = 0
+
+    @staticmethod
+    def encode(payload: bytes) -> bytes:
+        if len(payload) > 0xFFFF:
+            raise ValueError("payload too large for a single frame")
+        checksum = crc16(payload)
+        return len(payload).to_bytes(2, "big") + payload + checksum.to_bytes(2, "big")
+
+    @staticmethod
+    def decode(frame: bytes) -> bytes:
+        """Decode and verify; raises :class:`FrameCorrupt` on damage."""
+        if len(frame) < 4:
+            raise FrameCorrupt("frame too short")
+        length = int.from_bytes(frame[:2], "big")
+        if len(frame) != 4 + length:
+            raise FrameCorrupt("length field mismatch")
+        payload = frame[2 : 2 + length]
+        checksum = int.from_bytes(frame[2 + length :], "big")
+        if crc16(payload) != checksum:
+            raise FrameCorrupt("checksum mismatch")
+        return payload
+
+    def send(self, payload: bytes) -> bytes | None:
+        """Transmit one frame; corrupted or lost frames return None."""
+        self.frames_sent += 1
+        delivered = self.medium.transmit(self.encode(payload))
+        if delivered is None:
+            self.frames_dropped += 1
+            return None
+        try:
+            return self.decode(delivered)
+        except FrameCorrupt:
+            self.frames_dropped += 1
+            return None

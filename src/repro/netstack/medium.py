@@ -1,0 +1,123 @@
+"""Physical media: interchangeable bottom-layer technologies.
+
+Each medium transports raw ``bytes`` with its own loss, corruption and
+latency profile.  They all satisfy the same :class:`Medium` interface,
+which is the point: the thin waist above them (``ip``) never changes
+when a new technology is plugged in (experiment C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng
+
+__all__ = ["Medium", "PerfectFiber", "CopperWire", "LossyRadio"]
+
+
+class Medium:
+    """Interface: transmit bytes, maybe.
+
+    ``transmit`` returns the (possibly corrupted) payload or ``None``
+    for a lost transmission, plus accumulates simulated latency in
+    ``clock``.
+    """
+
+    name = "abstract-medium"
+    latency: float = 0.0
+
+    def __init__(self) -> None:
+        self.clock = 0.0
+        self.transmissions = 0
+
+    def transmit(self, payload: bytes) -> bytes | None:
+        raise NotImplementedError
+
+
+class PerfectFiber(Medium):
+    """Never loses, never corrupts; fixed low latency."""
+
+    name = "fiber"
+
+    def __init__(self, *, latency: float = 0.001) -> None:
+        super().__init__()
+        self.latency = latency
+
+    def transmit(self, payload: bytes) -> bytes | None:
+        self.transmissions += 1
+        self.clock += self.latency
+        return payload
+
+
+@dataclass
+class _NoiseProfile:
+    loss_rate: float
+    corruption_rate: float
+
+    def __post_init__(self) -> None:
+        for value in (self.loss_rate, self.corruption_rate):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("rates must be probabilities")
+
+
+class CopperWire(Medium):
+    """Occasional bit corruption, rare loss."""
+
+    name = "copper"
+
+    def __init__(
+        self,
+        *,
+        loss_rate: float = 0.01,
+        corruption_rate: float = 0.05,
+        latency: float = 0.005,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        self.profile = _NoiseProfile(loss_rate, corruption_rate)
+        self.latency = latency
+        self._rng = make_rng(seed)
+
+    def transmit(self, payload: bytes) -> bytes | None:
+        self.transmissions += 1
+        self.clock += self.latency
+        if self._rng.random() < self.profile.loss_rate:
+            return None
+        if payload and self._rng.random() < self.profile.corruption_rate:
+            data = bytearray(payload)
+            position = int(self._rng.integers(0, len(data)))
+            data[position] ^= 1 << int(self._rng.integers(0, 8))
+            return bytes(data)
+        return payload
+
+
+class LossyRadio(Medium):
+    """Heavy loss, some corruption, higher latency — the hostile case."""
+
+    name = "radio"
+
+    def __init__(
+        self,
+        *,
+        loss_rate: float = 0.2,
+        corruption_rate: float = 0.1,
+        latency: float = 0.02,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        self.profile = _NoiseProfile(loss_rate, corruption_rate)
+        self.latency = latency
+        self._rng = make_rng(seed)
+
+    def transmit(self, payload: bytes) -> bytes | None:
+        self.transmissions += 1
+        self.clock += self.latency
+        if self._rng.random() < self.profile.loss_rate:
+            return None
+        if payload and self._rng.random() < self.profile.corruption_rate:
+            data = bytearray(payload)
+            for _ in range(1 + int(self._rng.integers(0, 3))):
+                position = int(self._rng.integers(0, len(data)))
+                data[position] ^= 1 << int(self._rng.integers(0, 8))
+            return bytes(data)
+        return payload

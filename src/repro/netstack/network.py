@@ -1,0 +1,82 @@
+"""A multi-node network simulator with static routing.
+
+Hosts are connected by per-edge media; routing tables are computed by
+shortest path over the topology.  ``deliver`` forwards a datagram hop
+by hop, decrementing TTL at each router — loops fault loudly via
+:class:`repro.netstack.ip.TTLExpired` instead of circulating forever.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.adt.graph import Graph
+from repro.netstack.ip import Datagram
+from repro.netstack.link import LinkLayer
+from repro.netstack.medium import Medium, PerfectFiber
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Hosts, links between them, and hop-by-hop forwarding."""
+
+    def __init__(self) -> None:
+        self._topology = Graph()
+        self._links: dict[tuple[str, str], LinkLayer] = {}
+        self._handlers: dict[str, Callable[[Datagram], None]] = {}
+
+    def add_host(self, name: str) -> None:
+        if not name:
+            raise ValueError("host name must be nonempty")
+        self._topology.add_node(name)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        *,
+        medium_factory: Callable[[], Medium] = PerfectFiber,
+    ) -> None:
+        """Join two hosts with a fresh medium in each direction."""
+        for host in (a, b):
+            if not self._topology.has_node(host):
+                raise KeyError(f"unknown host {host!r}")
+        self._topology.add_edge(a, b)
+        self._links[(a, b)] = LinkLayer(medium_factory())
+        self._links[(b, a)] = LinkLayer(medium_factory())
+
+    def on_receive(self, host: str, handler: Callable[[Datagram], None]) -> None:
+        self._handlers[host] = handler
+
+    def route(self, src: str, dst: str) -> list[str]:
+        """Shortest-path route (list of hosts, inclusive)."""
+        _, path = self._topology.shortest_path(src, dst)
+        return path
+
+    def deliver(self, dgram: Datagram) -> Datagram | None:
+        """Forward hop by hop; returns the delivered datagram or None
+        if any hop loses it.  TTL decrements per hop."""
+        path = self.route(dgram.src, dgram.dst)
+        current = dgram
+        for hop_src, hop_dst in zip(path, path[1:]):
+            current = current.hop()  # may raise TTLExpired
+            link = self._links[(hop_src, hop_dst)]
+            wire = link.send(current.encode())
+            if wire is None:
+                return None
+            current = Datagram.decode(wire)
+        handler = self._handlers.get(dgram.dst)
+        if handler is not None:
+            handler(current)
+        return current
+
+    def hosts(self) -> list[str]:
+        return sorted(self._topology.nodes())
+
+    def link_stats(self) -> dict[tuple[str, str], tuple[int, int]]:
+        """(frames sent, frames dropped) per directed link."""
+        return {
+            pair: (link.frames_sent, link.frames_dropped)
+            for pair, link in self._links.items()
+        }

@@ -1,0 +1,38 @@
+"""The parallel-computing substrate (paper §1a "interleave two
+algorithms, perhaps for efficient parallel processing"; §2a "the
+challenge is understanding how to program [multi-core machines] to use
+their parallel processing capability effectively").
+
+Modules:
+
+* :mod:`repro.parallel.comm` — an in-process, MPI-style SPMD
+  communicator (send/recv + the standard collectives), following the
+  mpi4py API conventions;
+* :mod:`repro.parallel.multicore` — a simulated multicore with a
+  contention cost model, executing :class:`repro.core.combinators.StepAlgorithm`;
+* :mod:`repro.parallel.scheduler` — critical-path list scheduling and
+  work stealing over task DAGs;
+* :mod:`repro.parallel.interleave` — exhaustive interleaving
+  exploration and race detection for concurrent programs;
+* :mod:`repro.parallel.laws` — Amdahl and Gustafson speedup laws plus
+  the measured-vs-law harness;
+* :mod:`repro.parallel.kernels` — vectorised numpy kernels (scan,
+  map-reduce, stencil) with parallel-step accounting.
+"""
+
+from repro.parallel.comm import Communicator, run_spmd
+from repro.parallel.laws import amdahl_speedup, gustafson_speedup, karp_flatt
+from repro.parallel.multicore import Multicore
+from repro.parallel.scheduler import TaskGraph, list_schedule, work_stealing_schedule
+
+__all__ = [
+    "Communicator",
+    "run_spmd",
+    "Multicore",
+    "TaskGraph",
+    "list_schedule",
+    "work_stealing_schedule",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "karp_flatt",
+]

@@ -1,0 +1,241 @@
+"""An in-process MPI-style communicator.
+
+Mirrors the mpi4py object API (lowercase, pickle-free since we stay in
+one process): ``send``/``recv`` point-to-point with tags, non-blocking
+``isend``/``irecv`` returning :class:`Request`, and the collective set
+``bcast``, ``scatter``, ``gather``, ``allgather``, ``alltoall``,
+``reduce``, ``allreduce``, ``barrier``.
+
+:func:`run_spmd` launches one OS thread per rank running the same
+function (Single Program, Multiple Data), hands each a
+:class:`Communicator`, joins them, and returns the per-rank results —
+the ``mpiexec -n`` of this simulated world.  Exceptions in any rank
+are re-raised in the caller with their rank attached.
+
+Collectives are built on a shared rendezvous (two barrier phases
+around a slot array), which gives the same synchronisation semantics
+as MPI's collectives: every rank must call the same collectives in the
+same order.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable, Sequence
+from typing import Any
+
+__all__ = ["Communicator", "Request", "run_spmd", "SpmdError", "REDUCE_OPS"]
+
+
+REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+}
+
+
+class SpmdError(RuntimeError):
+    """An exception raised inside an SPMD rank, annotated with the rank."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class _Fabric:
+    """Shared state connecting the ranks of one communicator."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._mailbox_lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._mailbox_lock:
+            if key not in self.mailboxes:
+                self.mailboxes[key] = queue.Queue()
+            return self.mailboxes[key]
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py's Request)."""
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._fn = fn
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            self._result = self._fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced in wait()
+            self._error = exc
+
+    def test(self) -> bool:
+        """True when the operation has completed."""
+        return not self._thread.is_alive()
+
+    def wait(self, timeout: float | None = 30.0) -> Any:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("request did not complete")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class Communicator:
+    """One rank's endpoint in an SPMD world."""
+
+    def __init__(self, rank: int, fabric: _Fabric) -> None:
+        if not 0 <= rank < fabric.size:
+            raise ValueError(f"rank {rank} out of range for size {fabric.size}")
+        self.rank = rank
+        self._fabric = fabric
+
+    @property
+    def size(self) -> int:
+        return self._fabric.size
+
+    # -- point-to-point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range")
+        self._fabric.mailbox(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0, *, timeout: float | None = 30.0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range")
+        try:
+            return self._fabric.mailbox(source, self.rank, tag).get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self.rank}: no message from {source} (tag {tag})"
+            ) from None
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        return Request(lambda: self.send(obj, dest, tag))
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    # -- collectives ------------------------------------------------------
+    def barrier(self) -> None:
+        self._fabric.barrier.wait()
+
+    def _rendezvous(self, value: Any) -> list[Any]:
+        """All ranks deposit a value; all ranks see the full slot array."""
+        self._fabric.slots[self.rank] = value
+        self._fabric.barrier.wait()
+        snapshot = list(self._fabric.slots)
+        self._fabric.barrier.wait()  # nobody reuses slots until all have read
+        return snapshot
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        return self._rendezvous(obj if self.rank == root else None)[root]
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_root(root)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError(f"root must scatter exactly {self.size} values")
+            spread = list(values)
+        else:
+            spread = None
+        return self._rendezvous(spread)[root][self.rank]
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        self._check_root(root)
+        everyone = self._rendezvous(value)
+        return everyone if self.rank == root else None
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._rendezvous(value)
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """values[i] goes to rank i; returns what everyone sent to me."""
+        if len(values) != self.size:
+            raise ValueError(f"alltoall needs exactly {self.size} values")
+        matrix = self._rendezvous(list(values))
+        return [matrix[src][self.rank] for src in range(self.size)]
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any | None:
+        self._check_root(root)
+        combine = self._op(op)
+        everyone = self._rendezvous(value)
+        if self.rank != root:
+            return None
+        acc = everyone[0]
+        for v in everyone[1:]:
+            acc = combine(acc, v)
+        return acc
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        combine = self._op(op)
+        everyone = self._rendezvous(value)
+        acc = everyone[0]
+        for v in everyone[1:]:
+            acc = combine(acc, v)
+        return acc
+
+    @staticmethod
+    def _op(op: str) -> Callable[[Any, Any], Any]:
+        try:
+            return REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduce op {op!r}; choose from {sorted(REDUCE_OPS)}") from None
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range")
+
+
+def run_spmd(
+    fn: Callable[[Communicator], Any],
+    size: int,
+    *,
+    timeout: float = 60.0,
+) -> list[Any]:
+    """Run ``fn(comm)`` on ``size`` ranks; return per-rank results.
+
+    The first rank exception (by rank order) is re-raised as
+    :class:`SpmdError`.  ``timeout`` bounds the whole job, so deadlocked
+    programs fail loudly instead of hanging the test suite.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    fabric = _Fabric(size)
+    results: list[Any] = [None] * size
+    errors: list[BaseException | None] = [None] * size
+
+    def work(rank: int) -> None:
+        try:
+            results[rank] = fn(Communicator(rank, fabric))
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors[rank] = exc
+            fabric.barrier.abort()  # free ranks stuck in collectives
+
+    threads = [threading.Thread(target=work, args=(r,), daemon=True) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            fabric.barrier.abort()
+            raise TimeoutError("SPMD job did not finish (deadlock?)")
+    for rank, err in enumerate(errors):
+        if err is not None and not isinstance(err, threading.BrokenBarrierError):
+            raise SpmdError(rank, err)
+    broken = [r for r, e in enumerate(errors) if e is not None]
+    if broken:
+        raise SpmdError(broken[0], errors[broken[0]])  # all failures were barrier breaks
+    return results

@@ -1,0 +1,156 @@
+"""Vectorised data-parallel kernels with parallel-step accounting.
+
+The optimisation guide's core idioms — vectorise inner loops, use
+views not copies, mind memory layout — applied to the three kernels
+every parallel course starts with:
+
+* :func:`prefix_sum` — the Hillis–Steele inclusive scan, expressed as
+  numpy whole-array operations.  ``ParallelCost`` reports the span
+  (log₂ n parallel steps) vs the sequential n-step loop — the paper's
+  "parallel vs sequential" contrast (§1c) in its purest form;
+* :func:`map_reduce` — chunked map + tree reduce with span accounting;
+* :func:`stencil_smooth` — 1-D three-point stencil via shifted views
+  (no Python loop, no copies beyond the output).
+
+All kernels come with ``*_sequential`` reference implementations used
+by the property tests as oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ParallelCost",
+    "prefix_sum",
+    "prefix_sum_sequential",
+    "map_reduce",
+    "stencil_smooth",
+    "stencil_smooth_sequential",
+]
+
+
+@dataclass(frozen=True)
+class ParallelCost:
+    """Work/span accounting for one kernel invocation."""
+
+    work: int   # total operations
+    span: int   # longest dependency chain = parallel steps
+
+    @property
+    def ideal_parallelism(self) -> float:
+        return self.work / self.span if self.span else 1.0
+
+
+def prefix_sum(values: Sequence[float] | np.ndarray) -> tuple[np.ndarray, ParallelCost]:
+    """Inclusive scan by Hillis–Steele doubling.
+
+    log₂(n) rounds; round d adds each element to the element 2^d to
+    its right, as one vectorised slice operation.  Work is n·log n
+    (the classic non-work-efficient scan), span is ceil(log₂ n).
+    """
+    x = np.asarray(values, dtype=float).copy()
+    n = x.size
+    if n == 0:
+        return x, ParallelCost(0, 0)
+    span = 0
+    work = 0
+    shift = 1
+    while shift < n:
+        # x[shift:] += x[:-shift] is the whole round, vectorised.
+        x[shift:] += x[:-shift].copy()
+        work += n - shift
+        span += 1
+        shift *= 2
+    return x, ParallelCost(work, span)
+
+
+def prefix_sum_sequential(values: Sequence[float]) -> tuple[list[float], ParallelCost]:
+    """Reference n-step sequential scan."""
+    out: list[float] = []
+    acc = 0.0
+    for v in values:
+        acc += v
+        out.append(acc)
+    n = len(out)
+    return out, ParallelCost(max(0, n - 1), max(0, n - 1))
+
+
+def map_reduce(
+    values: Sequence[float] | np.ndarray,
+    map_fn: Callable[[np.ndarray], np.ndarray],
+    *,
+    chunks: int = 4,
+) -> tuple[float, ParallelCost]:
+    """Chunked map + pairwise tree reduction (sum).
+
+    The map phase is ``chunks`` independent vectorised applications
+    (span 1 at chunk granularity); the reduce phase is a balanced
+    binary tree over chunk partial sums (span ceil(log₂ chunks)).
+    """
+    x = np.asarray(values, dtype=float)
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    if x.size == 0:
+        return 0.0, ParallelCost(0, 0)
+    pieces = np.array_split(x, min(chunks, x.size))
+    partials = [float(np.sum(map_fn(p))) for p in pieces]
+    work = x.size  # one map op per element
+    span = 1       # all chunks in parallel
+    while len(partials) > 1:
+        nxt = [
+            partials[i] + partials[i + 1] if i + 1 < len(partials) else partials[i]
+            for i in range(0, len(partials), 2)
+        ]
+        work += len(partials) // 2
+        span += 1
+        partials = nxt
+    return partials[0], ParallelCost(work, span)
+
+
+def stencil_smooth(
+    values: Sequence[float] | np.ndarray, *, iterations: int = 1
+) -> tuple[np.ndarray, ParallelCost]:
+    """Three-point averaging stencil with reflecting boundaries.
+
+    Each iteration is three shifted views and one add — no Python
+    loop over elements.  Span is one step per iteration (all cells
+    update in parallel); work is 3n per iteration.
+    """
+    x = np.asarray(values, dtype=float).copy()
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    n = x.size
+    if n == 0:
+        return x, ParallelCost(0, 0)
+    for _ in range(iterations):
+        left = np.concatenate(([x[0]], x[:-1]))
+        right = np.concatenate((x[1:], [x[-1]]))
+        x = (left + x + right) / 3.0
+    return x, ParallelCost(3 * n * iterations, iterations)
+
+
+def stencil_smooth_sequential(values: Sequence[float], *, iterations: int = 1) -> list[float]:
+    """Reference per-element loop implementation (the oracle)."""
+    x = list(map(float, values))
+    for _ in range(iterations):
+        n = len(x)
+        nxt = []
+        for i in range(n):
+            left = x[i - 1] if i > 0 else x[0]
+            right = x[i + 1] if i < n - 1 else x[-1]
+            nxt.append((left + x[i] + right) / 3.0)
+        x = nxt
+    return x
+
+
+def scan_span_advantage(n: int) -> tuple[int, int]:
+    """(sequential span, parallel span) for an n-element scan —
+    the n vs log₂ n contrast, ready for the C2/C11 benches."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return max(0, n - 1), math.ceil(math.log2(n)) if n > 1 else 0

@@ -1,0 +1,74 @@
+"""Amdahl's and Gustafson's laws, and the measured-vs-law harness.
+
+Paper §2a: the end of Moore's law forces multicore, and "the challenge
+is understanding how to program them to use their parallel processing
+capability effectively".  The two classical laws bound what
+parallelism can buy:
+
+* Amdahl (fixed problem size): S(n) = 1 / (s + (1-s)/n), where s is
+  the serial fraction — the ceiling is 1/s no matter how many cores;
+* Gustafson (scaled problem size): S(n) = s + (1-s)·n — scaling the
+  work rescues scalability;
+* Karp–Flatt: the *experimentally determined* serial fraction, the
+  standard diagnostic for measured speedups.
+
+:func:`measured_speedups` runs an actual workload on the simulated
+:class:`repro.parallel.multicore.Multicore` across core counts so the
+laws can be compared against "measurements" (DESIGN.md experiment C13).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.combinators import StepAlgorithm
+from repro.parallel.multicore import Multicore
+
+__all__ = ["amdahl_speedup", "gustafson_speedup", "karp_flatt", "measured_speedups"]
+
+
+def _check(serial_fraction: float, cores: int) -> None:
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+
+
+def amdahl_speedup(serial_fraction: float, cores: int) -> float:
+    """Fixed-size speedup bound."""
+    _check(serial_fraction, cores)
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / cores)
+
+
+def gustafson_speedup(serial_fraction: float, cores: int) -> float:
+    """Scaled-size speedup bound."""
+    _check(serial_fraction, cores)
+    return serial_fraction + (1.0 - serial_fraction) * cores
+
+
+def karp_flatt(measured_speedup: float, cores: int) -> float:
+    """Experimentally determined serial fraction.
+
+    e = (1/S - 1/n) / (1 - 1/n).  Requires n >= 2 and S > 0.
+    """
+    if cores < 2:
+        raise ValueError("Karp-Flatt needs at least 2 cores")
+    if measured_speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / measured_speedup - 1.0 / cores) / (1.0 - 1.0 / cores)
+
+
+def measured_speedups(
+    algorithms: Sequence[StepAlgorithm],
+    inputs: Sequence[object],
+    core_counts: Sequence[int],
+    *,
+    contention: float = 0.0,
+) -> dict[int, float]:
+    """Measured speedup of the workload at each core count."""
+    serial = Multicore(1, contention=contention).run(algorithms, inputs).makespan
+    out: dict[int, float] = {}
+    for n in core_counts:
+        span = Multicore(n, contention=contention).run(algorithms, inputs).makespan
+        out[n] = serial / span if span > 0 else 1.0
+    return out

@@ -1,0 +1,224 @@
+"""Task-DAG scheduling: critical-path list scheduling and work stealing.
+
+The multicore era's central question (paper §2a) is "how to program
+[multi-core machines] to use their parallel processing capability
+effectively".  Two classic answers, both simulated here over an
+explicit :class:`TaskGraph`:
+
+* :func:`list_schedule` — static list scheduling with critical-path
+  (bottom-level) priorities, the textbook HEFT-style heuristic;
+* :func:`work_stealing_schedule` — dynamic work stealing with per-core
+  deques: owners pop LIFO, thieves steal FIFO, which is the Cilk
+  discipline.
+
+Both return a :class:`Schedule` with per-task start/finish times so
+tests can check precedence feasibility, and benches can compare
+makespans under skewed task costs (DESIGN.md ablation #4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng
+
+__all__ = ["TaskGraph", "Schedule", "list_schedule", "work_stealing_schedule"]
+
+
+class TaskGraph:
+    """A DAG of named tasks with positive costs."""
+
+    def __init__(self) -> None:
+        self._cost: dict[str, float] = {}
+        self._succ: dict[str, set[str]] = {}
+        self._pred: dict[str, set[str]] = {}
+
+    def add_task(self, name: str, cost: float) -> None:
+        if cost <= 0:
+            raise ValueError(f"task {name!r} needs positive cost")
+        if name in self._cost:
+            raise ValueError(f"duplicate task {name!r}")
+        self._cost[name] = cost
+        self._succ[name] = set()
+        self._pred[name] = set()
+
+    def add_dep(self, before: str, after: str) -> None:
+        """``after`` cannot start until ``before`` finishes."""
+        for t in (before, after):
+            if t not in self._cost:
+                raise KeyError(f"unknown task {t!r}")
+        self._succ[before].add(after)
+        self._pred[after].add(before)
+
+    @staticmethod
+    def build(
+        costs: Mapping[str, float], deps: Iterable[tuple[str, str]] = ()
+    ) -> "TaskGraph":
+        g = TaskGraph()
+        for name, cost in costs.items():
+            g.add_task(name, cost)
+        for before, after in deps:
+            g.add_dep(before, after)
+        if g.topo_order() is None:
+            raise ValueError("dependency cycle")
+        return g
+
+    def tasks(self) -> list[str]:
+        return list(self._cost)
+
+    def cost(self, name: str) -> float:
+        return self._cost[name]
+
+    def preds(self, name: str) -> set[str]:
+        return set(self._pred[name])
+
+    def succs(self, name: str) -> set[str]:
+        return set(self._succ[name])
+
+    def topo_order(self) -> list[str] | None:
+        indeg = {t: len(self._pred[t]) for t in self._cost}
+        ready = deque(t for t, d in indeg.items() if d == 0)
+        order = []
+        while ready:
+            t = ready.popleft()
+            order.append(t)
+            for s in self._succ[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        return order if len(order) == len(self._cost) else None
+
+    def bottom_levels(self) -> dict[str, float]:
+        """Critical-path length from each task to the sink (inclusive)."""
+        order = self.topo_order()
+        if order is None:
+            raise ValueError("graph has a cycle")
+        level: dict[str, float] = {}
+        for t in reversed(order):
+            level[t] = self._cost[t] + max(
+                (level[s] for s in self._succ[t]), default=0.0
+            )
+        return level
+
+    def critical_path_length(self) -> float:
+        levels = self.bottom_levels()
+        return max(levels.values(), default=0.0)
+
+    def total_work(self) -> float:
+        return sum(self._cost.values())
+
+
+@dataclass
+class Schedule:
+    """A complete schedule: per-task (core, start, finish)."""
+
+    assignment: dict[str, tuple[int, float, float]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max((f for _, _, f in self.assignment.values()), default=0.0)
+
+    def is_feasible(self, graph: TaskGraph, cores: int) -> bool:
+        """Check precedence and no-overlap-per-core constraints."""
+        for task, (core, start, finish) in self.assignment.items():
+            if not 0 <= core < cores:
+                return False
+            if finish - start < graph.cost(task) - 1e-9:
+                return False
+            for p in graph.preds(task):
+                if p not in self.assignment or self.assignment[p][2] > start + 1e-9:
+                    return False
+        by_core: dict[int, list[tuple[float, float]]] = {}
+        for core, start, finish in self.assignment.values():
+            by_core.setdefault(core, []).append((start, finish))
+        for spans in by_core.values():
+            spans.sort()
+            for (s1, f1), (s2, _) in zip(spans, spans[1:]):
+                if s2 < f1 - 1e-9:
+                    return False
+        return True
+
+
+def list_schedule(graph: TaskGraph, cores: int) -> Schedule:
+    """Static list scheduling, highest bottom-level first."""
+    if cores < 1:
+        raise ValueError("need at least one core")
+    levels = graph.bottom_levels()
+    done: dict[str, float] = {}
+    free_at = [0.0] * cores
+    remaining = set(graph.tasks())
+    sched = Schedule()
+    while remaining:
+        ready = [t for t in remaining if graph.preds(t) <= set(done)]
+        ready.sort(key=lambda t: (-levels[t], t))
+        progressed = False
+        for t in ready:
+            core = min(range(cores), key=lambda c: free_at[c])
+            earliest = max((done[p] for p in graph.preds(t)), default=0.0)
+            start = max(free_at[core], earliest)
+            finish = start + graph.cost(t)
+            sched.assignment[t] = (core, start, finish)
+            done[t] = finish
+            free_at[core] = finish
+            remaining.discard(t)
+            progressed = True
+        if not progressed:  # pragma: no cover - guarded by build()'s cycle check
+            raise RuntimeError("no ready task; cycle?")
+    return sched
+
+
+def work_stealing_schedule(
+    graph: TaskGraph, cores: int, *, seed: int | None = 0
+) -> Schedule:
+    """Event-driven work-stealing simulation.
+
+    Each core owns a deque; finished tasks push newly-ready successors
+    onto the finishing core's deque (owner side, LIFO).  Idle cores
+    steal from the *oldest* end of a random victim (FIFO), preserving
+    the Cilk locality argument.  Time advances to the next task
+    completion.
+    """
+    if cores < 1:
+        raise ValueError("need at least one core")
+    rng = make_rng(seed)
+    indeg = {t: len(graph.preds(t)) for t in graph.tasks()}
+    deques: list[deque[str]] = [deque() for _ in range(cores)]
+    roots = sorted(t for t, d in indeg.items() if d == 0)
+    for i, t in enumerate(roots):
+        deques[i % cores].append(t)
+    running: list[tuple[str, float] | None] = [None] * cores  # (task, finish time)
+    clock = 0.0
+    sched = Schedule()
+    finished = 0
+    total = len(graph.tasks())
+
+    def acquire(core: int) -> str | None:
+        if deques[core]:
+            return deques[core].pop()  # LIFO from own deque
+        victims = [v for v in range(cores) if v != core and deques[v]]
+        if not victims:
+            return None
+        victim = victims[int(rng.integers(0, len(victims)))]
+        return deques[victim].popleft()  # FIFO steal
+
+    while finished < total:
+        for core in range(cores):
+            if running[core] is None:
+                task = acquire(core)
+                if task is not None:
+                    sched.assignment[task] = (core, clock, clock + graph.cost(task))
+                    running[core] = (task, clock + graph.cost(task))
+        active = [(c, r) for c, r in enumerate(running) if r is not None]
+        if not active:  # pragma: no cover - guarded by build()'s cycle check
+            raise RuntimeError("deadlock: nothing running, nothing ready")
+        next_core, (task, finish) = min(active, key=lambda cr: cr[1][1])
+        clock = finish
+        running[next_core] = None
+        finished += 1
+        for s in sorted(graph.succs(task)):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                deques[next_core].append(s)
+    return sched

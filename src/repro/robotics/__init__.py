@@ -1,0 +1,18 @@
+"""The hallway robot (paper §1a).
+
+    "How do we get a robot to move down a hallway without bumping
+    into people?"
+
+* :mod:`repro.robotics.gridworld` — a hallway grid with moving
+  pedestrians on deterministic seeded trajectories;
+* :mod:`repro.robotics.planner` — A* on the static grid and
+  time-expanded A* that plans around *predicted* pedestrian motion;
+* :mod:`repro.robotics.controller` — execution policies (blind
+  follow, replanning) with collision accounting: experiment C25.
+"""
+
+from repro.robotics.controller import run_episode
+from repro.robotics.gridworld import Hallway
+from repro.robotics.planner import astar, time_expanded_astar
+
+__all__ = ["Hallway", "astar", "time_expanded_astar", "run_episode"]

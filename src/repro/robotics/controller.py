@@ -1,0 +1,88 @@
+"""Execution policies and collision accounting (experiment C25).
+
+Three policies answer the paper's question with increasing
+computational thinking:
+
+* ``static`` — plan once with plain A*, walk the plan blindly;
+* ``spacetime`` — plan once in space-time against predicted
+  pedestrians, walk the plan;
+* ``replan`` — space-time planning, re-run every ``replan_every``
+  ticks from the current position (robust to prediction error; here
+  predictions are exact so it matches spacetime, but it also recovers
+  when the horizon was too short).
+
+:func:`run_episode` executes a policy and reports collisions, arrival
+and path length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.robotics.gridworld import Hallway
+from repro.robotics.planner import PlanningFailed, astar, time_expanded_astar
+
+__all__ = ["EpisodeResult", "run_episode", "POLICIES"]
+
+POLICIES = ("static", "spacetime", "replan")
+
+
+@dataclass
+class EpisodeResult:
+    policy: str
+    reached_goal: bool
+    collisions: int
+    steps: int
+
+    @property
+    def safe_arrival(self) -> bool:
+        return self.reached_goal and self.collisions == 0
+
+
+def run_episode(
+    world: Hallway,
+    policy: str = "spacetime",
+    *,
+    replan_every: int = 5,
+    max_steps: int | None = None,
+) -> EpisodeResult:
+    """Run one episode; collisions are counted, not fatal (the robot
+    apologises and continues), so policies are comparable end to end."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    if replan_every < 1:
+        raise ValueError("replan_every must be >= 1")
+    max_steps = max_steps if max_steps is not None else world.horizon - 1
+    position = world.start
+    collisions = 0
+    t = 0
+
+    def plan_from(pos, when):
+        if policy == "static":
+            return astar(world, pos)
+        return time_expanded_astar(world, start=pos, start_time=when)
+
+    try:
+        plan = plan_from(position, t)
+    except PlanningFailed:
+        return EpisodeResult(policy, False, 0, 0)
+    cursor = 1  # plan[0] is the current position
+    while t < max_steps:
+        if position == world.goal:
+            return EpisodeResult(policy, True, collisions, t)
+        if policy == "replan" and t > 0 and t % replan_every == 0:
+            try:
+                plan = plan_from(position, t)
+                cursor = 1
+            except PlanningFailed:
+                pass  # keep the old plan; better than freezing
+        if cursor < len(plan):
+            nxt = plan[cursor]
+            cursor += 1
+        else:
+            nxt = position  # plan exhausted: wait
+        t += 1
+        position = nxt
+        if world.is_collision(position, t):
+            collisions += 1
+    return EpisodeResult(policy, position == world.goal, collisions, t)

@@ -1,0 +1,94 @@
+"""A hallway grid world with moving pedestrians.
+
+Coordinates are (row, col); the robot enters at the left wall and
+must reach the right wall.  Pedestrians pace deterministic seeded
+trajectories (random walks biased along the hallway), so the world's
+future is *queryable*: ``pedestrian_positions(t)`` is exact, which
+lets the time-expanded planner plan in space-time, while the
+reactive controller only looks at the present.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import make_rng
+
+__all__ = ["Hallway"]
+
+Cell = tuple[int, int]
+
+MOVES: dict[str, Cell] = {
+    "up": (-1, 0),
+    "down": (1, 0),
+    "left": (0, -1),
+    "right": (0, 1),
+    "wait": (0, 0),
+}
+
+
+class Hallway:
+    """A rows x cols hallway with ``num_pedestrians`` walkers."""
+
+    def __init__(
+        self,
+        rows: int = 7,
+        cols: int = 40,
+        *,
+        num_pedestrians: int = 6,
+        horizon: int = 400,
+        seed: int | None = 0,
+    ) -> None:
+        if rows < 2 or cols < 4:
+            raise ValueError("hallway too small")
+        if num_pedestrians < 0:
+            raise ValueError("pedestrian count must be nonnegative")
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.horizon = horizon
+        self.start: Cell = (rows // 2, 0)
+        self.goal: Cell = (rows // 2, cols - 1)
+        rng = make_rng(seed)
+        # Precompute every pedestrian's full trajectory.
+        self._trajectories: list[list[Cell]] = []
+        for _ in range(num_pedestrians):
+            r = int(rng.integers(0, rows))
+            c = int(rng.integers(2, cols - 2))
+            direction = 1 if rng.random() < 0.5 else -1
+            path = [(r, c)]
+            for _ in range(horizon):
+                roll = rng.random()
+                if roll < 0.6:  # pace along the hallway
+                    nc = c + direction
+                    if not 1 <= nc <= cols - 2:
+                        direction = -direction
+                        nc = c + direction
+                    c = nc
+                elif roll < 0.8:  # drift across
+                    nr = r + (1 if rng.random() < 0.5 else -1)
+                    r = min(max(nr, 0), rows - 1)
+                # else: stand still
+                path.append((r, c))
+            self._trajectories.append(path)
+
+    def in_bounds(self, cell: Cell) -> bool:
+        r, c = cell
+        return 0 <= r < self.rows and 0 <= c < self.cols
+
+    def pedestrian_positions(self, t: int) -> set[Cell]:
+        """Exact pedestrian cells at time t (clamped to the horizon)."""
+        if t < 0:
+            raise ValueError("time must be nonnegative")
+        t = min(t, self.horizon)
+        return {path[t] for path in self._trajectories}
+
+    def neighbors(self, cell: Cell) -> list[Cell]:
+        out = []
+        for dr, dc in MOVES.values():
+            nxt = (cell[0] + dr, cell[1] + dc)
+            if nxt != cell and self.in_bounds(nxt):
+                out.append(nxt)
+        return out
+
+    def is_collision(self, cell: Cell, t: int) -> bool:
+        return cell in self.pedestrian_positions(t)

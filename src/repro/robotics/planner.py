@@ -1,0 +1,111 @@
+"""Path planners for the hallway.
+
+* :func:`astar` — classic A* over the static grid, ignoring
+  pedestrians entirely (the baseline that bumps into people);
+* :func:`time_expanded_astar` — A* over (cell, time) space-time
+  nodes: waiting is a move, and a node is blocked if a pedestrian
+  occupies it at that time.  Plans are collision-free by construction
+  against the *predicted* trajectories.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.robotics.gridworld import Cell, Hallway
+
+__all__ = ["astar", "time_expanded_astar", "PlanningFailed"]
+
+
+class PlanningFailed(RuntimeError):
+    """No path exists within the search limits."""
+
+
+def _manhattan(a: Cell, b: Cell) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def astar(world: Hallway, start: Cell | None = None, goal: Cell | None = None) -> list[Cell]:
+    """Shortest static path (list of cells, inclusive of endpoints)."""
+    start = start if start is not None else world.start
+    goal = goal if goal is not None else world.goal
+    for cell in (start, goal):
+        if not world.in_bounds(cell):
+            raise ValueError(f"cell {cell} out of bounds")
+    frontier: list[tuple[int, int, Cell]] = [(_manhattan(start, goal), 0, start)]
+    g_cost: dict[Cell, int] = {start: 0}
+    came: dict[Cell, Cell] = {}
+    counter = 0
+    while frontier:
+        _, _, current = heapq.heappop(frontier)
+        if current == goal:
+            path = [current]
+            while path[-1] != start:
+                path.append(came[path[-1]])
+            return list(reversed(path))
+        for nxt in world.neighbors(current):
+            tentative = g_cost[current] + 1
+            if tentative < g_cost.get(nxt, 1 << 30):
+                g_cost[nxt] = tentative
+                came[nxt] = current
+                counter += 1
+                heapq.heappush(frontier, (tentative + _manhattan(nxt, goal), counter, nxt))
+    raise PlanningFailed("static A* found no path")
+
+
+def time_expanded_astar(
+    world: Hallway,
+    *,
+    start: Cell | None = None,
+    start_time: int = 0,
+    goal: Cell | None = None,
+    max_time: int | None = None,
+) -> list[Cell]:
+    """Collision-free space-time plan from (start, start_time).
+
+    Returns the cell sequence from start_time onward (one cell per
+    tick, so ``plan[k]`` is the position at time start_time + k).
+    Waiting in place is allowed; both vertex collisions (occupying a
+    pedestrian's cell) and swap collisions (exchanging cells with a
+    pedestrian between ticks) are excluded.
+    """
+    start = start if start is not None else world.start
+    goal = goal if goal is not None else world.goal
+    max_time = max_time if max_time is not None else world.horizon
+    if start_time < 0 or start_time > max_time:
+        raise ValueError("start_time out of range")
+    if world.is_collision(start, start_time):
+        raise PlanningFailed("start cell is occupied at start time")
+    Node = tuple[Cell, int]
+    start_node: Node = (start, start_time)
+    frontier: list[tuple[int, int, Node]] = [(_manhattan(start, goal), 0, start_node)]
+    g_cost: dict[Node, int] = {start_node: 0}
+    came: dict[Node, Node] = {}
+    counter = 0
+    while frontier:
+        _, _, (cell, t) = heapq.heappop(frontier)
+        if cell == goal:
+            node = (cell, t)
+            path = [node]
+            while path[-1] != start_node:
+                path.append(came[path[-1]])
+            return [c for c, _ in reversed(path)]
+        if t >= max_time:
+            continue
+        now_peds = world.pedestrian_positions(t)
+        next_peds = world.pedestrian_positions(t + 1)
+        for nxt in [*world.neighbors(cell), cell]:  # waiting allowed
+            if nxt in next_peds:
+                continue  # vertex collision
+            if nxt in now_peds and cell in next_peds:
+                continue  # swap collision
+            node = (nxt, t + 1)
+            tentative = g_cost[(cell, t)] + 1
+            if tentative < g_cost.get(node, 1 << 30):
+                g_cost[node] = tentative
+                came[node] = (cell, t)
+                counter += 1
+                heapq.heappush(
+                    frontier, (tentative + _manhattan(nxt, goal), counter, node)
+                )
+    raise PlanningFailed("time-expanded A* found no path within the horizon")

@@ -1,0 +1,30 @@
+"""Societal drivers (paper §2b) and the paper's only figure.
+
+* :mod:`repro.society.drivers` — **Figure 1**: the science /
+  technology / society triangle with bidirectional arrows, as a
+  coupled dynamical system with scenario presets for the paper's
+  three named feedback anecdotes;
+* :mod:`repro.society.availability` — "100 per cent reliability, 100
+  per cent connectivity": replicated-service availability vs cost;
+* :mod:`repro.society.privacy` — "How do we balance openness with
+  privacy?": k-anonymity and the Laplace mechanism;
+* :mod:`repro.society.socialnet` — "the unanticipated and rapid rise
+  of social networks": preferential attachment vs random graphs;
+* :mod:`repro.society.personalization` — "search companies ...
+  tracking our queries and personalizing" : relevance gain vs privacy
+  loss.
+"""
+
+from repro.society.availability import ReplicatedService
+from repro.society.drivers import ThreeDrivers
+from repro.society.privacy import k_anonymize, laplace_mechanism
+from repro.society.socialnet import preferential_attachment, random_graph
+
+__all__ = [
+    "ThreeDrivers",
+    "ReplicatedService",
+    "k_anonymize",
+    "laplace_mechanism",
+    "preferential_attachment",
+    "random_graph",
+]

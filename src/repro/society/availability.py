@@ -1,0 +1,126 @@
+"""Replicated-service availability (paper §2b).
+
+    "People now demand availability, 24 hours per day, every day, 100
+    per cent reliability, 100 per cent connectivity..."
+
+:class:`ReplicatedService` serves requests if at least ``quorum`` of
+its replicas are up; replicas fail and recover as independent
+processes.  The analytic steady-state availability (binomial over
+per-replica availability) is checked against a discrete-event
+simulation with :mod:`repro.faults` — and the C18 bench prints the
+"nines versus replicas versus cost" table, showing why literal 100%
+is an asymptote, not a reachable point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng
+
+__all__ = ["ReplicatedService", "SimOutcome", "nines"]
+
+
+def nines(availability: float) -> float:
+    """Availability expressed in 'nines' (0.999 -> 3.0)."""
+    if not 0.0 <= availability < 1.0:
+        raise ValueError("availability must be in [0, 1)")
+    if availability == 0.0:
+        return 0.0
+    return -math.log10(1.0 - availability)
+
+
+@dataclass
+class SimOutcome:
+    requests: int
+    served: int
+    downtime_fraction: float
+
+    @property
+    def measured_availability(self) -> float:
+        return self.served / self.requests if self.requests else 0.0
+
+
+class ReplicatedService:
+    """N replicas, quorum Q, independent fail/repair processes."""
+
+    def __init__(
+        self,
+        replicas: int,
+        *,
+        quorum: int = 1,
+        fail_rate: float = 0.01,
+        repair_rate: float = 0.5,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        if not 1 <= quorum <= replicas:
+            raise ValueError("quorum must be in [1, replicas]")
+        if fail_rate <= 0 or repair_rate <= 0:
+            raise ValueError("rates must be positive")
+        self.replicas = replicas
+        self.quorum = quorum
+        self.fail_rate = fail_rate
+        self.repair_rate = repair_rate
+
+    @property
+    def replica_availability(self) -> float:
+        """Steady-state P(one replica up) = repair / (fail + repair)."""
+        return self.repair_rate / (self.fail_rate + self.repair_rate)
+
+    def analytic_availability(self) -> float:
+        """P(at least quorum up) under independence.
+
+        Computed as 1 - P(fewer than quorum up): the unavailability
+        tail is tiny, and summing it preserves precision where summing
+        the availability tail would round to exactly 1.0.
+        """
+        p = self.replica_availability
+        n = self.replicas
+        return 1.0 - self.analytic_unavailability()
+
+    def analytic_unavailability(self) -> float:
+        """P(fewer than quorum up) — never exactly zero, even when the
+        availability rounds to 1.0 in floating point (the quantitative
+        reason "100 per cent reliability" is an asymptote)."""
+        p = self.replica_availability
+        n = self.replicas
+        return sum(
+            math.comb(n, k) * p**k * (1 - p) ** (n - k)
+            for k in range(0, self.quorum)
+        )
+
+    def cost(self, *, per_replica: float = 1.0) -> float:
+        """Linear hardware cost — the other axis of the C18 table."""
+        return per_replica * self.replicas
+
+    def simulate(
+        self,
+        *,
+        ticks: int = 10_000,
+        requests_per_tick: int = 1,
+        seed: int | None = 0,
+    ) -> SimOutcome:
+        """Discrete-time simulation: each tick, each up replica fails
+        w.p. fail_rate and each down replica recovers w.p. repair_rate;
+        requests succeed when >= quorum replicas are up."""
+        if ticks < 1 or requests_per_tick < 1:
+            raise ValueError("ticks and request rate must be positive")
+        rng = make_rng(seed)
+        up = [True] * self.replicas
+        served = 0
+        down_ticks = 0
+        total_requests = ticks * requests_per_tick
+        for _ in range(ticks):
+            for i in range(self.replicas):
+                if up[i]:
+                    if rng.random() < self.fail_rate:
+                        up[i] = False
+                elif rng.random() < self.repair_rate:
+                    up[i] = True
+            if sum(up) >= self.quorum:
+                served += requests_per_tick
+            else:
+                down_ticks += 1
+        return SimOutcome(total_requests, served, down_ticks / ticks)

@@ -1,0 +1,185 @@
+"""Figure 1: the three drivers of computing, made dynamical.
+
+The figure shows three nodes — science, technology, society — joined
+by bidirectional arrows, and the text walks the loop: "scientific
+discovery feeds technological innovation, which feeds new societal
+applications; in the reverse direction, new technology inspires new
+creative societal uses, which may demand new scientific discovery."
+
+Model: state (S, T, Y) >= 0 are activity levels.  Each directed arrow
+has a coupling gain; each node decays toward a baseline (ideas go
+stale, technology depreciates, fashions fade) and saturates (log-
+style diminishing returns):
+
+    dS/dt = base_S - decay·S + g[TS]·f(T) + g[YS]·f(Y)
+    dT/dt = base_T - decay·T + g[ST]·f(S) + g[YT]·f(Y)
+    dY/dt = base_Y - decay·Y + g[TY]·f(T) + g[SY]·f(S)
+
+with f(x) = x / (1 + x) (saturating).  RK4 integration, no scipy
+needed.  Scenario presets encode the paper's three anecdotes as
+coupling/impulse configurations; the F1 bench prints the trajectories
+and the measured loop effects (e.g. a society-side demand impulse
+propagating into the science level — the reverse arrow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["ThreeDrivers", "Trajectory", "PRESETS", "ascii_figure1"]
+
+ARROWS = ("ST", "TS", "TY", "YT", "SY", "YS")  # XY = X drives Y
+
+
+def _saturate(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + x)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    time: np.ndarray
+    science: np.ndarray
+    technology: np.ndarray
+    society: np.ndarray
+
+    def final(self) -> tuple[float, float, float]:
+        return float(self.science[-1]), float(self.technology[-1]), float(self.society[-1])
+
+    def peak(self, which: str) -> float:
+        series = getattr(self, which)
+        return float(np.max(series))
+
+
+@dataclass(frozen=True)
+class ThreeDrivers:
+    """The coupled system; couplings keyed by directed arrow name."""
+
+    couplings: dict[str, float] = field(
+        default_factory=lambda: {arrow: 0.5 for arrow in ARROWS}
+    )
+    decay: float = 0.3
+    baseline: tuple[float, float, float] = (0.1, 0.1, 0.1)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.couplings) - set(ARROWS)
+        if unknown:
+            raise ValueError(f"unknown arrows: {sorted(unknown)}")
+        if any(g < 0 for g in self.couplings.values()):
+            raise ValueError("couplings must be nonnegative")
+        if self.decay <= 0:
+            raise ValueError("decay must be positive")
+        if any(b < 0 for b in self.baseline):
+            raise ValueError("baselines must be nonnegative")
+
+    def _gain(self, arrow: str) -> float:
+        return self.couplings.get(arrow, 0.0)
+
+    def _derivative(self, state: np.ndarray, impulse: np.ndarray) -> np.ndarray:
+        s, t, y = state
+        fs, ft, fy = _saturate(np.array([s, t, y]))
+        ds = self.baseline[0] - self.decay * s + self._gain("TS") * ft + self._gain("YS") * fy
+        dt = self.baseline[1] - self.decay * t + self._gain("ST") * fs + self._gain("YT") * fy
+        dy = self.baseline[2] - self.decay * y + self._gain("TY") * ft + self._gain("SY") * fs
+        return np.array([ds, dt, dy]) + impulse
+
+    def simulate(
+        self,
+        *,
+        horizon: float = 50.0,
+        dt: float = 0.05,
+        initial: tuple[float, float, float] = (1.0, 1.0, 1.0),
+        impulses: dict[str, tuple[float, float, float]] | None = None,
+    ) -> Trajectory:
+        """RK4 integration.
+
+        ``impulses`` maps a node name ('science'/'technology'/
+        'society') to (start, end, magnitude): an exogenous forcing
+        active on [start, end) — the "demand" arrows of the anecdotes.
+        """
+        if horizon <= 0 or dt <= 0 or dt > horizon:
+            raise ValueError("need 0 < dt <= horizon")
+        impulses = impulses or {}
+        index = {"science": 0, "technology": 1, "society": 2}
+        for node in impulses:
+            if node not in index:
+                raise KeyError(f"unknown node {node!r}")
+        steps = int(round(horizon / dt))
+        state = np.array(initial, dtype=float)
+        if np.any(state < 0):
+            raise ValueError("initial levels must be nonnegative")
+        times = np.empty(steps + 1)
+        out = np.empty((steps + 1, 3))
+        times[0] = 0.0
+        out[0] = state
+        for k in range(steps):
+            now = k * dt
+            forcing = np.zeros(3)
+            for node, (start, end, mag) in impulses.items():
+                if start <= now < end:
+                    forcing[index[node]] += mag
+            k1 = self._derivative(state, forcing)
+            k2 = self._derivative(state + 0.5 * dt * k1, forcing)
+            k3 = self._derivative(state + 0.5 * dt * k2, forcing)
+            k4 = self._derivative(state + dt * k3, forcing)
+            state = state + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+            state = np.maximum(state, 0.0)
+            times[k + 1] = now + dt
+            out[k + 1] = state
+        return Trajectory(times, out[:, 0], out[:, 1], out[:, 2])
+
+    def equilibrium(self, **kwargs) -> tuple[float, float, float]:
+        """Long-run levels (simulate far and read the end point)."""
+        return self.simulate(horizon=200.0, **kwargs).final()
+
+    def with_arrow(self, arrow: str, gain: float) -> "ThreeDrivers":
+        if arrow not in ARROWS:
+            raise ValueError(f"unknown arrow {arrow!r}")
+        updated = dict(self.couplings)
+        updated[arrow] = gain
+        return replace(self, couplings=updated)
+
+
+def _energy_preset() -> tuple["ThreeDrivers", dict]:
+    """'The spread of our own computing machinery requires new advances
+    in science to use energy more efficiently' — society demands
+    science (YS arrow strong), probed with a society-side impulse."""
+    model = ThreeDrivers().with_arrow("YS", 1.2)
+    return model, {"society": (5.0, 15.0, 1.0)}
+
+
+def _multimedia_preset() -> tuple["ThreeDrivers", dict]:
+    """'The desire for higher fidelity virtual environments is straining
+    our network capability' — society demands technology (YT strong)."""
+    model = ThreeDrivers().with_arrow("YT", 1.2)
+    return model, {"society": (5.0, 15.0, 1.0)}
+
+
+def _socialnet_preset() -> tuple["ThreeDrivers", dict]:
+    """'A fundamental social desire ... led to the unanticipated and
+    rapid rise of social networks' — technology enables society (TY
+    strong), probed with a technology impulse."""
+    model = ThreeDrivers().with_arrow("TY", 1.2)
+    return model, {"technology": (5.0, 15.0, 1.0)}
+
+
+PRESETS = {
+    "baseline": (lambda: (ThreeDrivers(), {})),
+    "energy-demand": _energy_preset,
+    "multimedia-demand": _multimedia_preset,
+    "social-network-rise": _socialnet_preset,
+}
+
+
+def ascii_figure1() -> str:
+    """The figure itself, as the paper draws it."""
+    return "\n".join(
+        [
+            "        technology",
+            "         ^      ^",
+            "        /|      |\\",
+            "       / v      v \\",
+            "   science <--> society",
+        ]
+    )

@@ -1,0 +1,160 @@
+"""Balancing openness with privacy (paper §2b, Challenge no. 2).
+
+Two standard mechanisms, each with its utility cost made measurable:
+
+* :func:`k_anonymize` — generalise quasi-identifier columns (numeric
+  binning, categorical suppression-to-``*``) until every record is
+  indistinguishable from at least k-1 others; utility loss is the
+  fraction of cell precision destroyed;
+* :func:`laplace_mechanism` — ε-differentially-private numeric
+  queries; the C19 bench sweeps ε and prints error vs privacy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng
+
+__all__ = ["k_anonymize", "AnonymizationResult", "laplace_mechanism", "dp_count", "dp_mean"]
+
+Record = dict
+
+
+@dataclass
+class AnonymizationResult:
+    records: list[Record]
+    k_achieved: int
+    generalization_levels: dict[str, int]
+    utility_loss: float  # 0 = untouched, 1 = fully suppressed
+
+
+def _generalize_value(value, level: int, *, numeric_base: float = 5.0):
+    """Level-0 returns the value; each numeric level widens bins 4x;
+    categorical values are suppressed at level >= 1."""
+    if level == 0:
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        width = numeric_base * 4 ** (level - 1)
+        low = math.floor(value / width) * width
+        return f"[{low:g}-{low + width:g})"
+    return "*"
+
+
+def _equivalence_classes(records: list[Record], quasi: Sequence[str]) -> Counter:
+    return Counter(tuple(r[q] for q in quasi) for r in records)
+
+
+def k_anonymize(
+    records: Sequence[Record],
+    quasi_identifiers: Sequence[str],
+    k: int,
+    *,
+    max_level: int = 6,
+) -> AnonymizationResult:
+    """Uniform-level generalisation until k-anonymity holds.
+
+    Greedy: repeatedly raise the generalisation level of the column
+    currently splitting the most equivalence classes, until the
+    smallest class has >= k members.  Raises ``ValueError`` if even
+    full suppression cannot reach k (i.e. k > number of records).
+    """
+    records = [dict(r) for r in records]
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not records:
+        raise ValueError("need at least one record")
+    if k > len(records):
+        raise ValueError(f"k={k} exceeds the {len(records)} records")
+    for q in quasi_identifiers:
+        for r in records:
+            if q not in r:
+                raise KeyError(f"record missing quasi-identifier {q!r}")
+    levels = {q: 0 for q in quasi_identifiers}
+
+    def view() -> list[Record]:
+        out = []
+        for r in records:
+            new = dict(r)
+            for q in quasi_identifiers:
+                new[q] = _generalize_value(r[q], levels[q])
+            out.append(new)
+        return out
+
+    while True:
+        current = view()
+        classes = _equivalence_classes(current, quasi_identifiers)
+        smallest = min(classes.values())
+        if smallest >= k:
+            loss = sum(levels.values()) / (max_level * max(1, len(levels)))
+            return AnonymizationResult(current, smallest, dict(levels), min(1.0, loss))
+        # Raise the level of the most discriminating column.
+        candidates = [q for q in quasi_identifiers if levels[q] < max_level]
+        if not candidates:
+            raise ValueError("cannot reach k-anonymity even at full generalisation")
+
+        def distinct_under_bump(q: str) -> int:
+            trial = dict(levels)
+            trial[q] += 1
+            return len(
+                Counter(
+                    tuple(_generalize_value(r[col], trial[col]) for col in quasi_identifiers)
+                    for r in records
+                )
+            )
+
+        chosen = min(candidates, key=lambda q: (distinct_under_bump(q), q))
+        levels[chosen] += 1
+
+
+def laplace_mechanism(
+    true_value: float,
+    *,
+    sensitivity: float,
+    epsilon: float,
+    seed: int | None = None,
+) -> float:
+    """Release true_value + Laplace(sensitivity/ε) noise."""
+    if sensitivity <= 0:
+        raise ValueError("sensitivity must be positive")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    rng = make_rng(seed)
+    return float(true_value + rng.laplace(0.0, sensitivity / epsilon))
+
+
+def dp_count(records: Sequence[Record], predicate, *, epsilon: float, seed: int | None = None) -> float:
+    """ε-DP counting query (sensitivity 1)."""
+    true = sum(1 for r in records if predicate(r))
+    return laplace_mechanism(true, sensitivity=1.0, epsilon=epsilon, seed=seed)
+
+
+def dp_mean(
+    values: Sequence[float],
+    *,
+    lower: float,
+    upper: float,
+    epsilon: float,
+    seed: int | None = None,
+) -> float:
+    """ε-DP mean of values clamped to [lower, upper].
+
+    Sensitivity of the clamped sum is (upper-lower); half the budget
+    goes to the sum, half to the count.
+    """
+    if upper <= lower:
+        raise ValueError("need lower < upper")
+    if not values:
+        raise ValueError("need at least one value")
+    rng = make_rng(seed)
+    clamped = [min(max(v, lower), upper) for v in values]
+    noisy_sum = laplace_mechanism(
+        sum(clamped), sensitivity=upper - lower, epsilon=epsilon / 2, seed=rng
+    )
+    noisy_count = max(
+        1.0, laplace_mechanism(len(values), sensitivity=1.0, epsilon=epsilon / 2, seed=rng)
+    )
+    return noisy_sum / noisy_count

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded randomness, timing, growth fitting, tables.
+
+Every stochastic component in :mod:`repro` draws randomness through
+:func:`repro.util.rng.make_rng` so that experiments are reproducible
+bit-for-bit given a seed.  Benchmarks print their rows through
+:class:`repro.util.tables.Table` so every harness emits the same
+paper-style fixed-width output.
+"""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import Table
+from repro.util.timing import GrowthFit, fit_growth, time_callable
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "Table",
+    "time_callable",
+    "fit_growth",
+    "GrowthFit",
+]

@@ -1,0 +1,67 @@
+"""Fixed-width table rendering for benchmark harnesses.
+
+Every bench in ``benchmarks/`` prints its rows through :class:`Table`
+so that regenerated "paper" output has one consistent format: a header,
+an underline, aligned columns, and a caption line matching the
+experiment id in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """Accumulate rows and render them as an aligned ASCII table."""
+
+    def __init__(self, columns: Sequence[str], *, caption: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.caption = caption
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        out = []
+        if self.caption:
+            out.append(self.caption)
+        out.append(line(self.columns))
+        out.append(line(["-" * w for w in widths]))
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

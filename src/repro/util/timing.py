@@ -1,0 +1,104 @@
+"""Repeatable micro-timing and empirical growth-class fitting.
+
+The paper asks educators to show "the difference between a
+polynomial-time algorithm and an exponential-time one" (§1c).  These
+helpers measure a callable over a sweep of sizes and fit the observed
+runtimes against candidate growth laws, reporting which law explains
+the data best.  The approach follows the profiling-first discipline of
+the optimisation guide: measure, do not guess.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["time_callable", "GrowthFit", "fit_growth", "GROWTH_LAWS"]
+
+
+def time_callable(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 3,
+    min_time: float = 0.0,
+) -> float:
+    """Return the best-of-``repeats`` wall time of ``fn()`` in seconds.
+
+    Best-of is the standard timeit strategy: the minimum over repeats is
+    the least noisy estimator of the true cost because noise is strictly
+    additive.  ``min_time`` optionally re-runs the callable in a loop
+    until at least that much time has accumulated, for very fast bodies.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = math.inf
+    for _ in range(repeats):
+        n_calls = 1
+        while True:
+            t0 = time.perf_counter()
+            for _ in range(n_calls):
+                fn()
+            elapsed = time.perf_counter() - t0
+            if elapsed >= min_time or elapsed > 0.2:
+                best = min(best, elapsed / n_calls)
+                break
+            n_calls *= 4
+    return best
+
+
+# Candidate growth laws: name -> feature transform of n.
+GROWTH_LAWS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "1": lambda n: np.ones_like(n, dtype=float),
+    "log n": lambda n: np.log2(np.maximum(n, 2.0)),
+    "n": lambda n: n.astype(float),
+    "n log n": lambda n: n * np.log2(np.maximum(n, 2.0)),
+    "n^2": lambda n: n.astype(float) ** 2,
+    "n^3": lambda n: n.astype(float) ** 3,
+    "2^n": lambda n: np.exp2(np.minimum(n, 512).astype(float)),
+}
+
+
+@dataclass
+class GrowthFit:
+    """Result of fitting runtimes against the candidate growth laws."""
+
+    best_law: str
+    scores: dict[str, float] = field(default_factory=dict)
+    sizes: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    def is_polynomial(self) -> bool:
+        """True when the winning law is polynomially bounded."""
+        return self.best_law != "2^n"
+
+
+def fit_growth(sizes: Sequence[int], times: Sequence[float]) -> GrowthFit:
+    """Fit ``times`` ~ c * law(``sizes``) and pick the best law.
+
+    For each candidate law we solve the 1-parameter least-squares
+    problem in log space (which weights relative rather than absolute
+    error, so small-n points do not drown) and score it by residual
+    variance.  Lower score wins.
+    """
+    n = np.asarray(sizes, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if n.shape != t.shape or n.size < 3:
+        raise ValueError("need >= 3 (size, time) pairs of equal length")
+    if np.any(t <= 0):
+        raise ValueError("times must be positive")
+    scores: dict[str, float] = {}
+    for name, law in GROWTH_LAWS.items():
+        feature = law(n)
+        if np.any(feature <= 0) or not np.all(np.isfinite(feature)):
+            scores[name] = math.inf
+            continue
+        log_ratio = np.log(t) - np.log(feature)
+        # Optimal constant in log space is the mean; score is residual var.
+        resid = log_ratio - log_ratio.mean()
+        scores[name] = float(np.mean(resid**2))
+    best = min(scores, key=lambda k: scores[k])
+    return GrowthFit(best_law=best, scores=scores, sizes=list(sizes), times=list(times))

@@ -1,0 +1,176 @@
+"""Tests for the adjacency Graph, with networkx as an oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adt.graph import Graph
+
+
+def test_add_nodes_and_edges():
+    g = Graph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c", weight=2.5)
+    assert g.num_nodes() == 3
+    assert g.num_edges() == 2
+    assert g.has_edge("b", "a")  # undirected symmetry
+    assert g.weight("b", "c") == 2.5
+
+
+def test_directed_asymmetry():
+    g = Graph(directed=True)
+    g.add_edge("a", "b")
+    assert g.has_edge("a", "b")
+    assert not g.has_edge("b", "a")
+    assert g.predecessors("b") == ["a"]
+    assert g.in_degree("b") == 1
+
+
+def test_remove_edge():
+    g = Graph()
+    g.add_edge(1, 2)
+    g.remove_edge(1, 2)
+    assert not g.has_edge(1, 2) and not g.has_edge(2, 1)
+    with pytest.raises(KeyError):
+        g.remove_edge(1, 2)
+
+
+def test_bfs_dfs_cover_component():
+    g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (1, 4)])
+    assert set(g.bfs_order(1)) == {1, 2, 3, 4}
+    assert set(g.dfs_order(1)) == {1, 2, 3, 4}
+
+
+def test_bfs_layers():
+    g = Graph.from_edges([(1, 2), (1, 3), (2, 4), (3, 4)])
+    order = g.bfs_order(1)
+    assert order[0] == 1
+    assert set(order[1:3]) == {2, 3}
+    assert order[3] == 4
+
+
+def test_connectivity():
+    g = Graph.from_edges([(1, 2), (3, 4)])
+    assert not g.is_connected()
+    comps = g.connected_components()
+    assert sorted(map(sorted, comps)) == [[1, 2], [3, 4]]
+
+
+def test_empty_graph_connected():
+    assert Graph().is_connected()
+
+
+def test_directed_weak_connectivity():
+    g = Graph.from_edges([(1, 2), (3, 2)], directed=True)
+    assert g.is_connected()
+
+
+def test_undirected_cycle_detection():
+    assert Graph.from_edges([(1, 2), (2, 3), (3, 1)]).has_cycle()
+    assert not Graph.from_edges([(1, 2), (2, 3)]).has_cycle()
+
+
+def test_directed_cycle_detection():
+    assert Graph.from_edges([(1, 2), (2, 1)], directed=True).has_cycle()
+    assert not Graph.from_edges([(1, 2), (2, 3)], directed=True).has_cycle()
+
+
+def test_topological_order():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")], directed=True)
+    order = g.topological_order()
+    assert order is not None
+    assert order.index("a") < order.index("b") < order.index("c")
+
+
+def test_topological_order_cyclic_none():
+    g = Graph.from_edges([(1, 2), (2, 1)], directed=True)
+    assert g.topological_order() is None
+
+
+def test_topological_requires_directed():
+    with pytest.raises(ValueError):
+        Graph().topological_order()
+
+
+def test_components_require_undirected():
+    with pytest.raises(ValueError):
+        Graph(directed=True).connected_components()
+
+
+def test_shortest_path_simple():
+    g = Graph.from_edges([(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)])
+    dist, path = g.shortest_path(1, 3)
+    assert dist == 2.0
+    assert path == [1, 2, 3]
+
+
+def test_shortest_path_unreachable():
+    g = Graph.from_edges([(1, 2)])
+    g.add_node(99)
+    with pytest.raises(KeyError):
+        g.shortest_path(1, 99)
+
+
+def test_shortest_path_rejects_negative():
+    g = Graph.from_edges([(1, 2, -1.0)])
+    with pytest.raises(ValueError):
+        g.shortest_path(1, 2)
+
+
+def test_subgraph():
+    g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+    sub = g.subgraph([1, 2, 3])
+    assert sub.num_nodes() == 3
+    assert sub.num_edges() == 2
+    assert not sub.has_node(4)
+
+
+def test_self_loop_edge_count():
+    g = Graph()
+    g.add_edge(1, 1)
+    assert g.num_edges() == 1
+
+
+@st.composite
+def random_edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    m = draw(st.integers(min_value=1, max_value=30))
+    edges = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(m)
+    ]
+    return [(u, v) for u, v in edges if u != v]
+
+
+@given(random_edge_lists())
+def test_connectivity_matches_networkx(edges):
+    if not edges:
+        return
+    ours = Graph.from_edges(edges)
+    theirs = nx.Graph(edges)
+    assert ours.is_connected() == nx.is_connected(theirs)
+
+
+@given(random_edge_lists())
+def test_shortest_path_matches_networkx(edges):
+    if not edges:
+        return
+    ours = Graph.from_edges(edges)
+    theirs = nx.Graph(edges)
+    source, target = edges[0][0], edges[-1][1]
+    if nx.has_path(theirs, source, target):
+        dist, path = ours.shortest_path(source, target)
+        assert dist == nx.shortest_path_length(theirs, source, target)
+        assert path[0] == source and path[-1] == target
+
+
+@given(random_edge_lists())
+def test_cycle_detection_matches_networkx(edges):
+    if not edges:
+        return
+    ours = Graph.from_edges(edges)
+    theirs = nx.Graph(edges)
+    # networkx: a graph has a cycle iff it has more edges than a forest allows
+    forest = theirs.number_of_edges() <= theirs.number_of_nodes() - nx.number_connected_components(theirs)
+    assert ours.has_cycle() == (not forest)

@@ -1,0 +1,82 @@
+"""Tests for the algebraic-law machinery (paper §1a: stacks don't add)."""
+
+import operator
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adt.laws import (
+    check_monoid,
+    queue_fifo_law,
+    queue_order_law,
+    refute_stack_addition,
+    stack_add_candidates,
+    stack_lifo_law,
+    stack_push_pop_law,
+)
+from repro.adt.queue import Queue
+from repro.adt.stack import Stack
+
+
+def test_integers_form_commutative_monoid():
+    report = check_monoid(operator.add, 0, range(-3, 4))
+    assert report.holds
+    assert report.counterexample is None
+
+
+def test_string_concat_noncommutative_detected():
+    report = check_monoid(operator.add, "", ["a", "b"])
+    assert not report.holds
+    assert report.counterexample[0] == "commutativity"
+
+
+def test_bad_identity_detected():
+    report = check_monoid(operator.add, 1, [2, 3])
+    assert not report.holds
+    assert "identity" in report.counterexample[0]
+
+
+def test_nonassociative_detected():
+    report = check_monoid(operator.sub, 0, [1, 2, 3], commutative=False)
+    assert not report.holds
+    # subtraction fails right-identity? 3-0=3 ok, 0-3=-3 != 3 -> left-identity
+    assert report.counterexample[0] in ("left-identity", "associativity")
+
+
+def test_candidates_cover_three_shapes():
+    assert set(stack_add_candidates()) == {"concat-under", "concat-over", "interleave"}
+
+
+def test_every_candidate_addition_refuted():
+    failures = refute_stack_addition()
+    assert set(failures) == set(stack_add_candidates())
+    for law, witness in failures.values():
+        assert law in ("commutativity", "associativity", "left-identity", "right-identity")
+        assert witness
+
+
+def test_candidates_do_respect_empty_identity():
+    s = Stack.of([1, 2])
+    for op in stack_add_candidates().values():
+        assert op(s, Stack.empty()) == s
+        assert op(Stack.empty(), s) == s
+
+
+@given(st.lists(st.integers()), st.integers())
+def test_stack_push_pop_law(items, x):
+    assert stack_push_pop_law(Stack.of(items), x)
+
+
+@given(st.lists(st.integers()))
+def test_stack_lifo_law(items):
+    assert stack_lifo_law(items)
+
+
+@given(st.lists(st.integers()))
+def test_queue_fifo_law(items):
+    assert queue_fifo_law(items)
+
+
+@given(st.lists(st.integers()), st.integers())
+def test_queue_order_law(items, x):
+    assert queue_order_law(Queue.of(items), x)

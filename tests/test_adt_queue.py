@@ -1,0 +1,91 @@
+"""Unit and property tests for the persistent Queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adt.queue import Queue, QueueUnderflow
+
+
+def test_empty():
+    assert Queue.empty().is_empty()
+    assert len(Queue.empty()) == 0
+
+
+def test_enqueue_dequeue_single():
+    q = Queue.empty().enqueue("a")
+    head, rest = q.dequeue()
+    assert head == "a"
+    assert rest.is_empty()
+
+
+def test_fifo_order():
+    q = Queue.of([1, 2, 3])
+    assert list(q) == [1, 2, 3]
+    h1, q = q.dequeue()
+    h2, q = q.dequeue()
+    assert (h1, h2) == (1, 2)
+
+
+def test_front_nondestructive():
+    q = Queue.of([5, 6])
+    assert q.front() == 5
+    assert len(q) == 2
+
+
+def test_dequeue_empty_raises():
+    with pytest.raises(QueueUnderflow):
+        Queue.empty().dequeue()
+    with pytest.raises(QueueUnderflow):
+        Queue.empty().front()
+
+
+def test_persistence():
+    base = Queue.of([1])
+    bigger = base.enqueue(2)
+    assert len(base) == 1 and len(bigger) == 2
+
+
+def test_equality():
+    assert Queue.of([1, 2]) == Queue.of([1, 2])
+    assert Queue.of([1, 2]) != Queue.of([2, 1])
+    assert Queue.of([1]) != "x"
+
+
+def test_internal_rotation_preserves_order():
+    # Force the banker's-queue rotation: dequeue after many enqueues.
+    q = Queue.of(range(10))
+    drained = []
+    while not q.is_empty():
+        v, q = q.dequeue()
+        drained.append(v)
+        q = q.enqueue(v * 10)
+        v2, q = q.dequeue()
+        drained.append(v2)
+        if len(drained) > 40:
+            break
+    assert drained[0] == 0 and drained[1] == 1
+
+
+@given(st.lists(st.integers()))
+def test_fifo_property(items):
+    q = Queue.of(items)
+    drained = []
+    while not q.is_empty():
+        v, q = q.dequeue()
+        drained.append(v)
+    assert drained == items
+
+
+@given(st.lists(st.integers()), st.integers())
+def test_enqueue_keeps_front(items, x):
+    q = Queue.of(items)
+    if q.is_empty():
+        assert q.enqueue(x).front() == x
+    else:
+        assert q.enqueue(x).front() == q.front()
+
+
+@given(st.lists(st.integers()))
+def test_hash_eq_consistency(items):
+    assert hash(Queue.of(items)) == hash(Queue.of(list(items)))

@@ -1,0 +1,88 @@
+"""Unit and property tests for the persistent Stack."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adt.stack import Stack, StackUnderflow
+
+
+def test_empty_is_empty():
+    assert Stack.empty().is_empty()
+    assert len(Stack.empty()) == 0
+
+
+def test_push_pop_roundtrip():
+    s = Stack.empty().push(1)
+    top, rest = s.pop()
+    assert top == 1
+    assert rest.is_empty()
+
+
+def test_peek_does_not_consume():
+    s = Stack.of([1, 2])
+    assert s.peek() == 2
+    assert len(s) == 2
+
+
+def test_pop_empty_raises():
+    with pytest.raises(StackUnderflow):
+        Stack.empty().pop()
+
+
+def test_peek_empty_raises():
+    with pytest.raises(StackUnderflow):
+        Stack.empty().peek()
+
+
+def test_persistence():
+    base = Stack.of([1])
+    bigger = base.push(2)
+    assert len(base) == 1
+    assert len(bigger) == 2
+    assert base.peek() == 1
+
+
+def test_iteration_top_to_bottom():
+    assert list(Stack.of([1, 2, 3])) == [3, 2, 1]
+
+
+def test_equality_value_based():
+    assert Stack.of([1, 2]) == Stack.of([1, 2])
+    assert Stack.of([1, 2]) != Stack.of([2, 1])
+    assert Stack.of([1]) != Stack.of([1, 1])
+
+
+def test_hash_consistent_with_eq():
+    assert hash(Stack.of([1, 2])) == hash(Stack.of([1, 2]))
+
+
+def test_eq_other_type():
+    assert Stack.empty() != [1]
+
+
+def test_repr_mentions_order():
+    assert "top->bottom" in repr(Stack.of([1, 2]))
+
+
+@given(st.lists(st.integers()))
+def test_of_then_len(items):
+    assert len(Stack.of(items)) == len(items)
+
+
+@given(st.lists(st.integers()), st.integers())
+def test_push_pop_law_property(items, x):
+    s = Stack.of(items)
+    top, rest = s.push(x).pop()
+    assert top == x
+    assert rest == s
+
+
+@given(st.lists(st.integers(), min_size=1))
+def test_lifo_property(items):
+    s = Stack.of(items)
+    drained = []
+    while not s.is_empty():
+        v, s = s.pop()
+        drained.append(v)
+    assert drained == list(reversed(items))

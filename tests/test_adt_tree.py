@@ -1,0 +1,103 @@
+"""Tests for trees and the tree-is-a-graph embedding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adt.graph import Graph
+from repro.adt.tree import BinaryTree, RoseTree, is_tree_graph, tree_as_graph
+
+
+def bst_of(values):
+    it = iter(values)
+    t = BinaryTree.leaf(next(it))
+    for v in it:
+        t = t.insert_bst(v)
+    return t
+
+
+def test_leaf_metrics():
+    leaf = BinaryTree.leaf(1)
+    assert leaf.size() == 1
+    assert leaf.height() == 0
+
+
+def test_bst_insert_and_search():
+    t = bst_of([5, 3, 8, 1])
+    for v in (5, 3, 8, 1):
+        assert t.contains_bst(v)
+    assert not t.contains_bst(99)
+
+
+def test_bst_inorder_sorted():
+    t = bst_of([5, 2, 9, 7, 1])
+    assert list(t.inorder()) == [1, 2, 5, 7, 9]
+
+
+def test_preorder_root_first():
+    t = bst_of([5, 3, 8])
+    assert next(t.preorder()) == 5
+
+
+def test_insert_is_persistent():
+    t = BinaryTree.leaf(5)
+    t2 = t.insert_bst(3)
+    assert t.size() == 1 and t2.size() == 2
+
+
+def test_rose_tree_metrics():
+    t = RoseTree("a", (RoseTree("b"), RoseTree("c", (RoseTree("d"),))))
+    assert t.size() == 4
+    assert t.height() == 2
+    assert list(t.preorder()) == ["a", "b", "c", "d"]
+
+
+def test_rose_tree_map():
+    t = RoseTree(1, (RoseTree(2),))
+    doubled = t.map(lambda x: x * 2)
+    assert list(doubled.preorder()) == [2, 4]
+
+
+def test_tree_as_graph_counts():
+    t = bst_of([5, 3, 8, 1, 9])
+    g = tree_as_graph(t)
+    assert g.num_nodes() == 5
+    assert g.num_edges() == 4
+
+
+def test_tree_graph_is_tree():
+    t = RoseTree("r", (RoseTree("x"), RoseTree("y")))
+    assert is_tree_graph(tree_as_graph(t))
+
+
+def test_cycle_graph_is_not_tree():
+    g = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+    assert not is_tree_graph(g)
+
+
+def test_forest_is_not_tree():
+    g = Graph.from_edges([(1, 2), (3, 4)])
+    assert not is_tree_graph(g)
+
+
+def test_empty_graph_is_not_tree():
+    assert not is_tree_graph(Graph())
+
+
+def test_duplicate_values_stay_distinct_in_graph():
+    t = RoseTree("same", (RoseTree("same"), RoseTree("same")))
+    assert tree_as_graph(t).num_nodes() == 3
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=40, unique=True))
+def test_every_bst_embeds_as_tree_graph(values):
+    t = bst_of(values)
+    g = tree_as_graph(t)
+    assert is_tree_graph(g)
+    assert g.num_nodes() == len(values)
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=60, unique=True))
+def test_bst_size_and_inorder(values):
+    t = bst_of(values)
+    assert t.size() == len(values)
+    assert list(t.inorder()) == sorted(values)

@@ -1,0 +1,89 @@
+"""Tests for the simulated Adleman DNA computation."""
+
+import pytest
+
+from repro.adt.graph import Graph
+from repro.bio.adleman import AdlemanComputer
+from repro.complexity.reductions import adleman_graph, hamiltonian_path_instance
+from repro.complexity.verify import verify_hamiltonian_path
+
+
+@pytest.fixture()
+def computer():
+    g, start, end = adleman_graph()
+    return AdlemanComputer(g, start, end)
+
+
+def test_requires_directed_graph():
+    with pytest.raises(ValueError):
+        AdlemanComputer(Graph(), 0, 1)
+
+
+def test_endpoints_validated():
+    g, _, _ = adleman_graph()
+    with pytest.raises(KeyError):
+        AdlemanComputer(g, 0, 99)
+
+
+def test_anneal_population_size(computer):
+    soup = computer.anneal(500, seed=1)
+    assert len(soup) == 500
+    n = computer.graph.num_nodes()
+    assert all(1 <= len(m) <= 2 * n for m in soup)
+
+
+def test_anneal_molecules_follow_edges(computer):
+    for molecule in computer.anneal(200, seed=2):
+        for a, b in zip(molecule, molecule[1:]):
+            assert computer.graph.has_edge(a, b)
+
+
+def test_anneal_validation(computer):
+    with pytest.raises(ValueError):
+        computer.anneal(0)
+
+
+def test_filters_shrink_population(computer):
+    soup = computer.anneal(5000, seed=3)
+    after_endpoints = computer.filter_endpoints(soup)
+    after_length = computer.filter_length(after_endpoints)
+    after_vertices = computer.filter_vertices(after_length)
+    assert len(soup) >= len(after_endpoints) >= len(after_length) >= len(after_vertices)
+
+
+def test_run_finds_the_unique_path(computer):
+    run = computer.run(population=60_000, seed=0)
+    assert run.succeeded
+    assert run.survivors == [(0, 1, 2, 3, 4, 5, 6)]
+    assert run.stage_counts["annealed"] == 60_000
+    counts = run.stage_counts
+    assert counts["after_vertices"] <= counts["after_length"] <= counts["after_endpoints"]
+
+
+def test_run_survivors_always_valid(computer):
+    for seed in range(3):
+        run = computer.run(population=20_000, seed=seed)
+        for molecule in run.survivors:
+            assert verify_hamiltonian_path(
+                computer.graph, list(molecule), start=0, end=6
+            )
+
+
+def test_tiny_population_usually_fails(computer):
+    assert computer.success_probability(20, trials=20, seed=1) < 0.7
+
+
+def test_success_probability_increases_with_population(computer):
+    small = computer.success_probability(100, trials=15, seed=5)
+    large = computer.success_probability(30_000, trials=15, seed=5)
+    assert large >= small
+    assert large >= 0.9
+
+
+def test_random_planted_instances_solved():
+    g, start, end = hamiltonian_path_instance(6, seed=9)
+    comp = AdlemanComputer(g, start, end)
+    run = comp.run(population=50_000, seed=9)
+    assert run.succeeded
+    for m in run.survivors:
+        assert verify_hamiltonian_path(g, list(m), start=start, end=end)

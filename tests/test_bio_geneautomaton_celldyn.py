@@ -1,0 +1,183 @@
+"""Tests for the molecular diagnostic automaton and the cell-cycle
+boolean network."""
+
+import pytest
+
+from repro.bio.celldyn import BooleanNetwork, yeast_cell_cycle
+from repro.bio.geneautomaton import (
+    DiagnosticRule,
+    MarkerCondition,
+    MolecularAutomaton,
+)
+
+
+def cancer_rule():
+    """Benenson's actual shape: some markers high, others low."""
+    return DiagnosticRule(
+        (
+            MarkerCondition("geneA", want_high=True),
+            MarkerCondition("geneB", want_high=True),
+            MarkerCondition("geneC", want_high=False),
+        )
+    )
+
+
+def test_marker_condition_ideal():
+    high = MarkerCondition("m", want_high=True, threshold=0.5)
+    assert high.satisfied_by(0.9)
+    assert not high.satisfied_by(0.1)
+    low = MarkerCondition("m", want_high=False)
+    assert low.satisfied_by(0.1)
+    assert not low.satisfied_by(0.9)
+
+
+def test_pass_probability_monotone():
+    cond = MarkerCondition("m", want_high=True)
+    probabilities = [cond.pass_probability(x) for x in (0.0, 0.25, 0.5, 0.75, 1.0)]
+    assert probabilities == sorted(probabilities)
+    assert probabilities[0] < 0.1
+    assert probabilities[-1] > 0.9
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        DiagnosticRule(())
+    with pytest.raises(ValueError):
+        DiagnosticRule((MarkerCondition("x", True), MarkerCondition("x", False)))
+
+
+def test_rule_ideal_evaluation():
+    rule = cancer_rule()
+    assert rule.holds({"geneA": 0.9, "geneB": 0.8, "geneC": 0.1})
+    assert not rule.holds({"geneA": 0.9, "geneB": 0.2, "geneC": 0.1})
+    assert not rule.holds({"geneA": 0.9, "geneB": 0.8, "geneC": 0.9})
+
+
+def test_rule_missing_marker_reads_zero():
+    rule = DiagnosticRule((MarkerCondition("x", want_high=False),))
+    assert rule.holds({})
+
+
+def test_rule_as_dfa():
+    dfa = cancer_rule().as_dfa()
+    assert dfa.accepts(["pass", "pass", "pass"])
+    assert not dfa.accepts(["pass", "fail", "pass"])
+    assert not dfa.accepts(["pass", "pass"])  # incomplete evidence
+
+
+def test_diagnose_clear_cases():
+    automaton = MolecularAutomaton(cancer_rule())
+    sick = {"geneA": 0.95, "geneB": 0.9, "geneC": 0.05}
+    healthy = {"geneA": 0.1, "geneB": 0.1, "geneC": 0.9}
+    assert automaton.diagnose(sick, seed=1).drug_released
+    assert not automaton.diagnose(healthy, seed=1).drug_released
+
+
+def test_diagnose_fraction_bounds():
+    automaton = MolecularAutomaton(cancer_rule())
+    d = automaton.diagnose({"geneA": 0.6, "geneB": 0.6, "geneC": 0.4}, seed=2)
+    assert 0.0 <= d.release_fraction <= 1.0
+    assert d.molecules == 1000
+
+
+def test_diagnose_validation():
+    automaton = MolecularAutomaton(cancer_rule())
+    with pytest.raises(ValueError):
+        automaton.diagnose({}, molecules=0)
+    with pytest.raises(ValueError):
+        MolecularAutomaton(cancer_rule(), release_threshold=0.0)
+
+
+def test_accuracy_high_on_clear_panel():
+    automaton = MolecularAutomaton(cancer_rule())
+    panel = [
+        {"geneA": 0.95, "geneB": 0.9, "geneC": 0.05},
+        {"geneA": 0.05, "geneB": 0.9, "geneC": 0.05},
+        {"geneA": 0.95, "geneB": 0.05, "geneC": 0.05},
+        {"geneA": 0.95, "geneB": 0.9, "geneC": 0.95},
+        {"geneA": 0.02, "geneB": 0.03, "geneC": 0.97},
+    ]
+    assert automaton.accuracy(panel, seed=0) == 1.0
+    with pytest.raises(ValueError):
+        automaton.accuracy([])
+
+
+def test_sharpness_controls_noise():
+    crisp = MolecularAutomaton(cancer_rule(), sharpness=50.0)
+    fuzzy = MolecularAutomaton(cancer_rule(), sharpness=2.0)
+    borderline = {"geneA": 0.65, "geneB": 0.65, "geneC": 0.35}
+    crisp_frac = crisp.diagnose(borderline, seed=3).release_fraction
+    fuzzy_frac = fuzzy.diagnose(borderline, seed=3).release_fraction
+    assert crisp_frac > fuzzy_frac  # crisp chemistry passes clear-ish cases more
+
+
+# -- boolean network ---------------------------------------------------------
+
+def test_network_validation():
+    with pytest.raises(ValueError):
+        BooleanNetwork([], {})
+    with pytest.raises(ValueError):
+        BooleanNetwork(["a", "a"], {"a": lambda s: True})
+    with pytest.raises(ValueError):
+        BooleanNetwork(["a", "b"], {"a": lambda s: True})
+
+
+def test_pack_unpack_roundtrip():
+    net = yeast_cell_cycle()
+    named = {"cln": True, "clb": False, "cdh": True, "mcm": False}
+    assert net.unpack(net.pack(named)) == named
+
+
+def test_g1_is_fixed_point():
+    net = yeast_cell_cycle()
+    g1 = net.pack({"cdh": True})
+    assert net.step(g1) == g1
+
+
+def test_start_pulse_trajectory_reaches_g1():
+    net = yeast_cell_cycle()
+    start = net.pack({"cln": True})
+    trajectory = net.trajectory(start, steps=8)
+    g1 = net.pack({"cdh": True})
+    assert trajectory[-1] == g1
+    # The mitotic cyclin clb turns on somewhere mid-cycle.
+    assert any(net.unpack(s)["clb"] for s in trajectory)
+
+
+def test_trajectory_validation():
+    net = yeast_cell_cycle()
+    with pytest.raises(ValueError):
+        net.trajectory(net.pack({}), steps=-1)
+
+
+def test_attractors_dominant_g1():
+    net = yeast_cell_cycle()
+    attractors = net.attractors()
+    g1 = net.pack({"cdh": True})
+    assert attractors[0].states == (g1,)
+    assert attractors[0].is_fixed_point
+    assert attractors[0].basin_size >= 2 ** len(net.genes) * 0.5
+    assert sum(a.basin_size for a in attractors) == 2 ** len(net.genes)
+
+
+def test_step_back_inverts_where_unique():
+    net = yeast_cell_cycle()
+    start = net.pack({"cln": True})
+    nxt = net.step(start)
+    predecessors = net.step_back(nxt)
+    assert start in predecessors
+
+
+def test_step_back_garden_of_eden():
+    net = yeast_cell_cycle()
+    # cln can never turn on (rule is constant False): any state with
+    # cln=True has no predecessor.
+    eden = net.pack({"cln": True, "clb": True})
+    assert net.step_back(eden) == []
+
+
+def test_state_space_cap():
+    genes = [f"g{i}" for i in range(21)]
+    net = BooleanNetwork(genes, {g: (lambda s: False) for g in genes})
+    with pytest.raises(ValueError):
+        net.all_states()

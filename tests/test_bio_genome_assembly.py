@@ -1,0 +1,150 @@
+"""Tests for genome generation, shotgun fragmentation, and assembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.assembly import GreedyAssembler, identity, n50, suffix_prefix_overlap
+from repro.bio.genome import Read, coverage_of, random_genome, shotgun_fragments
+
+
+def test_random_genome_properties():
+    g = random_genome(500, seed=1)
+    assert len(g) == 500
+    assert set(g) <= set("ACGT")
+
+
+def test_random_genome_deterministic():
+    assert random_genome(100, seed=7) == random_genome(100, seed=7)
+    assert random_genome(100, seed=7) != random_genome(100, seed=8)
+
+
+def test_gc_content_respected():
+    g = random_genome(20_000, seed=0, gc_content=0.8)
+    gc = sum(1 for b in g if b in "GC") / len(g)
+    assert gc == pytest.approx(0.8, abs=0.02)
+
+
+def test_genome_validation():
+    with pytest.raises(ValueError):
+        random_genome(0)
+    with pytest.raises(ValueError):
+        random_genome(10, gc_content=2.0)
+
+
+def test_shotgun_counts_and_lengths():
+    g = random_genome(1000, seed=2)
+    reads = shotgun_fragments(g, coverage=5.0, read_length=50, seed=2)
+    assert all(len(r.sequence) == 50 for r in reads)
+    assert coverage_of(reads, len(g)) >= 5.0
+
+
+def test_shotgun_reads_are_substrings_when_error_free():
+    g = random_genome(400, seed=3)
+    for r in shotgun_fragments(g, coverage=4.0, read_length=40, seed=3):
+        assert r.sequence == g[r.origin : r.origin + 40]
+
+
+def test_shotgun_errors_injected():
+    g = random_genome(2000, seed=4)
+    noisy = shotgun_fragments(g, coverage=3.0, read_length=100, error_rate=0.1, seed=4)
+    mismatches = sum(
+        sum(a != b for a, b in zip(r.sequence, g[r.origin : r.origin + 100]))
+        for r in noisy
+    )
+    assert mismatches > 0
+
+
+def test_shotgun_validation():
+    g = random_genome(100)
+    with pytest.raises(ValueError):
+        shotgun_fragments("", read_length=10)
+    with pytest.raises(ValueError):
+        shotgun_fragments(g, read_length=1)
+    with pytest.raises(ValueError):
+        shotgun_fragments(g, read_length=500)
+    with pytest.raises(ValueError):
+        shotgun_fragments(g, coverage=0)
+    with pytest.raises(ValueError):
+        coverage_of([], 0)
+
+
+def test_overlap_basic():
+    assert suffix_prefix_overlap("AACGT", "CGTTT") == 3
+    assert suffix_prefix_overlap("AAAA", "TTTT") == 0
+    assert suffix_prefix_overlap("ACGT", "ACGT") == 4
+    assert suffix_prefix_overlap("AACGT", "CGTTT", min_overlap=4) == 0
+
+
+def test_n50():
+    assert n50([]) == 0
+    assert n50(["AAAA"]) == 4
+    assert n50(["A" * 10, "A" * 4, "A" * 3]) == 10
+    assert n50(["AA", "AA", "AA", "AA"]) == 2
+
+
+def test_identity_metric():
+    assert identity("ACGT", "ACGT") == 1.0
+    assert identity("", "ACGT") == 0.0
+    assert identity("ACGT", "ACGA") == pytest.approx(0.75)
+    assert identity("CGT", "ACGT") == pytest.approx(0.75)  # best offset alignment
+    with pytest.raises(ValueError):
+        identity("A", "")
+
+
+def test_assembler_perfect_reconstruction_high_coverage():
+    genome = random_genome(300, seed=11)
+    reads = shotgun_fragments(genome, coverage=12.0, read_length=60, seed=11)
+    result = GreedyAssembler(min_overlap=15).assemble(reads)
+    assert identity(result.longest, genome) > 0.95
+
+
+def test_assembler_low_coverage_fragments():
+    genome = random_genome(600, seed=12)
+    rich = shotgun_fragments(genome, coverage=12.0, read_length=60, seed=12)
+    poor = shotgun_fragments(genome, coverage=1.2, read_length=60, seed=12)
+    assembler = GreedyAssembler(min_overlap=15)
+    rich_result = assembler.assemble(rich)
+    poor_result = assembler.assemble(poor)
+    assert len(poor_result.contigs) >= len(rich_result.contigs)
+    assert identity(rich_result.longest, genome) >= identity(poor_result.longest, genome)
+
+
+def test_assembler_handles_strings_and_reads():
+    frags = ["ACGTAC", "TACGGA", "GGATTT"]
+    result = GreedyAssembler(min_overlap=3).assemble(frags)
+    assert result.contigs == ["ACGTACGGATTT"]
+    as_reads = [Read(s, 0) for s in frags]
+    assert GreedyAssembler(min_overlap=3).assemble(as_reads).contigs == ["ACGTACGGATTT"]
+
+
+def test_assembler_drops_contained_reads():
+    result = GreedyAssembler(min_overlap=2).assemble(["ACGTACGT", "GTAC", "ACGT"])
+    assert result.contigs == ["ACGTACGT"]
+
+
+def test_assembler_no_overlap_leaves_fragments():
+    result = GreedyAssembler(min_overlap=3).assemble(["AAAA", "CCCC"])
+    assert sorted(result.contigs) == ["AAAA", "CCCC"]
+    assert result.merges == 0
+
+
+def test_assembler_validation():
+    with pytest.raises(ValueError):
+        GreedyAssembler(min_overlap=0)
+
+
+def test_assembler_empty_input():
+    result = GreedyAssembler().assemble([])
+    assert result.contigs == []
+    assert result.n50 == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_assembly_identity_property(seed):
+    """High-coverage error-free assembly reconstructs most of the genome."""
+    genome = random_genome(200, seed=seed)
+    reads = shotgun_fragments(genome, coverage=10.0, read_length=50, seed=seed)
+    result = GreedyAssembler(min_overlap=12).assemble(reads)
+    assert identity(result.longest, genome) > 0.8

@@ -1,0 +1,89 @@
+"""Tests for the language-combination combinator (MiniLang + RAM)."""
+
+import pytest
+
+from repro.complang.combine import BoundaryError, HybridProgram, MiniStage, RamStage
+from repro.complang.parser import parse
+from repro.machines.ram import Instr, RamProgram, multiply_program
+
+
+def test_mini_then_ram_then_mini():
+    """MiniLang prepares inputs, RAM multiplies, MiniLang reports."""
+    hybrid = HybridProgram(
+        [
+            MiniStage(parse("a = 6; b = 7;")),
+            RamStage(
+                multiply_program(),
+                reads={"a": 1, "b": 2},
+                writes={0: "product"},
+            ),
+            MiniStage(parse("print product;")),
+        ]
+    )
+    out = hybrid.run()
+    assert out.env["product"] == 42
+    assert out.output == [42]
+
+
+def test_shared_env_across_mini_stages():
+    hybrid = HybridProgram(
+        [MiniStage(parse("x = 1;")), MiniStage(parse("x = x + 1; print x;"))]
+    )
+    assert hybrid.run().output == [2]
+
+
+def test_boundary_rejects_unbound():
+    hybrid = HybridProgram(
+        [RamStage(multiply_program(), reads={"missing": 1}, writes={})]
+    )
+    with pytest.raises(BoundaryError, match="not bound"):
+        hybrid.run()
+
+
+def test_boundary_rejects_negative():
+    hybrid = HybridProgram(
+        [
+            MiniStage(parse("a = -3;")),
+            RamStage(multiply_program(), reads={"a": 1}, writes={}),
+        ]
+    )
+    with pytest.raises(BoundaryError, match="negative"):
+        hybrid.run()
+
+
+def test_boundary_register_range_checked():
+    hybrid = HybridProgram(
+        [MiniStage(parse("a = 1;")), RamStage(multiply_program(), reads={"a": 99}, writes={})]
+    )
+    with pytest.raises(BoundaryError, match="register"):
+        hybrid.run()
+
+
+def test_ram_fuel_exhaustion_becomes_minilang_error():
+    from repro.complang.interp import MiniLangError
+
+    loop = RamProgram([Instr("JMP", 0)])
+    hybrid = HybridProgram([RamStage(loop, reads={}, writes={}, fuel=10)])
+    with pytest.raises(MiniLangError, match="fuel"):
+        hybrid.run()
+
+
+def test_initial_env_passed_through():
+    hybrid = HybridProgram(
+        [
+            RamStage(multiply_program(), reads={"m": 1, "n": 2}, writes={0: "r"}),
+        ]
+    )
+    assert hybrid.run(env={"m": 5, "n": 8}).env["r"] == 40
+
+
+def test_empty_stages_rejected():
+    with pytest.raises(ValueError):
+        HybridProgram([])
+
+
+def test_unknown_stage_type_rejected():
+    hybrid = HybridProgram([MiniStage(parse("x = 1;"))])
+    hybrid.stages.append("not a stage")
+    with pytest.raises(TypeError):
+        hybrid.run()

@@ -1,0 +1,124 @@
+"""Tests for the MiniLang reference interpreter."""
+
+import pytest
+
+from repro.complang.interp import MiniLangError, eval_expr, run_program
+from repro.complang.parser import parse
+
+
+def run(src, **env):
+    return run_program(parse(src), env=env)
+
+
+def test_arithmetic():
+    out = run("x = 2 + 3 * 4; y = (2 + 3) * 4; z = 10 / 3; w = 10 % 3;")
+    assert out.env == {"x": 14, "y": 20, "z": 3, "w": 1}
+
+
+def test_floor_division_negative():
+    out = run("a = -7 / 2; b = -7 % 2;")
+    assert out.env == {"a": -4, "b": 1}  # Python floor semantics
+
+
+def test_comparisons():
+    out = run("a = 1 < 2; b = 2 <= 2; c = 3 > 4; d = 1 == 1; e = 1 != 1;")
+    assert out.env == {"a": 1, "b": 1, "c": 0, "d": 1, "e": 0}
+
+
+def test_short_circuit_and():
+    # Right side would divide by zero; left side is false.
+    out = run("x = 0 and 1 / 0;")
+    assert out.env["x"] == 0
+
+
+def test_short_circuit_or():
+    out = run("x = 5 or 1 / 0;")
+    assert out.env["x"] == 5
+
+
+def test_and_returns_right_value():
+    assert run("x = 2 and 7;").env["x"] == 7
+
+
+def test_not():
+    out = run("a = not 0; b = not 5;")
+    assert out.env == {"a": 1, "b": 0}
+
+
+def test_print_output():
+    out = run("print 1; print 2 + 3;")
+    assert out.output == [1, 5]
+
+
+def test_if_else_branching():
+    src = "if x > 0 { s = 1; } else { s = -1; }"
+    assert run(src, x=5).env["s"] == 1
+    assert run(src, x=-5).env["s"] == -1
+
+
+def test_while_loop_sum():
+    src = """
+    total = 0;
+    i = 1;
+    while i <= n {
+        total = total + i;
+        i = i + 1;
+    }
+    print total;
+    """
+    assert run(src, n=10).output == [55]
+
+
+def test_fibonacci_program():
+    src = """
+    a = 0; b = 1; i = 0;
+    while i < n {
+        t = a + b;
+        a = b;
+        b = t;
+        i = i + 1;
+    }
+    print a;
+    """
+    assert run(src, n=10).output == [55]
+
+
+def test_unbound_variable():
+    with pytest.raises(MiniLangError, match="unbound"):
+        run("x = y + 1;")
+
+
+def test_division_by_zero():
+    with pytest.raises(MiniLangError, match="division"):
+        run("x = 1 / 0;")
+    with pytest.raises(MiniLangError, match="modulo"):
+        run("x = 1 % 0;")
+
+
+def test_infinite_loop_fuel():
+    with pytest.raises(MiniLangError, match="fuel"):
+        run("while 1 { x = 1; }")
+
+
+def test_input_env_preserved_and_extended():
+    out = run("y = x * 2;", x=21)
+    assert out.env == {"x": 21, "y": 42}
+
+
+def test_eval_expr_direct():
+    from repro.complang.ast import BinOp, Num
+
+    assert eval_expr(BinOp("+", Num(2), Num(3)), {}) == 5
+
+
+def test_nested_if_in_while():
+    src = """
+    evens = 0; odds = 0; i = 0;
+    while i < 10 {
+        if i % 2 == 0 { evens = evens + 1; } else { odds = odds + 1; }
+        i = i + 1;
+    }
+    """
+    out = run(src)
+    assert out.env["evens"] == 5
+    assert out.env["odds"] == 5

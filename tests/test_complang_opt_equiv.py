@@ -1,0 +1,151 @@
+"""Tests for optimisation passes and observational equivalence —
+the compiler-correctness obligation over random programs."""
+
+import pytest
+
+from repro.complang.ast import Assign, BinOp, Num, Program, Var
+from repro.complang.compile import compile_program
+from repro.complang.equiv import observationally_equivalent, random_program
+from repro.complang.opt import fold_constants, optimize, peephole
+from repro.complang.parser import parse
+from repro.complang.vm import VM
+
+
+BASE_ENV = {"x": 3, "y": -2, "z": 7, "w": 0, "k": 0}
+
+
+def test_fold_constant_arithmetic():
+    prog = fold_constants(parse("x = 2 + 3 * 4;"))
+    assert prog.body[0] == Assign("x", Num(14))
+
+
+def test_fold_keeps_division_fault():
+    prog = fold_constants(parse("x = 1 / 0;"))
+    assert isinstance(prog.body[0].value, BinOp)  # not folded away
+
+
+def test_fold_identities():
+    prog = fold_constants(parse("a = y + 0; b = 0 + y; c = y * 1; d = 1 * y;"))
+    for stmt in prog.body:
+        assert stmt.value == Var("y")
+
+
+def test_fold_dead_if_branch():
+    prog = fold_constants(parse("if 1 { a = 1; } else { a = 2; } if 0 { b = 3; }"))
+    # First if reduces to its then-block; second disappears entirely.
+    assert len(prog.body) == 1
+
+
+def test_fold_dead_while():
+    prog = fold_constants(parse("while 0 { x = 1; } y = 2;"))
+    assert len(prog.body) == 1
+    assert prog.body[0] == Assign("y", Num(2))
+
+
+def test_fold_short_circuit_left_only():
+    prog = fold_constants(parse("a = 0 and 1 / 0; b = 3 or 1 / 0;"))
+    assert prog.body[0].value == Num(0)
+    assert prog.body[1].value == Num(3)
+
+
+def test_peephole_folds_push_push_binop():
+    code = compile_program(parse("x = 2 + 3;"))
+    optimized = peephole(code)
+    assert len(optimized) < len(code)
+    assert VM(optimized).run().env == {"x": 5}
+
+
+def test_peephole_preserves_div_by_zero():
+    code = compile_program(parse("x = 1 / 0;"))
+    optimized = peephole(code)
+    from repro.complang.vm import VMError
+
+    with pytest.raises(VMError):
+        VM(optimized).run()
+
+
+def test_optimize_shrinks_code():
+    prog = parse("x = 1 + 2 + 3 + 4; if 1 { y = 2 * 3; }")
+    naive = compile_program(prog)
+    tight = optimize(prog)
+    assert len(tight) < len(naive)
+    assert VM(tight).run().env == {"x": 10, "y": 6}
+
+
+def test_equivalence_basic():
+    prog = parse("total = 0; i = 0; while i < 5 { total = total + i; i = i + 1; }")
+    assert observationally_equivalent(prog)
+
+
+def test_equivalence_detects_bad_code():
+    prog = parse("x = 1;")
+    from repro.complang.vm import Op
+
+    wrong = [Op("PUSH", 2), Op("STORE", "x"), Op("HALT")]
+    report = observationally_equivalent(prog, code=wrong)
+    assert not report
+    assert "env mismatch" in report.detail
+
+
+def test_equivalence_detects_output_mismatch():
+    prog = parse("print 1;")
+    from repro.complang.vm import Op
+
+    wrong = [Op("PUSH", 9), Op("PRINT"), Op("HALT")]
+    report = observationally_equivalent(prog, code=wrong)
+    assert "output mismatch" in report.detail
+
+
+def test_equivalence_both_fault():
+    prog = parse("x = 1 / 0;")
+    report = observationally_equivalent(prog)
+    assert report
+    assert report.detail == "both faulted"
+
+
+def test_equivalence_fault_mismatch_detected():
+    prog = parse("x = 1 / 0;")
+    from repro.complang.vm import Op
+
+    silent = [Op("PUSH", 0), Op("STORE", "x"), Op("HALT")]
+    report = observationally_equivalent(prog, code=silent)
+    assert not report
+    assert "fault mismatch" in report.detail
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_programs_compile_correctly(seed):
+    """The headline property: for random programs, compiled code is
+    observably equivalent to the interpreter."""
+    prog = random_program(seed)
+    assert observationally_equivalent(prog, env=BASE_ENV)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_programs_optimize_correctly(seed):
+    """And the optimiser preserves that equivalence."""
+    prog = random_program(seed)
+    folded = fold_constants(prog)
+    tight = optimize(prog)
+    assert observationally_equivalent(folded, env=BASE_ENV, code=tight)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_folding_preserves_interpreter_semantics(seed):
+    from repro.complang.interp import MiniLangError, run_program
+
+    prog = random_program(seed)
+    try:
+        original = run_program(prog, env=dict(BASE_ENV))
+        orig_fault = None
+    except MiniLangError as exc:
+        original, orig_fault = None, exc
+    try:
+        folded = run_program(fold_constants(prog), env=dict(BASE_ENV))
+        fold_fault = None
+    except MiniLangError as exc:
+        folded, fold_fault = None, exc
+    assert (orig_fault is None) == (fold_fault is None)
+    if original is not None:
+        assert original.output == folded.output
+        assert original.env == folded.env

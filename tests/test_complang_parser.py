@@ -1,0 +1,104 @@
+"""Tests for the MiniLang lexer and parser."""
+
+import pytest
+
+from repro.complang.ast import Assign, BinOp, If, Num, Print, UnaryOp, Var, While
+from repro.complang.parser import ParseError, parse, tokenize
+
+
+def test_tokenize_kinds():
+    toks = tokenize("x = 42; # comment\nprint x;")
+    kinds = [(t.kind, t.text) for t in toks]
+    assert kinds == [
+        ("ident", "x"), ("op", "="), ("num", "42"), ("op", ";"),
+        ("kw", "print"), ("ident", "x"), ("op", ";"),
+    ]
+
+
+def test_tokenize_two_char_ops():
+    texts = [t.text for t in tokenize("a <= b >= c == d != e")]
+    assert texts == ["a", "<=", "b", ">=", "c", "==", "d", "!=", "e"]
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(ParseError):
+        tokenize("x = @;")
+
+
+def test_parse_assignment():
+    prog = parse("x = 1 + 2 * 3;")
+    stmt = prog.body[0]
+    assert isinstance(stmt, Assign)
+    assert stmt.value == BinOp("+", Num(1), BinOp("*", Num(2), Num(3)))
+
+
+def test_parse_parentheses_override_precedence():
+    prog = parse("x = (1 + 2) * 3;")
+    assert prog.body[0].value == BinOp("*", BinOp("+", Num(1), Num(2)), Num(3))
+
+
+def test_parse_left_associativity():
+    prog = parse("x = 10 - 3 - 2;")
+    assert prog.body[0].value == BinOp("-", BinOp("-", Num(10), Num(3)), Num(2))
+
+
+def test_parse_unary_minus_and_not():
+    prog = parse("x = --3; y = not not 1;")
+    assert prog.body[0].value == UnaryOp("-", UnaryOp("-", Num(3)))
+    assert prog.body[1].value == UnaryOp("not", UnaryOp("not", Num(1)))
+
+
+def test_parse_comparison_and_logic_precedence():
+    prog = parse("x = 1 < 2 and 3 < 4 or 0;")
+    expr = prog.body[0].value
+    assert expr.op == "or"
+    assert expr.left.op == "and"
+
+
+def test_parse_if_else():
+    prog = parse("if x > 0 { print x; } else { print 0; }")
+    stmt = prog.body[0]
+    assert isinstance(stmt, If)
+    assert isinstance(stmt.then.body[0], Print)
+    assert len(stmt.orelse.body) == 1
+
+
+def test_parse_if_without_else():
+    stmt = parse("if 1 { x = 2; }").body[0]
+    assert stmt.orelse.body == ()
+
+
+def test_parse_while():
+    stmt = parse("while n > 0 { n = n - 1; }").body[0]
+    assert isinstance(stmt, While)
+    assert stmt.cond == BinOp(">", Var("n"), Num(0))
+
+
+def test_parse_nested_blocks():
+    prog = parse("while a { if b { c = 1; } else { c = 2; } }")
+    assert isinstance(prog.body[0].body.body[0], If)
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("x = ;")
+    with pytest.raises(ParseError):
+        parse("x = 1")  # missing semicolon
+    with pytest.raises(ParseError):
+        parse("if 1 { x = 1;")  # unterminated block
+    with pytest.raises(ParseError):
+        parse("print;")
+    with pytest.raises(ParseError):
+        parse("= 3;")
+    with pytest.raises(ParseError):
+        parse("x = (1;")
+
+
+def test_keywords_not_identifiers():
+    with pytest.raises(ParseError):
+        parse("while = 3;")
+
+
+def test_empty_program():
+    assert parse("").body == ()
+    assert parse("  # just a comment\n").body == ()

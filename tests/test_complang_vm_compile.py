@@ -1,0 +1,110 @@
+"""Tests for the stack VM and the compiler."""
+
+import pytest
+
+from repro.complang.compile import compile_expr, compile_program
+from repro.complang.parser import parse
+from repro.complang.vm import VM, Op, VMError
+
+
+def compile_and_run(src, **env):
+    return VM(compile_program(parse(src))).run(env=env)
+
+
+def test_vm_basic_ops():
+    code = [Op("PUSH", 2), Op("PUSH", 3), Op("ADD"), Op("STORE", "x"), Op("HALT")]
+    out = VM(code).run()
+    assert out.env == {"x": 5}
+
+
+def test_vm_stack_underflow():
+    with pytest.raises(VMError, match="underflow"):
+        VM([Op("ADD")]).run()
+
+
+def test_vm_unknown_opcode():
+    with pytest.raises(VMError, match="unknown opcode"):
+        VM([Op("FLY")])
+
+
+def test_vm_bad_jump_target():
+    with pytest.raises(VMError, match="out of range"):
+        VM([Op("JMP", 99)])
+
+
+def test_vm_leftover_stack_detected():
+    with pytest.raises(VMError, match="left"):
+        VM([Op("PUSH", 1)]).run()
+
+
+def test_vm_fuel():
+    with pytest.raises(VMError, match="fuel"):
+        VM([Op("JMP", 0)]).run(fuel=10)
+
+
+def test_vm_division_faults():
+    code = [Op("PUSH", 1), Op("PUSH", 0), Op("DIV"), Op("POP")]
+    with pytest.raises(VMError, match="division"):
+        VM(code).run()
+
+
+def test_vm_unbound_load():
+    with pytest.raises(VMError, match="unbound"):
+        VM([Op("LOAD", "x"), Op("POP")]).run()
+
+
+def test_compile_expr_leaves_value():
+    code = compile_expr(parse("x = 1 + 2 * 3;").body[0].value)
+    code = code + [Op("STORE", "r")]
+    assert VM(code).run().env["r"] == 7
+
+
+def test_compiled_arithmetic():
+    out = compile_and_run("x = 2 + 3 * 4; y = (2 + 3) * 4;")
+    assert out.env == {"x": 14, "y": 20}
+
+
+def test_compiled_prints():
+    out = compile_and_run("print 10; print 20;")
+    assert out.output == [10, 20]
+
+
+def test_compiled_if_else():
+    src = "if x { r = 1; } else { r = 2; }"
+    assert compile_and_run(src, x=1).env["r"] == 1
+    assert compile_and_run(src, x=0).env["r"] == 2
+
+
+def test_compiled_if_no_else():
+    src = "r = 0; if x { r = 1; }"
+    assert compile_and_run(src, x=0).env["r"] == 0
+    assert compile_and_run(src, x=3).env["r"] == 1
+
+
+def test_compiled_while():
+    src = """
+    total = 0; i = 1;
+    while i <= 5 { total = total + i; i = i + 1; }
+    """
+    assert compile_and_run(src).env["total"] == 15
+
+
+def test_compiled_short_circuit():
+    assert compile_and_run("x = 0 and 1 / 0;").env["x"] == 0
+    assert compile_and_run("x = 7 or 1 / 0;").env["x"] == 7
+    assert compile_and_run("x = 2 and 9;").env["x"] == 9
+
+
+def test_compiled_unary():
+    out = compile_and_run("a = -5; b = not 0; c = not 3;")
+    assert out.env == {"a": -5, "b": 1, "c": 0}
+
+
+def test_compiled_program_ends_with_halt():
+    code = compile_program(parse("x = 1;"))
+    assert code[-1].code == "HALT"
+
+
+def test_op_repr():
+    assert repr(Op("PUSH", 3)) == "PUSH(3)"
+    assert repr(Op("HALT")) == "HALT"

@@ -1,0 +1,94 @@
+"""Tests for growth measurement and subset-sum subjects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity.growth import (
+    crossover_size,
+    measure_growth,
+    random_subset_sum_instance,
+    subset_sum_bruteforce,
+    subset_sum_dp,
+)
+
+
+def test_subset_sum_simple():
+    assert subset_sum_bruteforce(((3, 5, 7), 12))
+    assert not subset_sum_bruteforce(((3, 5, 7), 4))
+    assert subset_sum_dp(((3, 5, 7), 12))
+    assert not subset_sum_dp(((3, 5, 7), 4))
+
+
+def test_subset_sum_empty_and_zero():
+    assert subset_sum_bruteforce(((), 0))
+    assert subset_sum_dp(((), 0))
+    assert not subset_sum_bruteforce(((), 5))
+    assert not subset_sum_dp(((), 5))
+
+
+def test_dp_validation():
+    with pytest.raises(ValueError):
+        subset_sum_dp(((1,), -1))
+    with pytest.raises(ValueError):
+        subset_sum_dp(((0,), 1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 12), st.booleans())
+def test_solvers_agree_property(seed, n, solvable):
+    instance = random_subset_sum_instance(n, seed=seed, solvable=solvable)
+    assert subset_sum_bruteforce(instance) == subset_sum_dp(instance)
+    if solvable:
+        assert subset_sum_dp(instance)
+
+
+def test_instances_deterministic():
+    a = random_subset_sum_instance(10, seed=3)
+    b = random_subset_sum_instance(10, seed=3)
+    assert a == b
+
+
+def test_crossover_size():
+    # 2^n overtakes 1000*n^2 somewhere under 20.
+    n = crossover_size(1000.0, 2, 1.0)
+    assert n is not None
+    assert 2**n > 1000 * n**2
+    assert 2 ** (n - 1) <= 1000 * (n - 1) ** 2
+
+
+def test_crossover_none_when_out_of_range():
+    assert crossover_size(1e300, 3, 1.0, max_n=10) is None
+
+
+def test_crossover_validation():
+    with pytest.raises(ValueError):
+        crossover_size(-1, 2, 1.0)
+    with pytest.raises(ValueError):
+        crossover_size(1, 2, 1.0, exp_base=1.0)
+
+
+def test_measure_growth_classifies_bruteforce_exponential():
+    fit = measure_growth(
+        lambda n: random_subset_sum_instance(n, seed=1, solvable=False),
+        subset_sum_bruteforce,
+        sizes=[10, 12, 14, 16, 18],
+        repeats=1,
+    )
+    assert fit.best_law == "2^n"
+    assert not fit.is_polynomial()
+
+
+def test_measure_growth_classifies_dp_polynomial():
+    fit = measure_growth(
+        lambda n: (tuple([1] * n), n * 25),
+        subset_sum_dp,
+        sizes=[200, 400, 800, 1600],
+        repeats=1,
+    )
+    assert fit.is_polynomial()
+
+
+def test_measure_growth_validation():
+    with pytest.raises(ValueError):
+        measure_growth(lambda n: n, lambda x: x, sizes=[1, 2])

@@ -1,0 +1,101 @@
+"""Tests for CNF and the SAT solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity.sat import CNF, brute_force_sat, dpll_sat, random_ksat
+
+
+def test_cnf_construction_and_vars():
+    f = CNF.of([[1, -2], [2, 3]])
+    assert f.variables() == [1, 2, 3]
+    assert f.num_variables() == 3
+    with pytest.raises(ValueError):
+        CNF.of([[0]])
+
+
+def test_evaluate():
+    f = CNF.of([[1, -2], [2]])
+    assert f.evaluate({1: True, 2: True})
+    assert not f.evaluate({1: False, 2: False})
+
+
+def test_trivial_formulas():
+    empty = CNF.of([])
+    assert brute_force_sat(empty).satisfiable
+    assert dpll_sat(empty).satisfiable
+    contradiction = CNF.of([[1], [-1]])
+    assert not brute_force_sat(contradiction).satisfiable
+    assert not dpll_sat(contradiction).satisfiable
+
+
+def test_satisfiable_example():
+    f = CNF.of([[1, 2], [-1, 3], [-2, -3], [1, -3]])
+    for solver in (brute_force_sat, dpll_sat):
+        result = solver(f)
+        assert result.satisfiable
+        assert f.evaluate(result.assignment)
+
+
+def test_unsatisfiable_example():
+    # All eight 3-clauses over {1,2,3}: classically unsatisfiable.
+    clauses = [
+        [s1 * 1, s2 * 2, s3 * 3]
+        for s1 in (1, -1) for s2 in (1, -1) for s3 in (1, -1)
+    ]
+    f = CNF.of(clauses)
+    assert not brute_force_sat(f).satisfiable
+    assert not dpll_sat(f).satisfiable
+
+
+def test_dpll_explores_fewer_nodes_than_brute_force():
+    f = random_ksat(12, 48, seed=5)
+    bf = brute_force_sat(f)
+    dp = dpll_sat(f)
+    assert dp.satisfiable == bf.satisfiable
+    assert dp.nodes_explored < bf.nodes_explored
+
+
+def test_unit_propagation_ablation_helps():
+    f = random_ksat(14, 60, seed=2)
+    with_up = dpll_sat(f, unit_propagation=True)
+    without_up = dpll_sat(f, unit_propagation=False)
+    assert with_up.satisfiable == without_up.satisfiable
+    assert with_up.nodes_explored <= without_up.nodes_explored
+
+
+def test_random_ksat_shape():
+    f = random_ksat(10, 30, k=3, seed=0)
+    assert len(f.clauses) == 30
+    for clause in f.clauses:
+        assert len(clause) == 3
+        assert len({abs(l) for l in clause}) == 3
+    with pytest.raises(ValueError):
+        random_ksat(2, 5, k=3)
+
+
+def test_random_ksat_deterministic():
+    assert random_ksat(8, 20, seed=4).clauses == random_ksat(8, 20, seed=4).clauses
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 1000))
+def test_solvers_agree_property(seed):
+    f = random_ksat(8, int(8 * 3.5), seed=seed)
+    bf = brute_force_sat(f)
+    dp = dpll_sat(f)
+    assert bf.satisfiable == dp.satisfiable
+    if dp.satisfiable:
+        assert f.evaluate(dp.assignment)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000), st.booleans(), st.booleans())
+def test_dpll_ablations_agree(seed, up, pure):
+    f = random_ksat(7, 21, seed=seed)
+    reference = brute_force_sat(f).satisfiable
+    result = dpll_sat(f, unit_propagation=up, pure_literals=pure)
+    assert result.satisfiable == reference
+    if result.satisfiable:
+        assert f.evaluate(result.assignment)

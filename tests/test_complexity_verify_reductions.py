@@ -1,0 +1,164 @@
+"""Tests for verifiers and reductions."""
+
+import itertools
+
+import pytest
+
+from repro.adt.graph import Graph
+from repro.complexity.reductions import (
+    adleman_graph,
+    clique_certificate_to_assignment,
+    hamiltonian_path_instance,
+    sat_to_clique,
+    solve_hamiltonian_path,
+    vertex_cover_to_independent_set,
+)
+from repro.complexity.sat import CNF, brute_force_sat
+from repro.complexity.verify import (
+    verify_assignment,
+    verify_clique,
+    verify_hamiltonian_path,
+    verify_independent_set,
+    verify_vertex_cover,
+)
+
+
+def triangle_plus_tail():
+    return Graph.from_edges([(1, 2), (2, 3), (3, 1), (3, 4)])
+
+
+def test_verify_assignment_total_certificate_required():
+    f = CNF.of([[1, 2], [-1]])
+    assert verify_assignment(f, {1: False, 2: True})
+    assert not verify_assignment(f, {1: False})  # partial rejected
+    assert not verify_assignment(f, {1: True, 2: True})
+
+
+def test_verify_clique():
+    g = triangle_plus_tail()
+    assert verify_clique(g, [1, 2, 3])
+    assert not verify_clique(g, [1, 2, 4])
+    assert not verify_clique(g, [1, 1, 2])  # duplicates
+    assert not verify_clique(g, [1, 99])    # unknown node
+    assert verify_clique(g, [])             # empty clique vacuously
+
+
+def test_verify_vertex_cover():
+    g = triangle_plus_tail()
+    assert verify_vertex_cover(g, [2, 3])
+    assert not verify_vertex_cover(g, [1, 4])
+    assert not verify_vertex_cover(g, [99])
+
+
+def test_verify_independent_set():
+    g = triangle_plus_tail()
+    assert verify_independent_set(g, [1, 4])
+    assert not verify_independent_set(g, [1, 2])
+    assert not verify_independent_set(g, [1, 1])
+
+
+def test_vc_is_duality():
+    g = triangle_plus_tail()
+    nodes = set(g.nodes())
+    for k in range(len(nodes) + 1):
+        for cover in itertools.combinations(nodes, k):
+            is_vc = verify_vertex_cover(g, cover)
+            complement = nodes - set(cover)
+            is_is = verify_independent_set(g, list(complement))
+            assert is_vc == is_is  # the defining duality
+    same_graph, is_bound = vertex_cover_to_independent_set(g, 2)
+    assert same_graph is g
+    assert is_bound == 2
+    with pytest.raises(ValueError):
+        vertex_cover_to_independent_set(g, 99)
+
+
+def test_sat_to_clique_reduction_correctness():
+    # Satisfiable formula -> m-clique exists and maps back to a model.
+    f = CNF.of([[1, 2, 3], [-1, 2, -3], [1, -2, 3]])
+    g, k = sat_to_clique(f)
+    assert k == 3
+    sat = brute_force_sat(f)
+    assert sat.satisfiable
+    # Find a clique of size k by brute force over node triples.
+    nodes = g.nodes()
+    cliques = [
+        combo for combo in itertools.combinations(nodes, k) if verify_clique(g, combo)
+    ]
+    assert cliques
+    assignment = clique_certificate_to_assignment(cliques[0])
+    # Extend to total assignment and verify.
+    for v in f.variables():
+        assignment.setdefault(v, False)
+    assert verify_assignment(f, assignment)
+
+
+def test_sat_to_clique_unsat_has_no_clique():
+    # x and not-x in separate clauses with only contradictions available.
+    f = CNF.of([[1], [-1]])
+    g, k = sat_to_clique(f)
+    nodes = g.nodes()
+    assert not any(
+        verify_clique(g, combo) for combo in itertools.combinations(nodes, k)
+    )
+
+
+def test_clique_certificate_contradiction_rejected():
+    with pytest.raises(ValueError):
+        clique_certificate_to_assignment([(0, 1), (1, -1)])
+
+
+def test_adleman_instance_unique_path():
+    g, start, end = adleman_graph()
+    assert g.num_nodes() == 7
+    middle = [v for v in g.nodes() if v not in (start, end)]
+    paths = [
+        [start, *perm, end]
+        for perm in itertools.permutations(middle)
+        if verify_hamiltonian_path(g, [start, *perm, end], start=start, end=end)
+    ]
+    assert paths == [[0, 1, 2, 3, 4, 5, 6]]
+
+
+def test_solver_finds_adleman_path():
+    g, start, end = adleman_graph()
+    path, explored = solve_hamiltonian_path(g, start, end)
+    assert path == [0, 1, 2, 3, 4, 5, 6]
+    assert explored > 0
+
+
+def test_verify_hamiltonian_path_conditions():
+    g, start, end = adleman_graph()
+    good = [0, 1, 2, 3, 4, 5, 6]
+    assert verify_hamiltonian_path(g, good)
+    assert verify_hamiltonian_path(g, good, start=0, end=6)
+    assert not verify_hamiltonian_path(g, good, start=1)
+    assert not verify_hamiltonian_path(g, good[:-1])          # too short
+    assert not verify_hamiltonian_path(g, good[:-1] + [5])    # repeat
+    assert not verify_hamiltonian_path(g, [0, 2, 1, 3, 4, 5, 6])  # 0->2 missing
+
+
+def test_random_instance_planted_path_solvable():
+    for seed in range(5):
+        g, start, end = hamiltonian_path_instance(8, seed=seed)
+        path, _ = solve_hamiltonian_path(g, start, end)
+        assert path is not None
+        assert verify_hamiltonian_path(g, path, start=start, end=end)
+
+
+def test_unsolvable_instance_reported():
+    g = Graph(directed=True)
+    for v in range(4):
+        g.add_node(v)
+    g.add_edge(0, 1)
+    g.add_edge(1, 3)  # vertex 2 unreachable
+    path, _ = solve_hamiltonian_path(g, 0, 3)
+    assert path is None
+
+
+def test_instance_validation():
+    with pytest.raises(ValueError):
+        hamiltonian_path_instance(1)
+    g, _, _ = adleman_graph()
+    with pytest.raises(KeyError):
+        solve_hamiltonian_path(g, 0, 99)

@@ -1,0 +1,112 @@
+"""Tests for refinement checking via abstraction functions and
+simulation relations — the paper's layer-relationship machinery."""
+
+from repro.core.abstraction import AbstractionFunction, Refinement, SimulationRelation
+from repro.core.statemachine import StateMachine
+
+
+def spec_toggle():
+    """Abstract spec: a light that toggles on/off."""
+    return StateMachine(
+        initial="off",
+        transitions=[("off", "toggle", "on"), ("on", "toggle", "off")],
+    )
+
+
+def impl_counter_mod2():
+    """Implementation: a counter whose parity is the light."""
+    m = StateMachine(initial=0, observable=["toggle"])
+    for i in range(4):
+        m.add_transition(i, "toggle", (i + 1) % 4)
+    return m
+
+
+def test_abstraction_function_call_and_relation():
+    f = AbstractionFunction(lambda n: "on" if n % 2 else "off")
+    assert f(0) == "off" and f(3) == "on"
+    rel = f.as_relation()
+    assert rel.holds(2, "off")
+    assert not rel.holds(2, "on")
+
+
+def test_counter_refines_toggle():
+    ref = Refinement.via_function(
+        spec_toggle(), impl_counter_mod2(), lambda n: "on" if n % 2 else "off"
+    )
+    report = ref.check()
+    assert report.holds
+    assert report.checked_pairs > 0
+    assert report.counterexample is None
+
+
+def test_wrong_abstraction_function_fails():
+    ref = Refinement.via_function(
+        spec_toggle(), impl_counter_mod2(), lambda n: "off"  # constant map
+    )
+    report = ref.check()
+    assert not report.holds
+    assert report.counterexample is not None
+
+
+def test_initial_states_unrelated():
+    ref = Refinement.via_function(
+        spec_toggle(), impl_counter_mod2(), lambda n: "on"  # 0 -> on, but spec starts off
+    )
+    report = ref.check()
+    assert not report.holds
+    assert report.detail == "initial states unrelated"
+
+
+def test_hidden_actions_stutter():
+    # Implementation does internal bookkeeping between toggles.
+    impl = StateMachine(initial=("off", 0), observable=["toggle"])
+    impl.add_transition(("off", 0), "log", ("off", 1))
+    impl.add_transition(("off", 1), "toggle", ("on", 0))
+    impl.add_transition(("on", 0), "log", ("on", 1))
+    impl.add_transition(("on", 1), "toggle", ("off", 0))
+    ref = Refinement.via_function(spec_toggle(), impl, lambda s: s[0])
+    assert ref.check().holds
+
+
+def test_extra_observable_action_rejected():
+    impl = StateMachine(
+        initial="off",
+        transitions=[("off", "toggle", "on"), ("on", "explode", "off")],
+    )
+    ref = Refinement.via_function(spec_toggle(), impl, lambda s: s)
+    report = ref.check()
+    assert not report.holds
+    assert "explode" in report.detail
+
+
+def test_simulation_relation_direct():
+    rel = SimulationRelation(lambda c, a: (c % 2 == 1) == (a == "on"))
+    ref = Refinement(spec_toggle(), impl_counter_mod2(), rel)
+    assert ref.check().holds
+
+
+def test_max_pairs_guard():
+    ref = Refinement.via_function(
+        spec_toggle(), impl_counter_mod2(), lambda n: "on" if n % 2 else "off"
+    )
+    report = ref.check(max_pairs=1)
+    assert not report.holds
+    assert "max_pairs" in report.detail
+
+
+def test_nondeterministic_spec_allows_choice():
+    spec = StateMachine(
+        initial="s",
+        transitions=[("s", "a", "t1"), ("s", "a", "t2")],
+    )
+    impl = StateMachine(initial=0, transitions=[(0, "a", 1)])
+    # Implementation refines if its target is related to either choice.
+    rel = SimulationRelation(lambda c, a: (c, a) in {(0, "s"), (1, "t2")})
+    assert Refinement(spec, impl, rel).check().holds
+
+
+def test_report_bool():
+    ref = Refinement.via_function(
+        spec_toggle(), impl_counter_mod2(), lambda n: "on" if n % 2 else "off"
+    )
+    assert bool(ref.check())

@@ -1,0 +1,64 @@
+"""Tests for automate() and abstraction comparison."""
+
+import pytest
+
+from repro.core.automation import automate, compare_abstractions
+from repro.core.computer import MachineComputer, Task, TaskKind
+
+
+def test_automate_basic_accounting():
+    m = MachineComputer(instruction_rate=10.0)
+    tasks = [Task(TaskKind.INSTRUCTIONS, size=5.0, difficulty=0.0) for _ in range(4)]
+    res = automate(tasks, m)
+    assert res.num_tasks == 4
+    assert res.total_work == 20.0
+    assert res.makespan == pytest.approx(2.0)
+    assert res.expected_accuracy == pytest.approx(1.0)
+    assert res.throughput == pytest.approx(10.0)
+
+
+def test_automate_accuracy_product():
+    m = MachineComputer(instruction_rate=1.0, instruction_error=0.5)
+    tasks = [Task(TaskKind.INSTRUCTIONS, size=1.0, difficulty=1.0) for _ in range(2)]
+    res = automate(tasks, m)
+    assert res.expected_accuracy == pytest.approx(0.25)
+
+
+def test_automate_rejects_empty():
+    with pytest.raises(ValueError):
+        automate([], MachineComputer())
+
+
+def test_clever_abstraction_beats_brute_force_on_same_horsepower():
+    """The paper's warning: horsepower does not substitute for the
+    right abstraction.  Brute force = 2^n tasks, clever = n^2 tasks."""
+    n = 12
+    machine = MachineComputer(instruction_rate=1e3)
+    results = compare_abstractions(
+        {
+            "brute-force": lambda: [
+                Task(TaskKind.INSTRUCTIONS, size=1.0, difficulty=0.0)
+                for _ in range(2**n)
+            ],
+            "clever": lambda: [
+                Task(TaskKind.INSTRUCTIONS, size=1.0, difficulty=0.0)
+                for _ in range(n * n)
+            ],
+        },
+        machine,
+    )
+    assert results["clever"].makespan < results["brute-force"].makespan / 10
+
+
+def test_compare_returns_all_names():
+    results = compare_abstractions(
+        {"a": lambda: [Task(TaskKind.INSTRUCTIONS, size=1.0)]},
+        MachineComputer(),
+    )
+    assert set(results) == {"a"}
+
+
+def test_throughput_zero_makespan():
+    m = MachineComputer(instruction_rate=1e9)
+    res = automate([Task(TaskKind.INSTRUCTIONS, size=1e-12)], m)
+    assert res.throughput > 0

@@ -1,0 +1,120 @@
+"""Tests for algorithm interleaving combinators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.combinators import (
+    InterleavedAlgorithm,
+    StepAlgorithm,
+    from_function,
+    interleave,
+)
+
+
+def summer(name="sum"):
+    def factory(xs):
+        total = 0
+        for x in xs:
+            total += x
+            yield
+        return total
+
+    return StepAlgorithm(name, factory)
+
+
+def doubler(name="double"):
+    def factory(xs):
+        out = []
+        for x in xs:
+            out.append(2 * x)
+            yield
+        return out
+
+    return StepAlgorithm(name, factory)
+
+
+def test_run_to_completion():
+    out, steps = summer().run([1, 2, 3])
+    assert out == 6
+    assert steps == 3
+
+
+def test_interleave_outputs_match_sequential():
+    alg = interleave(summer(), doubler())
+    outputs, trace = alg.run([[1, 2, 3], [4, 5]])
+    assert outputs == [6, [8, 10]]
+    assert len(trace) == 5
+
+
+def test_round_robin_alternates():
+    alg = interleave(summer("a"), doubler("b"), policy="round-robin")
+    _, trace = alg.run([[1, 2], [1, 2]])
+    assert trace == ["a", "b", "a", "b"]
+
+
+def test_round_robin_drains_after_finish():
+    alg = interleave(summer("a"), doubler("b"), policy="round-robin")
+    _, trace = alg.run([[1], [1, 2, 3]])
+    assert trace.count("a") == 1
+    assert trace.count("b") == 3
+
+
+def test_fair_random_deterministic_given_seed():
+    alg1 = interleave(summer("a"), doubler("b"), policy="fair-random", seed=7)
+    alg2 = interleave(summer("a"), doubler("b"), policy="fair-random", seed=7)
+    xs = [[1, 2, 3, 4], [5, 6, 7]]
+    assert alg1.run(xs)[1] == alg2.run(xs)[1]
+
+
+def test_priority_policy_balances_progress():
+    alg = interleave(summer("a"), doubler("b"), policy="priority")
+    _, trace = alg.run([[1, 2, 3], [1, 2, 3]])
+    # Least-progressed-first keeps step counts within 1 of each other.
+    for i in range(1, len(trace) + 1):
+        prefix = trace[:i]
+        assert abs(prefix.count("a") - prefix.count("b")) <= 1
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown policy"):
+        interleave(summer(), policy="lifo")
+
+
+def test_empty_algorithms_rejected():
+    with pytest.raises(ValueError):
+        InterleavedAlgorithm([])
+
+
+def test_input_arity_checked():
+    alg = interleave(summer(), doubler())
+    with pytest.raises(ValueError):
+        alg.run([[1]])
+
+
+def test_sequential_steps():
+    alg = interleave(summer(), doubler())
+    assert alg.sequential_steps([[1, 2], [3]]) == 3
+
+
+def test_from_function_wraps():
+    alg = from_function("square", lambda x: x * x, chunks=3)
+    out, steps = alg.run(5)
+    assert out == 25
+    assert steps == 3
+
+
+def test_from_function_chunk_validation():
+    with pytest.raises(ValueError):
+        from_function("bad", lambda x: x, chunks=0)
+
+
+@given(st.lists(st.integers(), max_size=20), st.lists(st.integers(), max_size=20))
+def test_interleaving_never_changes_outputs(xs, ys):
+    """The defining property of a correct interleaving: results equal
+    the sequential results, for every policy."""
+    for policy in InterleavedAlgorithm.POLICIES:
+        alg = interleave(summer(), doubler(), policy=policy, seed=3)
+        outputs, trace = alg.run([xs, ys])
+        assert outputs == [sum(xs), [2 * y for y in ys]]
+        assert len(trace) == len(xs) + len(ys)

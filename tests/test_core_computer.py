@@ -1,0 +1,169 @@
+"""Tests for the machine/human/hybrid/network computer models."""
+
+import math
+
+import pytest
+
+from repro.core.computer import (
+    HumanComputer,
+    HybridComputer,
+    MachineComputer,
+    NetworkComputer,
+    Task,
+    TaskKind,
+)
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        Task(TaskKind.IMAGES, size=0)
+    with pytest.raises(ValueError):
+        Task(TaskKind.IMAGES, size=1, difficulty=2.0)
+
+
+def test_machine_fast_at_instructions():
+    m = MachineComputer()
+    assert m.rate(TaskKind.INSTRUCTIONS) > m.rate(TaskKind.IMAGES)
+
+
+def test_human_fast_at_images():
+    h = HumanComputer()
+    assert h.rate(TaskKind.IMAGES) > h.rate(TaskKind.INSTRUCTIONS)
+
+
+def test_paper_claim_machines_beat_humans_on_instructions():
+    m, h = MachineComputer(), HumanComputer()
+    task = Task(TaskKind.INSTRUCTIONS, size=1e6, difficulty=0.1)
+    assert m.execute(task, seed=0).elapsed < h.execute(task, seed=0).elapsed
+
+
+def test_paper_claim_humans_beat_machines_on_images():
+    m, h = MachineComputer(), HumanComputer()
+    task = Task(TaskKind.IMAGES, size=100, difficulty=0.5)
+    assert h.execute(task, seed=0).elapsed < m.execute(task, seed=0).elapsed
+    assert h.error_rate(TaskKind.IMAGES) < m.error_rate(TaskKind.IMAGES)
+
+
+def test_execute_correctness_sampled_deterministically():
+    m = MachineComputer(image_error=1.0)
+    task = Task(TaskKind.IMAGES, size=1, difficulty=1.0)
+    r = m.execute(task, seed=3)
+    assert not r.correct  # error prob 1.0
+    assert r.worker == "machine"
+
+
+def test_zero_rate_rejected():
+    m = MachineComputer(image_rate=0.0)
+    with pytest.raises(ValueError):
+        m.execute(Task(TaskKind.IMAGES, size=1))
+
+
+def test_machine_cores_capacity_and_makespan():
+    single = MachineComputer(cores=1, instruction_rate=1.0)
+    quad = MachineComputer(cores=4, instruction_rate=1.0)
+    tasks = [Task(TaskKind.INSTRUCTIONS, size=1.0) for _ in range(8)]
+    assert single.makespan(tasks) == pytest.approx(8.0)
+    assert quad.makespan(tasks) == pytest.approx(2.0)
+
+
+def test_makespan_empty():
+    assert MachineComputer().makespan([]) == 0.0
+
+
+def test_machine_requires_cores():
+    with pytest.raises(ValueError):
+        MachineComputer(cores=0)
+
+
+def test_human_fatigue():
+    fresh = HumanComputer(fatigue_halflife=10.0)
+    rate0 = fresh.rate(TaskKind.IMAGES)
+    fresh.execute(Task(TaskKind.IMAGES, size=1000, difficulty=0.0), seed=0)
+    assert fresh.rate(TaskKind.IMAGES) < rate0
+
+
+def test_human_no_fatigue_default():
+    h = HumanComputer()
+    h.execute(Task(TaskKind.IMAGES, size=1e6, difficulty=0.0), seed=0)
+    assert h.rate(TaskKind.IMAGES) == 100.0
+
+
+def test_hybrid_routes_by_kind():
+    hybrid = HybridComputer([MachineComputer(), HumanComputer()])
+    assert isinstance(hybrid.route(TaskKind.INSTRUCTIONS), MachineComputer)
+    assert isinstance(hybrid.route(TaskKind.IMAGES), HumanComputer)
+
+
+def test_hybrid_beats_both_on_mixed_workload():
+    m, h = MachineComputer(instruction_rate=1000.0, image_rate=1.0), HumanComputer(
+        instruction_rate=1.0, image_rate=1000.0
+    )
+    hybrid = HybridComputer([m, h])
+    mixed = [Task(TaskKind.INSTRUCTIONS, size=1000.0), Task(TaskKind.IMAGES, size=1000.0)]
+    assert hybrid.makespan(mixed) < m.makespan(mixed)
+    assert hybrid.makespan(mixed) < h.makespan(mixed)
+
+
+def test_hybrid_error_ceiling():
+    sloppy = MachineComputer("sloppy", image_rate=1e6, image_error=0.9)
+    careful = HumanComputer("careful", image_rate=10.0, image_error=0.01)
+    strict = HybridComputer([sloppy, careful], max_error=0.1)
+    assert strict.route(TaskKind.IMAGES).name == "careful"
+    lax = HybridComputer([sloppy, careful], max_error=1.0)
+    assert lax.route(TaskKind.IMAGES).name == "sloppy"
+
+
+def test_hybrid_worker_name_prefixed():
+    hybrid = HybridComputer([MachineComputer(), HumanComputer()])
+    r = hybrid.execute(Task(TaskKind.IMAGES, size=1), seed=0)
+    assert r.worker == "hybrid/human"
+
+
+def test_hybrid_needs_members():
+    with pytest.raises(ValueError):
+        HybridComputer([])
+
+
+def test_network_aggregates_rates():
+    net = NetworkComputer([MachineComputer(cores=2), MachineComputer(cores=2)])
+    assert net.capacity == 4
+    assert net.rate(TaskKind.INSTRUCTIONS) == pytest.approx(2e9)
+
+
+def test_network_recursive_composition():
+    inner = NetworkComputer([MachineComputer(), HumanComputer()], name="cluster")
+    outer = NetworkComputer([inner, HumanComputer("solo")], name="grid")
+    assert outer.capacity == 3
+    r = outer.execute(Task(TaskKind.IMAGES, size=1), seed=1)
+    assert r.worker.startswith("grid/")
+
+
+def test_network_makespan_balances():
+    a = MachineComputer("a", instruction_rate=1.0)
+    b = MachineComputer("b", instruction_rate=1.0)
+    net = NetworkComputer([a, b])
+    tasks = [Task(TaskKind.INSTRUCTIONS, size=1.0) for _ in range(4)]
+    assert net.makespan(tasks) == pytest.approx(2.0)
+
+
+def test_network_weighted_error():
+    clean = MachineComputer("clean", instruction_rate=1.0, instruction_error=0.0)
+    dirty = MachineComputer("dirty", instruction_rate=1.0, instruction_error=0.2)
+    net = NetworkComputer([clean, dirty])
+    assert net.error_rate(TaskKind.INSTRUCTIONS) == pytest.approx(0.1)
+
+
+def test_network_needs_members():
+    with pytest.raises(ValueError):
+        NetworkComputer([])
+
+
+def test_execute_batch_length():
+    m = MachineComputer()
+    tasks = [Task(TaskKind.INSTRUCTIONS, size=1) for _ in range(5)]
+    assert len(m.execute_batch(tasks, seed=0)) == 5
+
+
+def test_makespan_infinite_capacity_edge():
+    m = MachineComputer(cores=3, instruction_rate=2.0)
+    assert math.isfinite(m.makespan([Task(TaskKind.INSTRUCTIONS, size=4.0)]))

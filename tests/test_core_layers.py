@@ -1,0 +1,109 @@
+"""Tests for layer stacks and the thin-waist adapter counts."""
+
+import pytest
+
+from repro.core.layers import (
+    Interface,
+    Layer,
+    LayerStack,
+    adapter_count_hourglass,
+    adapter_count_pairwise,
+)
+
+APP = Interface("app")
+TRANSPORT = Interface("transport")
+NET = Interface("net")
+
+
+def simple_stack():
+    upper = Layer(
+        "serialize", upper=APP, lower=TRANSPORT,
+        down=lambda msg: f"<t>{msg}</t>", up=lambda msg: msg[3:-4],
+    )
+    lower = Layer(
+        "frame", upper=TRANSPORT, lower=NET,
+        down=lambda msg: f"[{msg}]", up=lambda msg: msg[1:-1],
+    )
+    return LayerStack([upper, lower])
+
+
+def test_stack_interfaces():
+    s = simple_stack()
+    assert s.top == APP
+    assert s.bottom == NET
+    assert len(s) == 2
+
+
+def test_send_down_and_up_invert():
+    s = simple_stack()
+    wire = s.send_down("hello")
+    assert wire == "[<t>hello</t>]"
+    assert s.send_up(wire) == "hello"
+
+
+def test_round_trip_through_service():
+    s = simple_stack()
+    echo_upper = s.round_trip("ping", service=lambda wire: wire)
+    assert echo_upper == "ping"
+
+
+def test_mismatched_interfaces_rejected():
+    bad = Layer("bad", upper=Interface("x"), lower=Interface("y"))
+    good = Layer("good", upper=APP, lower=TRANSPORT)
+    with pytest.raises(ValueError, match="interface mismatch"):
+        LayerStack([good, bad])
+
+
+def test_empty_stack_rejected():
+    with pytest.raises(ValueError):
+        LayerStack([])
+
+
+def test_replace_layer_keeps_behavior_contract():
+    s = simple_stack()
+    new_frame = Layer(
+        "frame", upper=TRANSPORT, lower=NET,
+        down=lambda msg: f"{{{msg}}}", up=lambda msg: msg[1:-1],
+    )
+    s2 = s.replace_layer("frame", new_frame)
+    assert s2.send_down("x") == "{<t>x</t>}"
+    # Original stack is untouched (replace is functional).
+    assert s.send_down("x") == "[<t>x</t>]"
+
+
+def test_replace_layer_interface_guard():
+    s = simple_stack()
+    wrong = Layer("frame", upper=APP, lower=NET)
+    with pytest.raises(ValueError, match="must keep interfaces"):
+        s.replace_layer("frame", wrong)
+
+
+def test_replace_missing_layer():
+    with pytest.raises(KeyError):
+        simple_stack().replace_layer("nope", simple_stack().layers[0])
+
+
+def test_identity_defaults():
+    passthrough = Layer("pt", upper=APP, lower=TRANSPORT)
+    assert passthrough.encode("x") == "x"
+    assert passthrough.decode("y") == "y"
+
+
+def test_adapter_counts_shapes():
+    # The paper's thin-waist claim: O(B+T) vs O(B*T).
+    assert adapter_count_pairwise(5, 8) == 40
+    assert adapter_count_hourglass(5, 8) == 13
+    for b in range(2, 10):
+        for t in range(2, 10):
+            assert adapter_count_hourglass(b, t) <= adapter_count_pairwise(b, t)
+
+
+def test_adapter_counts_validate():
+    with pytest.raises(ValueError):
+        adapter_count_pairwise(-1, 2)
+    with pytest.raises(ValueError):
+        adapter_count_hourglass(2, -1)
+
+
+def test_repr():
+    assert "serialize / frame" in repr(simple_stack())

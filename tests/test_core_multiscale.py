@@ -1,0 +1,97 @@
+"""Tests for the multi-scale modelling extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiscale import DiffusionLattice, coarsen, validate_coarse_model
+
+
+def spike(n=64):
+    field = np.zeros(n)
+    field[n // 2] = 1.0
+    return field
+
+
+def test_lattice_validation():
+    with pytest.raises(ValueError):
+        DiffusionLattice(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        DiffusionLattice(np.zeros(1))
+    with pytest.raises(ValueError):
+        DiffusionLattice(np.zeros(4), diffusivity=0)
+    with pytest.raises(ValueError):
+        DiffusionLattice(np.zeros(4)).run_until(-1)
+
+
+def test_diffusion_conserves_mass():
+    lattice = DiffusionLattice(spike())
+    before = lattice.total_mass()
+    lattice.run_until(5.0)
+    assert lattice.total_mass() == pytest.approx(before)
+
+
+def test_diffusion_smooths():
+    lattice = DiffusionLattice(spike())
+    peak0 = lattice.field.max()
+    lattice.run_until(3.0)
+    assert lattice.field.max() < peak0
+    assert lattice.field.min() >= 0.0
+
+
+def test_constant_field_is_fixed_point():
+    lattice = DiffusionLattice(np.full(16, 3.0))
+    lattice.run_until(2.0)
+    assert np.allclose(lattice.field, 3.0)
+
+
+def test_coarsen_block_average():
+    assert np.allclose(coarsen(np.array([1.0, 3.0, 5.0, 7.0]), 2), [2.0, 6.0])
+    assert np.allclose(coarsen(np.arange(4.0), 1), np.arange(4.0))
+    with pytest.raises(ValueError):
+        coarsen(np.arange(5.0), 2)
+    with pytest.raises(ValueError):
+        coarsen(np.arange(4.0), 0)
+
+
+def test_coarsen_preserves_mean():
+    rng = np.random.default_rng(0)
+    field = rng.random(32)
+    assert coarsen(field, 4).mean() == pytest.approx(field.mean())
+
+
+def test_validation_report_fields():
+    report = validate_coarse_model(spike(64), factor=4, simulated_time=8.0)
+    assert report.factor == 4
+    assert report.fine_steps > report.coarse_steps
+    assert report.step_savings == pytest.approx(16.0, rel=0.2)  # factor^2
+    assert 0.0 <= report.commutation_error < 1.0
+
+
+def test_error_shrinks_with_time():
+    """Diffusion forgets fine structure: the abstraction gets *better*
+    the longer you run — the regime where coarse models earn their keep."""
+    early = validate_coarse_model(spike(64), factor=4, simulated_time=2.0)
+    late = validate_coarse_model(spike(64), factor=4, simulated_time=40.0)
+    assert late.commutation_error < early.commutation_error
+
+
+def test_smooth_fields_coarsen_well():
+    x = np.linspace(0, np.pi, 64)
+    smooth = np.sin(x)
+    report = validate_coarse_model(smooth, factor=4, simulated_time=4.0)
+    assert report.commutation_error < 0.05
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000), st.sampled_from([2, 4, 8]))
+def test_mass_conserved_through_both_routes(seed, factor):
+    rng = np.random.default_rng(seed)
+    field = rng.random(32)
+    fine = DiffusionLattice(field)
+    fine.run_until(3.0)
+    route_a = coarsen(fine.field, factor)
+    coarse = DiffusionLattice(coarsen(field, factor), dx=float(factor))
+    coarse.run_until(3.0)
+    assert route_a.sum() == pytest.approx(coarse.field.sum(), rel=1e-9)

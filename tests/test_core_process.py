@@ -1,0 +1,94 @@
+"""Tests for the abstraction-process model (highlight vs ignore)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.process import Abstraction, Detail, best_abstraction, greedy_abstraction
+
+
+DETAILS = [
+    Detail("position", relevance=5.0, cost=1.0),
+    Detail("velocity", relevance=3.0, cost=1.0),
+    Detail("paint-color", relevance=0.1, cost=2.0),
+    Detail("molecular-structure", relevance=0.2, cost=10.0),
+]
+
+
+def test_detail_validation():
+    with pytest.raises(ValueError):
+        Detail("x", relevance=-1, cost=0)
+    with pytest.raises(ValueError):
+        Detail("x", relevance=0, cost=-1)
+
+
+def test_abstraction_of_unknown_detail():
+    with pytest.raises(KeyError):
+        Abstraction.of(DETAILS, ["nope"])
+
+
+def test_fidelity_and_cost_bounds():
+    full = Abstraction.of(DETAILS, [d.name for d in DETAILS])
+    none = Abstraction.of(DETAILS, [])
+    assert full.fidelity() == pytest.approx(1.0)
+    assert full.cost() == pytest.approx(1.0)
+    assert none.fidelity() == 0.0
+    assert none.cost() == 0.0
+
+
+def test_right_abstraction_keeps_relevant_cheap_details():
+    best = best_abstraction(DETAILS, lam=1.0)
+    assert "position" in best.highlighted
+    assert "velocity" in best.highlighted
+    assert "molecular-structure" not in best.highlighted
+
+
+def test_lambda_zero_keeps_everything_relevant():
+    best = best_abstraction(DETAILS, lam=0.0)
+    # With no cost penalty, any detail with positive relevance helps.
+    assert {"position", "velocity", "paint-color", "molecular-structure"} <= best.highlighted
+
+
+def test_huge_lambda_keeps_nothing_costly():
+    best = best_abstraction(DETAILS, lam=100.0)
+    assert best.highlighted == frozenset()
+
+
+def test_greedy_matches_exhaustive():
+    for lam in (0.1, 0.5, 1.0, 2.0, 5.0):
+        exact = best_abstraction(DETAILS, lam)
+        greedy = greedy_abstraction(DETAILS, lam)
+        assert exact.objective(lam) == pytest.approx(greedy.objective(lam))
+
+
+def test_exhaustive_cap():
+    many = [Detail(f"d{i}", 1.0, 1.0) for i in range(21)]
+    with pytest.raises(ValueError):
+        best_abstraction(many)
+
+
+def test_degenerate_zero_totals():
+    details = [Detail("a", 0.0, 0.0)]
+    a = Abstraction.of(details, ["a"])
+    assert a.fidelity() == 1.0
+    assert a.cost() == 0.0
+
+
+@st.composite
+def detail_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [
+        Detail(
+            f"d{i}",
+            relevance=draw(st.floats(0, 10, allow_nan=False)),
+            cost=draw(st.floats(0, 10, allow_nan=False)),
+        )
+        for i in range(n)
+    ]
+
+
+@given(detail_lists(), st.floats(0.0, 5.0, allow_nan=False))
+def test_greedy_optimality_property(details, lam):
+    exact = best_abstraction(details, lam)
+    greedy = greedy_abstraction(details, lam)
+    assert greedy.objective(lam) >= exact.objective(lam) - 1e-9

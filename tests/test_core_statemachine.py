@@ -1,0 +1,100 @@
+"""Tests for labelled transition systems."""
+
+from repro.core.statemachine import StateMachine
+
+
+def counter_machine(limit):
+    """0..limit counter with inc/dec."""
+    m = StateMachine(initial=0)
+    for i in range(limit):
+        m.add_transition(i, "inc", i + 1)
+        m.add_transition(i + 1, "dec", i)
+    return m
+
+
+def test_step():
+    m = counter_machine(2)
+    assert m.step(0, "inc") == {1}
+    assert m.step(0, "dec") == set()
+
+
+def test_enabled():
+    m = counter_machine(2)
+    assert set(m.enabled(1)) == {"inc", "dec"}
+    assert m.enabled(0) == ["inc"]
+
+
+def test_run_and_accepts():
+    m = counter_machine(3)
+    assert m.run(["inc", "inc", "dec"]) == {1}
+    assert m.accepts(["inc", "inc"])
+    assert not m.accepts(["dec"])
+
+
+def test_reachable_states():
+    m = counter_machine(3)
+    assert m.reachable_states() == {0, 1, 2, 3}
+
+
+def test_unreachable_state_excluded():
+    m = StateMachine(initial="a", transitions=[("a", "x", "b"), ("c", "y", "d")])
+    assert m.reachable_states() == {"a", "b"}
+
+
+def test_determinism():
+    m = counter_machine(2)
+    assert m.is_deterministic()
+    m.add_transition(0, "inc", 2)
+    assert not m.is_deterministic()
+
+
+def test_traces_depth():
+    m = counter_machine(2)
+    traces = m.traces(2)
+    assert () in traces
+    assert ("inc",) in traces
+    assert ("inc", "dec") in traces
+    assert ("inc", "inc") in traces
+    assert all(len(t) <= 2 for t in traces)
+
+
+def test_observable_projection():
+    m = StateMachine(
+        initial=0,
+        transitions=[(0, "tau", 1), (1, "a", 2)],
+        observable=["a"],
+    )
+    obs = m.observable_traces(2)
+    assert ("a",) in obs
+    assert all("tau" not in t for t in obs)
+
+
+def test_observably_equivalent_with_internal_steps():
+    spec = StateMachine(initial="s0", transitions=[("s0", "a", "s1")])
+    impl = StateMachine(
+        initial=0,
+        transitions=[(0, "tau", 1), (1, "a", 2)],
+        observable=["a"],
+    )
+    assert impl.observably_equivalent(spec, depth=4)
+
+
+def test_not_equivalent():
+    a = StateMachine(initial=0, transitions=[(0, "x", 1)])
+    b = StateMachine(initial=0, transitions=[(0, "y", 1)])
+    assert not a.observably_equivalent(b)
+
+
+def test_actions_property():
+    m = counter_machine(1)
+    assert m.actions == {"inc", "dec"}
+
+
+def test_transitions_iterator():
+    m = counter_machine(1)
+    trans = set((t.source, t.action, t.target) for t in m.transitions())
+    assert trans == {(0, "inc", 1), (1, "dec", 0)}
+
+
+def test_repr():
+    assert "StateMachine" in repr(counter_machine(1))

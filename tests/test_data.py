@@ -1,0 +1,177 @@
+"""Tests for sensor nets, the deluge loop, and federation."""
+
+import numpy as np
+import pytest
+
+from repro.data.deluge import FeedbackLoop
+from repro.data.federation import (
+    evaluate_resolution,
+    exact_key_baseline,
+    noisy_catalogues,
+    record_similarity,
+    resolve_entities,
+)
+from repro.data.sensornet import SensorGrid
+
+
+def test_grid_stream_counts():
+    grid = SensorGrid(4, 6, failure_rate=0.0, seed=1)
+    readings = grid.stream(3)
+    assert len(readings) == 3 * 4 * 6
+    assert {r.time for r in readings} == {0, 1, 2}
+
+
+def test_failures_thin_the_stream():
+    grid = SensorGrid(6, 6, failure_rate=0.3, recovery_rate=0.1, seed=2)
+    grid.stream(20)
+    assert grid.live_fraction < 1.0
+
+
+def test_readings_track_field():
+    grid = SensorGrid(8, 8, noise=0.01, failure_rate=0.0, seed=3)
+    readings = grid.tick()
+    truth = grid.field(0)
+    errors = [abs(r.value - truth[r.sensor]) for r in readings]
+    assert max(errors) < 0.1
+
+
+def test_reconstruction_better_with_dense_sensors():
+    dense = SensorGrid(10, 10, noise=0.02, failure_rate=0.0, seed=4)
+    sparse = SensorGrid(10, 10, noise=0.02, failure_rate=0.85, recovery_rate=0.01, seed=4)
+    sparse.stream(5)  # let failures accumulate
+    d_read = dense.tick()
+    s_read = sparse.tick()
+    if not s_read:
+        pytest.skip("all sparse sensors dead for this seed")
+    truth_d = dense.field(dense._t - 1)
+    truth_s = sparse.field(sparse._t - 1)
+    err_dense = np.abs(dense.reconstruct(d_read, d_read[0].time) - truth_d).mean()
+    err_sparse = np.abs(sparse.reconstruct(s_read, s_read[0].time) - truth_s).mean()
+    assert err_dense < err_sparse
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        SensorGrid(0, 5)
+    with pytest.raises(ValueError):
+        SensorGrid(2, 2, noise=-1)
+    with pytest.raises(ValueError):
+        SensorGrid(2, 2, failure_rate=2.0)
+    grid = SensorGrid(2, 2)
+    with pytest.raises(ValueError):
+        grid.stream(0)
+    with pytest.raises(ValueError):
+        grid.reconstruct([], 0)
+
+
+# -- deluge loop --------------------------------------------------------------
+
+def test_loop_gain_formula():
+    loop = FeedbackLoop(extraction_rate=0.5, curiosity=0.5, per_question_data=0.2, obsolescence=0.1)
+    assert loop.loop_gain == pytest.approx(0.5)
+    assert FeedbackLoop.with_gain(0.9).loop_gain == pytest.approx(0.9)
+
+
+def test_subcritical_converges_to_fixed_point():
+    loop = FeedbackLoop.with_gain(0.5)
+    trajectory = loop.run(rounds=500)
+    assert not trajectory.diverged
+    assert trajectory.data[-1] == pytest.approx(loop.fixed_point(), rel=1e-3)
+    assert trajectory.data_growth_ratio() == pytest.approx(1.0, abs=1e-3)
+
+
+def test_supercritical_explodes():
+    loop = FeedbackLoop.with_gain(1.1)
+    trajectory = loop.run(rounds=3000)
+    assert trajectory.diverged
+    assert trajectory.data_growth_ratio() > 1.005
+    assert loop.fixed_point() is None
+
+
+def test_gain_orders_final_data():
+    finals = [FeedbackLoop.with_gain(g).run(rounds=100).data[-1] for g in (0.3, 0.6, 0.9)]
+    assert finals == sorted(finals)
+
+
+def test_knowledge_follows_data():
+    trajectory = FeedbackLoop.with_gain(0.8).run(rounds=50)
+    assert len(trajectory.knowledge) == 50
+    assert trajectory.knowledge[-1] > trajectory.knowledge[0]
+
+
+def test_loop_validation():
+    with pytest.raises(ValueError):
+        FeedbackLoop(extraction_rate=0)
+    with pytest.raises(ValueError):
+        FeedbackLoop(obsolescence=0.0)
+    with pytest.raises(ValueError):
+        FeedbackLoop(curiosity=-1)
+    with pytest.raises(ValueError):
+        FeedbackLoop.with_gain(-0.5)
+    with pytest.raises(ValueError):
+        FeedbackLoop().run(rounds=0)
+    with pytest.raises(ValueError):
+        FeedbackLoop().run(initial_data=-1)
+
+
+# -- federation ---------------------------------------------------------------
+
+def test_catalogues_shape():
+    records = noisy_catalogues(3, coverage=1.0, seed=1)
+    assert len(records) == 30
+    assert {r.source for r in records} == {0, 1, 2}
+
+
+def test_catalogues_validation():
+    with pytest.raises(ValueError):
+        noisy_catalogues(0)
+    with pytest.raises(ValueError):
+        noisy_catalogues(2, typo_rate=0.9)
+    with pytest.raises(ValueError):
+        noisy_catalogues(2, coverage=0.0)
+
+
+def test_similarity_reflexive_and_discriminative():
+    records = noisy_catalogues(2, typo_rate=0.0, seed=2)
+    same = [r for r in records if r.true_work == 0]
+    different = [r for r in records if r.true_work == 1]
+    if len(same) >= 2:
+        assert record_similarity(same[0], same[1]) == pytest.approx(1.0)
+    assert record_similarity(same[0], different[0]) < 0.6
+
+
+def test_resolution_beats_exact_key_baseline():
+    records = noisy_catalogues(4, typo_rate=0.03, seed=3)
+    smart = resolve_entities(records)
+    naive = exact_key_baseline(records)
+    _, _, f1_smart = evaluate_resolution(records, smart)
+    _, _, f1_naive = evaluate_resolution(records, naive)
+    assert f1_smart > f1_naive
+    assert f1_smart > 0.7
+
+
+def test_resolution_perfect_on_clean_data():
+    records = noisy_catalogues(3, typo_rate=0.0, seed=4)
+    clusters = resolve_entities(records)
+    precision, recall, f1 = evaluate_resolution(records, clusters)
+    assert f1 == pytest.approx(1.0)
+
+
+def test_resolution_validation():
+    records = noisy_catalogues(2, seed=5)
+    with pytest.raises(ValueError):
+        resolve_entities(records, threshold=0.0)
+    with pytest.raises(ValueError):
+        resolve_entities(records, block_prefix=0)
+
+
+def test_evaluation_extremes():
+    records = noisy_catalogues(2, typo_rate=0.0, seed=6)
+    one_big = [set(r.record_id for r in records)]
+    precision, recall, _ = evaluate_resolution(records, one_big)
+    assert recall == 1.0
+    assert precision < 1.0
+    singletons = [{r.record_id} for r in records]
+    precision, recall, _ = evaluate_resolution(records, singletons)
+    assert precision == 1.0
+    assert recall == 0.0

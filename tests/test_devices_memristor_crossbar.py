@@ -1,0 +1,147 @@
+"""Tests for the memristor model and the crossbar memory."""
+
+import numpy as np
+import pytest
+
+from repro.devices.crossbar import Crossbar
+from repro.devices.memristor import Memristor, hysteresis_lobe_area
+
+
+def test_resistance_interpolates():
+    m = Memristor(initial_state=0.0)
+    assert m.resistance() == pytest.approx(16_000.0)
+    m.state = 1.0
+    assert m.resistance() == pytest.approx(100.0)
+    m.state = 0.5
+    assert 100.0 < m.resistance() < 16_000.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Memristor(r_on=0)
+    with pytest.raises(ValueError):
+        Memristor(r_on=200, r_off=100)
+    with pytest.raises(ValueError):
+        Memristor(initial_state=2.0)
+    with pytest.raises(ValueError):
+        Memristor(drift=-1)
+    with pytest.raises(ValueError):
+        Memristor().step(1.0, dt=0)
+
+
+def test_positive_voltage_raises_state():
+    m = Memristor(initial_state=0.5)
+    m.step(1.0, 1e-3)
+    assert m.state > 0.5
+
+
+def test_state_clipped():
+    m = Memristor(initial_state=0.99)
+    for _ in range(1000):
+        m.step(5.0, 1e-2)
+    assert m.state == 1.0
+
+
+def test_nonvolatility():
+    m = Memristor(initial_state=0.5)
+    for _ in range(100):
+        m.step(1.0, 1e-4)
+    programmed = m.state
+    # No drive, no drift: state only changes through step(); with v=0
+    # the current is 0 and the state stays put.
+    for _ in range(100):
+        m.step(0.0, 1e-4)
+    assert m.state == pytest.approx(programmed)
+
+
+def test_pinched_hysteresis_current_zero_at_zero_voltage():
+    m = Memristor()
+    trace = m.sweep(amplitude=1.0, frequency=1.0, cycles=2)
+    near_zero_v = np.abs(trace.voltage) < 1e-3
+    assert np.all(np.abs(trace.current[near_zero_v]) < 1e-4)
+
+
+def test_hysteresis_loop_has_area():
+    trace = Memristor().sweep(amplitude=1.0, frequency=1.0, cycles=1)
+    assert hysteresis_lobe_area(trace) > 0
+
+
+def test_lobe_area_shrinks_with_frequency():
+    """The memristor fingerprint: high frequency looks resistive."""
+    areas = []
+    for f in (0.5, 2.0, 10.0, 50.0):
+        trace = Memristor(initial_state=0.5).sweep(amplitude=1.0, frequency=f, cycles=1)
+        # Normalise by the resistor-ellipse scale (i*v magnitudes).
+        areas.append(hysteresis_lobe_area(trace))
+    assert areas[0] > areas[-1]
+    assert areas == sorted(areas, reverse=True)
+
+
+def test_sweep_validation():
+    with pytest.raises(ValueError):
+        Memristor().sweep(amplitude=0)
+    with pytest.raises(ValueError):
+        Memristor().sweep(cycles=0)
+    with pytest.raises(ValueError):
+        hysteresis_lobe_area(
+            Memristor().sweep(cycles=1, steps_per_cycle=10).__class__(
+                np.zeros(2), np.zeros(2), np.zeros(2), np.zeros(2)
+            )
+        )
+
+
+def test_crossbar_store_and_load_word():
+    xb = Crossbar(4, 8)
+    word = [True, False, True, True, False, False, True, False]
+    xb.store_word(0, word)
+    assert xb.load_word(0) == word
+
+
+def test_crossbar_independent_rows():
+    xb = Crossbar(3, 4)
+    xb.store_word(0, [True, True, True, True])
+    xb.store_word(1, [False, False, False, False])
+    assert xb.load_word(0) == [True] * 4
+    assert xb.load_word(1) == [False] * 4
+
+
+def test_crossbar_rewrite():
+    xb = Crossbar(1, 2)
+    xb.store_word(0, [True, False])
+    xb.store_word(0, [False, True])
+    assert xb.load_word(0) == [False, True]
+
+
+def test_crossbar_write_counts_pulses():
+    xb = Crossbar(1, 1)
+    pulses = xb.write_bit(0, 0, True)
+    assert pulses > 0
+    assert xb.write_pulses == pulses
+    again = xb.write_bit(0, 0, True)  # already programmed
+    assert again == 0
+
+
+def test_crossbar_read_survives_many_reads():
+    xb = Crossbar(1, 1)
+    xb.write_bit(0, 0, True)
+    for _ in range(500):
+        assert xb.read_bit(0, 0)
+
+
+def test_crossbar_validation():
+    with pytest.raises(ValueError):
+        Crossbar(0, 1)
+    with pytest.raises(ValueError):
+        Crossbar(1, 1, write_voltage=0)
+    with pytest.raises(ValueError):
+        Crossbar(1, 1, sneak_fraction=1.0)
+    xb = Crossbar(2, 2)
+    with pytest.raises(IndexError):
+        xb.read_bit(5, 0)
+    with pytest.raises(ValueError):
+        xb.store_word(0, [True])
+
+
+def test_crossbar_state_matrix_shape():
+    xb = Crossbar(2, 3)
+    assert xb.state_matrix().shape == (2, 3)

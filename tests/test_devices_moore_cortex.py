@@ -1,0 +1,123 @@
+"""Tests for the Moore-model trajectory and the cortical predictor."""
+
+import pytest
+
+from repro.devices.cortex import CorticalPredictor, order0_baseline, order1_baseline
+from repro.devices.moore import MooreModel
+
+
+def test_transistors_double():
+    model = MooreModel()
+    t1990 = model.transistors_m(1990)
+    t1992 = model.transistors_m(1992)
+    assert t1992 == pytest.approx(2 * t1990)
+
+
+def test_moore_ends():
+    model = MooreModel(moore_end_year=2020)
+    growth_before = model.transistors_m(2018) / model.transistors_m(2016)
+    growth_after = model.transistors_m(2028) / model.transistors_m(2026)
+    assert growth_before == pytest.approx(2.0)
+    assert growth_after < 1.3
+
+
+def test_frequency_wall():
+    model = MooreModel(power_wall_year=2005)
+    assert model.frequency_ghz(2010) == model.frequency_ghz(2005)
+    assert model.frequency_ghz(2004) < model.frequency_ghz(2005)
+
+
+def test_single_core_before_wall_multicore_after():
+    model = MooreModel()
+    assert model.cores(2000) == 1
+    assert model.cores(2005) == 1
+    assert model.cores(2010) > 1
+    assert model.cores(2020) > model.cores(2010)
+
+
+def test_single_thread_plateaus_but_throughput_grows():
+    model = MooreModel()
+    p2005 = model.point(2005)
+    p2015 = model.point(2015)
+    assert p2015.single_thread_perf == pytest.approx(p2005.single_thread_perf)
+    assert p2015.throughput > p2005.throughput
+
+
+def test_amdahl_ceiling_limits_throughput():
+    serial = MooreModel(serial_fraction=0.5)
+    parallel = MooreModel(serial_fraction=0.01)
+    assert parallel.point(2020).throughput > serial.point(2020).throughput
+    # With s=0.5 the ceiling is 2x the single-thread line.
+    p = serial.point(2025)
+    assert p.throughput <= 2.0 * p.single_thread_perf + 1e-9
+
+
+def test_trajectory_rows():
+    rows = MooreModel().trajectory(2030, step=5)
+    assert [r.year for r in rows] == list(range(1990, 2031, 5))
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        MooreModel(start_year=2010, power_wall_year=2005)
+    with pytest.raises(ValueError):
+        MooreModel(doubling_years=0)
+    with pytest.raises(ValueError):
+        MooreModel(serial_fraction=1.5)
+    with pytest.raises(ValueError):
+        MooreModel().point(1980)
+    with pytest.raises(ValueError):
+        MooreModel().trajectory(1985)
+
+
+# -- cortex ------------------------------------------------------------------
+
+def disambiguation_sequences():
+    """'B' is followed by 'C' after 'A', but by 'D' after 'X' — an
+    order-1 model cannot have both."""
+    return [list("ABC") * 1 + list("XBD")] * 10 + [list("ABCXBD")] * 10
+
+
+def test_predictor_learns_simple_sequence():
+    model = CorticalPredictor().train([list("ABCABCABC")])
+    assert model.predict(list("AB")) == "C"
+    assert model.predict(list("ABC")) == "A"
+
+
+def test_predictor_contextual_disambiguation():
+    model = CorticalPredictor().train(disambiguation_sequences())
+    assert model.predict(list("AB")) == "C"
+    assert model.predict(list("XB")) == "D"
+
+
+def test_predictor_beats_order1_on_shared_subsequences():
+    train = disambiguation_sequences()
+    test = disambiguation_sequences()
+    cortex_acc = CorticalPredictor().train(train).accuracy(test)
+    markov_acc = order1_baseline(train, test)
+    order0_acc = order0_baseline(train, test)
+    assert cortex_acc > markov_acc
+    assert markov_acc >= order0_acc
+
+
+def test_predictor_unknown_prefix():
+    model = CorticalPredictor().train([list("AB")])
+    assert model.predict(list("Z")) is None
+    assert model.predict([]) is None
+
+
+def test_predictor_validation():
+    with pytest.raises(ValueError):
+        CorticalPredictor(cells_per_column=0)
+    with pytest.raises(ValueError):
+        CorticalPredictor().train([]).accuracy([list("AB")])
+    with pytest.raises(ValueError):
+        order0_baseline([], [])
+
+
+def test_cell_allocation_bounded():
+    model = CorticalPredictor(cells_per_column=2)
+    sequences = [[c for c in f"AB{chr(67 + i)}"] for i in range(10)]
+    model.train(sequences)
+    for cells in model._cell_of_context.values():
+        assert all(0 <= cell < 2 for cell in cells.values())

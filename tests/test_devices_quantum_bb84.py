@@ -1,0 +1,193 @@
+"""Tests for the qubit simulator, BB84, and the ballot pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.devices.ballots import BallotChannel, KeyExhausted, run_election
+from repro.devices.bb84 import BB84Session
+from repro.devices.quantum import H, QuantumRegister, X, Z
+
+
+def test_initial_state_all_zero():
+    q = QuantumRegister(2)
+    assert q.probability(0, 0) == pytest.approx(1.0)
+    assert q.probability(1, 0) == pytest.approx(1.0)
+
+
+def test_x_flips():
+    q = QuantumRegister(1)
+    q.apply(X, 0)
+    assert q.measure(0) == 1
+
+
+def test_hadamard_superposition():
+    q = QuantumRegister(1)
+    q.apply(H, 0)
+    assert q.probability(0, 0) == pytest.approx(0.5)
+    assert q.probability(0, 1) == pytest.approx(0.5)
+
+
+def test_hh_is_identity():
+    q = QuantumRegister(1)
+    q.apply(H, 0)
+    q.apply(H, 0)
+    assert q.probability(0, 0) == pytest.approx(1.0)
+
+
+def test_z_phase_invisible_in_z_basis():
+    q = QuantumRegister(1)
+    q.apply(H, 0)
+    q.apply(Z, 0)
+    assert q.probability(0, 0) == pytest.approx(0.5)
+    # but HZH = X: visible after a basis change
+    q.apply(H, 0)
+    assert q.probability(0, 1) == pytest.approx(1.0)
+
+
+def test_measurement_collapses():
+    q = QuantumRegister(1, seed=0)
+    q.apply(H, 0)
+    outcome = q.measure(0)
+    assert q.probability(0, outcome) == pytest.approx(1.0)
+    assert q.measure(0) == outcome  # repeated measurement agrees
+
+
+def test_measurement_statistics():
+    ones = 0
+    for seed in range(400):
+        q = QuantumRegister(1, seed=seed)
+        q.apply(H, 0)
+        ones += q.measure(0)
+    assert 140 <= ones <= 260  # ~50%
+
+
+def test_bell_state_correlations():
+    for seed in range(50):
+        q = QuantumRegister(2, seed=seed)
+        q.apply(H, 0)
+        q.cnot(0, 1)
+        a = q.measure(0)
+        b = q.measure(1)
+        assert a == b  # perfectly correlated
+
+
+def test_cnot_control_off_does_nothing():
+    q = QuantumRegister(2)
+    q.cnot(0, 1)
+    assert q.probability(1, 0) == pytest.approx(1.0)
+
+
+def test_register_validation():
+    with pytest.raises(ValueError):
+        QuantumRegister(0)
+    with pytest.raises(ValueError):
+        QuantumRegister(17)
+    q = QuantumRegister(2)
+    with pytest.raises(IndexError):
+        q.apply(X, 5)
+    with pytest.raises(ValueError):
+        q.apply(np.eye(4), 0)
+    with pytest.raises(ValueError):
+        q.cnot(1, 1)
+    with pytest.raises(ValueError):
+        q.probability(0, 2)
+
+
+def test_state_normalised_after_ops():
+    q = QuantumRegister(3, seed=1)
+    q.apply(H, 0)
+    q.cnot(0, 2)
+    q.apply(H, 1)
+    assert np.linalg.norm(q.state) == pytest.approx(1.0)
+
+
+# -- BB84 -------------------------------------------------------------------
+
+def test_clean_channel_zero_qber():
+    result = BB84Session(photons=256, seed=1).run()
+    assert result.qber == 0.0
+    assert not result.eavesdropper_detected
+    assert len(result.key) > 0
+    assert result.sifted_bits >= 64  # ~half the photons
+
+
+def test_eavesdropper_raises_qber_to_quarter():
+    result = BB84Session(photons=2048, eavesdropper=True, seed=2).run()
+    assert result.qber == pytest.approx(0.25, abs=0.05)
+    assert result.eavesdropper_detected
+    assert result.key == []
+
+
+def test_modest_noise_passes_heavy_noise_detected():
+    quiet = BB84Session(photons=2048, channel_noise=0.02, seed=3).run()
+    assert not quiet.eavesdropper_detected
+    assert quiet.qber == pytest.approx(0.02, abs=0.02)
+    loud = BB84Session(photons=2048, channel_noise=0.3, seed=3).run()
+    assert loud.eavesdropper_detected
+
+
+def test_bb84_validation():
+    with pytest.raises(ValueError):
+        BB84Session(photons=4)
+    with pytest.raises(ValueError):
+        BB84Session(channel_noise=2.0)
+    with pytest.raises(ValueError):
+        BB84Session(qber_threshold=0.6)
+    with pytest.raises(ValueError):
+        BB84Session(sample_fraction=1.0)
+
+
+def test_bb84_deterministic_by_seed():
+    a = BB84Session(photons=128, seed=7).run()
+    b = BB84Session(photons=128, seed=7).run()
+    assert a.key == b.key
+    assert a.qber == b.qber
+
+
+# -- ballots -----------------------------------------------------------------
+
+def test_ballot_channel_roundtrip():
+    channel = BallotChannel(photons=2048, seed=1)
+    assert channel.roundtrip(b"yes") == b"yes"
+
+
+def test_ballot_channel_key_never_reused():
+    channel = BallotChannel(photons=1024, seed=1)
+    available = channel.key_bits_available
+    channel.roundtrip(b"x")
+    assert channel.key_bits_available == available - 8
+    with pytest.raises(KeyExhausted):
+        channel.roundtrip(b"y" * (available // 8 + 10))
+
+
+def test_transient_eavesdropper_detected_then_recovered():
+    channel = BallotChannel(photons=2048, eavesdropper_attempts=2, seed=3)
+    assert channel.detections == 2
+    assert channel.attempts == 3
+    assert channel.roundtrip(b"ok") == b"ok"
+
+
+def test_persistent_eavesdropper_blocks_key():
+    with pytest.raises(ConnectionError):
+        BallotChannel(photons=1024, eavesdropper_attempts=99, max_attempts=3, seed=4)
+
+
+def test_election_tally_correct():
+    votes = ["yes"] * 7 + ["no"] * 4 + ["abstain"]
+    result = run_election(votes, photons=8192, seed=5)
+    assert result.tally == {"yes": 7, "no": 4, "abstain": 1}
+    assert result.ballots_transmitted == 12
+    assert result.qkd_attempts == 1
+
+
+def test_election_with_fleeting_eavesdropper():
+    votes = ["a", "b", "a"]
+    result = run_election(votes, eavesdropper_attempts=1, photons=4096, seed=6)
+    assert result.tally == {"a": 2, "b": 1}
+    assert result.eavesdropper_detections == 1
+    assert result.qkd_attempts == 2
+
+
+def test_election_validation():
+    with pytest.raises(ValueError):
+        run_election([])

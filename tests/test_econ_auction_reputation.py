@@ -1,0 +1,179 @@
+"""Tests for auctions and the reputation service."""
+
+import pytest
+
+from repro.econ.auction import (
+    gsp_auction,
+    second_price_auction,
+    utility_in_position_auction,
+    vcg_position_auction,
+)
+from repro.econ.reputation import ReputationSystem, under_attack
+
+CTRS = (0.5, 0.3, 0.1)
+
+
+def test_second_price_basic():
+    result = second_price_auction([3.0, 7.0, 5.0])
+    assert result.winner == 1
+    assert result.price == 5.0
+
+
+def test_second_price_single_bidder_pays_zero():
+    result = second_price_auction([4.0])
+    assert result.winner == 0
+    assert result.price == 0.0
+
+
+def test_second_price_tie_breaks_low_index():
+    assert second_price_auction([5.0, 5.0]).winner == 0
+
+
+def test_second_price_truthful():
+    """Bidding true value is (weakly) dominant: deviations never help."""
+    values = [6.0, 4.0, 2.0]
+    truthful = second_price_auction(values)
+    u_truthful = values[0] - truthful.price if truthful.winner == 0 else 0.0
+    for deviation in (0.0, 3.0, 4.5, 10.0, 100.0):
+        bids = [deviation, 4.0, 2.0]
+        r = second_price_auction(bids)
+        utility = values[0] - r.price if r.winner == 0 else 0.0
+        assert utility <= u_truthful + 1e-12
+
+
+def test_bid_validation():
+    with pytest.raises(ValueError):
+        second_price_auction([])
+    with pytest.raises(ValueError):
+        second_price_auction([-1.0])
+
+
+def test_gsp_assignment_and_prices():
+    result = gsp_auction([10.0, 8.0, 5.0, 1.0], CTRS)
+    assert result.assignment == (0, 1, 2)
+    assert result.prices == (8.0, 5.0, 1.0)
+    assert result.revenue == pytest.approx(0.5 * 8 + 0.3 * 5 + 0.1 * 1)
+
+
+def test_gsp_fewer_bidders_than_slots():
+    result = gsp_auction([4.0, 2.0], CTRS)
+    assert result.assignment == (0, 1)
+    assert result.prices == (2.0, 0.0)
+
+
+def test_ctr_validation():
+    with pytest.raises(ValueError):
+        gsp_auction([1.0], ())
+    with pytest.raises(ValueError):
+        gsp_auction([1.0], (0.1, 0.5))  # increasing
+    with pytest.raises(ValueError):
+        gsp_auction([1.0], (1.5,))
+
+
+def test_vcg_prices_below_gsp_at_equal_bids():
+    bids = [10.0, 8.0, 5.0, 1.0]
+    gsp = gsp_auction(bids, CTRS)
+    vcg = vcg_position_auction(bids, CTRS)
+    assert vcg.assignment == gsp.assignment
+    assert vcg.revenue <= gsp.revenue + 1e-12
+    for vp, gp in zip(vcg.prices, gsp.prices):
+        assert vp <= gp + 1e-12
+
+
+def test_vcg_last_slot_matches_gsp():
+    bids = [10.0, 8.0, 5.0, 1.0]
+    gsp = gsp_auction(bids, CTRS)
+    vcg = vcg_position_auction(bids, CTRS)
+    assert vcg.prices[-1] == pytest.approx(gsp.prices[-1])
+
+
+def test_vcg_truthful_gsp_not():
+    """The classic example: under GSP a high bidder can gain by
+    shading; under VCG no deviation helps."""
+    values = [10.0, 9.0, 6.0]
+    ctrs = (0.5, 0.4)
+    truthful = list(values)
+    u_gsp_truthful = utility_in_position_auction("gsp", values, truthful, ctrs, 0)
+    shaded = [7.0, 9.0, 6.0]  # bidder 0 drops to slot 2
+    u_gsp_shaded = utility_in_position_auction("gsp", values, shaded, ctrs, 0)
+    assert u_gsp_shaded > u_gsp_truthful  # GSP is manipulable
+    u_vcg_truthful = utility_in_position_auction("vcg", values, truthful, ctrs, 0)
+    for deviation in (0.0, 5.0, 7.0, 8.5, 9.5, 12.0, 50.0):
+        bids = [deviation, 9.0, 6.0]
+        u = utility_in_position_auction("vcg", values, bids, ctrs, 0)
+        assert u <= u_vcg_truthful + 1e-9
+
+
+def test_utility_probe_validation():
+    with pytest.raises(ValueError):
+        utility_in_position_auction("first-price", [1.0], [1.0], (0.5,), 0)
+
+
+def test_utility_loser_zero():
+    assert utility_in_position_auction("gsp", [1.0, 9.0], [1.0, 9.0], (0.5,), 0) == 0.0
+
+
+# -- reputation ------------------------------------------------------------
+
+def test_reputation_unknown_is_half():
+    assert ReputationSystem().score("nobody") == 0.5
+
+
+def test_reputation_moves_with_reports():
+    system = ReputationSystem()
+    system.report("alice", True)
+    system.report("alice", True)
+    system.report("bob", False)
+    assert system.score("alice") > 0.5 > system.score("bob")
+
+
+def test_reputation_weights():
+    system = ReputationSystem()
+    system.report("x", True, weight=10.0)
+    system.report("x", False, weight=1.0)
+    assert system.score("x") > 0.8
+
+
+def test_reputation_confidence_grows():
+    system = ReputationSystem()
+    assert system.confidence("x") == 0.0
+    system.report("x", True)
+    low = system.confidence("x")
+    for _ in range(20):
+        system.report("x", True)
+    assert system.confidence("x") > low
+
+
+def test_reputation_rank():
+    system = ReputationSystem()
+    system.report("good", True)
+    system.report("bad", False)
+    names = [name for name, _ in system.rank()]
+    assert names == ["good", "bad"]
+
+
+def test_reputation_aging_discounts_history():
+    system = ReputationSystem(discount=0.5)
+    for _ in range(10):
+        system.report("x", False)
+    before = system.score("x")
+    for _ in range(5):
+        system.age()
+    system.report("x", True)
+    assert system.score("x") > before
+
+
+def test_reputation_validation():
+    with pytest.raises(ValueError):
+        ReputationSystem(discount=0.0)
+    with pytest.raises(ValueError):
+        ReputationSystem().report("x", True, weight=0.0)
+
+
+def test_under_attack_linear_in_evidence():
+    few = under_attack(10)
+    many = under_attack(100)
+    assert many > few
+    assert under_attack(0) == 1  # no evidence: one bad report flips
+    with pytest.raises(ValueError):
+        under_attack(-1)

@@ -1,0 +1,139 @@
+"""Tests for kidney-exchange clearing."""
+
+import pytest
+
+from repro.adt.graph import Graph
+from repro.econ.kidney import KidneyExchange, Pair, clear_market, random_pool
+
+
+def exchange_from_edges(n, edges):
+    g = Graph(directed=True)
+    for v in range(n):
+        g.add_node(v)
+    for a, b in edges:
+        g.add_edge(a, b)
+    pairs = [Pair(i, "O", "A") for i in range(n)]
+    return KidneyExchange(pairs, g)
+
+
+def test_requires_directed():
+    with pytest.raises(ValueError):
+        KidneyExchange([], Graph())
+
+
+def test_enumerate_cycles_canonical():
+    ex = exchange_from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)])
+    two = ex.enumerate_cycles(2)
+    assert sorted(two) == [(0, 1), (0, 2), (1, 2)]
+    three = ex.enumerate_cycles(3)
+    assert (0, 1, 2) in three
+    assert (0, 2, 1) in three
+    with pytest.raises(ValueError):
+        ex.enumerate_cycles(1)
+
+
+def test_clear_simple_two_cycle():
+    ex = exchange_from_edges(2, [(0, 1), (1, 0)])
+    clearing = ex.clear(cycle_cap=2)
+    assert clearing.matched_pairs == 2
+    assert clearing.cycles == [(0, 1)]
+
+
+def test_three_cycle_needs_cap_three():
+    ex = exchange_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    assert ex.clear(cycle_cap=2).matched_pairs == 0
+    clearing3 = ex.clear(cycle_cap=3)
+    assert clearing3.matched_pairs == 3
+    assert clearing3.cycles == [(0, 1, 2)]
+
+
+def test_disjointness_enforced():
+    # Two 2-cycles sharing vertex 1: only one can clear.
+    ex = exchange_from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)])
+    clearing = ex.clear(cycle_cap=2)
+    assert clearing.matched_pairs == 2
+    used = [v for cycle in clearing.cycles for v in cycle]
+    assert len(used) == len(set(used))
+
+
+def test_optimality_beats_greedy_trap():
+    # Greedy takes the 3-cycle (0,1,2); optimum pairs (0,1) and (2,3).
+    ex = exchange_from_edges(
+        4, [(0, 1), (1, 0), (1, 2), (2, 0), (2, 3), (3, 2), (0, 2)]
+    )
+    clearing = ex.clear(cycle_cap=3)
+    assert clearing.matched_pairs == 4
+
+
+def test_random_pool_pairs_all_incompatible():
+    pool = random_pool(30, seed=1)
+    assert len(pool.pairs) == 30
+    assert pool.graph.num_nodes() == 30
+
+
+def test_random_pool_deterministic():
+    a = random_pool(20, seed=5)
+    b = random_pool(20, seed=5)
+    assert [(p.patient_type, p.donor_type) for p in a.pairs] == [
+        (p.patient_type, p.donor_type) for p in b.pairs
+    ]
+    assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+
+def test_random_pool_validation():
+    with pytest.raises(ValueError):
+        random_pool(0)
+    with pytest.raises(ValueError):
+        random_pool(5, crossmatch_failure=1.5)
+
+
+def test_paper_shape_cap3_beats_cap2():
+    """The Abraham et al. headline: 3-cycles unlock many more matches."""
+    totals = {2: 0, 3: 0}
+    for seed in range(6):
+        pool = random_pool(25, seed=seed)
+        for cap in (2, 3):
+            totals[cap] += pool.clear(cycle_cap=cap).matched_pairs
+    assert totals[3] > totals[2]
+
+
+def test_paper_shape_diminishing_beyond_3():
+    gain_2_to_3 = 0
+    gain_3_to_4 = 0
+    for seed in range(5):
+        pool = random_pool(25, seed=seed)
+        m2 = pool.clear(cycle_cap=2).matched_pairs
+        m3 = pool.clear(cycle_cap=3).matched_pairs
+        m4 = pool.clear(cycle_cap=4).matched_pairs
+        gain_2_to_3 += m3 - m2
+        gain_3_to_4 += m4 - m3
+    assert gain_2_to_3 >= gain_3_to_4
+
+
+def test_matched_never_decreases_with_cap():
+    pool = random_pool(22, seed=9)
+    matched = [pool.clear(cycle_cap=cap).matched_pairs for cap in (2, 3, 4, 5)]
+    assert matched == sorted(matched)
+
+
+def test_budget_exhaustion_reports_anytime_result():
+    pool = random_pool(60, seed=2)
+    clearing = pool.clear(cycle_cap=3)
+    # Whether or not the budget was hit, the result is a valid clearing.
+    used = [v for cycle in clearing.cycles for v in cycle]
+    assert len(used) == len(set(used))
+    assert clearing.matched_pairs == len(used)
+
+
+def test_clear_market_convenience():
+    clearing = clear_market(20, cycle_cap=3, seed=3)
+    assert clearing.matched_pairs >= 0
+    assert clearing.nodes_explored > 0
+
+
+def test_cleared_cycles_are_real_cycles():
+    pool = random_pool(30, seed=4)
+    clearing = pool.clear(cycle_cap=3)
+    for cycle in clearing.cycles:
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert pool.graph.has_edge(a, b)

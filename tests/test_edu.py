@@ -1,0 +1,194 @@
+"""Tests for the education package: concepts, learners, curricula."""
+
+import pytest
+
+from repro.edu.concepts import Concept, ConceptGraph, ct_concept_graph
+from repro.edu.curriculum import best_ordering, random_order_penalty, score_ordering
+from repro.edu.informal import STANDARD_CHANNELS, Channel, simulate_schedule
+from repro.edu.learner import KINDS, Learner, LearnerKind
+
+
+def test_concept_validation():
+    with pytest.raises(ValueError):
+        Concept("x", difficulty=0, age_floor=5)
+    with pytest.raises(ValueError):
+        Concept("x", difficulty=1, age_floor=1)
+
+
+def test_graph_construction_and_queries():
+    g = ct_concept_graph()
+    assert "recursion" in g.names()
+    assert "algorithms" in g.prerequisites("recursion")
+    assert g.concept("calculus").age_floor == 18
+
+
+def test_graph_duplicate_and_cycle_rejected():
+    g = ConceptGraph()
+    g.add(Concept("a", 1.0, 5))
+    g.add(Concept("b", 1.0, 5))
+    with pytest.raises(ValueError):
+        g.add(Concept("a", 1.0, 5))
+    g.require("a", "b")
+    with pytest.raises(ValueError):
+        g.require("b", "a")
+    with pytest.raises(KeyError):
+        g.require("a", "ghost")
+
+
+def test_valid_order_checks():
+    g = ct_concept_graph()
+    orders = g.topological_orders_sample(5)
+    assert len(orders) == 5
+    for order in orders:
+        assert g.valid_order(order)
+    bad = list(reversed(orders[0]))
+    assert not g.valid_order(bad)
+    assert not g.valid_order(orders[0][:-1])
+    with pytest.raises(ValueError):
+        g.topological_orders_sample(0)
+
+
+def test_learner_kind_validation():
+    with pytest.raises(ValueError):
+        LearnerKind("x", learning_rate=0, forgetting=0.1, prereq_sensitivity=0.5)
+    with pytest.raises(ValueError):
+        LearnerKind("x", learning_rate=1, forgetting=1.0, prereq_sensitivity=0.5)
+    with pytest.raises(ValueError):
+        LearnerKind("x", learning_rate=1, forgetting=0.1, prereq_sensitivity=2.0)
+
+
+def test_study_builds_mastery():
+    g = ct_concept_graph()
+    learner = Learner(g, KINDS["steady"])
+    learner.study("numbers", effort=2.0)
+    assert learner.mastery["numbers"] > 0.5
+    assert learner.mastery["calculus"] == 0.0
+
+
+def test_prerequisites_gate_learning():
+    g = ct_concept_graph()
+    dependent = Learner(g, KINDS["foundation-dependent"])
+    dependent.study("recursion", effort=2.0)  # no prerequisites mastered
+    assert dependent.mastery["recursion"] == pytest.approx(0.0)
+    prepared = Learner(g, KINDS["foundation-dependent"])
+    for c in ("sequencing", "decomposition", "patterns", "iteration", "abstraction", "algorithms"):
+        for _ in range(3):
+            prepared.study(c, effort=2.0)
+    prepared.study("recursion", effort=2.0)
+    assert prepared.mastery["recursion"] > 0.2
+
+
+def test_forgetting_decays_unreviewed():
+    g = ct_concept_graph()
+    learner = Learner(g, KINDS["quick-forgetful"])
+    learner.study("numbers", effort=3.0)
+    peak = learner.mastery["numbers"]
+    for _ in range(10):
+        learner.study("patterns", effort=1.0)
+    assert learner.mastery["numbers"] < peak
+
+
+def test_learner_validation():
+    g = ct_concept_graph()
+    with pytest.raises(ValueError):
+        Learner(g, KINDS["steady"], tool_reliance=1.5)
+    learner = Learner(g, KINDS["steady"])
+    with pytest.raises(KeyError):
+        learner.study("astrology")
+    with pytest.raises(ValueError):
+        learner.study("numbers", effort=0)
+
+
+def test_tool_reliance_creates_understanding_gap():
+    """The calculator warning: tool-heavy study scores well assisted,
+    poorly on transfer."""
+    g = ct_concept_graph()
+    understander = Learner(g, KINDS["steady"], tool_reliance=0.0)
+    button_pusher = Learner(g, KINDS["steady"], tool_reliance=0.9)
+    for learner in (understander, button_pusher):
+        for c in g.topological_orders_sample(1)[0]:
+            learner.study(c, effort=2.0)
+    assert button_pusher.understanding_gap() > understander.understanding_gap()
+    assert button_pusher.assisted_score("numbers") > button_pusher.transfer_score("numbers")
+    # Transfer (real understanding) is much worse for the button pusher.
+    assert understander.mean_mastery() > 2 * button_pusher.mean_mastery()
+
+
+def test_score_ordering_and_validation():
+    g = ct_concept_graph()
+    order = g.topological_orders_sample(1)[0]
+    score = score_ordering(g, order, KINDS["steady"])
+    assert 0.0 < score <= 1.0
+    with pytest.raises(ValueError):
+        score_ordering(g, order[:-1], KINDS["steady"])
+    with pytest.raises(ValueError):
+        score_ordering(g, order, KINDS["steady"], effort_per_concept=0)
+    with pytest.raises(ValueError):
+        score_ordering(g, order, KINDS["steady"], review_every=0)
+
+
+def test_best_ordering_at_least_as_good_as_first():
+    g = ct_concept_graph()
+    kind = KINDS["quick-forgetful"]
+    first = g.topological_orders_sample(1)[0]
+    best, best_score = best_ordering(g, kind, sample_limit=20)
+    assert best_score >= score_ordering(g, first, kind) - 1e-12
+    assert g.valid_order(best)
+
+
+def test_prerequisite_order_beats_random():
+    g = ct_concept_graph()
+    valid_mean, shuffled_mean = random_order_penalty(g, trials=8, seed=1)
+    assert valid_mean > shuffled_mean
+
+
+def test_penalty_larger_for_foundation_dependent():
+    g = ct_concept_graph()
+    v_dep, s_dep = random_order_penalty(g, "foundation-dependent", trials=8, seed=2)
+    v_steady, s_steady = random_order_penalty(g, "steady", trials=8, seed=2)
+    # Relative penalty is bigger for the prerequisite-sensitive kind.
+    assert (v_dep - s_dep) / v_dep >= (v_steady - s_steady) / v_steady - 0.05
+
+
+def test_random_order_penalty_validation():
+    g = ct_concept_graph()
+    with pytest.raises(KeyError):
+        random_order_penalty(g, "genius")
+    with pytest.raises(ValueError):
+        random_order_penalty(g, trials=0)
+
+
+def test_channels_and_schedule():
+    g = ct_concept_graph()
+    channels = STANDARD_CHANNELS(g)
+    assert set(channels) == {"classroom", "peers", "family", "museum", "web"}
+    mastery = simulate_schedule(
+        g, KINDS["steady"], {"classroom": 5.0, "peers": 2.0}, weeks=20, seed=1
+    )
+    assert 0.0 < mastery <= 1.0
+
+
+def test_informal_channels_add_value():
+    g = ct_concept_graph()
+    classroom_only = simulate_schedule(g, KINDS["steady"], {"classroom": 5.0}, seed=3)
+    blended = simulate_schedule(
+        g,
+        KINDS["steady"],
+        {"classroom": 5.0, "peers": 2.0, "museum": 1.0, "family": 2.0},
+        seed=3,
+    )
+    assert blended > classroom_only
+
+
+def test_schedule_validation():
+    g = ct_concept_graph()
+    with pytest.raises(KeyError):
+        simulate_schedule(g, KINDS["steady"], {"dojo": 1.0})
+    with pytest.raises(ValueError):
+        simulate_schedule(g, KINDS["steady"], {"classroom": -1.0})
+    with pytest.raises(ValueError):
+        simulate_schedule(g, KINDS["steady"], {"classroom": 1.0}, weeks=0)
+    with pytest.raises(ValueError):
+        Channel("empty", (), 1.0)
+    with pytest.raises(ValueError):
+        Channel("bad", ("numbers",), 0.0)

@@ -1,0 +1,126 @@
+"""Tests for fault schedules, the full disk, and the flaky server."""
+
+import pytest
+
+from repro.faults.injection import (
+    DiskFullError,
+    FaultSchedule,
+    FaultyDisk,
+    FlakyServer,
+    ServerTimeout,
+)
+
+
+def test_schedule_explicit_indices():
+    s = FaultSchedule(failing=[1, 3])
+    assert [s.next_faults() for _ in range(5)] == [False, True, False, True, False]
+    assert s.operations_seen == 5
+
+
+def test_schedule_rate_deterministic():
+    a = FaultSchedule(rate=0.5, seed=3)
+    b = FaultSchedule(rate=0.5, seed=3)
+    assert [a.next_faults() for _ in range(20)] == [b.next_faults() for _ in range(20)]
+
+
+def test_schedule_rate_extremes():
+    never = FaultSchedule(rate=0.0)
+    always = FaultSchedule(rate=1.0)
+    assert not any(never.next_faults() for _ in range(50))
+    assert all(always.next_faults() for _ in range(50))
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        FaultSchedule()
+    with pytest.raises(ValueError):
+        FaultSchedule(failing=[1], rate=0.5)
+    with pytest.raises(ValueError):
+        FaultSchedule(rate=1.5)
+
+
+def test_disk_write_read_roundtrip():
+    disk = FaultyDisk(100)
+    disk.write("a.txt", b"hello")
+    assert disk.read("a.txt") == b"hello"
+    assert disk.used_blocks == 5
+    assert disk.files() == ["a.txt"]
+
+
+def test_disk_fills_up():
+    disk = FaultyDisk(10)
+    disk.write("a", b"x" * 6)
+    with pytest.raises(DiskFullError):
+        disk.write("b", b"y" * 6)
+    # Original content survives the failed write.
+    assert disk.read("a") == b"x" * 6
+    assert disk.used_blocks == 6
+
+
+def test_disk_overwrite_releases_old_allocation():
+    disk = FaultyDisk(10)
+    disk.write("a", b"x" * 8)
+    disk.write("a", b"y" * 9)  # fits because the old 8 are released
+    assert disk.used_blocks == 9
+
+
+def test_disk_overwrite_atomic_on_failure():
+    disk = FaultyDisk(10)
+    disk.write("a", b"x" * 8)
+    with pytest.raises(DiskFullError):
+        disk.write("a", b"z" * 11)
+    assert disk.read("a") == b"x" * 8
+
+
+def test_disk_delete_frees_space():
+    disk = FaultyDisk(5)
+    disk.write("a", b"12345")
+    disk.delete("a")
+    assert disk.free_blocks == 5
+    with pytest.raises(FileNotFoundError):
+        disk.read("a")
+    with pytest.raises(FileNotFoundError):
+        disk.delete("a")
+
+
+def test_disk_transient_faults():
+    disk = FaultyDisk(100, schedule=FaultSchedule(failing=[0]))
+    with pytest.raises(OSError, match="transient"):
+        disk.write("a", b"x")
+    disk.write("a", b"x")  # second op succeeds
+    assert disk.read("a") == b"x"
+
+
+def test_disk_empty_blob_occupies_one_block():
+    disk = FaultyDisk(3)
+    disk.write("empty", b"")
+    assert disk.used_blocks == 1
+
+
+def test_disk_capacity_validation():
+    with pytest.raises(ValueError):
+        FaultyDisk(-1)
+
+
+def test_server_handles_requests():
+    server = FlakyServer(lambda x: x * 2)
+    assert server.request(21) == 42
+    assert server.requests_served == 1
+
+
+def test_server_scheduled_timeouts():
+    server = FlakyServer(lambda x: x, schedule=FaultSchedule(failing=[0, 2]))
+    with pytest.raises(ServerTimeout):
+        server.request(1)
+    assert server.request(2) == 2
+    with pytest.raises(ServerTimeout):
+        server.request(3)
+
+
+def test_server_crash_and_restart():
+    server = FlakyServer(lambda x: x)
+    server.crash()
+    with pytest.raises(ServerTimeout):
+        server.request(1)
+    server.restart()
+    assert server.request(5) == 5

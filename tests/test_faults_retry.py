@@ -1,0 +1,124 @@
+"""Tests for retry policies and the circuit breaker."""
+
+import pytest
+
+from repro.faults.injection import FaultSchedule, FlakyServer, ServerTimeout
+from repro.faults.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+
+def test_retry_succeeds_after_transients():
+    server = FlakyServer(lambda x: "ok", schedule=FaultSchedule(failing=[0, 1]))
+    outcome = RetryPolicy(max_attempts=5).call(lambda: server.request(None))
+    assert outcome.succeeded
+    assert outcome.attempts == 3
+    assert outcome.result == "ok"
+
+
+def test_retry_gives_up():
+    server = FlakyServer(lambda x: "ok", schedule=FaultSchedule(rate=1.0))
+    outcome = RetryPolicy(max_attempts=4).call(lambda: server.request(None))
+    assert not outcome.succeeded
+    assert outcome.attempts == 4
+    assert isinstance(outcome.last_error, ServerTimeout)
+
+
+def test_retry_backoff_doubles():
+    server = FlakyServer(lambda x: "ok", schedule=FaultSchedule(failing=[0, 1, 2]))
+    outcome = RetryPolicy(max_attempts=4, base_delay=1.0).call(lambda: server.request(None))
+    assert outcome.succeeded
+    assert outcome.virtual_time == pytest.approx(1.0 + 2.0 + 4.0)
+
+
+def test_retry_backoff_capped():
+    server = FlakyServer(lambda x: 1, schedule=FaultSchedule(rate=1.0))
+    outcome = RetryPolicy(max_attempts=6, base_delay=1.0, max_delay=2.0).call(
+        lambda: server.request(None)
+    )
+    # delays: 1, 2, 2, 2, 2 (5 gaps between 6 attempts)
+    assert outcome.virtual_time == pytest.approx(9.0)
+
+
+def test_retry_does_not_catch_programming_errors():
+    def boom():
+        raise KeyError("not retryable")
+
+    with pytest.raises(KeyError):
+        RetryPolicy().call(boom)
+
+
+def test_retry_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=5.0, max_delay=1.0)
+
+
+def test_breaker_opens_after_threshold():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+    server = FlakyServer(lambda x: "ok", schedule=FaultSchedule(rate=1.0))
+    for _ in range(3):
+        with pytest.raises(ServerTimeout):
+            breaker.call(lambda: server.request(None))
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: server.request(None))
+    assert breaker.calls_rejected == 1
+
+
+def test_breaker_half_open_probe_success_closes():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+    healthy_after = FlakyServer(lambda x: "ok", schedule=FaultSchedule(failing=[0]))
+    with pytest.raises(ServerTimeout):
+        breaker.call(lambda: healthy_after.request(None))
+    assert breaker.state == "open"
+    breaker.advance(5.0)
+    assert breaker.state == "half-open"
+    assert breaker.call(lambda: healthy_after.request(None)) == "ok"
+    assert breaker.state == "closed"
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+    dead = FlakyServer(lambda x: "ok", schedule=FaultSchedule(rate=1.0))
+    with pytest.raises(ServerTimeout):
+        breaker.call(lambda: dead.request(None))
+    breaker.advance(5.0)
+    with pytest.raises(ServerTimeout):
+        breaker.call(lambda: dead.request(None))
+    assert breaker.state == "open"
+
+
+def test_breaker_success_resets_failure_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    flaky = FlakyServer(lambda x: "ok", schedule=FaultSchedule(failing=[0, 2]))
+    with pytest.raises(ServerTimeout):
+        breaker.call(lambda: flaky.request(None))
+    assert breaker.call(lambda: flaky.request(None)) == "ok"
+    with pytest.raises(ServerTimeout):
+        breaker.call(lambda: flaky.request(None))
+    assert breaker.state == "closed"  # interleaved success kept it closed
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout=0)
+    breaker = CircuitBreaker()
+    with pytest.raises(ValueError):
+        breaker.advance(-1)
+
+
+def test_breaker_shields_backend():
+    """The point of the pattern: the dead backend stops being hammered."""
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=100.0)
+    dead = FlakyServer(lambda x: "ok")
+    dead.crash()
+    for _ in range(20):
+        try:
+            breaker.call(lambda: dead.request(None))
+        except (ServerTimeout, CircuitOpenError):
+            pass
+    # Only the first 2 calls reached the server; 18 were shed.
+    assert breaker.calls_attempted == 2
+    assert breaker.calls_rejected == 18

@@ -1,0 +1,109 @@
+"""Tests for the BSC and error-correcting codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.info.channel import (
+    BinarySymmetricChannel,
+    bsc_capacity,
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+    simulate_code,
+)
+
+
+def test_capacity_extremes():
+    assert bsc_capacity(0.0) == pytest.approx(1.0)
+    assert bsc_capacity(0.5) == pytest.approx(0.0)
+    assert bsc_capacity(1.0) == pytest.approx(1.0)  # deterministic flip is invertible
+
+
+def test_channel_noiseless():
+    ch = BinarySymmetricChannel(0.0)
+    data = np.array([0, 1, 1, 0], dtype=np.uint8)
+    assert np.array_equal(ch.transmit(data), data)
+
+
+def test_channel_always_flips():
+    ch = BinarySymmetricChannel(1.0)
+    data = np.array([0, 1, 0], dtype=np.uint8)
+    assert np.array_equal(ch.transmit(data), 1 - data)
+
+
+def test_channel_flip_rate_statistical():
+    ch = BinarySymmetricChannel(0.2, seed=0)
+    data = np.zeros(20_000, dtype=np.uint8)
+    flipped = ch.transmit(data).mean()
+    assert flipped == pytest.approx(0.2, abs=0.02)
+
+
+def test_channel_validation():
+    with pytest.raises(ValueError):
+        BinarySymmetricChannel(1.5)
+    with pytest.raises(ValueError):
+        BinarySymmetricChannel(0.1).transmit([0, 2])
+
+
+def test_repetition_roundtrip_noiseless():
+    data = [1, 0, 1, 1]
+    assert np.array_equal(repetition_decode(repetition_encode(data, 3), 3), data)
+
+
+def test_repetition_corrects_single_flip_per_block():
+    coded = repetition_encode([1, 0], 3)
+    coded[0] ^= 1  # one error in first block
+    coded[4] ^= 1  # one error in second block
+    assert np.array_equal(repetition_decode(coded, 3), [1, 0])
+
+
+def test_repetition_validation():
+    with pytest.raises(ValueError):
+        repetition_encode([1], 2)  # even
+    with pytest.raises(ValueError):
+        repetition_decode([1, 0], 3)  # length mismatch
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+def test_hamming_roundtrip_noiseless(bits):
+    decoded = hamming74_decode(hamming74_encode(bits))
+    assert np.array_equal(decoded[: len(bits)], bits)
+
+
+@given(st.lists(st.integers(0, 1), min_size=4, max_size=4), st.integers(0, 6))
+def test_hamming_corrects_any_single_error(nibble, error_pos):
+    coded = hamming74_encode(nibble)
+    coded[error_pos] ^= 1
+    assert np.array_equal(hamming74_decode(coded), nibble)
+
+
+def test_hamming_decode_validation():
+    with pytest.raises(ValueError):
+        hamming74_decode([1, 0, 1])
+
+
+def test_simulate_code_rates():
+    assert simulate_code("none", 100, 0.0)[0] == 1.0
+    assert simulate_code("repetition", 100, 0.0)[0] == pytest.approx(1 / 3)
+    assert simulate_code("hamming74", 100, 0.0)[0] == pytest.approx(4 / 7)
+    with pytest.raises(ValueError):
+        simulate_code("magic", 10, 0.1)
+
+
+@settings(deadline=None)
+@given(st.sampled_from([0.01, 0.05, 0.1]))
+def test_codes_reduce_error_rate(p):
+    _, raw = simulate_code("none", 4000, p, seed=1)
+    _, rep = simulate_code("repetition", 4000, p, seed=1)
+    _, ham = simulate_code("hamming74", 4000, p, seed=1)
+    assert rep < raw or raw == 0
+    assert ham < raw or raw == 0
+
+
+def test_noiseless_codes_perfect():
+    for kind in ("none", "repetition", "hamming74"):
+        _, err = simulate_code(kind, 500, 0.0)
+        assert err == 0.0

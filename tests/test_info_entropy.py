@@ -1,0 +1,96 @@
+"""Tests for entropy and information measures."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.info.entropy import (
+    binary_entropy,
+    cross_entropy,
+    empirical_distribution,
+    entropy,
+    kl_divergence,
+    mutual_information,
+)
+
+
+def test_uniform_entropy():
+    assert entropy({"a": 0.5, "b": 0.5}) == pytest.approx(1.0)
+    assert entropy({i: 0.125 for i in range(8)}) == pytest.approx(3.0)
+
+
+def test_degenerate_entropy_zero():
+    assert entropy({"only": 1.0}) == 0.0
+
+
+def test_entropy_validation():
+    with pytest.raises(ValueError):
+        entropy({"a": 0.7, "b": 0.7})
+    with pytest.raises(ValueError):
+        entropy({"a": -0.5, "b": 1.5})
+
+
+def test_binary_entropy_symmetric_peak():
+    assert binary_entropy(0.5) == pytest.approx(1.0)
+    assert binary_entropy(0.1) == pytest.approx(binary_entropy(0.9))
+    assert binary_entropy(0.0) == 0.0
+    with pytest.raises(ValueError):
+        binary_entropy(1.5)
+
+
+def test_cross_entropy_equals_entropy_when_same():
+    p = {"a": 0.25, "b": 0.75}
+    assert cross_entropy(p, p) == pytest.approx(entropy(p))
+
+
+def test_cross_entropy_infinite_off_support():
+    assert math.isinf(cross_entropy({"a": 1.0}, {"b": 1.0}))
+
+
+def test_kl_zero_iff_equal():
+    p = {"a": 0.3, "b": 0.7}
+    assert kl_divergence(p, p) == pytest.approx(0.0)
+    q = {"a": 0.5, "b": 0.5}
+    assert kl_divergence(p, q) > 0
+
+
+def test_kl_asymmetric():
+    p = {"a": 0.9, "b": 0.1}
+    q = {"a": 0.5, "b": 0.5}
+    assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+
+def test_mutual_information_independent_is_zero():
+    joint = {(x, y): 0.25 for x in "ab" for y in "cd"}
+    assert mutual_information(joint) == pytest.approx(0.0)
+
+
+def test_mutual_information_perfectly_dependent():
+    joint = {("0", "0"): 0.5, ("1", "1"): 0.5}
+    assert mutual_information(joint) == pytest.approx(1.0)
+
+
+def test_empirical_distribution():
+    dist = empirical_distribution("aab")
+    assert dist == {"a": pytest.approx(2 / 3), "b": pytest.approx(1 / 3)}
+    with pytest.raises(ValueError):
+        empirical_distribution([])
+
+
+@given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10))
+def test_entropy_bounds_property(weights):
+    total = sum(weights)
+    dist = {i: w / total for i, w in enumerate(weights)}
+    h = entropy(dist)
+    assert -1e-9 <= h <= math.log2(len(dist)) + 1e-9
+
+
+@given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=8),
+       st.lists(st.floats(0.01, 1.0), min_size=2, max_size=8))
+def test_kl_nonnegative_property(ws1, ws2):
+    n = min(len(ws1), len(ws2))
+    p = {i: w / sum(ws1[:n]) for i, w in enumerate(ws1[:n])}
+    q = {i: w / sum(ws2[:n]) for i, w in enumerate(ws2[:n])}
+    assert kl_divergence(p, q) >= 0

@@ -1,0 +1,103 @@
+"""Tests for Huffman coding and the entropy bound."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.info.entropy import empirical_distribution, entropy
+from repro.info.huffman import HuffmanCode
+
+
+def test_roundtrip_simple():
+    code = HuffmanCode({"a": 5, "b": 2, "c": 1})
+    msg = list("abacaba")
+    assert code.decode(code.encode(msg)) == msg
+
+
+def test_frequent_symbol_gets_short_code():
+    code = HuffmanCode({"common": 90, "rare": 10})
+    assert len(code.codebook["common"]) <= len(code.codebook["rare"])
+
+
+def test_prefix_free():
+    code = HuffmanCode({s: w for s, w in zip("abcdefg", [13, 8, 5, 3, 2, 1, 1])})
+    assert code.is_prefix_free()
+
+
+def test_single_symbol_alphabet():
+    code = HuffmanCode({"x": 1.0})
+    assert code.codebook == {"x": "0"}
+    assert code.decode(code.encode(["x", "x"])) == ["x", "x"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HuffmanCode({})
+    with pytest.raises(ValueError):
+        HuffmanCode({"a": 0})
+    with pytest.raises(ValueError):
+        HuffmanCode.from_samples([])
+
+
+def test_encode_unknown_symbol():
+    code = HuffmanCode({"a": 1, "b": 1})
+    with pytest.raises(KeyError):
+        code.encode(["z"])
+
+
+def test_decode_invalid_bits():
+    code = HuffmanCode({"a": 1, "b": 1})
+    with pytest.raises(ValueError, match="not a bit"):
+        code.decode("01x")
+
+
+def test_decode_dangling_bits():
+    code = HuffmanCode({"a": 1, "b": 2, "c": 4})
+    bits = code.encode(["c"])
+    longest = max(code.codebook.values(), key=len)
+    with pytest.raises(ValueError, match="dangling"):
+        code.decode(bits + longest[:-1])
+
+
+def test_expected_length_within_entropy_plus_one():
+    dist = {"a": 0.5, "b": 0.25, "c": 0.125, "d": 0.125}
+    code = HuffmanCode(dist)
+    h = entropy(dist)
+    length = code.expected_length(dist)
+    assert h - 1e-9 <= length < h + 1
+
+
+def test_expected_length_dyadic_meets_entropy_exactly():
+    dist = {"a": 0.5, "b": 0.25, "c": 0.25}
+    code = HuffmanCode(dist)
+    assert code.expected_length(dist) == pytest.approx(entropy(dist))
+
+
+def test_expected_length_missing_symbol():
+    code = HuffmanCode({"a": 1, "b": 1})
+    with pytest.raises(KeyError):
+        code.expected_length({"a": 0.5, "z": 0.5})
+
+
+def test_efficiency_report_orders():
+    samples = list("aaaaaaaabbbbccd")
+    code = HuffmanCode.from_samples(samples)
+    bound, achieved, naive = code.efficiency_report(samples)
+    assert bound <= achieved + 1e-9
+    assert achieved <= naive + 1e-9
+
+
+@given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=300))
+def test_roundtrip_property(samples):
+    code = HuffmanCode.from_samples(samples)
+    assert code.decode(code.encode(samples)) == samples
+    assert code.is_prefix_free()
+
+
+@given(st.dictionaries(st.sampled_from("abcdefgh"), st.integers(1, 100), min_size=2))
+def test_entropy_bound_property(weights):
+    total = sum(weights.values())
+    dist = {s: w / total for s, w in weights.items()}
+    code = HuffmanCode(weights)
+    length = code.expected_length(dist)
+    assert entropy(dist) - 1e-9 <= length < entropy(dist) + 1

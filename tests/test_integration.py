@@ -1,0 +1,154 @@
+"""Integration tests: scenarios spanning several subsystems, wired the
+way the paper wires its argument."""
+
+import numpy as np
+import pytest
+
+from repro.bio.assembly import GreedyAssembler, identity
+from repro.bio.genome import random_genome, shotgun_fragments
+from repro.complang.equiv import observationally_equivalent, random_program
+from repro.complang.parser import parse
+from repro.complang.vm import VM
+from repro.complang.compile import compile_program
+from repro.complexity.reductions import adleman_graph, solve_hamiltonian_path
+from repro.bio.adleman import AdlemanComputer
+from repro.core.abstraction import Refinement
+from repro.core.layers import Interface, Layer, LayerStack
+from repro.core.statemachine import StateMachine
+from repro.faults.injection import FaultSchedule, FlakyServer
+from repro.faults.retry import RetryPolicy
+from repro.info.huffman import HuffmanCode
+from repro.netstack.ip import IPLayer
+from repro.netstack.link import LinkLayer
+from repro.netstack.medium import LossyRadio, PerfectFiber
+from repro.netstack.transport import SlidingWindowTransport
+from repro.parallel.comm import run_spmd
+
+
+def test_spmd_genome_assembly_pipeline():
+    """Bio + parallel: each rank assembles one coverage level; rank 0
+    gathers and confirms the coverage-vs-identity shape."""
+    genome = random_genome(250, seed=5)
+    coverages = [2.0, 10.0]
+
+    def worker(comm):
+        coverage = comm.scatter(coverages if comm.rank == 0 else None, root=0)
+        reads = shotgun_fragments(genome, coverage=coverage, read_length=50, seed=6)
+        result = GreedyAssembler(min_overlap=12).assemble(reads)
+        return comm.gather(identity(result.longest, genome), root=0)
+
+    identities = run_spmd(worker, 2)[0]
+    assert identities[1] >= identities[0]
+    assert identities[1] > 0.9
+
+
+def test_huffman_over_lossy_network():
+    """Info + netstack: compress, ship over a reliable transport on a
+    lossy radio, decompress — exact recovery end to end."""
+    message = "computational thinking is abstraction and automation " * 5
+    code = HuffmanCode.from_samples(list(message))
+    bits = code.encode(list(message))
+    payload = bits.encode()
+    transport = SlidingWindowTransport(
+        IPLayer("alice", LinkLayer(LossyRadio(loss_rate=0.15, corruption_rate=0.05, seed=4))),
+        window=8,
+        max_rounds=10_000,
+    )
+    delivered = transport.send("bob", payload)
+    recovered = "".join(code.decode(delivered.decode()))
+    assert recovered == message
+    assert len(payload) < len(message.encode()) * 8  # compression actually happened
+
+
+def test_adleman_agrees_with_classical_solver():
+    """Bio + complexity: the molecular and classical computers find the
+    same unique Hamiltonian path on the published instance."""
+    graph, start, end = adleman_graph()
+    classical, _ = solve_hamiltonian_path(graph, start, end)
+    molecular = AdlemanComputer(graph, start, end).run(population=60_000, seed=1)
+    assert molecular.succeeded
+    assert list(molecular.survivors[0]) == classical
+
+
+def test_vm_refines_interpreter_as_state_machines():
+    """Complang + core: wrap a compiled program's VM execution as a
+    state machine and check it refines the source-level spec of its
+    output stream."""
+    source = "i = 0; while i < 3 { print i; i = i + 1; }"
+    outcome = VM(compile_program(parse(source))).run()
+    # Spec: the abstract machine that emits 0,1,2 and stops.
+    spec = StateMachine(
+        initial=0,
+        transitions=[(0, "print0", 1), (1, "print1", 2), (2, "print2", 3)],
+    )
+    # Impl: a machine replaying the VM's observable output.
+    impl = StateMachine(initial=0)
+    for i, value in enumerate(outcome.output):
+        impl.add_transition(i, f"print{value}", i + 1)
+    assert Refinement.via_function(spec, impl, lambda s: s).check().holds
+
+
+def test_layered_stack_with_fault_injected_service():
+    """Core layers + faults: a layer stack round-trips through a flaky
+    service behind a retry policy."""
+    app, wire = Interface("app"), Interface("wire")
+    stack = LayerStack(
+        [Layer("codec", upper=app, lower=wire,
+               down=lambda s: s.encode(), up=lambda b: b.decode())]
+    )
+    server = FlakyServer(lambda b: b.upper(), schedule=FaultSchedule(failing=[0, 1]))
+    policy = RetryPolicy(max_attempts=5, base_delay=0.01)
+
+    def service(request_bytes):
+        return policy.call(lambda: server.request(request_bytes)).result
+
+    assert stack.round_trip("ping", service) == "PING"
+    assert server.requests_served == 1  # two scheduled faults absorbed by retry
+
+
+def test_random_programs_equivalent_over_perfect_network():
+    """Complang + netstack: ship a random program's bytecode-produced
+    output across the stack and compare against the interpreter."""
+    from repro.complang.interp import MiniLangError, run_program
+
+    prog = random_program(3)
+    env = {"x": 1, "y": 2, "z": 3, "w": 4, "k": 0}
+    assert observationally_equivalent(prog, env=env)
+    try:
+        output = run_program(prog, env=dict(env)).output
+    except MiniLangError:
+        return  # faulting programs have no stream to ship
+    payload = ",".join(map(str, output)).encode()
+    transport = SlidingWindowTransport(IPLayer("a", LinkLayer(PerfectFiber())))
+    assert transport.send("b", payload) == payload
+
+
+def test_multiscale_field_from_sensor_grid():
+    """Data + core.multiscale: coarse model of a sensed field stays
+    close to the fine ground truth."""
+    from repro.core.multiscale import coarsen, validate_coarse_model
+    from repro.data.sensornet import SensorGrid
+
+    grid = SensorGrid(4, 32, noise=0.0, failure_rate=0.0, seed=8)
+    row = grid.field(0)[0]
+    report = validate_coarse_model(np.asarray(row), factor=4, simulated_time=20.0)
+    assert report.commutation_error < 0.1
+    assert coarsen(np.asarray(row), 4).shape == (8,)
+
+
+def test_curriculum_taught_over_informal_channels_matches_learner_model():
+    """Edu end-to-end: the best formal ordering still beats an
+    informal-only schedule at comparable effort for the
+    foundation-dependent learner."""
+    from repro.edu.concepts import ct_concept_graph
+    from repro.edu.curriculum import best_ordering
+    from repro.edu.informal import simulate_schedule
+    from repro.edu.learner import KINDS
+
+    graph = ct_concept_graph()
+    kind = KINDS["foundation-dependent"]
+    _, formal_score = best_ordering(graph, kind, sample_limit=10)
+    informal_score = simulate_schedule(
+        graph, kind, {"peers": 3.0, "web": 3.0, "family": 2.0}, weeks=30, seed=2
+    )
+    assert formal_score > informal_score

@@ -1,0 +1,132 @@
+"""Tests for DFAs, NFAs, subset construction and products."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines.automata import DFA, NFA
+
+
+def even_zeros_dfa():
+    return DFA.build(
+        [("e", "0", "o"), ("o", "0", "e"), ("e", "1", "e"), ("o", "1", "o")],
+        initial="e",
+        accepting=["e"],
+    )
+
+
+def ends_in_one_dfa():
+    return DFA.build(
+        [("s", "0", "s"), ("s", "1", "t"), ("t", "0", "s"), ("t", "1", "t")],
+        initial="s",
+        accepting=["t"],
+    )
+
+
+def test_dfa_accepts():
+    dfa = even_zeros_dfa()
+    assert dfa.accepts("")
+    assert dfa.accepts("11")
+    assert dfa.accepts("00")
+    assert not dfa.accepts("0")
+    assert dfa.accepts("100")  # two zeros -> even
+    assert not dfa.accepts("10")
+
+
+def test_dfa_counts_correctly():
+    dfa = even_zeros_dfa()
+    for word in ("0", "010", "0001"):
+        assert dfa.accepts(word) == (word.count("0") % 2 == 0)
+
+
+def test_dfa_missing_transition_rejects():
+    dfa = DFA.build([("a", "x", "b")], initial="a", accepting=["b"])
+    assert not dfa.accepts("y")
+    assert dfa.accepts("x")
+
+
+def test_dfa_duplicate_transition_rejected():
+    with pytest.raises(ValueError, match="nondeterministic"):
+        DFA.build([("a", "x", "b"), ("a", "x", "c")], initial="a", accepting=[])
+
+
+def test_dfa_validation():
+    with pytest.raises(ValueError):
+        DFA(frozenset({"a"}), frozenset(), {}, "zzz", frozenset())
+    with pytest.raises(ValueError):
+        DFA(frozenset({"a"}), frozenset(), {}, "a", frozenset({"zzz"}))
+
+
+def test_product_intersection():
+    prod = even_zeros_dfa().product(ends_in_one_dfa(), mode="intersection")
+    for word in ("1", "001", "01", "11", "0011", ""):
+        expected = (word.count("0") % 2 == 0) and word.endswith("1")
+        assert prod.accepts(word) == expected
+
+
+def test_product_union():
+    prod = even_zeros_dfa().product(ends_in_one_dfa(), mode="union")
+    for word in ("1", "0", "01", "00", ""):
+        expected = (word.count("0") % 2 == 0) or word.endswith("1")
+        assert prod.accepts(word) == expected
+
+
+def test_product_mode_validated():
+    with pytest.raises(ValueError):
+        even_zeros_dfa().product(ends_in_one_dfa(), mode="xor")
+
+
+def third_from_end_nfa():
+    """Words over {0,1} whose 3rd symbol from the end is 1."""
+    return NFA.build(
+        [
+            ("q", "0", "q"), ("q", "1", "q"),
+            ("q", "1", "a"),
+            ("a", "0", "b"), ("a", "1", "b"),
+            ("b", "0", "c"), ("b", "1", "c"),
+        ],
+        initial=["q"],
+        accepting=["c"],
+    )
+
+
+def test_nfa_accepts():
+    nfa = third_from_end_nfa()
+    assert nfa.accepts("100")
+    assert nfa.accepts("0111")
+    assert not nfa.accepts("000")
+    assert not nfa.accepts("01")
+
+
+def test_nfa_dead_end():
+    nfa = NFA.build([("a", "x", "b")], initial=["a"], accepting=["b"])
+    assert not nfa.accepts("xx")
+
+
+@given(st.text(alphabet="01", max_size=10))
+def test_determinize_equivalent(word):
+    nfa = third_from_end_nfa()
+    dfa = nfa.determinize()
+    assert dfa.accepts(word) == nfa.accepts(word)
+
+
+def test_determinize_blowup_shape():
+    """Subset construction on k-th-from-end needs ~2^k states."""
+
+    def kth_nfa(k):
+        trans = [("q", "0", "q"), ("q", "1", "q"), ("q", "1", "s1")]
+        for i in range(1, k):
+            trans += [(f"s{i}", "0", f"s{i+1}"), (f"s{i}", "1", f"s{i+1}")]
+        return NFA.build(trans, initial=["q"], accepting=[f"s{k}"])
+
+    sizes = [len(kth_nfa(k).determinize().states) for k in (2, 3, 4, 5)]
+    # Exponential in k: each step at least doubles (minus boundary effects).
+    assert sizes[1] > sizes[0]
+    assert sizes[3] >= 2 * sizes[1]
+
+
+def test_nfa_multiple_initial_states():
+    nfa = NFA.build([("a", "x", "c"), ("b", "y", "c")], initial=["a", "b"], accepting=["c"])
+    assert nfa.accepts("x")
+    assert nfa.accepts("y")
+    assert not nfa.accepts("xy")

@@ -1,0 +1,66 @@
+"""Tests for busy beavers and the halting survey."""
+
+import pytest
+
+from repro.machines.busybeaver import (
+    BB_CHAMPIONS,
+    HaltingReport,
+    busy_beaver_machine,
+    halting_survey,
+    score,
+)
+from repro.machines.turing import BLANK, TuringMachine
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_champion_scores_verified_by_execution(n):
+    sigma, steps = BB_CHAMPIONS[n]
+    got_sigma, got_steps = score(busy_beaver_machine(n))
+    assert got_sigma == sigma
+    assert got_steps == steps
+
+
+def test_busy_beaver_growth_is_savage():
+    scores = [BB_CHAMPIONS[n][1] for n in (1, 2, 3, 4)]
+    assert scores == sorted(scores)
+    assert scores[3] / scores[2] > scores[2] / scores[1]
+
+
+def test_unknown_champion_rejected():
+    with pytest.raises(ValueError):
+        busy_beaver_machine(7)
+
+
+def test_score_requires_halting():
+    spinner = TuringMachine.from_rules([("s", BLANK, "s", BLANK, "S")], initial="s")
+    with pytest.raises(RuntimeError):
+        score(spinner, fuel=100)
+
+
+def family():
+    halts_fast = busy_beaver_machine(2)
+    halts_slow = busy_beaver_machine(4)  # 107 steps
+    spins = TuringMachine.from_rules([("s", BLANK, "s", BLANK, "S")], initial="s")
+    return [halts_fast, halts_slow, spins]
+
+
+def test_halting_survey_counts():
+    report = halting_survey(family(), fuel=10)
+    assert report.total == 3
+    assert report.halted == 1  # only BB(2) halts within 10 steps
+    assert report.running == 2
+
+
+def test_halting_survey_monotone_in_fuel():
+    fam = family()
+    low = halting_survey(fam, fuel=10)
+    high = halting_survey(fam, fuel=500)
+    assert high.halted >= low.halted
+    assert high.halted == 2  # the spinner never halts
+    assert high.undecided_fraction == pytest.approx(1 / 3)
+
+
+def test_empty_survey():
+    report = halting_survey([], fuel=10)
+    assert report.undecided_fraction == 0.0
+    assert isinstance(report, HaltingReport)

@@ -1,0 +1,114 @@
+"""Tests for the RAM machine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines.ram import Instr, RamMachine, RamProgram, multiply_program
+
+
+def test_halt_immediately():
+    prog = RamProgram([Instr("HALT")])
+    res = RamMachine().run(prog)
+    assert res.halted
+    assert res.steps == 1
+
+
+def test_loadi_mov_add_sub():
+    prog = RamProgram(
+        [
+            Instr("LOADI", 1, 7),
+            Instr("MOV", 0, 1),
+            Instr("ADD", 0, 1),     # r0 = 14
+            Instr("LOADI", 2, 20),
+            Instr("SUB", 0, 2),     # natural subtraction -> 0
+            Instr("HALT"),
+        ]
+    )
+    res = RamMachine().run(prog)
+    assert res.registers[0] == 0
+    assert res.registers[1] == 7
+
+
+def test_natural_subtraction_floor():
+    prog = RamProgram([Instr("LOADI", 0, 3), Instr("LOADI", 1, 10), Instr("SUB", 0, 1), Instr("HALT")])
+    assert RamMachine().run(prog).output == 0
+
+
+def test_memory_load_store():
+    prog = RamProgram(
+        [
+            Instr("LOADI", 1, 42),   # address
+            Instr("LOADI", 2, 99),   # value
+            Instr("STORE", 1, 2),    # mem[42] = 99
+            Instr("LOAD", 0, 1),     # r0 = mem[42]
+            Instr("HALT"),
+        ]
+    )
+    res = RamMachine().run(prog)
+    assert res.output == 99
+    assert res.memory == {42: 99}
+
+
+def test_load_unwritten_memory_is_zero():
+    prog = RamProgram([Instr("LOADI", 1, 5), Instr("LOAD", 0, 1), Instr("HALT")])
+    assert RamMachine().run(prog).output == 0
+
+
+@given(st.integers(0, 50), st.integers(0, 50))
+def test_multiply_program(a, b):
+    res = RamMachine().run(multiply_program(), registers=[0, a, b], fuel=10_000)
+    assert res.halted
+    assert res.output == a * b
+
+
+def test_fuel_exhaustion():
+    loop = RamProgram([Instr("JMP", 0)])
+    res = RamMachine().run(loop, fuel=25)
+    assert not res.halted
+    assert res.steps == 25
+
+
+def test_fall_off_end_halts():
+    prog = RamProgram([Instr("LOADI", 0, 1)])
+    assert RamMachine().run(prog).halted
+
+
+def test_jz_taken_and_not_taken():
+    prog = RamProgram(
+        [
+            Instr("JZ", 0, 3),       # r0 == 0 -> skip
+            Instr("LOADI", 1, 111),
+            Instr("HALT"),
+            Instr("LOADI", 1, 222),
+            Instr("HALT"),
+        ]
+    )
+    assert RamMachine().run(prog).registers[1] == 222
+    assert RamMachine().run(prog, registers=[5]).registers[1] == 111
+
+
+def test_bad_opcode_rejected():
+    with pytest.raises(ValueError, match="unknown opcode"):
+        RamProgram([Instr("NOPE")])
+
+
+def test_jump_targets_validated():
+    with pytest.raises(ValueError):
+        RamProgram([Instr("JMP", 99)])
+    with pytest.raises(ValueError):
+        RamProgram([Instr("JZ", 0, -1)])
+
+
+def test_register_bounds():
+    with pytest.raises(ValueError):
+        RamMachine(num_registers=0)
+    with pytest.raises(ValueError):
+        RamMachine(num_registers=2).run(RamProgram([Instr("HALT")]), registers=[1, 2, 3])
+    with pytest.raises(ValueError):
+        RamMachine().run(RamProgram([Instr("HALT")]), registers=[-1])
+
+
+def test_tuple_instructions_accepted():
+    prog = RamProgram([("LOADI", 0, 5), ("HALT",)])
+    assert RamMachine().run(prog).output == 5

@@ -1,0 +1,63 @@
+"""Tests for string rewriting systems."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines.rewriting import RewriteSystem, unary_addition_system
+
+
+def test_single_step():
+    rs = RewriteSystem([("ab", "ba")])
+    assert rs.step("aab") == "aba"
+    assert rs.step("bbaa") is None
+
+
+def test_leftmost_application():
+    rs = RewriteSystem([("aa", "b")])
+    assert rs.step("aaaa") == "baa"
+
+
+def test_rule_order_resolves_overlap():
+    first = RewriteSystem([("ab", "X"), ("ba", "Y")])
+    assert first.step("aba") == "Xa"
+    second = RewriteSystem([("ba", "Y"), ("ab", "X")])
+    assert second.step("aba") == "aY"
+
+
+def test_normalize_terminating():
+    rs = RewriteSystem([("ab", "ba")])  # bubble sort: b's drift left
+    result = rs.normalize("abab")
+    assert result.terminated
+    assert result.normal_form == "bbaa"
+
+
+def test_nonterminating_detected_by_fuel():
+    rs = RewriteSystem([("a", "aa")])
+    result = rs.normalize("a", fuel=30)
+    assert not result.terminated
+    assert result.steps == 30
+    assert not rs.terminates_on("a", fuel=30)
+
+
+def test_empty_rules_rejected():
+    with pytest.raises(ValueError):
+        RewriteSystem([])
+
+
+def test_empty_lhs_rejected():
+    with pytest.raises(ValueError):
+        RewriteSystem([("", "x")])
+
+
+@given(st.integers(0, 25), st.integers(0, 25))
+def test_unary_addition(m, n):
+    rs = unary_addition_system()
+    result = rs.normalize("1" * m + "+" + "1" * n + "=")
+    assert result.terminated
+    assert result.normal_form == "1" * (m + n)
+
+
+def test_steps_counted():
+    rs = RewriteSystem([("ab", "ba")])
+    assert rs.normalize("ab").steps == 1

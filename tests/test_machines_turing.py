@@ -1,0 +1,121 @@
+"""Tests for Turing machines and the standard machine library."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines.turing import (
+    BLANK,
+    TuringMachine,
+    binary_increment,
+    copier,
+    palindrome_checker,
+    unary_adder,
+)
+
+
+def test_binary_increment_simple():
+    tm = binary_increment()
+    assert tm.run("0").tape == "1"
+    assert tm.run("1").tape == "10"
+    assert tm.run("11").tape == "100"
+    assert tm.run("1011").tape == "1100"
+
+
+@given(st.integers(min_value=0, max_value=5000))
+def test_binary_increment_property(n):
+    tm = binary_increment()
+    result = tm.run(format(n, "b"))
+    assert result.halted
+    assert int(result.tape, 2) == n + 1
+
+
+@pytest.mark.parametrize(
+    "word,expected",
+    [
+        ("", True),
+        ("a", True),
+        ("aa", True),
+        ("ab", False),
+        ("aba", True),
+        ("abb", False),
+        ("abba", True),
+        ("aabaa", True),
+        ("aabab", False),
+    ],
+)
+def test_palindrome_checker(word, expected):
+    result = palindrome_checker().run(word)
+    assert result.halted
+    assert result.accepted == expected
+
+
+@given(st.text(alphabet="ab", max_size=12))
+def test_palindrome_property(word):
+    result = palindrome_checker().run(word, fuel=100_000)
+    assert result.halted
+    assert result.accepted == (word == word[::-1])
+
+
+@given(st.integers(0, 30), st.integers(0, 30))
+def test_unary_adder_property(m, n):
+    result = unary_adder().run("1" * m + "+" + "1" * n)
+    assert result.halted
+    assert result.tape == "1" * (m + n)
+
+
+@given(st.integers(1, 15))
+def test_copier_property(n):
+    result = copier().run("1" * n, fuel=100_000)
+    assert result.halted
+    assert result.tape == "1" * n + BLANK + "1" * n
+
+
+def test_copier_empty():
+    result = copier().run("")
+    assert result.halted
+    assert result.tape == ""
+
+
+def test_fuel_exhaustion_reported():
+    spinner = TuringMachine.from_rules(
+        [("s", BLANK, "s", BLANK, "S")], initial="s"
+    )
+    result = spinner.run("", fuel=50)
+    assert not result.halted
+    assert result.steps == 50
+    assert not bool(result)
+
+
+def test_missing_rule_halts():
+    tm = TuringMachine.from_rules([("s", "1", "t", "1", "R")], initial="s")
+    result = tm.run("11")
+    assert result.halted
+    assert not result.accepted  # "t" not an accept state
+
+
+def test_duplicate_rule_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        TuringMachine.from_rules(
+            [("s", "1", "a", "1", "R"), ("s", "1", "b", "1", "L")], initial="s"
+        )
+
+
+def test_bad_move_rejected():
+    with pytest.raises(ValueError, match="bad move"):
+        TuringMachine({("s", "1"): ("s", "1", "X")}, "s")
+
+
+def test_multichar_symbol_rejected():
+    with pytest.raises(ValueError):
+        TuringMachine({("s", "11"): ("s", "1", "R")}, "s")
+
+
+def test_states_enumeration():
+    tm = binary_increment()
+    assert {"scan", "add", "done"} <= tm.states()
+
+
+def test_steps_counted():
+    result = binary_increment().run("1")
+    assert result.steps > 0

@@ -1,0 +1,79 @@
+"""Tests for the universal machine: U(<M>, x) == M(x)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines.turing import binary_increment, palindrome_checker, unary_adder
+from repro.machines.universal import UniversalMachine, decode_tm, encode_tm
+
+
+MACHINES = {
+    "increment": binary_increment,
+    "palindrome": palindrome_checker,
+    "adder": unary_adder,
+}
+
+
+def test_encode_decode_roundtrip():
+    for make in MACHINES.values():
+        m = make()
+        m2 = decode_tm(encode_tm(m))
+        assert dict(m2.delta) == dict(m.delta)
+        assert m2.initial == m.initial
+        assert m2.accept_states == m.accept_states
+        assert m2.reject_states == m.reject_states
+
+
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_universal_matches_direct(name):
+    machine = MACHINES[name]()
+    u = UniversalMachine()
+    for tape in ("", "1", "11", "101", "abba" if name == "palindrome" else "111"):
+        direct = machine.run(tape, fuel=100_000)
+        via_u = u.run_machine(machine, tape, fuel=100_000)
+        assert via_u.halted == direct.halted
+        assert via_u.accepted == direct.accepted
+        assert via_u.tape == direct.tape
+        assert via_u.steps == direct.steps + UniversalMachine.DECODE_OVERHEAD
+
+
+@given(st.text(alphabet="ab", max_size=8))
+def test_universal_palindrome_property(word):
+    u = UniversalMachine()
+    desc = encode_tm(palindrome_checker())
+    assert u.run(desc, word, fuel=100_000).accepted == (word == word[::-1])
+
+
+def test_constant_overhead_only():
+    """Universality costs a constant, not a factor that grows with input."""
+    u = UniversalMachine()
+    m = binary_increment()
+    small = u.run_machine(m, "1")
+    large = u.run_machine(m, "1" * 40)
+    direct_small = m.run("1")
+    direct_large = m.run("1" * 40)
+    assert small.steps - direct_small.steps == large.steps - direct_large.steps
+
+
+def test_malformed_description_rejected():
+    with pytest.raises(ValueError):
+        decode_tm("not a machine")
+    with pytest.raises(ValueError):
+        decode_tm("a,b,c;only,four,fields,here")
+
+
+def test_state_name_separator_collision_rejected():
+    from repro.machines.turing import TuringMachine
+
+    weird = TuringMachine({("a,b", "1"): ("a,b", "1", "R")}, "a,b")
+    with pytest.raises(ValueError, match="separator"):
+        encode_tm(weird)
+
+
+def test_empty_rules_machine():
+    from repro.machines.turing import TuringMachine
+
+    trivial = TuringMachine({}, "s", frozenset(["s"]))
+    m2 = decode_tm(encode_tm(trivial))
+    assert m2.run("").accepted

@@ -1,0 +1,139 @@
+"""Tests for the anomaly detector and Apriori."""
+
+import pytest
+
+from repro.ml.anomaly import AnomalyDetector, Transaction, transaction_stream
+from repro.ml.patterns import apriori, association_rules, random_baskets
+
+
+def test_stream_shape_and_rate():
+    stream = transaction_stream(5000, fraud_rate=0.05, seed=1)
+    assert len(stream) == 5000
+    rate = sum(t.is_fraud for t in stream) / len(stream)
+    assert rate == pytest.approx(0.05, abs=0.01)
+
+
+def test_stream_deterministic():
+    assert transaction_stream(100, seed=2) == transaction_stream(100, seed=2)
+
+
+def test_stream_validation():
+    with pytest.raises(ValueError):
+        transaction_stream(0)
+    with pytest.raises(ValueError):
+        transaction_stream(10, fraud_rate=2.0)
+
+
+def test_fraud_looks_different():
+    stream = transaction_stream(5000, fraud_rate=0.1, seed=3)
+    fraud_amounts = [t.amount for t in stream if t.is_fraud]
+    clean_amounts = [t.amount for t in stream if not t.is_fraud]
+    assert sum(fraud_amounts) / len(fraud_amounts) > sum(clean_amounts) / len(clean_amounts)
+
+
+def test_detector_fit_and_score():
+    history = [t for t in transaction_stream(2000, fraud_rate=0.0, seed=4)]
+    detector = AnomalyDetector().fit(history)
+    normal = Transaction(20.0, 14, "grocery", False)
+    weird = Transaction(2000.0, 3, "travel", True)
+    assert detector.score(weird) > detector.score(normal)
+
+
+def test_detector_separates_fraud():
+    history = transaction_stream(2000, fraud_rate=0.0, seed=5)
+    detector = AnomalyDetector().fit(history)
+    stream = transaction_stream(4000, fraud_rate=0.05, seed=6)
+    fraud_scores = [detector.score(t) for t in stream if t.is_fraud]
+    clean_scores = [detector.score(t) for t in stream if not t.is_fraud]
+    assert sum(fraud_scores) / len(fraud_scores) > 3 * sum(clean_scores) / len(clean_scores)
+
+
+def test_evaluation_tradeoff():
+    history = transaction_stream(2000, fraud_rate=0.0, seed=7)
+    detector = AnomalyDetector().fit(history)
+    stream = transaction_stream(4000, fraud_rate=0.05, seed=8)
+    evals = detector.sweep(stream, [1.0, 5.0, 20.0, 80.0])
+    recalls = [e.recall for e in evals]
+    assert recalls == sorted(recalls, reverse=True)  # higher threshold, lower recall
+    best = max(evals, key=lambda e: e.f1)
+    assert best.f1 > 0.5  # the detector is genuinely informative
+
+
+def test_evaluation_f1_zero_division():
+    history = transaction_stream(100, fraud_rate=0.0, seed=9)
+    detector = AnomalyDetector().fit(history)
+    stream = transaction_stream(50, fraud_rate=0.0, seed=10)
+    e = detector.evaluate(stream, 1e9)
+    assert e.f1 == 0.0
+
+
+def test_detector_validation():
+    with pytest.raises(ValueError):
+        AnomalyDetector().fit([])
+    with pytest.raises(RuntimeError):
+        AnomalyDetector().score(Transaction(1.0, 1, "fuel", False))
+    detector = AnomalyDetector().fit(transaction_stream(100, seed=0))
+    with pytest.raises(ValueError):
+        detector.evaluate([], 1.0)
+
+
+# -- apriori ---------------------------------------------------------------
+
+def test_apriori_simple():
+    baskets = [["a", "b"], ["a", "b"], ["a"], ["b", "c"]]
+    frequent = apriori(baskets, min_support=0.5)
+    assert frequent[frozenset(["a"])] == pytest.approx(0.75)
+    assert frequent[frozenset(["a", "b"])] == pytest.approx(0.5)
+    assert frozenset(["c"]) not in frequent
+
+
+def test_apriori_downward_closure():
+    baskets = random_baskets(400, seed=1)
+    frequent = apriori(baskets, min_support=0.1)
+    for itemset in frequent:
+        for item in itemset:
+            assert itemset - {item} in frequent or len(itemset) == 1
+
+
+def test_apriori_finds_planted_patterns():
+    baskets = random_baskets(600, seed=2)
+    frequent = apriori(baskets, min_support=0.15)
+    assert frozenset(["bread", "butter"]) in frequent
+    assert frozenset(["beer", "chips"]) in frequent
+
+
+def test_apriori_validation():
+    with pytest.raises(ValueError):
+        apriori([])
+    with pytest.raises(ValueError):
+        apriori([["a"]], min_support=0.0)
+
+
+def test_association_rules_planted():
+    baskets = random_baskets(600, seed=3)
+    frequent = apriori(baskets, min_support=0.1)
+    rules = association_rules(frequent, min_confidence=0.6)
+    as_pairs = {(tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))) for r in rules}
+    assert (("bread",), ("butter",)) in as_pairs
+    bread_butter = next(
+        r for r in rules if r.antecedent == frozenset(["bread"]) and r.consequent == frozenset(["butter"])
+    )
+    assert bread_butter.confidence > 0.7
+    assert bread_butter.lift > 1.5
+
+
+def test_rules_sorted_by_lift():
+    baskets = random_baskets(400, seed=4)
+    rules = association_rules(apriori(baskets, min_support=0.1), min_confidence=0.5)
+    lifts = [r.lift for r in rules]
+    assert lifts == sorted(lifts, reverse=True)
+
+
+def test_rules_validation():
+    with pytest.raises(ValueError):
+        association_rules({}, min_confidence=0.0)
+
+
+def test_random_baskets_validation():
+    with pytest.raises(ValueError):
+        random_baskets(0)

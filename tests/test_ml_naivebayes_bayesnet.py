@@ -1,0 +1,156 @@
+"""Tests for naive Bayes and the Bayesian network."""
+
+import pytest
+
+from repro.ml.bayesnet import BayesNet, Factor, sprinkler_network
+from repro.ml.naivebayes import NaiveBayes
+
+
+def weather_data():
+    x = [
+        {"outlook": "sunny", "windy": False},
+        {"outlook": "sunny", "windy": True},
+        {"outlook": "rainy", "windy": False},
+        {"outlook": "rainy", "windy": True},
+        {"outlook": "sunny", "windy": False},
+        {"outlook": "rainy", "windy": True},
+    ]
+    y = ["play", "play", "play", "stay", "play", "stay"]
+    return x, y
+
+
+def test_nb_fit_predict():
+    x, y = weather_data()
+    model = NaiveBayes().fit(x, y)
+    assert model.predict({"outlook": "sunny", "windy": False}) == "play"
+    assert model.predict({"outlook": "rainy", "windy": True}) == "stay"
+
+
+def test_nb_posterior_normalised():
+    x, y = weather_data()
+    model = NaiveBayes().fit(x, y)
+    post = model.posterior({"outlook": "sunny", "windy": True})
+    assert sum(post.values()) == pytest.approx(1.0)
+    assert set(post) == {"play", "stay"}
+
+
+def test_nb_accuracy_on_training():
+    x, y = weather_data()
+    model = NaiveBayes().fit(x, y)
+    assert model.accuracy(x, y) >= 0.8
+
+
+def test_nb_smoothing_handles_unseen_values():
+    x, y = weather_data()
+    model = NaiveBayes().fit(x, y)
+    post = model.posterior({"outlook": "overcast", "windy": False})
+    assert sum(post.values()) == pytest.approx(1.0)
+
+
+def test_nb_validation():
+    with pytest.raises(ValueError):
+        NaiveBayes(alpha=0)
+    with pytest.raises(ValueError):
+        NaiveBayes().fit([], [])
+    with pytest.raises(ValueError):
+        NaiveBayes().fit([{"a": 1}], ["x", "y"])
+    with pytest.raises(ValueError):
+        NaiveBayes().fit([{"a": 1}, {"b": 2}], ["x", "y"])
+    with pytest.raises(RuntimeError):
+        NaiveBayes().predict({"a": 1})
+    x, y = weather_data()
+    model = NaiveBayes().fit(x, y)
+    with pytest.raises(KeyError):
+        model.log_likelihood({"mystery": 1}, "play")
+    with pytest.raises(KeyError):
+        model.log_likelihood(x[0], "unknown-class")
+    with pytest.raises(ValueError):
+        model.accuracy([], [])
+
+
+# -- factors -----------------------------------------------------------
+
+def test_factor_restrict_and_sum_out():
+    f = Factor(("a", "b"), {(0, 0): 0.1, (0, 1): 0.2, (1, 0): 0.3, (1, 1): 0.4})
+    restricted = f.restrict("a", 1)
+    assert restricted.variables == ("b",)
+    assert restricted.table == {(0,): 0.3, (1,): 0.4}
+    summed = f.sum_out("b")
+    assert summed.table[(0,)] == pytest.approx(0.3)
+    assert summed.table[(1,)] == pytest.approx(0.7)
+
+
+def test_factor_multiply():
+    f = Factor(("a",), {(0,): 0.5, (1,): 0.5})
+    g = Factor(("a", "b"), {(0, 0): 0.9, (0, 1): 0.1, (1, 0): 0.2, (1, 1): 0.8})
+    product = f.multiply(g)
+    assert product.table[(0, 0)] == pytest.approx(0.45)
+    assert product.table[(1, 1)] == pytest.approx(0.4)
+
+
+def test_factor_normalise_zero():
+    with pytest.raises(ZeroDivisionError):
+        Factor(("a",), {(0,): 0.0}).normalise()
+
+
+# -- the sprinkler network ----------------------------------------------
+
+def test_prior_query():
+    net = sprinkler_network()
+    rain = net.query("rain")
+    assert rain[True] == pytest.approx(0.2)
+
+
+def test_known_posterior_rain_given_wet():
+    # Hand-computable: P(rain | wet) ≈ 0.3577 for these CPTs.
+    net = sprinkler_network()
+    posterior = net.query("rain", {"wet": True})
+    assert posterior[True] == pytest.approx(0.3577, abs=0.001)
+
+
+def test_explaining_away():
+    net = sprinkler_network()
+    p_rain_wet = net.query("rain", {"wet": True})[True]
+    p_rain_wet_sprinkler = net.query("rain", {"wet": True, "sprinkler": True})[True]
+    assert p_rain_wet_sprinkler < p_rain_wet  # sprinkler explains the wetness away
+
+
+def test_query_matches_sampling():
+    net = sprinkler_network()
+    samples = net.sample(20_000, seed=0)
+    wet = [s for s in samples if s["wet"]]
+    mc = sum(1 for s in wet if s["rain"]) / len(wet)
+    exact = net.query("rain", {"wet": True})[True]
+    assert mc == pytest.approx(exact, abs=0.02)
+
+
+def test_network_validation():
+    net = BayesNet()
+    net.add_variable("a", (0, 1), cpt={(): {0: 0.5, 1: 0.5}})
+    with pytest.raises(ValueError):
+        net.add_variable("a", (0, 1), cpt={(): {0: 0.5, 1: 0.5}})
+    with pytest.raises(KeyError):
+        net.add_variable("b", (0, 1), parents=("ghost",), cpt={})
+    with pytest.raises(ValueError):
+        net.add_variable("c", (0, 1), cpt={(): {0: 0.7, 1: 0.7}})
+    with pytest.raises(ValueError):
+        net.add_variable("d", (0, 1), parents=("a",), cpt={(0,): {0: 1.0, 1: 0.0}})
+    with pytest.raises(ValueError):
+        net.add_variable("e", (), cpt={})
+
+
+def test_query_validation():
+    net = sprinkler_network()
+    with pytest.raises(KeyError):
+        net.query("ghost")
+    with pytest.raises(KeyError):
+        net.query("rain", {"ghost": True})
+    with pytest.raises(ValueError):
+        net.query("rain", {"wet": "soggy"})
+    with pytest.raises(ValueError):
+        net.sample(0)
+
+
+def test_sample_deterministic():
+    net = sprinkler_network()
+    assert net.sample(50, seed=3) == net.sample(50, seed=3)

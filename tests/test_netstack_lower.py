@@ -1,0 +1,126 @@
+"""Tests for media, link layer (CRC), and the thin-waist IP layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netstack.ip import Datagram, IPLayer, TTLExpired
+from repro.netstack.link import FrameCorrupt, LinkLayer, crc16
+from repro.netstack.medium import CopperWire, LossyRadio, PerfectFiber
+
+
+def test_fiber_is_perfect():
+    fiber = PerfectFiber()
+    assert fiber.transmit(b"hello") == b"hello"
+    assert fiber.clock > 0
+    assert fiber.transmissions == 1
+
+
+def test_copper_eventually_corrupts_or_drops():
+    wire = CopperWire(loss_rate=0.2, corruption_rate=0.3, seed=1)
+    outcomes = [wire.transmit(b"payload-bytes") for _ in range(200)]
+    assert any(o is None for o in outcomes)
+    assert any(o not in (None, b"payload-bytes") for o in outcomes)
+    assert any(o == b"payload-bytes" for o in outcomes)
+
+
+def test_radio_heavier_loss_than_copper():
+    copper = CopperWire(loss_rate=0.05, corruption_rate=0.0, seed=2)
+    radio = LossyRadio(loss_rate=0.4, corruption_rate=0.0, seed=2)
+    copper_losses = sum(copper.transmit(b"x") is None for _ in range(500))
+    radio_losses = sum(radio.transmit(b"x") is None for _ in range(500))
+    assert radio_losses > copper_losses
+
+
+def test_medium_rate_validation():
+    with pytest.raises(ValueError):
+        CopperWire(loss_rate=1.5)
+
+
+def test_crc16_known_vector():
+    # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    assert crc16(b"123456789") == 0x29B1
+
+
+def test_crc16_detects_single_bit_flip():
+    data = b"the quick brown fox"
+    reference = crc16(data)
+    for i in range(len(data)):
+        for bit in range(8):
+            corrupted = bytearray(data)
+            corrupted[i] ^= 1 << bit
+            assert crc16(bytes(corrupted)) != reference
+
+
+@given(st.binary(max_size=200))
+def test_frame_roundtrip(payload):
+    assert LinkLayer.decode(LinkLayer.encode(payload)) == payload
+
+
+def test_frame_corruption_detected():
+    frame = bytearray(LinkLayer.encode(b"payload"))
+    frame[3] ^= 0x40
+    with pytest.raises(FrameCorrupt):
+        LinkLayer.decode(bytes(frame))
+
+
+def test_frame_short_and_length_mismatch():
+    with pytest.raises(FrameCorrupt):
+        LinkLayer.decode(b"ab")
+    good = LinkLayer.encode(b"xyz")
+    with pytest.raises(FrameCorrupt):
+        LinkLayer.decode(good + b"extra")
+
+
+def test_link_turns_corruption_into_loss():
+    link = LinkLayer(CopperWire(loss_rate=0.0, corruption_rate=1.0, seed=0))
+    deliveries = [link.send(b"data") for _ in range(20)]
+    assert all(d is None for d in deliveries)
+    assert link.frames_dropped == 20
+
+
+def test_link_over_fiber_lossless():
+    link = LinkLayer(PerfectFiber())
+    assert link.send(b"data") == b"data"
+    assert link.frames_dropped == 0
+
+
+@given(st.binary(max_size=100), st.integers(0, 255))
+def test_datagram_roundtrip(payload, ttl):
+    d = Datagram("alice", "bob", payload, ttl)
+    assert Datagram.decode(d.encode()) == d
+
+
+def test_datagram_hop_decrements_ttl():
+    d = Datagram("a", "b", b"x", ttl=2)
+    assert d.hop().ttl == 1
+    assert d.hop().hop().ttl == 0
+    with pytest.raises(TTLExpired):
+        d.hop().hop().hop()
+
+
+def test_datagram_validation():
+    with pytest.raises(ValueError):
+        Datagram("a", "b", b"", ttl=-1)
+    with pytest.raises(ValueError):
+        Datagram.decode(b"")
+
+
+def test_ip_send_over_fiber():
+    ip = IPLayer("alice", LinkLayer(PerfectFiber()))
+    out = ip.send("bob", b"hello")
+    assert out is not None
+    assert (out.src, out.dst, out.payload) == ("alice", "bob", b"hello")
+    assert ip.datagrams_sent == 1
+    assert ip.datagrams_delivered == 1
+
+
+def test_ip_loss_surfaces_as_none():
+    ip = IPLayer("alice", LinkLayer(CopperWire(loss_rate=1.0, corruption_rate=0.0)))
+    assert ip.send("bob", b"hello") is None
+    assert ip.datagrams_delivered == 0
+
+
+def test_ip_address_validation():
+    with pytest.raises(ValueError):
+        IPLayer("", LinkLayer(PerfectFiber()))

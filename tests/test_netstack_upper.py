@@ -1,0 +1,206 @@
+"""Tests for transports, applications, the network simulator, and the
+hourglass demonstration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netstack.app import AppError, AppServer, ClockApp, EchoApp, KeyValueApp
+from repro.netstack.hourglass import demonstrate_plug_in, growth_table
+from repro.netstack.ip import Datagram, IPLayer, TTLExpired
+from repro.netstack.link import LinkLayer
+from repro.netstack.medium import CopperWire, LossyRadio, PerfectFiber
+from repro.netstack.network import Network
+from repro.netstack.transport import (
+    SlidingWindowTransport,
+    StopAndWaitTransport,
+    TransferFailed,
+)
+
+
+def make_transport(cls, medium, **kw):
+    return cls(IPLayer("client", LinkLayer(medium)), **kw)
+
+
+def test_stop_and_wait_over_fiber():
+    t = make_transport(StopAndWaitTransport, PerfectFiber())
+    assert t.send("server", b"hello world") == b"hello world"
+    assert t.retransmissions == 0
+
+
+def test_stop_and_wait_over_radio_retransmits():
+    t = make_transport(
+        StopAndWaitTransport,
+        LossyRadio(loss_rate=0.3, corruption_rate=0.1, seed=5),
+        max_retries=300,
+    )
+    message = bytes(range(256)) * 3
+    assert t.send("server", message) == message
+    assert t.retransmissions > 0
+
+
+def test_stop_and_wait_gives_up_on_dead_link():
+    t = make_transport(
+        StopAndWaitTransport,
+        LossyRadio(loss_rate=1.0, corruption_rate=0.0),
+        max_retries=5,
+    )
+    with pytest.raises(TransferFailed):
+        t.send("server", b"anything")
+
+
+def test_sliding_window_over_fiber_single_round_per_window():
+    t = make_transport(SlidingWindowTransport, PerfectFiber(), window=4, segment_size=4)
+    msg = b"0123456789abcdef"  # 4 segments
+    assert t.send("server", msg) == msg
+    assert t.rounds == 1
+
+
+def test_sliding_window_over_radio():
+    t = make_transport(
+        SlidingWindowTransport,
+        LossyRadio(loss_rate=0.25, corruption_rate=0.05, seed=11),
+        window=8,
+        max_rounds=1000,
+    )
+    message = b"the quick brown fox jumps over the lazy dog" * 10
+    assert t.send("server", message) == message
+    assert t.rounds > 1
+
+
+def test_sliding_window_gives_up():
+    t = make_transport(
+        SlidingWindowTransport,
+        LossyRadio(loss_rate=1.0, corruption_rate=0.0),
+        max_rounds=10,
+    )
+    with pytest.raises(TransferFailed):
+        t.send("server", b"anything")
+
+
+def test_empty_message_transfers():
+    t = make_transport(StopAndWaitTransport, PerfectFiber())
+    assert t.send("server", b"") == b""
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        make_transport(SlidingWindowTransport, PerfectFiber(), window=0)
+    t = make_transport(StopAndWaitTransport, PerfectFiber(), segment_size=0)
+    with pytest.raises(ValueError):
+        t.send("server", b"x")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=1, max_size=300), st.integers(1, 16))
+def test_sliding_window_delivers_exactly_property(message, window):
+    t = make_transport(
+        SlidingWindowTransport,
+        CopperWire(loss_rate=0.1, corruption_rate=0.05, seed=3),
+        window=window,
+        max_rounds=5000,
+    )
+    assert t.send("server", message) == message
+
+
+def test_app_server_dispatch():
+    server = AppServer()
+    KeyValueApp().install(server)
+    EchoApp().install(server)
+    ClockApp().install(server)
+    assert server.verbs() == ["ECHO", "GET", "PUT", "TIME"]
+    assert server.handle(b"PUT name=wing") == b"OK"
+    assert server.handle(b"GET name") == b"wing"
+    assert server.handle(b"ECHO hello") == b"hello"
+    assert server.handle(b"TIME x") == b"1"
+    assert server.handle(b"TIME x") == b"2"
+
+
+def test_app_errors():
+    server = AppServer()
+    KeyValueApp().install(server)
+    with pytest.raises(AppError, match="unknown verb"):
+        server.handle(b"FLY now")
+    with pytest.raises(AppError, match="no such key"):
+        server.handle(b"GET missing")
+    with pytest.raises(AppError):
+        server.handle(b"PUT =novalue")
+    with pytest.raises(ValueError):
+        server.register("GET", lambda a: a)
+    with pytest.raises(ValueError):
+        server.register("two words", lambda a: a)
+
+
+def test_network_routing_and_delivery():
+    net = Network()
+    for h in ("a", "r1", "r2", "b"):
+        net.add_host(h)
+    net.connect("a", "r1")
+    net.connect("r1", "r2")
+    net.connect("r2", "b")
+    assert net.route("a", "b") == ["a", "r1", "r2", "b"]
+    inbox = []
+    net.on_receive("b", inbox.append)
+    delivered = net.deliver(Datagram("a", "b", b"payload", ttl=8))
+    assert delivered is not None
+    assert delivered.ttl == 5  # three hops
+    assert inbox[0].payload == b"payload"
+
+
+def test_network_ttl_expiry():
+    net = Network()
+    for h in ("a", "m", "b"):
+        net.add_host(h)
+    net.connect("a", "m")
+    net.connect("m", "b")
+    with pytest.raises(TTLExpired):
+        net.deliver(Datagram("a", "b", b"x", ttl=1))
+
+
+def test_network_lossy_edge_returns_none():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b", medium_factory=lambda: LossyRadio(loss_rate=1.0, corruption_rate=0.0))
+    assert net.deliver(Datagram("a", "b", b"x")) is None
+    stats = net.link_stats()
+    assert stats[("a", "b")][1] == 1  # one drop
+
+
+def test_network_unknown_host():
+    net = Network()
+    net.add_host("a")
+    with pytest.raises(KeyError):
+        net.connect("a", "ghost")
+    with pytest.raises(ValueError):
+        net.add_host("")
+
+
+def test_growth_table_shapes():
+    rows = growth_table(8)
+    assert rows[0] == (1, 1, 2)
+    for n, pairwise, hourglass in rows[2:]:
+        assert pairwise > hourglass  # hourglass wins from n=3 on
+    # Pairwise grows quadratically, hourglass linearly.
+    assert rows[-1][1] == 64
+    assert rows[-1][2] == 16
+
+
+def test_growth_table_validation():
+    with pytest.raises(ValueError):
+        growth_table(0)
+
+
+def test_plug_in_demonstration_all_media_all_apps():
+    results = demonstrate_plug_in()
+    media = {r.medium for r in results}
+    verbs = {r.app_verb for r in results}
+    assert media == {"fiber", "copper", "radio"}
+    assert verbs == {"PUT", "GET", "ECHO", "TIME"}
+    by_key = {(r.medium, r.app_verb): r for r in results}
+    # Same application behaviour over every technology.
+    for medium in media:
+        assert by_key[(medium, "GET")].response == b"hello"
+        assert by_key[(medium, "ECHO")].response == b"ping"
+    # The hostile medium needed more attempts than fiber.
+    assert by_key[("radio", "GET")].attempts >= by_key[("fiber", "GET")].attempts

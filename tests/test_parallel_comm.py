@@ -1,0 +1,204 @@
+"""Tests for the MPI-style communicator (mpi4py idioms, in process)."""
+
+import pytest
+
+from repro.parallel.comm import Communicator, SpmdError, run_spmd
+
+
+def test_send_recv_pair():
+    def program(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        return comm.recv(source=0, tag=11)
+
+    results = run_spmd(program, 2)
+    assert results[1] == {"a": 7, "b": 3.14}
+
+
+def test_isend_irecv():
+    def program(comm):
+        if comm.rank == 0:
+            req = comm.isend("payload", dest=1, tag=5)
+            req.wait()
+            return None
+        req = comm.irecv(source=0, tag=5)
+        return req.wait()
+
+    assert run_spmd(program, 2)[1] == "payload"
+
+
+def test_tags_separate_channels():
+    def program(comm):
+        if comm.rank == 0:
+            comm.send("for-tag-2", dest=1, tag=2)
+            comm.send("for-tag-1", dest=1, tag=1)
+            return None
+        first = comm.recv(source=0, tag=1)
+        second = comm.recv(source=0, tag=2)
+        return (first, second)
+
+    assert run_spmd(program, 2)[1] == ("for-tag-1", "for-tag-2")
+
+
+def test_bcast():
+    def program(comm):
+        data = {"key": [1, 2, 3]} if comm.rank == 0 else None
+        return comm.bcast(data, root=0)
+
+    results = run_spmd(program, 4)
+    assert all(r == {"key": [1, 2, 3]} for r in results)
+
+
+def test_bcast_nonzero_root():
+    def program(comm):
+        data = "from-2" if comm.rank == 2 else None
+        return comm.bcast(data, root=2)
+
+    assert run_spmd(program, 3) == ["from-2"] * 3
+
+
+def test_scatter():
+    def program(comm):
+        data = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(data, root=0)
+
+    assert run_spmd(program, 4) == [1, 4, 9, 16]
+
+
+def test_scatter_wrong_length():
+    def program(comm):
+        data = [1] if comm.rank == 0 else None
+        return comm.scatter(data, root=0)
+
+    with pytest.raises(SpmdError):
+        run_spmd(program, 3, timeout=10)
+
+
+def test_gather():
+    def program(comm):
+        return comm.gather((comm.rank + 1) ** 2, root=0)
+
+    results = run_spmd(program, 4)
+    assert results[0] == [1, 4, 9, 16]
+    assert results[1] is None
+
+
+def test_allgather():
+    def program(comm):
+        return comm.allgather(comm.rank * 10)
+
+    assert run_spmd(program, 3) == [[0, 10, 20]] * 3
+
+
+def test_alltoall():
+    def program(comm):
+        return comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+
+    results = run_spmd(program, 3)
+    assert results[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_reduce_sum_and_max():
+    def program(comm):
+        total = comm.reduce(comm.rank + 1, op="sum", root=0)
+        peak = comm.reduce(comm.rank + 1, op="max", root=0)
+        return (total, peak)
+
+    results = run_spmd(program, 4)
+    assert results[0] == (10, 4)
+    assert results[1] == (None, None)
+
+
+def test_allreduce():
+    def program(comm):
+        return comm.allreduce(comm.rank + 1, op="prod")
+
+    assert run_spmd(program, 4) == [24] * 4
+
+
+def test_unknown_reduce_op():
+    def program(comm):
+        return comm.allreduce(1, op="xor")
+
+    with pytest.raises(SpmdError):
+        run_spmd(program, 2, timeout=10)
+
+
+def test_barrier_orders_phases():
+    log = []
+
+    def program(comm):
+        log.append(("pre", comm.rank))
+        comm.barrier()
+        log.append(("post", comm.rank))
+
+    run_spmd(program, 4)
+    phases = [p for p, _ in log]
+    assert phases.index("post") >= 4  # all "pre" entries before any "post"
+
+
+def test_parallel_matvec_allgather():
+    """The mpi4py tutorial's matvec: rows partitioned across ranks."""
+    import numpy as np
+
+    full = np.arange(16, dtype=float).reshape(4, 4)
+    vec = np.array([1.0, 2.0, 3.0, 4.0])
+
+    def program(comm):
+        my_rows = full[comm.rank : comm.rank + 1]
+        pieces = comm.allgather(vec[comm.rank])
+        xg = np.array(pieces)
+        return float((my_rows @ xg)[0])
+
+    results = run_spmd(program, 4)
+    assert results == pytest.approx(list(full @ vec))
+
+
+def test_rank_and_size():
+    def program(comm):
+        return (comm.rank, comm.size)
+
+    assert run_spmd(program, 3) == [(0, 3), (1, 3), (2, 3)]
+
+
+def test_rank_exception_propagates_with_rank():
+    def program(comm):
+        if comm.rank == 2:
+            raise RuntimeError("boom")
+        return comm.rank
+
+    with pytest.raises(SpmdError) as excinfo:
+        run_spmd(program, 4, timeout=10)
+    assert excinfo.value.rank == 2
+
+
+def test_deadlock_times_out():
+    def program(comm):
+        # Everyone receives, nobody sends.
+        return comm.recv(source=(comm.rank + 1) % comm.size, timeout=0.5)
+
+    with pytest.raises((SpmdError, TimeoutError)):
+        run_spmd(program, 2, timeout=5)
+
+
+def test_invalid_ranks_rejected():
+    def program(comm):
+        comm.send("x", dest=99)
+
+    with pytest.raises(SpmdError):
+        run_spmd(program, 2, timeout=10)
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        run_spmd(lambda comm: None, 0)
+
+
+def test_single_rank_world():
+    def program(comm):
+        assert comm.bcast("solo") == "solo"
+        assert comm.allreduce(5) == 5
+        return comm.gather(1)
+
+    assert run_spmd(program, 1) == [[1]]

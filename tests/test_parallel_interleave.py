@@ -1,0 +1,84 @@
+"""Tests for interleaving exploration and race detection."""
+
+import pytest
+
+from repro.parallel.interleave import (
+    ConcurrentProgram,
+    Op,
+    atomic_update_demo,
+    count_interleavings,
+    explore,
+    is_racy,
+    lost_update_demo,
+)
+
+
+def test_count_interleavings_two_threads():
+    progs = lost_update_demo(2)  # 3 ops each -> C(6,3) = 20
+    assert count_interleavings(progs) == 20
+
+
+def test_count_interleavings_three_threads():
+    progs = lost_update_demo(3)  # 9!/(3!3!3!) = 1680
+    assert count_interleavings(progs) == 1680
+
+
+def test_lost_update_is_racy():
+    outcomes = explore(lost_update_demo(2))
+    finals = {dict(o)["x"] for o in outcomes}
+    assert finals == {1, 2}  # the lost update shows up
+    assert is_racy(lost_update_demo(2))
+
+
+def test_atomic_update_not_racy():
+    outcomes = explore(atomic_update_demo(2))
+    assert len(outcomes) == 1
+    assert dict(next(iter(outcomes)))["x"] == 2
+    assert not is_racy(atomic_update_demo(2))
+
+
+def test_three_thread_lost_update_range():
+    outcomes = explore(lost_update_demo(3))
+    finals = {dict(o)["x"] for o in outcomes}
+    assert finals == {1, 2, 3}
+
+
+def test_initial_state_respected():
+    outcomes = explore(atomic_update_demo(2), initial={"x": 10})
+    assert dict(next(iter(outcomes)))["x"] == 12
+
+
+def test_sampling_path_for_large_spaces():
+    progs = lost_update_demo(5)  # 15 ops -> way over exhaustive cap
+    outcomes = explore(progs, max_exhaustive=100, samples=300, seed=1)
+    finals = {dict(o)["x"] for o in outcomes}
+    assert finals  # sampled, nonempty
+    assert max(finals) <= 5
+    assert min(finals) >= 1
+
+
+def test_sampling_deterministic_by_seed():
+    progs = lost_update_demo(4)
+    a = explore(progs, max_exhaustive=10, samples=100, seed=9)
+    b = explore(progs, max_exhaustive=10, samples=100, seed=9)
+    assert a == b
+
+
+def test_disjoint_variables_not_racy():
+    progs = [
+        ConcurrentProgram("t0", (Op("atomic_add", var="x", amount=1),)),
+        ConcurrentProgram("t1", (Op("atomic_add", var="y", amount=1),)),
+    ]
+    assert not is_racy(progs)
+
+
+def test_unknown_op_kind():
+    bad = Op("explode")
+    with pytest.raises(ValueError):
+        bad.apply({}, {})
+
+
+def test_read_defaults_to_zero():
+    regs = {}
+    Op("read", var="missing", reg="r").apply({}, regs)
+    assert regs["r"] == 0

@@ -1,0 +1,115 @@
+"""Tests for the vectorised kernels, against sequential oracles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.kernels import (
+    map_reduce,
+    prefix_sum,
+    prefix_sum_sequential,
+    scan_span_advantage,
+    stencil_smooth,
+    stencil_smooth_sequential,
+)
+
+floats = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+@given(st.lists(floats, max_size=200))
+def test_prefix_sum_matches_sequential(xs):
+    parallel, _ = prefix_sum(xs)
+    sequential, _ = prefix_sum_sequential(xs)
+    assert np.allclose(parallel, sequential)
+
+
+def test_prefix_sum_span_logarithmic():
+    _, cost = prefix_sum(np.ones(1024))
+    assert cost.span == 10
+    _, cost2 = prefix_sum(np.ones(1000))
+    assert cost2.span == 10  # ceil(log2(1000))
+
+
+def test_prefix_sum_work_superlinear():
+    _, cost = prefix_sum(np.ones(256))
+    assert cost.work > 255  # n log n scan does more work than serial
+
+
+def test_prefix_sum_empty():
+    out, cost = prefix_sum([])
+    assert out.size == 0
+    assert cost.span == 0 and cost.work == 0
+
+
+def test_prefix_sum_matches_cumsum():
+    x = np.arange(100, dtype=float)
+    out, _ = prefix_sum(x)
+    assert np.allclose(out, np.cumsum(x))
+
+
+@given(st.lists(floats, min_size=1, max_size=100), st.integers(1, 8))
+def test_map_reduce_sum_of_squares(xs, chunks):
+    total, _ = map_reduce(xs, lambda a: a**2, chunks=chunks)
+    assert total == pytest.approx(sum(x * x for x in xs), rel=1e-9, abs=1e-6)
+
+
+def test_map_reduce_span_logarithmic_in_chunks():
+    _, cost = map_reduce(np.ones(64), lambda a: a, chunks=8)
+    assert cost.span == 1 + math.ceil(math.log2(8))
+
+
+def test_map_reduce_empty():
+    total, cost = map_reduce([], lambda a: a)
+    assert total == 0.0
+    assert cost.work == 0
+
+
+def test_map_reduce_validation():
+    with pytest.raises(ValueError):
+        map_reduce([1.0], lambda a: a, chunks=0)
+
+
+@given(st.lists(floats, min_size=1, max_size=60), st.integers(0, 4))
+def test_stencil_matches_sequential(xs, iterations):
+    fast, _ = stencil_smooth(xs, iterations=iterations)
+    slow = stencil_smooth_sequential(xs, iterations=iterations)
+    assert np.allclose(fast, slow)
+
+
+def test_stencil_conserves_constant_field():
+    out, _ = stencil_smooth(np.full(32, 7.0), iterations=5)
+    assert np.allclose(out, 7.0)
+
+
+def test_stencil_smooths_spike():
+    x = np.zeros(11)
+    x[5] = 1.0
+    out, _ = stencil_smooth(x, iterations=3)
+    assert out.max() < 1.0
+    assert out.sum() == pytest.approx(1.0)  # interior mass conserved
+
+
+def test_stencil_span_one_per_iteration():
+    _, cost = stencil_smooth(np.zeros(16), iterations=7)
+    assert cost.span == 7
+
+
+def test_stencil_validation():
+    with pytest.raises(ValueError):
+        stencil_smooth([1.0], iterations=-1)
+
+
+def test_scan_span_advantage_shape():
+    seq, par = scan_span_advantage(1024)
+    assert seq == 1023
+    assert par == 10
+    with pytest.raises(ValueError):
+        scan_span_advantage(0)
+
+
+def test_ideal_parallelism():
+    _, cost = prefix_sum(np.ones(256))
+    assert cost.ideal_parallelism > 1.0

@@ -1,0 +1,82 @@
+"""Tests for Amdahl/Gustafson laws and measured speedups."""
+
+import pytest
+
+from repro.core.combinators import StepAlgorithm
+from repro.parallel.laws import (
+    amdahl_speedup,
+    gustafson_speedup,
+    karp_flatt,
+    measured_speedups,
+)
+
+
+def test_amdahl_limits():
+    assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+    assert amdahl_speedup(1.0, 8) == pytest.approx(1.0)
+    # Ceiling: 1/s regardless of cores.
+    assert amdahl_speedup(0.1, 10_000) < 10.0
+
+
+def test_amdahl_monotone_in_cores():
+    s = [amdahl_speedup(0.2, n) for n in (1, 2, 4, 8, 16)]
+    assert s == sorted(s)
+    assert s[0] == pytest.approx(1.0)
+
+
+def test_gustafson_scales_linearly():
+    assert gustafson_speedup(0.0, 8) == pytest.approx(8.0)
+    assert gustafson_speedup(1.0, 8) == pytest.approx(1.0)
+    assert gustafson_speedup(0.5, 100) == pytest.approx(50.5)
+
+
+def test_gustafson_dominates_amdahl():
+    for s in (0.1, 0.3, 0.5):
+        for n in (2, 8, 32):
+            assert gustafson_speedup(s, n) >= amdahl_speedup(s, n)
+
+
+def test_karp_flatt_recovers_serial_fraction():
+    # If measurement follows Amdahl exactly, Karp-Flatt returns s.
+    for s in (0.05, 0.2, 0.5):
+        measured = amdahl_speedup(s, 16)
+        assert karp_flatt(measured, 16) == pytest.approx(s)
+
+
+def test_karp_flatt_validation():
+    with pytest.raises(ValueError):
+        karp_flatt(2.0, 1)
+    with pytest.raises(ValueError):
+        karp_flatt(0.0, 4)
+
+
+def test_law_input_validation():
+    with pytest.raises(ValueError):
+        amdahl_speedup(-0.1, 2)
+    with pytest.raises(ValueError):
+        gustafson_speedup(0.5, 0)
+
+
+def busy(name, steps):
+    def factory(_):
+        for _ in range(steps):
+            yield
+        return None
+
+    return StepAlgorithm(name, factory)
+
+
+def test_measured_speedups_track_amdahl_shape():
+    # 8 equal independent jobs: near-perfect scaling to 8 cores.
+    algs = [busy(f"j{i}", 16) for i in range(8)]
+    sp = measured_speedups(algs, [None] * 8, [1, 2, 4, 8])
+    assert sp[1] == pytest.approx(1.0)
+    assert sp[2] == pytest.approx(2.0, rel=0.1)
+    assert sp[8] == pytest.approx(8.0, rel=0.1)
+
+
+def test_measured_speedups_straggler_ceiling():
+    # One job is half the work: speedup can't exceed 2 regardless of cores.
+    algs = [busy("straggler", 64)] + [busy(f"j{i}", 8) for i in range(8)]
+    sp = measured_speedups(algs, [None] * 9, [2, 16])
+    assert sp[16] <= 2.1

@@ -1,0 +1,86 @@
+"""Tests for the simulated multicore machine."""
+
+import pytest
+
+from repro.core.combinators import StepAlgorithm, from_function
+from repro.parallel.multicore import Multicore
+
+
+def busy(name, steps, cost=1.0):
+    def factory(_):
+        for _ in range(steps):
+            yield
+        return name
+
+    return StepAlgorithm(name, factory, cost_per_step=cost)
+
+
+def test_single_core_serialises():
+    run = Multicore(1).run([busy("a", 5), busy("b", 5)], [None, None])
+    assert run.makespan == pytest.approx(10.0)
+    assert run.outputs == ["a", "b"]
+    assert run.total_steps == 10
+
+
+def test_two_cores_halve_balanced_load():
+    run = Multicore(2).run([busy("a", 8), busy("b", 8)], [None, None])
+    assert run.makespan == pytest.approx(8.0)
+
+
+def test_speedup_near_linear_without_contention():
+    algs = [busy(f"j{i}", 20) for i in range(4)]
+    speedup = Multicore(4).speedup_vs_serial(algs, [None] * 4)
+    assert speedup == pytest.approx(4.0, rel=0.05)
+
+
+def test_contention_degrades_speedup():
+    algs = [busy(f"j{i}", 20) for i in range(4)]
+    ideal = Multicore(4, contention=0.0).speedup_vs_serial(algs, [None] * 4)
+    contended = Multicore(4, contention=0.3).speedup_vs_serial(algs, [None] * 4)
+    assert contended < ideal
+
+
+def test_imbalanced_load_limits_speedup():
+    # One long job dominates: speedup capped by the straggler.
+    algs = [busy("long", 40), busy("s1", 4), busy("s2", 4)]
+    run = Multicore(3).run(algs, [None] * 3)
+    assert run.makespan == pytest.approx(40.0)
+
+
+def test_outputs_preserved_in_input_order():
+    algs = [busy("z", 2), busy("a", 9)]
+    run = Multicore(2).run(algs, [None, None])
+    assert run.outputs == ["z", "a"]
+
+
+def test_more_jobs_than_cores_queue():
+    algs = [busy(f"j{i}", 10) for i in range(5)]
+    run = Multicore(2).run(algs, [None] * 5)
+    assert run.makespan >= 25.0  # 50 units of work on 2 cores
+
+
+def test_utilisation_bounds():
+    run = Multicore(2).run([busy("a", 10), busy("b", 10)], [None, None])
+    assert 0.0 < run.utilisation <= 1.0
+
+
+def test_from_function_runs_on_multicore():
+    algs = [from_function(f"f{i}", lambda x: x * 2, chunks=3) for i in range(2)]
+    run = Multicore(2).run(algs, [10, 20])
+    assert run.outputs == [20, 40]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Multicore(0)
+    with pytest.raises(ValueError):
+        Multicore(2, contention=-1)
+    with pytest.raises(ValueError):
+        Multicore(2).run([busy("a", 1)], [None, None])
+
+
+def test_heavier_cost_per_step_counts():
+    cheap = busy("cheap", 10, cost=1.0)
+    costly = busy("costly", 10, cost=3.0)
+    run = Multicore(2).run([cheap, costly], [None, None])
+    assert run.makespan == pytest.approx(30.0)

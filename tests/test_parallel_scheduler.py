@@ -1,0 +1,129 @@
+"""Tests for DAG scheduling: list scheduling and work stealing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.scheduler import TaskGraph, list_schedule, work_stealing_schedule
+
+
+def diamond():
+    return TaskGraph.build(
+        {"a": 2.0, "b": 3.0, "c": 4.0, "d": 1.0},
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+def test_build_and_queries():
+    g = diamond()
+    assert set(g.tasks()) == {"a", "b", "c", "d"}
+    assert g.preds("d") == {"b", "c"}
+    assert g.succs("a") == {"b", "c"}
+    assert g.total_work() == 10.0
+
+
+def test_cycle_rejected():
+    with pytest.raises(ValueError, match="cycle"):
+        TaskGraph.build({"a": 1.0, "b": 1.0}, [("a", "b"), ("b", "a")])
+
+
+def test_duplicate_task_rejected():
+    g = TaskGraph()
+    g.add_task("a", 1.0)
+    with pytest.raises(ValueError):
+        g.add_task("a", 2.0)
+
+
+def test_nonpositive_cost_rejected():
+    g = TaskGraph()
+    with pytest.raises(ValueError):
+        g.add_task("a", 0.0)
+
+
+def test_unknown_dep_rejected():
+    g = TaskGraph()
+    g.add_task("a", 1.0)
+    with pytest.raises(KeyError):
+        g.add_dep("a", "zzz")
+
+
+def test_bottom_levels_and_critical_path():
+    g = diamond()
+    levels = g.bottom_levels()
+    assert levels["d"] == 1.0
+    assert levels["b"] == 4.0
+    assert levels["c"] == 5.0
+    assert levels["a"] == 7.0
+    assert g.critical_path_length() == 7.0
+
+
+def test_list_schedule_feasible_and_tight():
+    g = diamond()
+    sched = list_schedule(g, cores=2)
+    assert sched.is_feasible(g, 2)
+    # critical path a->c->d = 7; b overlaps with c.
+    assert sched.makespan == pytest.approx(7.0)
+
+
+def test_list_schedule_single_core_serialises():
+    g = diamond()
+    sched = list_schedule(g, cores=1)
+    assert sched.is_feasible(g, 1)
+    assert sched.makespan == pytest.approx(g.total_work())
+
+
+def test_work_stealing_feasible():
+    g = diamond()
+    sched = work_stealing_schedule(g, cores=2, seed=1)
+    assert sched.is_feasible(g, 2)
+    assert sched.makespan >= g.critical_path_length() - 1e-9
+
+
+def test_schedules_never_beat_lower_bounds():
+    g = diamond()
+    for cores in (1, 2, 3):
+        for sched in (list_schedule(g, cores), work_stealing_schedule(g, cores)):
+            lower = max(g.critical_path_length(), g.total_work() / cores)
+            assert sched.makespan >= lower - 1e-9
+
+
+def test_core_count_validated():
+    with pytest.raises(ValueError):
+        list_schedule(diamond(), 0)
+    with pytest.raises(ValueError):
+        work_stealing_schedule(diamond(), 0)
+
+
+def test_independent_tasks_spread():
+    g = TaskGraph.build({f"t{i}": 1.0 for i in range(8)})
+    sched = list_schedule(g, cores=4)
+    assert sched.makespan == pytest.approx(2.0)
+    ws = work_stealing_schedule(g, cores=4)
+    assert ws.makespan == pytest.approx(2.0)
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    costs = {f"t{i}": draw(st.floats(0.5, 5.0)) for i in range(n)}
+    deps = []
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()) and draw(st.booleans()):
+                deps.append((f"t{i}", f"t{j}"))  # edges forward only: acyclic
+    return TaskGraph.build(costs, deps)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags(), st.integers(1, 4), st.integers(0, 3))
+def test_both_schedulers_always_feasible(graph, cores, seed):
+    ls = list_schedule(graph, cores)
+    assert ls.is_feasible(graph, cores)
+    ws = work_stealing_schedule(graph, cores, seed=seed)
+    assert ws.is_feasible(graph, cores)
+    lower = max(graph.critical_path_length(), graph.total_work() / cores)
+    assert ls.makespan >= lower - 1e-9
+    assert ws.makespan >= lower - 1e-9
+    # Every task scheduled exactly once.
+    assert set(ls.assignment) == set(graph.tasks())
+    assert set(ws.assignment) == set(graph.tasks())

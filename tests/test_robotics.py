@@ -1,0 +1,125 @@
+"""Tests for the hallway robot: world, planners, controllers."""
+
+import pytest
+
+from repro.robotics.controller import POLICIES, run_episode
+from repro.robotics.gridworld import Hallway
+from repro.robotics.planner import PlanningFailed, astar, time_expanded_astar
+
+
+def test_world_geometry():
+    w = Hallway(7, 40, num_pedestrians=3, seed=1)
+    assert w.start == (3, 0)
+    assert w.goal == (3, 39)
+    assert w.in_bounds((0, 0))
+    assert not w.in_bounds((7, 0))
+
+
+def test_world_validation():
+    with pytest.raises(ValueError):
+        Hallway(1, 40)
+    with pytest.raises(ValueError):
+        Hallway(7, 40, num_pedestrians=-1)
+    with pytest.raises(ValueError):
+        Hallway(7, 40, horizon=0)
+    with pytest.raises(ValueError):
+        Hallway().pedestrian_positions(-1)
+
+
+def test_pedestrians_deterministic_and_bounded():
+    a = Hallway(7, 40, num_pedestrians=5, seed=2)
+    b = Hallway(7, 40, num_pedestrians=5, seed=2)
+    for t in (0, 10, 50):
+        assert a.pedestrian_positions(t) == b.pedestrian_positions(t)
+        for (r, c) in a.pedestrian_positions(t):
+            assert 0 <= r < 7 and 0 <= c < 40
+
+
+def test_pedestrians_move():
+    w = Hallway(7, 40, num_pedestrians=4, seed=3)
+    assert w.pedestrian_positions(0) != w.pedestrian_positions(25)
+
+
+def test_astar_shortest_in_empty_world():
+    w = Hallway(7, 40, num_pedestrians=0, seed=0)
+    path = astar(w)
+    assert path[0] == w.start
+    assert path[-1] == w.goal
+    assert len(path) == 40  # straight down the hallway
+
+
+def test_astar_validation():
+    w = Hallway()
+    with pytest.raises(ValueError):
+        astar(w, start=(99, 0))
+
+
+def test_time_expanded_plan_is_collision_free():
+    w = Hallway(7, 40, num_pedestrians=8, seed=4)
+    plan = time_expanded_astar(w)
+    assert plan[0] == w.start
+    assert plan[-1] == w.goal
+    for k, cell in enumerate(plan):
+        assert not w.is_collision(cell, k)
+    # Consecutive cells are adjacent or equal (waiting).
+    for a, b in zip(plan, plan[1:]):
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) <= 1
+
+
+def test_time_expanded_can_wait():
+    # A narrow 2-row hallway with pedestrians forces some waiting/detours;
+    # the plan is still collision-free.
+    w = Hallway(2, 12, num_pedestrians=2, seed=5, horizon=100)
+    plan = time_expanded_astar(w)
+    for k, cell in enumerate(plan):
+        assert not w.is_collision(cell, k)
+
+
+def test_time_expanded_validation():
+    w = Hallway()
+    with pytest.raises(ValueError):
+        time_expanded_astar(w, start_time=-1)
+
+
+def test_time_expanded_fails_when_boxed_in():
+    w = Hallway(2, 6, num_pedestrians=0, seed=0, horizon=3)
+    # horizon 3 is too short to cross 6 columns
+    with pytest.raises(PlanningFailed):
+        time_expanded_astar(w, max_time=3)
+
+
+def test_run_episode_policies():
+    w = Hallway(7, 40, num_pedestrians=8, seed=6)
+    results = {p: run_episode(w, p) for p in POLICIES}
+    # Space-time planning arrives with zero collisions.
+    assert results["spacetime"].safe_arrival
+    assert results["replan"].safe_arrival
+    # All policies reach the goal in this easy world.
+    assert all(r.reached_goal for r in results.values())
+
+
+def test_static_policy_bumps_into_people():
+    """The paper's point: ignoring people causes collisions somewhere."""
+    total_static = 0
+    total_spacetime = 0
+    for seed in range(8):
+        w = Hallway(5, 30, num_pedestrians=12, seed=seed)
+        total_static += run_episode(w, "static").collisions
+        total_spacetime += run_episode(w, "spacetime").collisions
+    assert total_static > 0
+    assert total_spacetime == 0
+
+
+def test_run_episode_validation():
+    w = Hallway()
+    with pytest.raises(ValueError):
+        run_episode(w, "teleport")
+    with pytest.raises(ValueError):
+        run_episode(w, "replan", replan_every=0)
+
+
+def test_episode_step_budget():
+    w = Hallway(7, 40, num_pedestrians=0, seed=0)
+    result = run_episode(w, "static", max_steps=5)
+    assert not result.reached_goal
+    assert result.steps == 5

@@ -1,0 +1,157 @@
+"""Tests for availability and privacy mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.society.availability import ReplicatedService, nines
+from repro.society.privacy import dp_count, dp_mean, k_anonymize, laplace_mechanism
+
+
+def test_nines():
+    assert nines(0.9) == pytest.approx(1.0)
+    assert nines(0.999) == pytest.approx(3.0)
+    assert nines(0.0) == 0.0
+    with pytest.raises(ValueError):
+        nines(1.0)
+
+
+def test_replica_availability():
+    s = ReplicatedService(1, fail_rate=0.1, repair_rate=0.4)
+    assert s.replica_availability == pytest.approx(0.8)
+
+
+def test_analytic_availability_increases_with_replicas():
+    avail = [
+        ReplicatedService(n, fail_rate=0.05, repair_rate=0.3).analytic_availability()
+        for n in (1, 2, 3, 5)
+    ]
+    assert avail == sorted(avail)
+    assert avail[-1] > 0.999
+
+
+def test_never_exactly_zero_unavailability():
+    # The asymptote the paper's "100 per cent" demand ignores: the
+    # unavailability shrinks geometrically but never reaches zero.
+    s = ReplicatedService(10, fail_rate=0.01, repair_rate=0.9)
+    assert 0.0 < s.analytic_unavailability() < 1e-15
+    fewer = ReplicatedService(3, fail_rate=0.01, repair_rate=0.9)
+    assert fewer.analytic_unavailability() > s.analytic_unavailability()
+
+
+def test_quorum_hurts_availability():
+    loose = ReplicatedService(5, quorum=1, fail_rate=0.05, repair_rate=0.3)
+    strict = ReplicatedService(5, quorum=4, fail_rate=0.05, repair_rate=0.3)
+    assert loose.analytic_availability() > strict.analytic_availability()
+
+
+def test_simulation_matches_analytic():
+    s = ReplicatedService(3, fail_rate=0.05, repair_rate=0.4)
+    sim = s.simulate(ticks=40_000, seed=1)
+    assert sim.measured_availability == pytest.approx(s.analytic_availability(), abs=0.01)
+
+
+def test_cost_linear():
+    assert ReplicatedService(7).cost(per_replica=3.0) == 21.0
+
+
+def test_service_validation():
+    with pytest.raises(ValueError):
+        ReplicatedService(0)
+    with pytest.raises(ValueError):
+        ReplicatedService(2, quorum=3)
+    with pytest.raises(ValueError):
+        ReplicatedService(2, fail_rate=0)
+    with pytest.raises(ValueError):
+        ReplicatedService(2).simulate(ticks=0)
+
+
+# -- k-anonymity ------------------------------------------------------
+
+PEOPLE = [
+    {"age": 23, "zip": "15213", "diagnosis": "flu"},
+    {"age": 25, "zip": "15213", "diagnosis": "cold"},
+    {"age": 24, "zip": "15217", "diagnosis": "flu"},
+    {"age": 44, "zip": "15232", "diagnosis": "ok"},
+    {"age": 46, "zip": "15232", "diagnosis": "flu"},
+    {"age": 47, "zip": "15217", "diagnosis": "ok"},
+]
+
+
+def test_k1_is_identity():
+    result = k_anonymize(PEOPLE, ["age", "zip"], k=1)
+    assert result.records == PEOPLE
+    assert result.utility_loss == 0.0
+
+
+def test_k2_generalizes():
+    result = k_anonymize(PEOPLE, ["age", "zip"], k=2)
+    assert result.k_achieved >= 2
+    assert result.utility_loss > 0.0
+    # Sensitive column untouched.
+    assert [r["diagnosis"] for r in result.records] == [p["diagnosis"] for p in PEOPLE]
+
+
+def test_k_equals_n_fully_generalizes():
+    result = k_anonymize(PEOPLE, ["age", "zip"], k=len(PEOPLE))
+    assert result.k_achieved == len(PEOPLE)
+
+
+def test_k_anonymity_property_holds():
+    from collections import Counter
+
+    result = k_anonymize(PEOPLE, ["age", "zip"], k=3)
+    classes = Counter(tuple(r[q] for q in ("age", "zip")) for r in result.records)
+    assert min(classes.values()) >= 3
+
+
+def test_k_anonymize_validation():
+    with pytest.raises(ValueError):
+        k_anonymize(PEOPLE, ["age"], k=0)
+    with pytest.raises(ValueError):
+        k_anonymize([], ["age"], k=1)
+    with pytest.raises(ValueError):
+        k_anonymize(PEOPLE, ["age"], k=99)
+    with pytest.raises(KeyError):
+        k_anonymize(PEOPLE, ["shoe_size"], k=2)
+
+
+# -- differential privacy ------------------------------------------------
+
+def test_laplace_noise_scale():
+    draws = [
+        laplace_mechanism(0.0, sensitivity=1.0, epsilon=0.5, seed=s) for s in range(2000)
+    ]
+    # Laplace(b): std = b*sqrt(2), b = 1/0.5 = 2.
+    assert np.std(draws) == pytest.approx(2 * np.sqrt(2), rel=0.1)
+    assert np.mean(draws) == pytest.approx(0.0, abs=0.3)
+
+
+def test_more_epsilon_less_noise():
+    tight = [abs(laplace_mechanism(0, sensitivity=1, epsilon=10.0, seed=s)) for s in range(500)]
+    loose = [abs(laplace_mechanism(0, sensitivity=1, epsilon=0.1, seed=s)) for s in range(500)]
+    assert np.mean(tight) < np.mean(loose)
+
+
+def test_laplace_validation():
+    with pytest.raises(ValueError):
+        laplace_mechanism(0, sensitivity=0, epsilon=1)
+    with pytest.raises(ValueError):
+        laplace_mechanism(0, sensitivity=1, epsilon=0)
+
+
+def test_dp_count_close_at_high_epsilon():
+    noisy = dp_count(PEOPLE, lambda r: r["diagnosis"] == "flu", epsilon=50.0, seed=1)
+    assert noisy == pytest.approx(3.0, abs=0.5)
+
+
+def test_dp_mean_close_at_high_epsilon():
+    values = [float(p["age"]) for p in PEOPLE]
+    noisy = dp_mean(values, lower=0, upper=100, epsilon=100.0, seed=2)
+    assert noisy == pytest.approx(np.mean(values), abs=3.0)
+
+
+def test_dp_mean_validation():
+    with pytest.raises(ValueError):
+        dp_mean([], lower=0, upper=1, epsilon=1)
+    with pytest.raises(ValueError):
+        dp_mean([1.0], lower=5, upper=1, epsilon=1)

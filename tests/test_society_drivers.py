@@ -1,0 +1,103 @@
+"""Tests for the Figure 1 three-drivers model."""
+
+import numpy as np
+import pytest
+
+from repro.society.drivers import PRESETS, ThreeDrivers, ascii_figure1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ThreeDrivers(couplings={"XX": 1.0})
+    with pytest.raises(ValueError):
+        ThreeDrivers(couplings={"ST": -1.0})
+    with pytest.raises(ValueError):
+        ThreeDrivers(decay=0.0)
+    with pytest.raises(ValueError):
+        ThreeDrivers(baseline=(-1.0, 0, 0))
+    with pytest.raises(ValueError):
+        ThreeDrivers().simulate(horizon=0)
+    with pytest.raises(ValueError):
+        ThreeDrivers().simulate(initial=(-1, 0, 0))
+    with pytest.raises(KeyError):
+        ThreeDrivers().simulate(impulses={"magic": (0, 1, 1)})
+    with pytest.raises(ValueError):
+        ThreeDrivers().with_arrow("ZZ", 1.0)
+
+
+def test_levels_stay_nonnegative_and_bounded():
+    traj = ThreeDrivers().simulate(horizon=100.0)
+    for series in (traj.science, traj.technology, traj.society):
+        assert np.all(series >= 0)
+        assert np.all(series < 100)
+
+
+def test_symmetric_system_symmetric_equilibrium():
+    eq = ThreeDrivers().equilibrium()
+    assert eq[0] == pytest.approx(eq[1], rel=1e-3)
+    assert eq[1] == pytest.approx(eq[2], rel=1e-3)
+
+
+def test_decay_only_settles_to_baseline():
+    model = ThreeDrivers(couplings={a: 0.0 for a in ("ST", "TS", "TY", "YT", "SY", "YS")})
+    eq = model.equilibrium()
+    # dS = base - decay*S = 0  =>  S = base/decay = 0.1/0.3
+    assert eq[0] == pytest.approx(0.1 / 0.3, rel=1e-3)
+
+
+def test_forward_loop_science_lifts_society():
+    """The 'usual loop': science feeds technology feeds society."""
+    base = ThreeDrivers()
+    boosted = base.with_arrow("ST", 1.5).with_arrow("TY", 1.5)
+    assert boosted.equilibrium()[2] > base.equilibrium()[2]
+
+
+def test_reverse_arrow_society_demands_science():
+    """The paper's energy anecdote: a society impulse raises science
+    when the YS arrow exists, and not when it is severed."""
+    with_arrow = ThreeDrivers().with_arrow("YS", 1.2)
+    without = with_arrow.with_arrow("YS", 0.0)
+    impulse = {"society": (5.0, 15.0, 1.0)}
+    peak_with = with_arrow.simulate(impulses=impulse).peak("science")
+    peak_without = without.simulate(impulses=impulse).peak("science")
+    assert peak_with > peak_without * 1.05
+
+
+def test_impulse_transient_decays():
+    model = ThreeDrivers()
+    traj = model.simulate(horizon=80.0, impulses={"technology": (5.0, 10.0, 2.0)})
+    mid_peak = traj.peak("technology")
+    assert mid_peak > traj.technology[-1]  # transient fades
+    quiet_eq = model.equilibrium()
+    assert traj.final()[1] == pytest.approx(quiet_eq[1], rel=0.05)
+
+
+def test_presets_run():
+    for name, make in PRESETS.items():
+        model, impulses = make()
+        traj = model.simulate(impulses=impulses)
+        assert traj.time[-1] == pytest.approx(50.0)
+        assert np.all(np.isfinite(traj.science))
+
+
+def test_social_network_preset_shows_tech_pull():
+    model, impulses = PRESETS["social-network-rise"]()
+    baseline_model, _ = PRESETS["baseline"]()
+    lifted = model.simulate(impulses=impulses).peak("society")
+    flat = baseline_model.simulate().peak("society")
+    assert lifted > flat
+
+
+def test_trajectory_accessors():
+    traj = ThreeDrivers().simulate(horizon=5.0)
+    assert len(traj.time) == len(traj.science)
+    final = traj.final()
+    assert len(final) == 3
+    with pytest.raises(AttributeError):
+        traj.peak("economy")
+
+
+def test_ascii_figure_mentions_all_nodes():
+    art = ascii_figure1()
+    for node in ("science", "technology", "society"):
+        assert node in art

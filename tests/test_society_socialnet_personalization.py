@@ -1,0 +1,146 @@
+"""Tests for social-network growth and the personalisation tradeoff."""
+
+import pytest
+
+from repro.society.personalization import Personalizer, simulate_tradeoff
+from repro.society.socialnet import (
+    adoption_curve,
+    degree_tail_exponent,
+    gini_of_degrees,
+    preferential_attachment,
+    random_graph,
+)
+
+
+def test_ba_graph_shape():
+    g = preferential_attachment(200, 2, seed=1)
+    assert g.num_nodes() == 200
+    assert g.is_connected()
+    # m edges per newcomer plus the seed clique.
+    assert g.num_edges() == pytest.approx(2 * (200 - 3) + 3, abs=0)
+
+
+def test_ba_validation():
+    with pytest.raises(ValueError):
+        preferential_attachment(5, 0)
+    with pytest.raises(ValueError):
+        preferential_attachment(3, 3)
+
+
+def test_er_graph_shape():
+    g = random_graph(100, 150, seed=2)
+    assert g.num_nodes() == 100
+    assert g.num_edges() == 150
+
+
+def test_er_validation():
+    with pytest.raises(ValueError):
+        random_graph(1, 0)
+    with pytest.raises(ValueError):
+        random_graph(10, 100)
+
+
+def test_ba_more_unequal_than_er():
+    ba = preferential_attachment(300, 2, seed=3)
+    er = random_graph(300, ba.num_edges(), seed=3)
+    assert gini_of_degrees(ba) > gini_of_degrees(er) + 0.05
+
+
+def test_ba_heavy_tail_exponent():
+    ba = preferential_attachment(800, 2, seed=4)
+    exponent = degree_tail_exponent(ba, xmin=3)
+    assert 1.5 < exponent < 4.0  # scale-free territory
+
+
+def test_tail_estimator_needs_data():
+    with pytest.raises(ValueError):
+        degree_tail_exponent(random_graph(10, 3, seed=0), xmin=5)
+
+
+def test_gini_empty_and_uniform():
+    assert gini_of_degrees(random_graph(5, 0, seed=0)) == 0.0
+    ring = random_graph(4, 0, seed=0)
+    for i in range(4):
+        ring.add_edge(i, (i + 1) % 4)
+    assert gini_of_degrees(ring) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_adoption_rises_monotonically():
+    g = preferential_attachment(150, 2, seed=5)
+    curve = adoption_curve(g, seed=5)
+    assert all(b >= a for a, b in zip(curve, curve[1:]))
+    assert curve[-1] > curve[0]
+
+
+def test_adoption_faster_on_hubs_than_er():
+    ba = preferential_attachment(300, 2, seed=6)
+    er = random_graph(300, ba.num_edges(), seed=6)
+    ba_curve = adoption_curve(ba, adopt_probability=0.2, rounds=8, seed=6)
+    er_curve = adoption_curve(er, adopt_probability=0.2, rounds=8, seed=6)
+    assert ba_curve[4] >= er_curve[4]  # hubs accelerate early spread
+
+
+def test_adoption_validation():
+    g = random_graph(10, 5, seed=0)
+    with pytest.raises(ValueError):
+        adoption_curve(g, initial_adopters=0)
+    with pytest.raises(ValueError):
+        adoption_curve(g, adopt_probability=2.0)
+
+
+# -- personalisation ----------------------------------------------------
+
+def test_personalizer_profile_uniform_when_untracked():
+    p = Personalizer(history_window=10)
+    profile = p.profile("stranger")
+    assert all(v == pytest.approx(1 / 6) for v in profile.values())
+
+
+def test_personalizer_learns_preference():
+    p = Personalizer(history_window=20)
+    for _ in range(15):
+        p.observe("alice", "cooking")
+    p.observe("alice", "sports")
+    assert p.recommend("alice") == "cooking"
+    assert p.profile("alice")["cooking"] > 0.9
+
+
+def test_personalizer_window_bounds_storage():
+    p = Personalizer(history_window=5)
+    for _ in range(50):
+        p.observe("bob", "games")
+    assert p.stored_queries("bob") == 5
+
+
+def test_personalizer_disabled_tracking():
+    p = Personalizer(history_window=0)
+    p.observe("carol", "travel")
+    assert p.stored_queries("carol") == 0
+
+
+def test_personalizer_validation():
+    with pytest.raises(ValueError):
+        Personalizer(history_window=-1)
+    with pytest.raises(ValueError):
+        Personalizer().observe("x", "astrology")
+
+
+def test_tradeoff_more_history_helps_both_sides():
+    """The challenge-no.-2 trade: relevance and re-identification both
+    rise with the retention window."""
+    none = simulate_tradeoff(history_window=0, seed=1)
+    lots = simulate_tradeoff(history_window=100, seed=1)
+    assert lots.relevance > none.relevance
+    assert lots.reidentification >= none.reidentification
+    assert lots.reidentification > 0.5  # tracking is identifying
+
+
+def test_tradeoff_validation():
+    with pytest.raises(ValueError):
+        simulate_tradeoff(num_users=1)
+
+
+def test_tradeoff_deterministic():
+    a = simulate_tradeoff(seed=3)
+    b = simulate_tradeoff(seed=3)
+    assert a == b

@@ -1,0 +1,56 @@
+"""Tests for repro.util.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+def test_same_seed_same_stream():
+    a = make_rng(42).random(100)
+    b = make_rng(42).random(100)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = make_rng(1).random(100)
+    b = make_rng(2).random(100)
+    assert not np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    g = make_rng(7)
+    assert make_rng(g) is g
+
+
+def test_none_gives_generator():
+    g = make_rng(None)
+    assert isinstance(g, np.random.Generator)
+
+
+def test_spawn_count():
+    children = spawn_rngs(5, 8)
+    assert len(children) == 8
+
+
+def test_spawn_children_independent():
+    children = spawn_rngs(5, 3)
+    draws = [c.random(50) for c in children]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_deterministic():
+    a = [c.random(10) for c in spawn_rngs(9, 4)]
+    b = [c.random(10) for c in spawn_rngs(9, 4)]
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_spawn_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_zero_ok():
+    assert spawn_rngs(0, 0) == []

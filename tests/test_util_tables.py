@@ -1,0 +1,62 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+def test_basic_render():
+    t = Table(["n", "time"], caption="demo")
+    t.add_row(10, 0.5)
+    t.add_row(100, 1.5)
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "n" in lines[1] and "time" in lines[1]
+    assert set(lines[2].replace(" ", "")) == {"-"}
+    assert len(lines) == 5
+
+
+def test_alignment_consistent_width():
+    t = Table(["col"])
+    t.add_row("short")
+    t.add_row("a much longer cell")
+    lines = t.render().splitlines()
+    assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+def test_row_arity_checked():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(ValueError):
+        Table([])
+
+
+def test_float_formatting():
+    t = Table(["x"])
+    t.add_row(0.000001)
+    t.add_row(123456.789)
+    t.add_row(1.2345)
+    t.add_row(0.0)
+    body = t.render()
+    assert "1.000e-06" in body
+    assert "1.235e+05" in body
+    assert "1.234" in body
+
+
+def test_bool_formatting():
+    t = Table(["ok"])
+    t.add_row(True)
+    t.add_row(False)
+    out = t.render()
+    assert "yes" in out and "no" in out
+
+
+def test_extend():
+    t = Table(["a", "b"])
+    t.extend([(1, 2), (3, 4)])
+    assert len(t.rows) == 2

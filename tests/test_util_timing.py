@@ -1,0 +1,70 @@
+"""Tests for repro.util.timing: timing sanity and growth-law fitting."""
+
+import time
+
+import pytest
+
+from repro.util.timing import GROWTH_LAWS, fit_growth, time_callable
+
+
+def test_time_callable_positive():
+    assert time_callable(lambda: sum(range(100))) > 0
+
+
+def test_time_callable_orders_sleeps():
+    fast = time_callable(lambda: time.sleep(0.001), repeats=1)
+    slow = time_callable(lambda: time.sleep(0.01), repeats=1)
+    assert slow > fast
+
+
+def test_time_callable_rejects_bad_repeats():
+    with pytest.raises(ValueError):
+        time_callable(lambda: None, repeats=0)
+
+
+def test_fit_growth_linear():
+    sizes = [100, 200, 400, 800, 1600]
+    times = [1e-6 * n for n in sizes]
+    assert fit_growth(sizes, times).best_law == "n"
+
+
+def test_fit_growth_quadratic():
+    sizes = [100, 200, 400, 800]
+    times = [1e-9 * n * n for n in sizes]
+    assert fit_growth(sizes, times).best_law == "n^2"
+
+
+def test_fit_growth_exponential():
+    sizes = [10, 12, 14, 16, 18]
+    times = [1e-9 * 2**n for n in sizes]
+    fit = fit_growth(sizes, times)
+    assert fit.best_law == "2^n"
+    assert not fit.is_polynomial()
+
+
+def test_fit_growth_constant():
+    assert fit_growth([10, 100, 1000], [3e-6, 3e-6, 3e-6]).best_law == "1"
+
+
+def test_fit_growth_nlogn():
+    sizes = [2**k for k in range(8, 16)]
+    times = [1e-8 * n * (n.bit_length()) for n in sizes]
+    assert fit_growth(sizes, times).best_law in ("n log n", "n")
+
+
+def test_fit_growth_polynomial_flag():
+    sizes = [100, 200, 400]
+    times = [1e-6 * n for n in sizes]
+    assert fit_growth(sizes, times).is_polynomial()
+
+
+def test_fit_growth_input_validation():
+    with pytest.raises(ValueError):
+        fit_growth([1, 2], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        fit_growth([1, 2, 3], [1.0, -2.0, 3.0])
+
+
+def test_growth_laws_all_scored():
+    fit = fit_growth([10, 20, 40, 80], [1e-6 * n for n in [10, 20, 40, 80]])
+    assert set(fit.scores) == set(GROWTH_LAWS)
