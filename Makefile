@@ -1,0 +1,21 @@
+# Tier-1: the correctness suite the CI gate runs.
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Tier-2: slower checks that are not part of the tier-1 gate.
+# bench-smoke runs the perf-regression harness at tiny sizes — it
+# exercises the whole measure/assert/emit pipeline and rewrites
+# BENCH_perf_engine.json in seconds, without gating on speedups.
+bench-smoke:
+	python benchmarks/bench_perf_engine.py --smoke
+
+# Full-size perf run: regenerates BENCH_perf_engine.json and fails
+# unless a >=1e5-step workload shows >=5x compiled speedup.
+bench-perf:
+	python benchmarks/bench_perf_engine.py
+
+# The experiment-table benches (regenerate benchmarks/reports/).
+bench:
+	PYTHONPATH=src python -m pytest benchmarks -q
+
+.PHONY: test bench bench-smoke bench-perf

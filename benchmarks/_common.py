@@ -10,6 +10,8 @@ computational core.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 
 from repro.util.tables import Table
@@ -19,14 +21,55 @@ REPORTS_DIR = Path(__file__).parent / "reports"
 __all__ = ["emit", "Table"]
 
 
+def _parse_blocks(text: str) -> dict[str, str]:
+    """Split a report file into ``{experiment_id: body}`` blocks.
+
+    A block starts at a ``[experiment_id]`` header line and runs to
+    the next header (or EOF); bodies keep their text, trailing
+    whitespace normalised.
+    """
+    blocks: dict[str, str] = {}
+    current: str | None = None
+    lines: list[str] = []
+
+    def flush() -> None:
+        if current is not None:
+            blocks[current] = "\n".join(lines).rstrip("\n")
+
+    for line in text.splitlines():
+        if line.startswith("[") and line.rstrip().endswith("]"):
+            flush()
+            current = line.strip()[1:-1]
+            lines = []
+        elif current is not None:
+            lines.append(line)
+    flush()
+    return blocks
+
+
 def emit(experiment_id: str, table: Table | str) -> None:
-    """Print the regenerated table and persist it as an artifact."""
-    text = table.render() if isinstance(table, Table) else str(table)
+    """Print the regenerated table and persist it as an artifact.
+
+    Idempotent: the ``[experiment_id]`` block is rewritten in place,
+    so re-running a bench (even after its table's rendering changed)
+    never duplicates blocks.  The write is atomic — temp file in the
+    same directory, then ``os.replace`` — so a crashed run can't leave
+    a half-written report behind.
+    """
+    text = (table.render() if isinstance(table, Table) else str(table)).rstrip("\n")
     print(f"\n[{experiment_id}]")
     print(text)
     REPORTS_DIR.mkdir(exist_ok=True)
     path = REPORTS_DIR / f"{experiment_id.lower()}.txt"
-    existing = path.read_text() if path.exists() else ""
-    block = f"[{experiment_id}]\n{text}\n"
-    if block not in existing:
-        path.write_text(existing + block + "\n")
+    blocks = _parse_blocks(path.read_text()) if path.exists() else {}
+    blocks[experiment_id] = text
+    payload = "".join(f"[{eid}]\n{body}\n\n" for eid, body in blocks.items())
+    fd, tmp = tempfile.mkstemp(dir=REPORTS_DIR, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise

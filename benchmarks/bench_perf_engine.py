@@ -1,0 +1,212 @@
+"""PERF1 — the compiled-engine perf-regression harness.
+
+Measures the compiled engine (:mod:`repro.perf`) against the reference
+interpreters on fixed workloads, asserts the two paths agree result-
+for-result, and writes a machine-readable ``BENCH_perf_engine.json``
+at the repo root so perf regressions show up as a diff.
+
+Standalone — not a pytest bench — because CI and humans both want one
+command with one artifact:
+
+    python benchmarks/bench_perf_engine.py            # full sizes
+    python benchmarks/bench_perf_engine.py --smoke    # seconds, tiny sizes
+
+Acceptance gate (full mode only): at least one workload with >= 1e5
+interpreter steps must show >= 5x speedup, or the script exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))                 # _common
+sys.path.insert(0, str(_HERE.parent / "src"))  # repro without installing
+
+from _common import Table, emit  # noqa: E402
+
+from repro.machines.automata import DFA  # noqa: E402
+from repro.machines.busybeaver import busy_beaver_machine  # noqa: E402
+from repro.machines.turing import (  # noqa: E402
+    binary_increment,
+    copier,
+    palindrome_checker,
+)
+from repro.perf.batch import CompileCache, run_many  # noqa: E402
+from repro.perf.engine import compile_dfa, compile_tm  # noqa: E402
+from repro.util.timing import time_callable  # noqa: E402
+
+ROOT = _HERE.parent
+REQUIRED_SPEEDUP = 5.0
+REQUIRED_STEPS = 100_000
+
+
+def parity_dfa() -> DFA:
+    return DFA.build(
+        [("even", "1", "odd"), ("odd", "1", "even"), ("even", "0", "even"), ("odd", "0", "odd")],
+        initial="even",
+        accepting=["even"],
+    )
+
+
+def tm_workloads(smoke: bool) -> list[dict]:
+    scale = 20 if smoke else 1
+    return [
+        {
+            "name": "palindrome",
+            "machine": palindrome_checker(),
+            "input": "a" * (600 // scale),
+            "fuel": 2_000_000 // scale,
+        },
+        {
+            "name": "copier",
+            "machine": copier(),
+            "input": "1" * (300 // scale),
+            "fuel": 1_000_000 // scale,
+        },
+        {
+            "name": "binary_increment",
+            "machine": binary_increment(),
+            "input": "1" * (50_000 // scale),
+            "fuel": 200_000 // scale,
+        },
+        {
+            "name": "bb4",
+            "machine": busy_beaver_machine(4),
+            "input": "",
+            "fuel": 1_000,
+        },
+    ]
+
+
+def measure_tm(workload: dict, *, repeats: int) -> dict:
+    machine, tape, fuel = workload["machine"], workload["input"], workload["fuel"]
+    compiled = compile_tm(machine)
+    ref_result = machine.run(tape, fuel=fuel)
+    fast_result = compiled.run(tape, fuel=fuel)
+    assert fast_result == ref_result, f"{workload['name']}: compiled engine diverged"
+    ref_s = time_callable(lambda: machine.run(tape, fuel=fuel), repeats=repeats)
+    fast_s = time_callable(lambda: compiled.run(tape, fuel=fuel), repeats=repeats)
+    return {
+        "name": workload["name"],
+        "kind": "turing",
+        "steps": ref_result.steps,
+        "reference_seconds": ref_s,
+        "compiled_seconds": fast_s,
+        "speedup": ref_s / fast_s,
+    }
+
+
+def measure_dfa(smoke: bool, *, repeats: int) -> dict:
+    dfa = parity_dfa()
+    compiled = compile_dfa(dfa)
+    word = "10" * (2_500 if smoke else 250_000)
+    assert compiled.accepts(word) == dfa.accepts(word)
+    ref_s = time_callable(lambda: dfa.accepts(word), repeats=repeats)
+    fast_s = time_callable(lambda: compiled.accepts(word), repeats=repeats)
+    return {
+        "name": "dfa_parity",
+        "kind": "dfa",
+        "steps": len(word),
+        "reference_seconds": ref_s,
+        "compiled_seconds": fast_s,
+        "speedup": ref_s / fast_s,
+    }
+
+
+def measure_batch(smoke: bool, *, repeats: int) -> dict:
+    """Batch layer: compile-once-run-many versus interpret-every-job."""
+    copies = 8 if smoke else 64
+    fuel = 100_000
+    jobs = [(palindrome_checker(), "a" * 60)] * copies + [
+        (copier(), "1" * 40)
+    ] * copies
+    assert run_many(jobs, fuel=fuel) == run_many(jobs, fuel=fuel, compiled=False)
+    ref_s = time_callable(lambda: run_many(jobs, fuel=fuel, compiled=False), repeats=repeats)
+    fast_s = time_callable(lambda: run_many(jobs, fuel=fuel), repeats=repeats)
+    cache = CompileCache()
+    run_many(jobs, fuel=fuel, cache=cache)
+    return {
+        "name": "batch_palindrome+copier",
+        "kind": "batch",
+        "jobs": len(jobs),
+        "reference_seconds": ref_s,
+        "compiled_seconds": fast_s,
+        "speedup": ref_s / fast_s,
+        "cache": cache.stats(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes: exercises the full pipeline in seconds, skips the speedup gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=ROOT / "BENCH_perf_engine.json",
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else 3
+
+    results = [measure_tm(w, repeats=repeats) for w in tm_workloads(args.smoke)]
+    results.append(measure_dfa(args.smoke, repeats=repeats))
+    batch = measure_batch(args.smoke, repeats=repeats)
+
+    gated = [r for r in results if r["kind"] == "turing" and r["steps"] >= REQUIRED_STEPS]
+    best = max(gated, key=lambda r: r["speedup"], default=None)
+    accepted = best is not None and best["speedup"] >= REQUIRED_SPEEDUP
+
+    table = Table(
+        ["workload", "steps/jobs", "reference s", "compiled s", "speedup"],
+        caption=f"PERF1: compiled engine vs reference interpreters"
+        f" ({'smoke' if args.smoke else 'full'} sizes)",
+    )
+    for r in results:
+        table.add_row(r["name"], r["steps"], r["reference_seconds"], r["compiled_seconds"], f"{r['speedup']:.1f}x")
+    table.add_row(batch["name"], batch["jobs"], batch["reference_seconds"], batch["compiled_seconds"], f"{batch['speedup']:.1f}x")
+    emit("PERF1", table)
+
+    payload = {
+        "harness": "benchmarks/bench_perf_engine.py",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "workloads": results,
+        "batch": batch,
+        "acceptance": {
+            "required_speedup": REQUIRED_SPEEDUP,
+            "required_steps": REQUIRED_STEPS,
+            "best_workload": best["name"] if best else None,
+            "best_speedup": best["speedup"] if best else None,
+            "passed": accepted,
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if args.smoke:
+        return 0
+    if not accepted:
+        print(
+            f"FAIL: no >= {REQUIRED_STEPS}-step workload reached"
+            f" {REQUIRED_SPEEDUP}x (best: {best})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"PASS: {best['name']} ({best['steps']} steps) ran"
+        f" {best['speedup']:.1f}x faster compiled"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

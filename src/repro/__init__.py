@@ -44,6 +44,7 @@ from repro.core import (
     automate,
     interleave,
 )
+from repro.perf import compile_machine, run_compiled, run_many
 
 __version__ = "1.0.0"
 
@@ -61,4 +62,7 @@ __all__ = [
     "NetworkComputer",
     "automate",
     "interleave",
+    "compile_machine",
+    "run_compiled",
+    "run_many",
 ]

@@ -74,9 +74,18 @@ def busy_beaver_machine(n: int) -> TuringMachine:
     return TuringMachine.from_rules(rules, initial="A", accept=["H"])
 
 
-def score(machine: TuringMachine, *, fuel: int = 1_000_000) -> tuple[int, int]:
-    """(number of 1s on the final tape, steps) for a halting machine."""
-    result = machine.run("", fuel=fuel)
+def score(machine: TuringMachine, *, fuel: int = 1_000_000, compiled: bool = False) -> tuple[int, int]:
+    """(number of 1s on the final tape, steps) for a halting machine.
+
+    ``compiled=True`` scores through :mod:`repro.perf.engine` — same
+    result, table-driven execution.
+    """
+    if compiled:
+        from repro.perf.engine import run_compiled
+
+        result = run_compiled(machine, "", fuel=fuel)
+    else:
+        result = machine.run("", fuel=fuel)
     if not result.halted:
         raise RuntimeError("machine did not halt within fuel")
     return result.tape.count("1"), result.steps
@@ -96,12 +105,29 @@ class HaltingReport:
         return self.running / self.total if self.total else 0.0
 
 
-def halting_survey(machines: list[TuringMachine], *, fuel: int) -> HaltingReport:
+def halting_survey(
+    machines: list[TuringMachine],
+    *,
+    fuel: int,
+    compiled: bool = False,
+    backend: str = "serial",
+) -> HaltingReport:
     """Run every machine for ``fuel`` steps; count who halted.
 
     Raising the fuel can only move machines from ``running`` to
     ``halted`` — monotonicity that tests verify — but no finite fuel
     empties ``running`` for arbitrary families: the halting problem.
+
+    ``compiled=True`` sweeps the family through the batched engine
+    (:func:`repro.perf.batch.run_many`), which caches compiled tables
+    across the family and can fan out over a process pool via
+    ``backend="process"``.
     """
-    halted = sum(1 for m in machines if m.run("", fuel=fuel).halted)
+    if compiled:
+        from repro.perf.batch import run_many
+
+        results = run_many([(m, "") for m in machines], fuel=fuel, backend=backend)
+        halted = sum(1 for r in results if r.halted)
+    else:
+        halted = sum(1 for m in machines if m.run("", fuel=fuel).halted)
     return HaltingReport(fuel, halted, len(machines) - halted, len(machines))

@@ -29,6 +29,10 @@ __all__ = [
 BLANK = "_"
 LEFT, RIGHT, STAY = "L", "R", "S"
 
+# Head displacement per move, hoisted so the interpreter loop does not
+# rebuild a dict every step.
+MOVE_OFFSET = {LEFT: -1, RIGHT: 1, STAY: 0}
+
 
 @dataclass
 class TMResult:
@@ -104,7 +108,7 @@ class TuringMachine:
                 tape.pop(head, None)
             else:
                 tape[head] = write
-            head += {LEFT: -1, RIGHT: 1, STAY: 0}[move]
+            head += MOVE_OFFSET[move]
             steps += 1
         else:
             return TMResult(False, False, steps, self._render(tape), state)

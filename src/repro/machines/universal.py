@@ -15,6 +15,8 @@ of universality, not encoding efficiency.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.machines.turing import TMResult, TuringMachine
 
 __all__ = ["encode_tm", "decode_tm", "UniversalMachine"]
@@ -71,13 +73,41 @@ class UniversalMachine:
     simulated step per simulated step of the object machine plus a
     constant decode overhead — the classical "universality costs only
     a constant factor" observation, measurable via ``overhead_steps``.
+
+    With ``compiled=True`` the decoded machine is lowered once by
+    :mod:`repro.perf.engine` and the tables are kept in a small LRU
+    keyed by the description string, so replaying the same program on
+    many inputs pays decode+compile once.  Results are identical to
+    the interpreted path (the compiled engine's contract).
     """
 
     DECODE_OVERHEAD = 1  # bookkeeping steps charged for decoding
 
+    def __init__(self, *, compiled: bool = False, cache_size: int = 64) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.compiled = compiled
+        self.cache_size = cache_size
+        self._compiled_cache: OrderedDict[str, object] = OrderedDict()
+
+    def _compiled_for(self, description: str):
+        cached = self._compiled_cache.get(description)
+        if cached is not None:
+            self._compiled_cache.move_to_end(description)
+            return cached
+        from repro.perf.engine import compile_tm
+
+        program = compile_tm(decode_tm(description))
+        self._compiled_cache[description] = program
+        if len(self._compiled_cache) > self.cache_size:
+            self._compiled_cache.popitem(last=False)
+        return program
+
     def run(self, description: str, tape_input: str, *, fuel: int = 10_000) -> TMResult:
-        machine = decode_tm(description)
-        result = machine.run(tape_input, fuel=fuel)
+        if self.compiled:
+            result = self._compiled_for(description).run(tape_input, fuel=fuel)
+        else:
+            result = decode_tm(description).run(tape_input, fuel=fuel)
         return TMResult(
             halted=result.halted,
             accepted=result.accepted,

@@ -18,9 +18,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.combinators import StepAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.machines.turing import TuringMachine
 
 __all__ = ["Multicore", "MulticoreRun"]
 
@@ -107,6 +110,50 @@ class Multicore:
             total_steps=total_steps,
             core_busy=core_busy,
         )
+
+    def run_machines(
+        self,
+        machines: Sequence["TuringMachine"],
+        inputs: Sequence[str],
+        *,
+        fuel: int = 10_000,
+        compiled: bool = True,
+        backend: str = "serial",
+        cost_per_step: float = 1.0,
+    ) -> MulticoreRun:
+        """Execute Turing-machine jobs on the simulated cores.
+
+        The *answers* come from the real engine — the compiled tables
+        of :mod:`repro.perf` by default (``compiled=False`` uses the
+        reference interpreter; ``backend="process"`` fans the actual
+        execution over a process pool).  The *cost model* is then
+        applied by replaying each job's true step count through the
+        same epoch scheduler ``run`` uses, so contention and
+        utilisation numbers stay comparable with StepAlgorithm
+        workloads.  ``outputs`` holds each job's ``TMResult`` in job
+        order.
+        """
+        if len(machines) != len(inputs):
+            raise ValueError("one input per machine required")
+        from repro.perf.batch import run_many
+
+        results = run_many(
+            list(zip(machines, inputs)), fuel=fuel, compiled=compiled, backend=backend
+        )
+
+        def countdown(result):
+            def factory(_ignored: Any):
+                for _ in range(result.steps):
+                    yield None
+                return result
+
+            return factory
+
+        algorithms = [
+            StepAlgorithm(f"tm[{i}]", countdown(r), cost_per_step=cost_per_step)
+            for i, r in enumerate(results)
+        ]
+        return self.run(algorithms, inputs)
 
     def speedup_vs_serial(
         self,

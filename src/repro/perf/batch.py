@@ -1,0 +1,198 @@
+"""Batched execution of (machine, input) jobs with compile caching.
+
+Busy-beaver sweeps, halting surveys and universal-machine replays run
+the *same* machines over and over; compiling once and reusing the
+tables is where batching wins.  :class:`CompileCache` is a keyed LRU
+over machine *content* (not identity), so a machine decoded twice from
+the same description still hits.
+
+Execution backends are pluggable in the style of ChainerMN's
+communicators: ``create_backend("serial")`` or
+``create_backend("process", workers=4)`` both satisfy the same
+two-method interface, and :func:`run_many` accepts either a name or an
+instance.  The process backend chunks jobs to amortise pickling and
+pool dispatch; each worker keeps its own compile cache so a chunk of
+identical machines compiles once per worker, not once per job.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Protocol
+
+from repro.machines.turing import TMResult, TuringMachine
+from repro.perf.engine import CompiledTM, compile_tm
+
+__all__ = [
+    "TMJob",
+    "CompileCache",
+    "run_many",
+    "create_backend",
+    "BACKENDS",
+    "SerialBackend",
+    "ProcessBackend",
+]
+
+TMJob = tuple[TuringMachine, str]
+
+
+def machine_key(machine: TuringMachine) -> tuple:
+    """A hashable content key: equal machines share compiled tables."""
+    return (
+        machine.initial,
+        machine.accept_states,
+        machine.reject_states,
+        tuple(sorted(machine.delta.items())),
+    )
+
+
+class CompileCache:
+    """A keyed LRU cache of compiled transition tables."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, CompiledTM] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, machine: TuringMachine) -> CompiledTM:
+        key = machine_key(machine)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = compile_tm(machine)
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+
+def _run_jobs(
+    jobs: Sequence[TMJob], fuel: int, compiled: bool, cache: CompileCache | None = None
+) -> list[TMResult]:
+    """The shared inner loop: run jobs in order, reusing compiles."""
+    if not compiled:
+        return [machine.run(tape, fuel=fuel) for machine, tape in jobs]
+    cache = cache if cache is not None else CompileCache()
+    out = []
+    for machine, tape in jobs:
+        try:
+            program = cache.get(machine)
+        except ValueError:  # uncompilable alphabet: reference fallback
+            out.append(machine.run(tape, fuel=fuel))
+            continue
+        out.append(program.run(tape, fuel=fuel))
+    return out
+
+
+def _run_chunk(payload: tuple[Sequence[TMJob], int, bool]) -> list[TMResult]:
+    """Process-pool entry point (module-level so it pickles)."""
+    jobs, fuel, compiled = payload
+    return _run_jobs(jobs, fuel, compiled)
+
+
+class Backend(Protocol):
+    """The pluggable execution interface (cf. ChainerMN communicators)."""
+
+    name: str
+
+    def execute(
+        self, jobs: Sequence[TMJob], *, fuel: int, compiled: bool, cache: CompileCache | None
+    ) -> list[TMResult]: ...
+
+
+class SerialBackend:
+    """In-process execution; the default and the baseline."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        jobs: Sequence[TMJob],
+        *,
+        fuel: int,
+        compiled: bool,
+        cache: CompileCache | None = None,
+    ) -> list[TMResult]:
+        return _run_jobs(jobs, fuel, compiled, cache)
+
+
+class ProcessBackend:
+    """Chunked execution on a ``concurrent.futures`` process pool.
+
+    ``chunksize=None`` picks roughly 4 chunks per worker, the usual
+    balance between dispatch overhead and load balance.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, chunksize: int | None = None) -> None:
+        self.workers = workers or os.cpu_count() or 1
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        self.chunksize = chunksize
+
+    def _chunks(self, jobs: Sequence[TMJob]) -> list[Sequence[TMJob]]:
+        size = self.chunksize
+        if size is None:
+            size = max(1, len(jobs) // (self.workers * 4) or 1)
+        return [jobs[i : i + size] for i in range(0, len(jobs), size)]
+
+    def execute(
+        self,
+        jobs: Sequence[TMJob],
+        *,
+        fuel: int,
+        compiled: bool,
+        cache: CompileCache | None = None,
+    ) -> list[TMResult]:
+        if not jobs:
+            return []
+        chunks = self._chunks(jobs)
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            parts = pool.map(_run_chunk, [(chunk, fuel, compiled) for chunk in chunks])
+            return [result for part in parts for result in part]
+
+
+BACKENDS = {"serial": SerialBackend, "process": ProcessBackend}
+
+
+def create_backend(name: str = "serial", **kwargs) -> Backend:
+    """Factory over :data:`BACKENDS`, by name."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown backend {name!r}; choose from {sorted(BACKENDS)}") from None
+    return cls(**kwargs)
+
+
+def run_many(
+    jobs: Sequence[TMJob],
+    *,
+    fuel: int = 10_000,
+    compiled: bool = True,
+    backend: str | Backend = "serial",
+    cache: CompileCache | None = None,
+) -> list[TMResult]:
+    """Run every (machine, tape_input) job; results keep job order.
+
+    Each result equals what ``machine.run(tape_input, fuel=fuel)``
+    would return — the batch layer changes the cost, never the answer.
+    """
+    if isinstance(backend, str):
+        backend = create_backend(backend)
+    return backend.execute(jobs, fuel=fuel, compiled=compiled, cache=cache)

@@ -25,16 +25,26 @@ def time_callable(
     *,
     repeats: int = 3,
     min_time: float = 0.0,
+    warmup: int = 1,
 ) -> float:
-    """Return the best-of-``repeats`` wall time of ``fn()`` in seconds.
+    """Return the best-of-``repeats`` wall time of ``fn()`` in seconds,
+    measured with ``time.perf_counter`` (the monotonic high-resolution
+    clock; wall clocks can step backwards under NTP).
 
     Best-of is the standard timeit strategy: the minimum over repeats is
     the least noisy estimator of the true cost because noise is strictly
-    additive.  ``min_time`` optionally re-runs the callable in a loop
-    until at least that much time has accumulated, for very fast bodies.
+    additive.  ``warmup`` untimed calls run first so one-time costs
+    (imports, caches, allocator warm-up, JIT-like lazy setup) don't
+    pollute the first repeat.  ``min_time`` optionally re-runs the
+    callable in a loop until at least that much time has accumulated,
+    for very fast bodies.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
     best = math.inf
     for _ in range(repeats):
         n_calls = 1

@@ -1,0 +1,87 @@
+"""Tests for the benchmark report writer (benchmarks/_common.py).
+
+``emit`` must be idempotent — re-running a bench rewrites its
+``[experiment_id]`` block in place instead of appending a duplicate —
+and atomic — a crash mid-write can't leave a truncated report.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import _common  # noqa: E402
+from _common import _parse_blocks, emit  # noqa: E402
+
+
+@pytest.fixture()
+def reports_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(_common, "REPORTS_DIR", tmp_path)
+    return tmp_path
+
+
+def read_report(reports_dir: Path, experiment_id: str) -> str:
+    return (reports_dir / f"{experiment_id.lower()}.txt").read_text()
+
+
+def test_emit_writes_block(reports_dir, capsys):
+    emit("C99", "hello\nworld")
+    text = read_report(reports_dir, "C99")
+    assert text == "[C99]\nhello\nworld\n\n"
+    assert "[C99]" in capsys.readouterr().out
+
+
+def test_emit_is_idempotent(reports_dir):
+    emit("C99", "first rendering")
+    emit("C99", "first rendering")
+    text = read_report(reports_dir, "C99")
+    assert text.count("[C99]") == 1
+
+
+def test_emit_rewrites_changed_rendering_in_place(reports_dir):
+    emit("C99", "old table")
+    emit("C99", "new table\nwith more rows")
+    text = read_report(reports_dir, "C99")
+    assert text.count("[C99]") == 1
+    assert "old table" not in text
+    assert "new table\nwith more rows" in text
+
+
+def test_emit_preserves_other_blocks(reports_dir):
+    # Two experiments sharing one file (ids differing only in case
+    # would collide, so use a shared lowercase target via same id
+    # prefix is not the mechanism — blocks only share a file when the
+    # ids lowercase the same, so exercise the parser directly too).
+    emit("C99", "a")
+    emit("C99", "b")
+    blocks = _parse_blocks(read_report(reports_dir, "C99"))
+    assert blocks == {"C99": "b"}
+
+
+def test_parse_blocks_roundtrip():
+    text = "[F1]\nrow 1\nrow 2\n\n[C2]\nonly row\n\n"
+    assert _parse_blocks(text) == {"F1": "row 1\nrow 2", "C2": "only row"}
+
+
+def test_parse_blocks_ignores_preamble():
+    assert _parse_blocks("junk before\n[C1]\nbody\n") == {"C1": "body"}
+
+
+def test_emit_leaves_no_temp_files(reports_dir):
+    for _ in range(3):
+        emit("C99", "stable")
+    leftovers = [p for p in reports_dir.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_emit_survives_existing_multiblock_file(reports_dir):
+    # A pre-existing file from the old append-style writer, with a
+    # duplicate block: emit collapses it to one copy per id.
+    target = reports_dir / "c99.txt"
+    target.write_text("[C99]\nstale one\n\n[C99]\nstale two\n\n")
+    emit("C99", "fresh")
+    text = read_report(reports_dir, "C99")
+    assert text.count("[C99]") == 1
+    assert "fresh" in text and "stale" not in text

@@ -1,0 +1,214 @@
+"""Tests for batched execution, compile caching, backends, and the
+consumers wired onto them (universal machine, busy-beaver scoring,
+the simulated multicore)."""
+
+import pytest
+
+from repro.machines.busybeaver import (
+    BB_CHAMPIONS,
+    busy_beaver_machine,
+    halting_survey,
+    score,
+)
+from repro.machines.turing import (
+    TuringMachine,
+    binary_increment,
+    copier,
+    palindrome_checker,
+    unary_adder,
+)
+from repro.machines.universal import UniversalMachine, decode_tm, encode_tm
+from repro.parallel.multicore import Multicore
+from repro.perf.batch import (
+    BACKENDS,
+    CompileCache,
+    ProcessBackend,
+    SerialBackend,
+    create_backend,
+    machine_key,
+    run_many,
+)
+
+JOBS = [
+    (binary_increment(), "1011"),
+    (palindrome_checker(), "abba"),
+    (unary_adder(), "111+11"),
+    (copier(), "111"),
+    (busy_beaver_machine(3), ""),
+    (binary_increment(), "111"),
+]
+
+
+def reference_results(jobs, fuel=10_000):
+    return [machine.run(tape, fuel=fuel) for machine, tape in jobs]
+
+
+def test_run_many_matches_reference_in_order():
+    assert run_many(JOBS) == reference_results(JOBS)
+
+
+def test_run_many_reference_mode():
+    assert run_many(JOBS, compiled=False) == reference_results(JOBS)
+
+
+def test_run_many_empty():
+    assert run_many([]) == []
+
+
+def test_run_many_respects_fuel():
+    spin = TuringMachine.from_rules([("s", "_", "s", "_", "R")], initial="s")
+    results = run_many([(spin, "")] * 3, fuel=17)
+    assert all(not r.halted and r.steps == 17 for r in results)
+
+
+def test_machine_key_is_content_based():
+    a = binary_increment()
+    b = decode_tm(encode_tm(binary_increment()))  # equal content, new object
+    assert a is not b
+    assert machine_key(a) == machine_key(b)
+    assert machine_key(a) != machine_key(palindrome_checker())
+
+
+def test_compile_cache_hits_across_equal_machines():
+    cache = CompileCache()
+    a = binary_increment()
+    b = decode_tm(encode_tm(binary_increment()))
+    first = cache.get(a)
+    second = cache.get(b)
+    assert first is second  # content key, not identity
+    assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+
+
+def test_compile_cache_lru_eviction():
+    cache = CompileCache(maxsize=2)
+    machines = [binary_increment(), palindrome_checker(), copier()]
+    for m in machines:
+        cache.get(m)
+    assert len(cache) == 2
+    cache.get(machines[0])  # evicted earlier -> fresh miss
+    assert cache.misses == 4
+    with pytest.raises(ValueError):
+        CompileCache(maxsize=0)
+
+
+def test_run_many_shares_caller_cache():
+    cache = CompileCache()
+    jobs = [(binary_increment(), f"1{'0' * i}") for i in range(6)]
+    results = run_many(jobs, cache=cache)
+    assert results == reference_results(jobs)
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["hits"] == 5
+
+
+def test_backend_factory():
+    assert isinstance(create_backend("serial"), SerialBackend)
+    backend = create_backend("process", workers=2, chunksize=3)
+    assert isinstance(backend, ProcessBackend)
+    assert backend.workers == 2 and backend.chunksize == 3
+    with pytest.raises(ValueError, match="unknown backend"):
+        create_backend("gpu")
+    assert set(BACKENDS) == {"serial", "process"}
+
+
+def test_process_backend_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        ProcessBackend(workers=-1)
+
+
+def test_process_backend_chunking():
+    backend = ProcessBackend(workers=2, chunksize=2)
+    chunks = backend._chunks(JOBS)
+    assert [len(c) for c in chunks] == [2, 2, 2]
+    assert [job for chunk in chunks for job in chunk] == JOBS
+
+
+def test_process_backend_matches_serial():
+    jobs = JOBS * 2
+    expected = run_many(jobs, backend="serial")
+    got = run_many(jobs, backend=ProcessBackend(workers=2, chunksize=4))
+    assert got == expected
+
+
+def test_run_many_uncompilable_machine_falls_back():
+    symbols = [chr(0x100 + i) for i in range(300)]
+    weird = TuringMachine({("s", c): ("s", c, "R") for c in symbols}, "s")
+    jobs = [(weird, symbols[0] * 2), (binary_increment(), "11")]
+    assert run_many(jobs, fuel=20) == reference_results(jobs, fuel=20)
+
+
+# -- universal machine -------------------------------------------------------
+
+
+def test_universal_compiled_equivalence():
+    plain = UniversalMachine()
+    fast = UniversalMachine(compiled=True)
+    for machine, tape in JOBS:
+        desc = encode_tm(machine)
+        assert fast.run(desc, tape) == plain.run(desc, tape)
+
+
+def test_universal_compiled_charges_decode_overhead():
+    fast = UniversalMachine(compiled=True)
+    machine = busy_beaver_machine(2)
+    direct = machine.run("")
+    via_u = fast.run(encode_tm(machine), "")
+    assert via_u.steps == direct.steps + UniversalMachine.DECODE_OVERHEAD
+
+
+def test_universal_cache_eviction_stays_correct():
+    fast = UniversalMachine(compiled=True, cache_size=1)
+    d1, d2 = encode_tm(binary_increment()), encode_tm(palindrome_checker())
+    for _ in range(2):  # alternate to force evictions
+        assert fast.run(d1, "1").tape == "10"
+        assert fast.run(d2, "aba").accepted
+    with pytest.raises(ValueError):
+        UniversalMachine(cache_size=0)
+
+
+# -- busy beavers ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", sorted(BB_CHAMPIONS))
+def test_compiled_score_matches_champions(n):
+    sigma, steps = BB_CHAMPIONS[n]
+    assert score(busy_beaver_machine(n), compiled=True) == (sigma, steps)
+
+
+def test_halting_survey_compiled_matches_reference():
+    family = [busy_beaver_machine(n) for n in (1, 2, 3, 4)] + [
+        TuringMachine.from_rules([("s", "_", "s", "_", "R")], initial="s")
+    ]
+    for fuel in (5, 200):
+        ref = halting_survey(family, fuel=fuel)
+        fast = halting_survey(family, fuel=fuel, compiled=True)
+        assert (fast.halted, fast.running, fast.total) == (
+            ref.halted,
+            ref.running,
+            ref.total,
+        )
+
+
+# -- simulated multicore -----------------------------------------------------
+
+
+def test_multicore_run_machines_outputs():
+    machines = [m for m, _ in JOBS]
+    inputs = [tape for _, tape in JOBS]
+    run = Multicore(4).run_machines(machines, inputs)
+    assert run.outputs == reference_results(JOBS)
+    assert run.total_steps == sum(r.steps for r in run.outputs)
+    assert run.makespan > 0
+
+
+def test_multicore_run_machines_parallel_speedup():
+    machines = [palindrome_checker() for _ in range(4)]
+    inputs = ["a" * 30] * 4
+    serial = Multicore(1).run_machines(machines, inputs)
+    parallel = Multicore(4).run_machines(machines, inputs)
+    assert parallel.outputs == serial.outputs
+    assert parallel.makespan < serial.makespan
+
+
+def test_multicore_run_machines_validates_lengths():
+    with pytest.raises(ValueError):
+        Multicore(2).run_machines([binary_increment()], [])

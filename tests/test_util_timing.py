@@ -22,6 +22,25 @@ def test_time_callable_rejects_bad_repeats():
         time_callable(lambda: None, repeats=0)
 
 
+def test_time_callable_runs_warmup_before_timing():
+    calls = []
+    time_callable(lambda: calls.append(None), repeats=2, warmup=3)
+    # 3 warmup calls plus one timed call per repeat (body is fast but
+    # min_time=0, so each repeat times exactly one call).
+    assert len(calls) == 3 + 2
+
+
+def test_time_callable_warmup_zero():
+    calls = []
+    time_callable(lambda: calls.append(None), repeats=1, warmup=0)
+    assert len(calls) == 1
+
+
+def test_time_callable_rejects_negative_warmup():
+    with pytest.raises(ValueError):
+        time_callable(lambda: None, warmup=-1)
+
+
 def test_fit_growth_linear():
     sizes = [100, 200, 400, 800, 1600]
     times = [1e-6 * n for n in sizes]
