@@ -3,11 +3,21 @@ test:
 	PYTHONPATH=src python -m pytest -x -q
 
 # Tier-2: slower checks that are not part of the tier-1 gate.
-# bench-smoke runs the perf-regression harness at tiny sizes — it
-# exercises the whole measure/assert/emit pipeline and rewrites
-# BENCH_perf_engine.json in seconds, without gating on speedups.
-bench-smoke:
+# bench-smoke runs the perf-regression and observability harnesses at
+# tiny sizes — it exercises the whole measure/assert/emit pipeline and
+# rewrites BENCH_perf_engine.json / BENCH_obs_overhead.json in
+# seconds, without gating on speedups.
+bench-smoke: obs-smoke
 	python benchmarks/bench_perf_engine.py --smoke
+
+# Observability gate at tiny sizes: disabled-path overhead < 5% on the
+# compiled-engine hot loop, and a fully-traced run_many is exact.
+obs-smoke:
+	python benchmarks/bench_obs_overhead.py --smoke
+
+# Full-size observability gate (same assertions, stabler timings).
+bench-obs:
+	python benchmarks/bench_obs_overhead.py
 
 # Full-size perf run: regenerates BENCH_perf_engine.json and fails
 # unless a >=1e5-step workload shows >=5x compiled speedup.
@@ -18,4 +28,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs

@@ -1,0 +1,252 @@
+"""OBS1 — the observability overhead gate.
+
+Instrumentation that taxes the hot path gets turned off and rots; the
+null-object design of :mod:`repro.obs.instrument` promises the
+disabled path costs one attribute load and one branch *per run*.  This
+harness keeps that promise honest, and demonstrates the enabled path
+is trustworthy:
+
+1. **Disabled-path gate** — times the compiled engine's pure hot loop
+   (``CompiledTM._run_core``) against the public instrumented wrapper
+   (``CompiledTM.run``) with instrumentation off.  The relative
+   overhead must stay under 5% or the script exits 1.
+2. **Traced-batch invariant** — enables instrumentation over a
+   deterministic virtual-time tracer, runs ``run_many`` over >= 100
+   jobs, and checks (a) results are identical to the untraced run, and
+   (b) the ``tm_steps_total`` counter exactly equals the sum of
+   per-result step counts, and (c) a nested span tree was produced.
+3. **Enabled-path cost** — reported for context, not gated.
+
+Standalone, one command, one artifact (cf. bench_perf_engine.py):
+
+    python benchmarks/bench_obs_overhead.py            # full sizes
+    python benchmarks/bench_obs_overhead.py --smoke    # seconds, tiny sizes
+
+Writes ``BENCH_obs_overhead.json`` at the repo root and the ``[OBS1]``
+table under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))                 # _common
+sys.path.insert(0, str(_HERE.parent / "src"))  # repro without installing
+
+from _common import Table, emit  # noqa: E402
+
+from repro.machines.busybeaver import busy_beaver_machine  # noqa: E402
+from repro.machines.turing import (  # noqa: E402
+    binary_increment,
+    copier,
+    palindrome_checker,
+)
+from repro.obs import MetricsRegistry, Tracer, VirtualClock  # noqa: E402
+from repro.obs.instrument import OBS  # noqa: E402
+from repro.perf.batch import run_many  # noqa: E402
+from repro.perf.engine import compile_tm  # noqa: E402
+from repro.util.timing import time_callable  # noqa: E402
+
+ROOT = _HERE.parent
+MAX_OVERHEAD_PCT = 5.0
+
+
+def measure_disabled_overhead(smoke: bool, *, repeats: int) -> dict:
+    """Hot loop vs instrumented wrapper, instrumentation off.
+
+    The workload (a long unary binary-increment) spends milliseconds
+    per run in the per-step loop, so the once-per-run wrapper cost is
+    measured where it is smallest relative to real work — which is
+    exactly the promise the gate checks: per-run, never per-step.
+    """
+    machine = binary_increment()
+    tape = "1" * (5_000 if smoke else 20_000)
+    fuel = 200_000
+    compiled = compile_tm(machine)
+    OBS.disable()
+    result, *_ = compiled._run_core(tape, fuel)
+    assert compiled.run(tape, fuel=fuel) == result, "wrapper changed the answer"
+    min_time = 0.02 if smoke else 0.1
+    core_s = time_callable(
+        lambda: compiled._run_core(tape, fuel), repeats=repeats, min_time=min_time
+    )
+    wrapped_s = time_callable(
+        lambda: compiled.run(tape, fuel=fuel), repeats=repeats, min_time=min_time
+    )
+    overhead_pct = max(0.0, (wrapped_s - core_s) / core_s * 100.0)
+    return {
+        "name": "engine_disabled_path",
+        "steps": result.steps,
+        "core_seconds": core_s,
+        "instrumented_seconds": wrapped_s,
+        "overhead_pct": overhead_pct,
+    }
+
+
+def measure_enabled_cost(smoke: bool, *, repeats: int) -> dict:
+    """Same workload with metrics recording on (context, not gated)."""
+    machine = binary_increment()
+    tape = "1" * (5_000 if smoke else 20_000)
+    fuel = 200_000
+    compiled = compile_tm(machine)
+    min_time = 0.02 if smoke else 0.1
+    OBS.disable()
+    disabled_s = time_callable(
+        lambda: compiled.run(tape, fuel=fuel), repeats=repeats, min_time=min_time
+    )
+    OBS.enable(registry=MetricsRegistry(), tracer=Tracer())
+    try:
+        enabled_s = time_callable(
+            lambda: compiled.run(tape, fuel=fuel), repeats=repeats, min_time=min_time
+        )
+    finally:
+        OBS.disable()
+    return {
+        "name": "engine_enabled_path",
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "overhead_pct": max(0.0, (enabled_s - disabled_s) / disabled_s * 100.0),
+    }
+
+
+def traced_batch_check(smoke: bool) -> dict:
+    """Fully-traced run_many over >= 100 jobs: identical results, an
+    exact ``tm_steps_total``, and a span tree."""
+    base_jobs = [
+        (binary_increment(), "1" * 8),
+        (palindrome_checker(), "abba"),
+        (copier(), "111"),
+        (busy_beaver_machine(3), ""),
+    ]
+    jobs = base_jobs * 30  # 120 jobs
+    fuel = 2_000 if smoke else 20_000
+    OBS.disable()
+    expected = run_many(jobs, fuel=fuel)
+    registry = MetricsRegistry()
+    tracer = Tracer(clock=VirtualClock(tick=1.0))
+    OBS.enable(registry=registry, tracer=tracer)
+    try:
+        traced = run_many(jobs, fuel=fuel)
+    finally:
+        OBS.disable()
+    expected_steps = sum(r.steps for r in expected)
+    recorded_steps = registry.total("tm_steps_total")
+    trees = tracer.span_trees()
+    tree_depth = 1 + max((1 for t in trees if t["children"]), default=0)
+    return {
+        "name": "traced_run_many",
+        "jobs": len(jobs),
+        "results_identical": traced == expected,
+        "expected_steps": expected_steps,
+        "tm_steps_total": recorded_steps,
+        "steps_match": recorded_steps == expected_steps,
+        "spans_finished": len(tracer.finished),
+        "span_tree_depth": tree_depth,
+        "root_span": trees[0]["name"] if trees else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes: exercises the full pipeline in seconds",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=ROOT / "BENCH_obs_overhead.json",
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    repeats = 3 if args.smoke else 5
+
+    disabled = measure_disabled_overhead(args.smoke, repeats=repeats)
+    enabled = measure_enabled_cost(args.smoke, repeats=repeats)
+    traced = traced_batch_check(args.smoke)
+
+    gate_ok = disabled["overhead_pct"] < MAX_OVERHEAD_PCT
+    traced_ok = traced["results_identical"] and traced["steps_match"] and traced[
+        "spans_finished"
+    ] > 0
+
+    table = Table(
+        ["check", "measured", "budget", "verdict"],
+        caption=f"OBS1: instrumentation overhead and traced-batch invariants"
+        f" ({'smoke' if args.smoke else 'full'} sizes)",
+    )
+    table.add_row(
+        "disabled-path overhead",
+        f"{disabled['overhead_pct']:.2f}%",
+        f"< {MAX_OVERHEAD_PCT:.0f}%",
+        "PASS" if gate_ok else "FAIL",
+    )
+    table.add_row(
+        "enabled-path overhead",
+        f"{enabled['overhead_pct']:.2f}%",
+        "(informational)",
+        "-",
+    )
+    table.add_row(
+        "traced == untraced",
+        str(traced["results_identical"]),
+        "True",
+        "PASS" if traced["results_identical"] else "FAIL",
+    )
+    table.add_row(
+        "tm_steps_total exact",
+        f"{traced['tm_steps_total']} == {traced['expected_steps']}",
+        "equal",
+        "PASS" if traced["steps_match"] else "FAIL",
+    )
+    table.add_row(
+        "span tree",
+        f"{traced['spans_finished']} spans, depth {traced['span_tree_depth']}",
+        ">= 1 span",
+        "PASS" if traced["spans_finished"] > 0 else "FAIL",
+    )
+    emit("OBS1", table)
+
+    payload = {
+        "harness": "benchmarks/bench_obs_overhead.py",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "disabled_path": disabled,
+        "enabled_path": enabled,
+        "traced_batch": traced,
+        "acceptance": {
+            "max_overhead_pct": MAX_OVERHEAD_PCT,
+            "disabled_overhead_pct": disabled["overhead_pct"],
+            "gate_passed": gate_ok,
+            "traced_passed": traced_ok,
+            "passed": gate_ok and traced_ok,
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if not gate_ok:
+        print(
+            f"FAIL: disabled-path overhead {disabled['overhead_pct']:.2f}%"
+            f" >= {MAX_OVERHEAD_PCT}%",
+            file=sys.stderr,
+        )
+        return 1
+    if not traced_ok:
+        print(f"FAIL: traced-batch invariants violated: {traced}", file=sys.stderr)
+        return 1
+    print(
+        f"PASS: disabled-path overhead {disabled['overhead_pct']:.2f}%"
+        f" (< {MAX_OVERHEAD_PCT}%), traced batch of {traced['jobs']} jobs exact"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.instrument import OBS
+
 __all__ = ["RetryPolicy", "RetryOutcome", "CircuitBreaker", "CircuitOpenError"]
 
 
@@ -51,16 +53,31 @@ class RetryPolicy:
         clock = 0.0
         delay = self.base_delay
         last: BaseException | None = None
-        for attempt in range(1, self.max_attempts + 1):
-            try:
-                result = fn()
-                return RetryOutcome(True, attempt, clock, result=result)
-            except self.retry_on as exc:
-                last = exc
-                if attempt < self.max_attempts:
-                    clock += delay
-                    delay = min(self.max_delay, delay * 2)
+        with OBS.span("retry.call", max_attempts=self.max_attempts):
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    result = fn()
+                    self._record(attempt, clock, "success")
+                    return RetryOutcome(True, attempt, clock, result=result)
+                except self.retry_on as exc:
+                    last = exc
+                    OBS.event(
+                        "retry.attempt_failed",
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                        virtual_time=clock,
+                    )
+                    if attempt < self.max_attempts:
+                        clock += delay
+                        delay = min(self.max_delay, delay * 2)
+            self._record(self.max_attempts, clock, "failure")
         return RetryOutcome(False, self.max_attempts, clock, last_error=last)
+
+    def _record(self, attempts: int, clock: float, outcome: str) -> None:
+        if OBS.enabled:
+            OBS.count("retry_attempts_total", attempts)
+            OBS.count("retry_calls_total", 1, outcome=outcome)
+            OBS.observe("retry_backoff_virtual_time", clock)
 
 
 class CircuitOpenError(ConnectionError):
@@ -97,17 +114,36 @@ class CircuitBreaker:
     def state(self) -> str:
         return self._state
 
+    def _transition(self, new_state: str) -> None:
+        """State change + its observability event (no-op if unchanged)."""
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if OBS.enabled:
+            OBS.count(
+                "circuit_transitions_total", 1, from_state=old_state, to_state=new_state
+            )
+            OBS.event(
+                "circuit.transition",
+                from_state=old_state,
+                to_state=new_state,
+                virtual_time=self._clock,
+            )
+
     def advance(self, dt: float) -> None:
         """Advance virtual time (e.g. between simulation ticks)."""
         if dt < 0:
             raise ValueError("time moves forward")
         self._clock += dt
         if self._state == "open" and self._clock - self._opened_at >= self.reset_timeout:
-            self._state = "half-open"
+            self._transition("half-open")
 
     def call(self, fn: Callable[[], Any]) -> Any:
         if self._state == "open":
             self.calls_rejected += 1
+            if OBS.enabled:
+                OBS.count("circuit_rejected_total")
             raise CircuitOpenError("circuit is open")
         self.calls_attempted += 1
         try:
@@ -115,9 +151,9 @@ class CircuitBreaker:
         except Exception:
             self._consecutive_failures += 1
             if self._state == "half-open" or self._consecutive_failures >= self.failure_threshold:
-                self._state = "open"
+                self._transition("open")
                 self._opened_at = self._clock
             raise
         self._consecutive_failures = 0
-        self._state = "closed"
+        self._transition("closed")
         return result

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.machines.turing import BLANK, TuringMachine
+from repro.obs.instrument import OBS
 
 __all__ = ["BB_CHAMPIONS", "busy_beaver_machine", "score", "halting_survey", "HaltingReport"]
 
@@ -80,12 +81,19 @@ def score(machine: TuringMachine, *, fuel: int = 1_000_000, compiled: bool = Fal
     ``compiled=True`` scores through :mod:`repro.perf.engine` — same
     result, table-driven execution.
     """
-    if compiled:
-        from repro.perf.engine import run_compiled
+    states = str(len(machine.states()))
+    with OBS.span("bb.score", states=states, compiled=compiled):
+        if compiled:
+            from repro.perf.engine import run_compiled
 
-        result = run_compiled(machine, "", fuel=fuel)
-    else:
-        result = machine.run("", fuel=fuel)
+            result = run_compiled(machine, "", fuel=fuel)
+        else:
+            result = machine.run("", fuel=fuel)
+    if OBS.enabled:
+        OBS.count("bb_runs_total", 1, states=states)
+        OBS.count("bb_steps_total", result.steps, states=states)
+        if result.halted:
+            OBS.count("bb_halts_total", 1, states=states)
     if not result.halted:
         raise RuntimeError("machine did not halt within fuel")
     return result.tape.count("1"), result.steps
@@ -123,11 +131,18 @@ def halting_survey(
     across the family and can fan out over a process pool via
     ``backend="process"``.
     """
-    if compiled:
-        from repro.perf.batch import run_many
+    with OBS.span(
+        "bb.halting_survey", fuel=fuel, total=len(machines), compiled=compiled
+    ):
+        if compiled:
+            from repro.perf.batch import run_many
 
-        results = run_many([(m, "") for m in machines], fuel=fuel, backend=backend)
-        halted = sum(1 for r in results if r.halted)
-    else:
-        halted = sum(1 for m in machines if m.run("", fuel=fuel).halted)
+            results = run_many([(m, "") for m in machines], fuel=fuel, backend=backend)
+            halted = sum(1 for r in results if r.halted)
+        else:
+            halted = sum(1 for m in machines if m.run("", fuel=fuel).halted)
+    if OBS.enabled:
+        OBS.count("bb_survey_machines_total", len(machines))
+        OBS.count("bb_survey_halted_total", halted)
+        OBS.count("bb_survey_running_total", len(machines) - halted)
     return HaltingReport(fuel, halted, len(machines) - halted, len(machines))

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.machines.turing import TMResult, TuringMachine
+from repro.obs.instrument import OBS
 
 __all__ = ["encode_tm", "decode_tm", "UniversalMachine"]
 
@@ -94,7 +95,9 @@ class UniversalMachine:
         cached = self._compiled_cache.get(description)
         if cached is not None:
             self._compiled_cache.move_to_end(description)
+            OBS.count("universal_cache_hits_total")
             return cached
+        OBS.count("universal_cache_misses_total")
         from repro.perf.engine import compile_tm
 
         program = compile_tm(decode_tm(description))
@@ -104,17 +107,25 @@ class UniversalMachine:
         return program
 
     def run(self, description: str, tape_input: str, *, fuel: int = 10_000) -> TMResult:
-        if self.compiled:
-            result = self._compiled_for(description).run(tape_input, fuel=fuel)
-        else:
-            result = decode_tm(description).run(tape_input, fuel=fuel)
-        return TMResult(
+        mode = "compiled" if self.compiled else "interpreted"
+        with OBS.span("universal.run", mode=mode, input_len=len(tape_input)):
+            if self.compiled:
+                result = self._compiled_for(description).run(tape_input, fuel=fuel)
+            else:
+                result = decode_tm(description).run(tape_input, fuel=fuel)
+        out = TMResult(
             halted=result.halted,
             accepted=result.accepted,
             steps=result.steps + self.DECODE_OVERHEAD,
             tape=result.tape,
             final_state=result.final_state,
         )
+        if OBS.enabled:
+            OBS.count("universal_runs_total", 1, mode=mode)
+            OBS.count("universal_steps_total", out.steps, mode=mode)
+            if out.halted:
+                OBS.count("universal_halts_total", 1, mode=mode)
+        return out
 
     def run_machine(self, machine: TuringMachine, tape_input: str, *, fuel: int = 10_000) -> TMResult:
         """Encode-then-run convenience: U(⟨M⟩, x)."""

@@ -11,9 +11,10 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.adt.graph import Graph
-from repro.netstack.ip import Datagram
+from repro.netstack.ip import Datagram, TTLExpired
 from repro.netstack.link import LinkLayer
 from repro.netstack.medium import Medium, PerfectFiber
+from repro.obs.instrument import OBS
 
 __all__ = ["Network"]
 
@@ -56,19 +57,40 @@ class Network:
 
     def deliver(self, dgram: Datagram) -> Datagram | None:
         """Forward hop by hop; returns the delivered datagram or None
-        if any hop loses it.  TTL decrements per hop."""
+        if any hop loses it.  TTL decrements per hop.
+
+        When :data:`OBS` is enabled the delivery is a span with one
+        child span per hop, plus counters for deliveries, per-link
+        frame drops, and TTL expiries."""
         path = self.route(dgram.src, dgram.dst)
         current = dgram
-        for hop_src, hop_dst in zip(path, path[1:]):
-            current = current.hop()  # may raise TTLExpired
-            link = self._links[(hop_src, hop_dst)]
-            wire = link.send(current.encode())
-            if wire is None:
-                return None
-            current = Datagram.decode(wire)
-        handler = self._handlers.get(dgram.dst)
-        if handler is not None:
-            handler(current)
+        with OBS.span(
+            "net.deliver", src=dgram.src, dst=dgram.dst, hops=len(path) - 1, ttl=dgram.ttl
+        ):
+            for hop_src, hop_dst in zip(path, path[1:]):
+                with OBS.span("net.hop", link=f"{hop_src}->{hop_dst}"):
+                    try:
+                        current = current.hop()
+                    except TTLExpired:
+                        if OBS.enabled:
+                            OBS.count("net_ttl_expired_total")
+                        raise
+                    link = self._links[(hop_src, hop_dst)]
+                    wire = link.send(current.encode())
+                    if wire is None:
+                        if OBS.enabled:
+                            OBS.count(
+                                "net_frames_dropped_total", 1, link=f"{hop_src}->{hop_dst}"
+                            )
+                        return None
+                    current = Datagram.decode(wire)
+                    if OBS.enabled:
+                        OBS.count("net_hops_total")
+            handler = self._handlers.get(dgram.dst)
+            if handler is not None:
+                handler(current)
+            if OBS.enabled:
+                OBS.count("net_delivered_total")
         return current
 
     def hosts(self) -> list[str]:

@@ -17,6 +17,7 @@ receivers deduplicate by sequence number.
 from __future__ import annotations
 
 from repro.netstack.ip import IPLayer
+from repro.obs.instrument import OBS
 
 __all__ = ["StopAndWaitTransport", "SlidingWindowTransport", "TransferFailed"]
 
@@ -55,26 +56,39 @@ class StopAndWaitTransport:
     def send(self, dst: str, message: bytes) -> bytes:
         """Reliably transfer; returns the bytes the receiver assembled."""
         received: list[bytes] = []
-        for seq, segment in enumerate(_chunk(message, self.segment_size)):
-            delivered = False
-            for _attempt in range(self.max_retries):
-                self.segments_sent += 1
-                packet = seq.to_bytes(4, "big") + segment
-                out = self.ip.send(dst, packet)
-                if out is not None:
-                    ack_lost = self._ack_loss_hook()
-                    if not ack_lost:
-                        # Receiver dedups: only first delivery appends.
+        segments = _chunk(message, self.segment_size)
+        with OBS.span(
+            "transport.send", scheme="stop_and_wait", dst=dst, segments=len(segments)
+        ):
+            for seq, segment in enumerate(segments):
+                delivered = False
+                for _attempt in range(self.max_retries):
+                    self.segments_sent += 1
+                    if OBS.enabled:
+                        OBS.count("transport_segments_sent_total", 1, scheme="stop_and_wait")
+                    packet = seq.to_bytes(4, "big") + segment
+                    out = self.ip.send(dst, packet)
+                    if out is not None:
+                        ack_lost = self._ack_loss_hook()
+                        if not ack_lost:
+                            # Receiver dedups: only first delivery appends.
+                            if len(received) == seq:
+                                received.append(out.payload[4:])
+                            delivered = True
+                            break
+                        # ACK lost: sender must resend; receiver must dedup.
                         if len(received) == seq:
                             received.append(out.payload[4:])
-                        delivered = True
-                        break
-                    # ACK lost: sender must resend; receiver must dedup.
-                    if len(received) == seq:
-                        received.append(out.payload[4:])
-                self.retransmissions += 1
-            if not delivered:
-                raise TransferFailed(f"segment {seq} undeliverable after {self.max_retries} tries")
+                    self.retransmissions += 1
+                    if OBS.enabled:
+                        OBS.count("transport_retransmits_total", 1, scheme="stop_and_wait")
+                        OBS.event("transport.retransmit", seq=seq)
+                if not delivered:
+                    if OBS.enabled:
+                        OBS.count("transport_failures_total", 1, scheme="stop_and_wait")
+                    raise TransferFailed(
+                        f"segment {seq} undeliverable after {self.max_retries} tries"
+                    )
         return b"".join(received)
 
 
@@ -103,25 +117,51 @@ class SlidingWindowTransport:
         self.segment_size = segment_size
         self.max_rounds = max_rounds
         self.segments_sent = 0
+        self.retransmissions = 0
         self.rounds = 0
 
     def send(self, dst: str, message: bytes) -> bytes:
         segments = _chunk(message, self.segment_size)
         received: list[bytes | None] = [None] * len(segments)
+        transmitted: set[int] = set()  # for the retransmission tally
+        rounds_before = self.rounds  # self.rounds accumulates across sends
         base = 0  # first unacknowledged segment
-        while base < len(segments):
-            self.rounds += 1
-            if self.rounds > self.max_rounds:
-                raise TransferFailed(f"gave up after {self.max_rounds} rounds (base={base})")
-            upper = min(base + self.window, len(segments))
-            for seq in range(base, upper):
-                self.segments_sent += 1
-                packet = seq.to_bytes(4, "big") + segments[seq]
-                out = self.ip.send(dst, packet)
-                if out is not None:
-                    received[seq] = out.payload[4:]
-            # Cumulative ACK: receiver reports longest in-order prefix.
-            while base < len(segments) and received[base] is not None:
-                base += 1
+        with OBS.span(
+            "transport.send",
+            scheme="go_back_n",
+            dst=dst,
+            segments=len(segments),
+            window=self.window,
+        ):
+            while base < len(segments):
+                self.rounds += 1
+                if self.rounds > self.max_rounds:
+                    if OBS.enabled:
+                        OBS.count("transport_failures_total", 1, scheme="go_back_n")
+                    raise TransferFailed(
+                        f"gave up after {self.max_rounds} rounds (base={base})"
+                    )
+                upper = min(base + self.window, len(segments))
+                for seq in range(base, upper):
+                    self.segments_sent += 1
+                    if seq in transmitted:
+                        self.retransmissions += 1
+                        if OBS.enabled:
+                            OBS.count("transport_retransmits_total", 1, scheme="go_back_n")
+                    else:
+                        transmitted.add(seq)
+                    if OBS.enabled:
+                        OBS.count("transport_segments_sent_total", 1, scheme="go_back_n")
+                    packet = seq.to_bytes(4, "big") + segments[seq]
+                    out = self.ip.send(dst, packet)
+                    if out is not None:
+                        received[seq] = out.payload[4:]
+                # Cumulative ACK: receiver reports longest in-order prefix.
+                while base < len(segments) and received[base] is not None:
+                    base += 1
+            if OBS.enabled:
+                OBS.count(
+                    "transport_rounds_total", self.rounds - rounds_before, scheme="go_back_n"
+                )
         assert all(piece is not None for piece in received)
         return b"".join(piece for piece in received if piece is not None)

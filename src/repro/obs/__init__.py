@@ -1,0 +1,55 @@
+"""``repro.obs`` — measurement for the repro's abstractions.
+
+Wing (2008) folds "measurement of our abstractions" into the very
+definition of computational thinking; this package is that layer:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  labelled counters, gauges and fixed-bucket histograms, with JSON and
+  Prometheus-text exporters.
+* :mod:`repro.obs.trace` — a :class:`Tracer` of nested spans over a
+  pluggable clock; :class:`VirtualClock` makes traces deterministic in
+  the same virtual-time convention as :mod:`repro.faults.retry`.
+* :mod:`repro.obs.instrument` — the global :data:`OBS` hook the hot
+  subsystems check; off by default and null-object cheap (the gate in
+  ``benchmarks/bench_obs_overhead.py`` keeps it honest).
+
+The package is dependency-free: it imports nothing outside the
+standard library and nothing from the rest of ``repro``, so every
+subsystem may depend on it without cycles.
+"""
+
+from repro.obs.instrument import (
+    NULL_SPAN,
+    OBS,
+    Instrumentation,
+    ObsHook,
+    disable,
+    enable,
+    observed,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer, VirtualClock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "VirtualClock",
+    "Instrumentation",
+    "ObsHook",
+    "OBS",
+    "NULL_SPAN",
+    "enable",
+    "disable",
+    "observed",
+]

@@ -1,0 +1,188 @@
+"""The instrumentation hub: one global hook, off by default, null-cheap.
+
+Hot subsystems (:mod:`repro.perf.engine`, :mod:`repro.perf.batch`, the
+netstack, the fault layer, the simulated multicore) do not import the
+registry or the tracer directly.  They import :data:`OBS` — a single
+shared :class:`Instrumentation` object — and guard every recording
+site with ``if OBS.enabled:`` (or call the forgiving methods below,
+which perform the same check first).
+
+The null-object discipline, stated as invariants:
+
+* **Disabled is the default** and the steady state; ``import repro``
+  never turns instrumentation on.
+* **The disabled path is one attribute load and one branch.**  No hot
+  *loop* contains even that much — the engine records per *run*, the
+  batch layer per *chunk* — so the disabled-path overhead on the
+  compiled engine is gated below 5% by
+  ``benchmarks/bench_obs_overhead.py``.
+* **Enabling never changes answers.**  Instrumentation reads results
+  and durations; it cannot influence them (property-tested in
+  ``tests/test_obs_instrument.py``).
+
+``enable()``/``disable()`` mutate :data:`OBS` in place, so modules that
+bound it at import time observe the switch.  Tests use the
+:func:`observed` context manager, which installs a fresh registry and
+tracer and restores the previous state on exit.
+
+Anything that quacks like :class:`ObsHook` can stand in for the real
+:class:`Instrumentation` (e.g. a test double that asserts on calls).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import ContextManager, Protocol, runtime_checkable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "ObsHook",
+    "Instrumentation",
+    "OBS",
+    "enable",
+    "disable",
+    "observed",
+    "NULL_SPAN",
+]
+
+
+class _NullSpan:
+    """Inert stand-in yielded by ``span()`` while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def event(self, name: str, **attributes: object) -> None:
+        pass
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+@runtime_checkable
+class ObsHook(Protocol):
+    """What instrumented call sites require of a hook."""
+
+    enabled: bool
+
+    def count(self, name: str, value: int | float = 1, **labels: object) -> None: ...
+
+    def gauge(self, name: str, value: int | float, **labels: object) -> None: ...
+
+    def observe(self, name: str, value: int | float, **labels: object) -> None: ...
+
+    def span(self, name: str, **attributes: object) -> ContextManager: ...
+
+    def event(self, name: str, **attributes: object) -> None: ...
+
+
+class Instrumentation:
+    """A registry + tracer pair behind an ``enabled`` switch.
+
+    Every method checks ``enabled`` first and is a no-op while off;
+    call sites on genuinely hot paths should still guard with
+    ``if OBS.enabled:`` to also skip argument building.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.enabled = False
+
+    # -- switching ----------------------------------------------------------
+
+    def enable(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> "Instrumentation":
+        """Turn recording on, optionally swapping in sinks; idempotent."""
+        if registry is not None:
+            self.registry = registry
+        if tracer is not None:
+            self.tracer = tracer
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, value: int | float = 1, **labels: object) -> None:
+        if self.enabled:
+            self.registry.counter(name, **labels).inc(value)
+
+    def gauge(self, name: str, value: int | float, **labels: object) -> None:
+        if self.enabled:
+            self.registry.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: int | float, **labels: object) -> None:
+        if self.enabled:
+            self.registry.histogram(name, **labels).observe(value)
+
+    def span(self, name: str, **attributes: object) -> ContextManager[Span | _NullSpan]:
+        if self.enabled:
+            return self.tracer.span(name, **attributes)
+        return NULL_SPAN
+
+    def event(self, name: str, **attributes: object) -> None:
+        if self.enabled:
+            self.tracer.event(name, **attributes)
+
+
+OBS = Instrumentation()
+
+
+def enable(
+    *, registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> Instrumentation:
+    """Turn the global hook on (see :meth:`Instrumentation.enable`)."""
+    return OBS.enable(registry=registry, tracer=tracer)
+
+
+def disable() -> None:
+    """Turn the global hook off; sinks are kept for later inspection."""
+    OBS.disable()
+
+
+@contextmanager
+def observed(
+    *, registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> Iterator[Instrumentation]:
+    """Scoped enable with fresh sinks; restores prior state on exit.
+
+    Yields a handle that owns the fresh sinks — not :data:`OBS` itself —
+    so assertions can read ``obs.registry`` / ``obs.tracer`` after the
+    block exits and the global hook has been restored.  The test-suite
+    idiom::
+
+        with observed() as obs:
+            run_many(jobs)
+        assert obs.registry.total("tm_steps_total") == ...
+    """
+    handle = Instrumentation(
+        registry=registry if registry is not None else MetricsRegistry(),
+        tracer=tracer if tracer is not None else Tracer(),
+    )
+    handle.enabled = True
+    previous = (OBS.enabled, OBS.registry, OBS.tracer)
+    OBS.enable(registry=handle.registry, tracer=handle.tracer)
+    try:
+        yield handle
+    finally:
+        OBS.enabled, OBS.registry, OBS.tracer = previous

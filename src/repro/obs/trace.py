@@ -1,0 +1,249 @@
+"""Nested spans over a pluggable clock, with a JSONL exporter.
+
+The metrics registry answers "how many, how long on average"; spans
+answer "what happened, in what order, inside *this* run" — the System-2
+reflective half of the two-systems split (PAPERS.md, Kiwelekar et al.).
+
+The clock is any zero-argument callable returning a float.  The default
+is ``time.perf_counter`` (wall profiling); for reproducible traces use
+:class:`VirtualClock`, which follows the repo's deterministic
+virtual-time convention (``faults/retry.py``): it never sleeps and only
+moves when told — either explicitly via :meth:`VirtualClock.advance`
+or by a fixed ``tick`` charged per reading, so the same program yields
+byte-identical traces on every run.
+
+Span identity is a deterministic counter, not a random id, for the same
+reason.  Spans nest via a per-thread stack: ``tracer.span("outer")``
+inside ``tracer.span("inner")`` parents correctly even with worker
+threads tracing concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from functools import wraps
+from itertools import count
+
+__all__ = ["Span", "Tracer", "VirtualClock"]
+
+
+class VirtualClock:
+    """A deterministic clock: advances only when told.
+
+    ``tick`` is charged per reading, so even a program that never calls
+    :meth:`advance` gets strictly increasing, reproducible timestamps
+    (and spans get nonzero durations).
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise ValueError("tick must be >= 0")
+        self.time = float(start)
+        self.tick = float(tick)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            now = self.time
+            self.time += self.tick
+            return now
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("time moves forward")
+        with self._lock:
+            self.time += dt
+
+
+class Span:
+    """One timed operation: attributes, point events, child spans."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "start",
+        "end",
+        "attributes",
+        "events",
+        "children",
+        "status",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: int,
+        parent_id: int | None,
+        start: float,
+        attributes: dict,
+        clock: Callable[[], float],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attributes = attributes
+        self.events: list[dict] = []
+        self.children: list[Span] = []
+        self.status = "ok"
+        self._clock = clock
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def event(self, name: str, **attributes: object) -> None:
+        """A timestamped point event inside this span."""
+        record: dict = {"name": name, "time": self._clock()}
+        if attributes:
+            record["attributes"] = attributes
+        self.events.append(record)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def as_dict(self, *, nested: bool = True) -> dict:
+        out: dict = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": self.attributes,
+            "events": self.events,
+        }
+        if nested:
+            out["children"] = [child.as_dict(nested=True) for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, duration={self.duration})"
+
+
+class Tracer:
+    """Produces nested :class:`Span` trees over a pluggable clock.
+
+    Usage — context manager, decorator, or both::
+
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        with tracer.span("sweep", fuel=100) as sp:
+            sp.event("compiled", machines=4)
+            with tracer.span("run"):
+                ...
+
+        @tracer.traced("score")
+        def score(machine): ...
+
+    Completed root spans accumulate in ``roots`` (nested trees) and
+    every finished span, in finish order, in ``finished`` — which is
+    what :meth:`to_jsonl` exports, one JSON object per line.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock = clock if clock is not None else time.perf_counter
+        self.roots: list[Span] = []
+        self.finished: list[Span] = []
+        self._ids = count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        trace_id = parent.trace_id if parent is not None else span_id
+        sp = Span(
+            name,
+            span_id,
+            trace_id,
+            parent.span_id if parent is not None else None,
+            self.clock(),
+            dict(attributes),
+            self.clock,
+        )
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+        stack.append(sp)
+        try:
+            yield sp
+        except BaseException:
+            sp.status = "error"
+            raise
+        finally:
+            sp.end = self.clock()
+            stack.pop()
+            with self._lock:
+                self.finished.append(sp)
+
+    def traced(self, name: str | None = None) -> Callable:
+        """Decorator form: the call body runs inside a span."""
+
+        def decorate(fn: Callable) -> Callable:
+            label = name if name is not None else fn.__qualname__
+
+            @wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(label):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def event(self, name: str, **attributes: object) -> None:
+        """Attach an event to the current span; silently dropped when
+        no span is open (events without context have no tree to live in)."""
+        current = self.current
+        if current is not None:
+            current.event(name, **attributes)
+
+    def span_trees(self) -> list[dict]:
+        """Every root span as a nested dict tree."""
+        with self._lock:
+            return [root.as_dict(nested=True) for root in self.roots]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span, in finish order."""
+        with self._lock:
+            spans = list(self.finished)
+        return "".join(
+            json.dumps(sp.as_dict(nested=False), sort_keys=True) + "\n" for sp in spans
+        )
+
+    def reset(self) -> None:
+        """Drop recorded spans (open spans on other threads keep going
+        but will no longer be reachable from ``roots``)."""
+        with self._lock:
+            self.roots.clear()
+            self.finished.clear()
+        self._local = threading.local()

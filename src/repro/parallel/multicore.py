@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.combinators import StepAlgorithm
+from repro.obs.instrument import OBS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.machines.turing import TuringMachine
@@ -88,28 +89,41 @@ class Multicore:
                     running[c] = pending.pop(0)
 
         refill()
-        while any(j is not None for j in running):
-            busy = [c for c in range(self.cores) if running[c] is not None]
-            inflation = 1.0 + self.contention * (len(busy) - 1)
-            epoch_costs = []
-            for c in busy:
-                job = jobs[running[c]]
-                cost = job.algorithm.cost_per_step * inflation
-                still_running = job.step()
-                if still_running:
-                    total_steps += 1
-                    epoch_costs.append(cost)
-                    core_busy[c] += cost
-                else:
-                    running[c] = None
-            clock += max(epoch_costs, default=0.0)
-            refill()
-        return MulticoreRun(
+        with OBS.span("multicore.run", cores=self.cores, jobs=len(jobs)):
+            while any(j is not None for j in running):
+                busy = [c for c in range(self.cores) if running[c] is not None]
+                inflation = 1.0 + self.contention * (len(busy) - 1)
+                epoch_costs = []
+                for c in busy:
+                    job = jobs[running[c]]
+                    cost = job.algorithm.cost_per_step * inflation
+                    still_running = job.step()
+                    if still_running:
+                        total_steps += 1
+                        epoch_costs.append(cost)
+                        core_busy[c] += cost
+                    else:
+                        running[c] = None
+                clock += max(epoch_costs, default=0.0)
+                refill()
+        result = MulticoreRun(
             outputs=[j.output for j in jobs],
             makespan=clock,
             total_steps=total_steps,
             core_busy=core_busy,
         )
+        if OBS.enabled:
+            cores = str(self.cores)
+            for c, busy_time in enumerate(core_busy):
+                OBS.gauge(
+                    "multicore_core_utilisation",
+                    busy_time / clock if clock else 0.0,
+                    core=str(c),
+                    cores=cores,
+                )
+            OBS.gauge("multicore_utilisation", result.utilisation, cores=cores)
+            OBS.count("multicore_steps_total", total_steps, cores=cores)
+        return result
 
     def run_machines(
         self,

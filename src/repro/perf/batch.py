@@ -13,17 +13,26 @@ two-method interface, and :func:`run_many` accepts either a name or an
 instance.  The process backend chunks jobs to amortise pickling and
 pool dispatch; each worker keeps its own compile cache so a chunk of
 identical machines compiles once per worker, not once per job.
+
+Worker caches die with the pool, so each chunk ships its cache's
+hit/miss counts home with its results: the backend folds them into the
+caller's :class:`CompileCache` (via :meth:`CompileCache.absorb`),
+exposes the aggregate as ``backend.last_cache_stats``, and — when
+:data:`repro.obs.instrument.OBS` is enabled — into the metrics
+registry, alongside per-chunk durations and the dispatch queue depth.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Protocol
 
 from repro.machines.turing import TMResult, TuringMachine
+from repro.obs.instrument import OBS
 from repro.perf.engine import CompiledTM, compile_tm
 
 __all__ = [
@@ -80,6 +89,24 @@ class CompileCache:
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
 
+    def absorb(self, stats: Mapping[str, int]) -> None:
+        """Fold another cache's hit/miss counts into this one's.
+
+        ``size`` is deliberately not additive — the other cache's
+        entries live (or lived) elsewhere; only the effectiveness
+        counters travel.
+        """
+        self.hits += int(stats.get("hits", 0))
+        self.misses += int(stats.get("misses", 0))
+
+
+_ZERO_STATS = {"hits": 0, "misses": 0, "size": 0}
+
+
+def _record_cache_metrics(backend: str, hits: int, misses: int) -> None:
+    OBS.count("compile_cache_hits_total", hits, backend=backend)
+    OBS.count("compile_cache_misses_total", misses, backend=backend)
+
 
 def _run_jobs(
     jobs: Sequence[TMJob], fuel: int, compiled: bool, cache: CompileCache | None = None
@@ -99,16 +126,34 @@ def _run_jobs(
     return out
 
 
-def _run_chunk(payload: tuple[Sequence[TMJob], int, bool]) -> list[TMResult]:
-    """Process-pool entry point (module-level so it pickles)."""
+def _run_chunk(
+    payload: tuple[Sequence[TMJob], int, bool],
+) -> tuple[list[TMResult], dict[str, int], float]:
+    """Process-pool entry point (module-level so it pickles).
+
+    Returns ``(results, cache stats, seconds)``: the worker's compile
+    cache dies with the pool, so its hit/miss counts — and the chunk's
+    wall time — ride home with the results for aggregation.
+    """
     jobs, fuel, compiled = payload
-    return _run_jobs(jobs, fuel, compiled)
+    start = time.perf_counter()
+    cache = CompileCache() if compiled else None
+    results = _run_jobs(jobs, fuel, compiled, cache)
+    stats = cache.stats() if cache is not None else dict(_ZERO_STATS)
+    return results, stats, time.perf_counter() - start
 
 
 class Backend(Protocol):
-    """The pluggable execution interface (cf. ChainerMN communicators)."""
+    """The pluggable execution interface (cf. ChainerMN communicators).
+
+    ``last_cache_stats`` holds the compile-cache hit/miss/size tallies
+    of the most recent ``execute`` — for the process backend that is
+    the aggregate over every worker chunk, stats that previously died
+    with the pool.
+    """
 
     name: str
+    last_cache_stats: dict[str, int]
 
     def execute(
         self, jobs: Sequence[TMJob], *, fuel: int, compiled: bool, cache: CompileCache | None
@@ -120,6 +165,9 @@ class SerialBackend:
 
     name = "serial"
 
+    def __init__(self) -> None:
+        self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
+
     def execute(
         self,
         jobs: Sequence[TMJob],
@@ -128,14 +176,38 @@ class SerialBackend:
         compiled: bool,
         cache: CompileCache | None = None,
     ) -> list[TMResult]:
-        return _run_jobs(jobs, fuel, compiled, cache)
+        local = cache
+        if local is None and compiled:
+            local = CompileCache()
+        before = local.stats() if local is not None else dict(_ZERO_STATS)
+        start = time.perf_counter()
+        with OBS.span("batch.chunk", backend=self.name, jobs=len(jobs)):
+            results = _run_jobs(jobs, fuel, compiled, local)
+        elapsed = time.perf_counter() - start
+        after = local.stats() if local is not None else dict(_ZERO_STATS)
+        # Delta, not totals: a caller-shared cache carries history from
+        # previous batches that must not be re-counted.
+        self.last_cache_stats = {
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+            "size": after["size"],
+        }
+        if OBS.enabled:
+            OBS.gauge("batch_queue_depth", 1, backend=self.name)
+            OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
+            _record_cache_metrics(
+                self.name, self.last_cache_stats["hits"], self.last_cache_stats["misses"]
+            )
+        return results
 
 
 class ProcessBackend:
     """Chunked execution on a ``concurrent.futures`` process pool.
 
-    ``chunksize=None`` picks roughly 4 chunks per worker, the usual
-    balance between dispatch overhead and load balance.
+    ``chunksize=None`` targets roughly 4 chunks per worker — the usual
+    balance between dispatch overhead and load balance — and never
+    more: small batches get fewer, larger chunks rather than one
+    degenerate single-job chunk per job.
     """
 
     name = "process"
@@ -145,11 +217,16 @@ class ProcessBackend:
         if self.workers < 1:
             raise ValueError("need at least one worker")
         self.chunksize = chunksize
+        self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
 
     def _chunks(self, jobs: Sequence[TMJob]) -> list[Sequence[TMJob]]:
         size = self.chunksize
         if size is None:
-            size = max(1, len(jobs) // (self.workers * 4) or 1)
+            # Ceil-divide toward at most workers*4 chunks; the old
+            # floor-divide gave every job its own chunk whenever
+            # len(jobs) < workers*4.
+            target = min(len(jobs), self.workers * 4)
+            size = -(-len(jobs) // target) if target else 1
         return [jobs[i : i + size] for i in range(0, len(jobs), size)]
 
     def execute(
@@ -161,11 +238,29 @@ class ProcessBackend:
         cache: CompileCache | None = None,
     ) -> list[TMResult]:
         if not jobs:
+            self.last_cache_stats = dict(_ZERO_STATS)
             return []
         chunks = self._chunks(jobs)
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
-            parts = pool.map(_run_chunk, [(chunk, fuel, compiled) for chunk in chunks])
-            return [result for part in parts for result in part]
+        if OBS.enabled:
+            OBS.gauge("batch_queue_depth", len(chunks), backend=self.name)
+        aggregate = dict(_ZERO_STATS)
+        out: list[TMResult] = []
+        with OBS.span("batch.pool", backend=self.name, chunks=len(chunks)):
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+                parts = pool.map(_run_chunk, [(chunk, fuel, compiled) for chunk in chunks])
+                for results, stats, elapsed in parts:
+                    out.extend(results)
+                    aggregate["hits"] += stats["hits"]
+                    aggregate["misses"] += stats["misses"]
+                    aggregate["size"] += stats["size"]
+                    if OBS.enabled:
+                        OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
+        self.last_cache_stats = aggregate
+        if cache is not None:
+            cache.absorb(aggregate)
+        if OBS.enabled:
+            _record_cache_metrics(self.name, aggregate["hits"], aggregate["misses"])
+        return out
 
 
 BACKENDS = {"serial": SerialBackend, "process": ProcessBackend}
@@ -191,8 +286,21 @@ def run_many(
     """Run every (machine, tape_input) job; results keep job order.
 
     Each result equals what ``machine.run(tape_input, fuel=fuel)``
-    would return — the batch layer changes the cost, never the answer.
+    would return — the batch layer changes the cost, never the answer
+    (instrumentation included: enabling :data:`OBS` adds a span and
+    counters, and ``tm_steps_total{backend=...}`` is defined to equal
+    the sum of per-result step counts).
     """
     if isinstance(backend, str):
         backend = create_backend(backend)
-    return backend.execute(jobs, fuel=fuel, compiled=compiled, cache=cache)
+    with OBS.span(
+        "batch.run_many", backend=backend.name, jobs=len(jobs), compiled=compiled
+    ):
+        results = backend.execute(jobs, fuel=fuel, compiled=compiled, cache=cache)
+    if OBS.enabled:
+        OBS.count("tm_jobs_total", len(jobs), backend=backend.name)
+        OBS.count("tm_steps_total", sum(r.steps for r in results), backend=backend.name)
+        OBS.count(
+            "tm_halts_total", sum(1 for r in results if r.halted), backend=backend.name
+        )
+    return results

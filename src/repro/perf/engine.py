@@ -34,6 +34,7 @@ from typing import Any, Hashable, Protocol, runtime_checkable
 from repro.core.statemachine import StateMachine
 from repro.machines.automata import DFA
 from repro.machines.turing import BLANK, MOVE_OFFSET, TMResult, TuringMachine
+from repro.obs.instrument import OBS
 
 __all__ = [
     "CompiledMachine",
@@ -120,7 +121,30 @@ class CompiledTM:
         }
 
     def run(self, tape_input: str, *, fuel: int = 10_000) -> TMResult:
-        """Step-for-step equivalent of ``self.source.run``."""
+        """Step-for-step equivalent of ``self.source.run``.
+
+        Instrumentation records once per *run*, never per step: the hot
+        loop lives in :meth:`_run_core` untouched, and the disabled
+        path here costs one attribute load and one branch (gated < 5%
+        by ``benchmarks/bench_obs_overhead.py``).
+        """
+        result, grows, skips, skipped_cells = self._run_core(tape_input, fuel)
+        if OBS.enabled:
+            OBS.count("engine_runs_total")
+            OBS.count("engine_steps_total", result.steps)
+            if result.halted:
+                OBS.count("engine_halts_total")
+            if grows:
+                OBS.count("engine_tape_grows_total", grows)
+            if skips:
+                OBS.count("engine_macro_skips_total", skips)
+                OBS.count("engine_macro_cells_total", skipped_cells)
+        return result
+
+    def _run_core(self, tape_input: str, fuel: int) -> tuple[TMResult, int, int, int]:
+        """The uninstrumented hot loop; returns ``(result, tape_grows,
+        macro_skips, macro_cells_skipped)`` — the diagnostics are
+        tallied only on the rare grow/macro branches."""
         symbol_ids = self.symbol_ids
         names = self.symbol_names
         # Input may contain symbols the transition table never mentions;
@@ -129,7 +153,7 @@ class CompiledTM:
         extra = [c for c in dict.fromkeys(tape_input) if c not in symbol_ids]
         if extra:
             if len(names) + len(extra) > _MAX_SYMBOLS:
-                return self.source.run(tape_input, fuel=fuel)
+                return self.source.run(tape_input, fuel=fuel), 0, 0, 0
             ids = dict(symbol_ids)
             names = list(names)
             for c in extra:
@@ -149,6 +173,7 @@ class CompiledTM:
         steps = 0
         size = len(tape)
         halted = False
+        grows = skips = skipped_cells = 0
         # Segmented execution: each segment runs unguarded for at most
         # as many steps as the head's distance to the nearest tape
         # edge, so the inner loop needs no bounds checks (the head
@@ -164,6 +189,7 @@ class CompiledTM:
                 else:
                     tape.extend(bytes(size))
                 size += size
+                grows += 1
                 continue
             remaining = fuel - steps
             segment_end = steps + (margin if margin < remaining else remaining)
@@ -202,9 +228,12 @@ class CompiledTM:
                     k = remaining
                 head += move * k
                 steps += k
+                skips += 1
+                skipped_cells += k
         state = self.row_ids[id(row)]
         accepted = halted and self.accept_flags[state]
-        return TMResult(halted, accepted, steps, _render(tape, names), self.state_names[state])
+        result = TMResult(halted, accepted, steps, _render(tape, names), self.state_names[state])
+        return result, grows, skips, skipped_cells
 
 
 def _render(tape: bytearray, names: list[str]) -> str:

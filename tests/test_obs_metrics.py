@@ -1,0 +1,187 @@
+"""Tests for the metrics registry: kinds, labels, cardinality,
+histogram bucket edge cases, exporters, snapshot/reset."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total")
+    c.inc()
+    c.inc(4)
+    assert reg.value("requests_total") == 5
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1)
+
+
+def test_gauge_goes_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", backend="serial")
+    g.set(7)
+    g.dec(2)
+    g.inc()
+    assert reg.value("depth", backend="serial") == 6
+
+
+def test_labelled_series_are_distinct_and_shared():
+    reg = MetricsRegistry()
+    reg.counter("tm_steps_total", backend="serial").inc(5)
+    reg.counter("tm_steps_total", backend="process").inc(7)
+    # Same labels in any order -> the same series object.
+    assert reg.counter("tm_steps_total", backend="serial") is reg.counter(
+        "tm_steps_total", backend="serial"
+    )
+    assert reg.value("tm_steps_total", backend="serial") == 5
+    assert reg.value("tm_steps_total", backend="process") == 7
+    assert reg.total("tm_steps_total") == 12
+
+
+def test_label_values_coerced_to_strings():
+    reg = MetricsRegistry()
+    reg.counter("runs_total", cores=4).inc()
+    assert reg.value("runs_total", cores="4") == 1  # int and str label agree
+
+
+def test_cardinality_guard():
+    reg = MetricsRegistry(max_series_per_metric=3)
+    for i in range(3):
+        reg.counter("c_total", user=str(i)).inc()
+    with pytest.raises(ValueError, match="cardinality guard"):
+        reg.counter("c_total", user="3")
+    # Existing series stay reachable past the cap.
+    reg.counter("c_total", user="0").inc()
+    assert reg.value("c_total", user="0") == 2
+
+
+def test_name_and_label_validation():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="invalid metric name"):
+        reg.counter("bad name")
+    with pytest.raises(ValueError, match="invalid label name"):
+        reg.counter("fine_total", **{"bad-label": "x"})
+    with pytest.raises(ValueError):
+        MetricsRegistry(max_series_per_metric=0)
+
+
+def test_kind_conflicts_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x_total").inc()
+    with pytest.raises(ValueError, match="is a counter"):
+        reg.gauge("x_total")
+    reg.histogram("h")
+    with pytest.raises(ValueError, match="other buckets"):
+        reg.histogram("h", buckets=[1, 2])
+
+
+def test_histogram_boundary_value_lands_in_le_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=[0.1, 1.0, 10.0])
+    h.observe(0.1)   # exactly on the first boundary -> le="0.1" bucket
+    h.observe(1.0)   # exactly on the second -> le="1"
+    h.observe(0.5)
+    cumulative = dict(h.cumulative())
+    assert cumulative[0.1] == 1
+    assert cumulative[1.0] == 3
+    assert cumulative[10.0] == 3
+    assert cumulative[float("inf")] == 3
+
+
+def test_histogram_inf_bucket_catches_overflow():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=[1.0])
+    h.observe(100.0)
+    cumulative = dict(h.cumulative())
+    assert cumulative[1.0] == 0
+    assert cumulative[float("inf")] == 1
+    assert h.count == 1
+    assert h.sum == 100.0
+
+
+def test_histogram_rejects_negative_observations():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    with pytest.raises(ValueError, match=">= 0"):
+        h.observe(-0.5)
+    assert h.count == 0  # rejected observation left no trace
+
+
+def test_histogram_default_buckets_and_bad_buckets():
+    reg = MetricsRegistry()
+    assert reg.histogram("lat").bounds == DEFAULT_BUCKETS
+    with pytest.raises(ValueError, match="strictly increasing"):
+        reg.histogram("other", buckets=[1.0, 1.0])
+    with pytest.raises(ValueError, match="strictly increasing"):
+        reg.histogram("other", buckets=[])
+
+
+def test_snapshot_is_json_able_and_detached():
+    reg = MetricsRegistry()
+    reg.counter("c_total", k="v").inc(2)
+    reg.histogram("h", buckets=[1.0]).observe(0.5)
+    snap = reg.snapshot()
+    json.dumps(snap)  # must not raise
+    assert snap["c_total"]["series"][0] == {"labels": {"k": "v"}, "value": 2}
+    hist = snap["h"]["series"][0]
+    assert hist["count"] == 1 and hist["sum"] == 0.5
+    reg.counter("c_total", k="v").inc()
+    assert snap["c_total"]["series"][0]["value"] == 2  # snapshot unchanged
+    json.loads(reg.to_json())
+
+
+def test_prometheus_rendering():
+    reg = MetricsRegistry()
+    reg.counter("tm_steps_total", backend="serial").inc(5)
+    reg.histogram("lat", buckets=[1.0], backend="serial").observe(2.0)
+    text = reg.render_prometheus()
+    assert '# TYPE tm_steps_total counter' in text
+    assert 'tm_steps_total{backend="serial"} 5' in text
+    assert 'lat_bucket{backend="serial",le="1"} 0' in text
+    assert 'lat_bucket{backend="serial",le="+Inf"} 1' in text
+    assert 'lat_sum{backend="serial"} 2' in text
+    assert 'lat_count{backend="serial"} 1' in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("c_total", path='a"b\\c').inc()
+    text = reg.render_prometheus()
+    assert 'c_total{path="a\\"b\\\\c"} 1' in text
+
+
+def test_reset_drops_everything():
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc(9)
+    reg.reset()
+    assert reg.snapshot() == {}
+    assert reg.total("c_total") == 0
+    reg.counter("c_total").inc()  # re-registering after reset works
+    assert reg.value("c_total") == 1
+
+
+def test_total_on_histogram_rejected():
+    reg = MetricsRegistry()
+    reg.histogram("h").observe(1)
+    with pytest.raises(ValueError, match="histogram"):
+        reg.total("h")
+
+
+def test_thread_safety_of_counter_increments():
+    reg = MetricsRegistry()
+    counter = reg.counter("c_total")
+
+    def hammer():
+        for _ in range(1_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.value("c_total") == 8_000

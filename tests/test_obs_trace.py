@@ -1,0 +1,172 @@
+"""Tests for the tracer: nesting, virtual-time determinism, events,
+the decorator form, error status, and the JSONL exporter."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, VirtualClock
+
+
+def make_tracer():
+    return Tracer(clock=VirtualClock(tick=1.0))
+
+
+def test_virtual_clock_tick_and_advance():
+    clock = VirtualClock(start=10.0, tick=0.5)
+    assert clock() == 10.0
+    assert clock() == 10.5
+    clock.advance(100.0)
+    assert clock() == 111.0
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+    with pytest.raises(ValueError):
+        VirtualClock(tick=-1)
+
+
+def test_spans_nest_and_parent():
+    tracer = make_tracer()
+    with tracer.span("outer") as outer:
+        assert tracer.current is outer
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+    assert tracer.current is None
+    assert [s.name for s in tracer.roots] == ["outer"]
+    assert [c.name for c in outer.children] == ["inner"]
+    # Finish order is inner-first.
+    assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+
+def test_virtual_time_traces_are_deterministic():
+    def trace_once():
+        tracer = make_tracer()
+        with tracer.span("a", x=1) as sp:
+            sp.event("e1")
+            with tracer.span("b"):
+                pass
+        return tracer.to_jsonl()
+
+    assert trace_once() == trace_once()
+
+
+def test_span_timing_under_virtual_clock():
+    tracer = make_tracer()
+    with tracer.span("a") as sp:
+        pass
+    assert sp.start == 0.0
+    assert sp.end == 1.0
+    assert sp.duration == 1.0
+
+
+def test_events_are_timestamped_in_order():
+    tracer = make_tracer()
+    with tracer.span("a") as sp:
+        sp.event("first")
+        sp.event("second", detail=42)
+    times = [e["time"] for e in sp.events]
+    assert times == sorted(times)
+    assert sp.events[1]["attributes"] == {"detail": 42}
+
+
+def test_tracer_event_attaches_to_current_span_or_drops():
+    tracer = make_tracer()
+    tracer.event("orphan")  # no open span: silently dropped
+    with tracer.span("a") as sp:
+        tracer.event("kept")
+    assert [e["name"] for e in sp.events] == ["kept"]
+
+
+def test_decorator_wraps_calls_in_spans():
+    tracer = make_tracer()
+
+    @tracer.traced()
+    def double(x):
+        return 2 * x
+
+    @tracer.traced("custom")
+    def triple(x):
+        return 3 * x
+
+    assert double(2) == 4
+    assert triple(2) == 6
+    names = [s.name for s in tracer.finished]
+    assert names[0].endswith("double")
+    assert names[1] == "custom"
+
+
+def test_error_status_and_propagation():
+    tracer = make_tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom") as sp:
+            raise RuntimeError("x")
+    assert sp.status == "error"
+    assert sp.end is not None  # closed despite the exception
+
+
+def test_span_tree_export():
+    tracer = make_tracer()
+    with tracer.span("root", kind="test"):
+        with tracer.span("child1"):
+            pass
+        with tracer.span("child2"):
+            pass
+    (tree,) = tracer.span_trees()
+    assert tree["name"] == "root"
+    assert tree["attributes"] == {"kind": "test"}
+    assert [c["name"] for c in tree["children"]] == ["child1", "child2"]
+
+
+def test_jsonl_export_one_object_per_line():
+    tracer = make_tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    lines = tracer.to_jsonl().strip().split("\n")
+    assert len(lines) == 2
+    parsed = [json.loads(line) for line in lines]
+    assert parsed[0]["name"] == "b" and parsed[1]["name"] == "a"
+    assert parsed[0]["parent_id"] == parsed[1]["span_id"]
+    assert "children" not in parsed[0]  # flat export; parent_id carries the tree
+
+
+def test_reset_clears_spans():
+    tracer = make_tracer()
+    with tracer.span("a"):
+        pass
+    tracer.reset()
+    assert tracer.roots == [] and tracer.finished == []
+    assert tracer.to_jsonl() == ""
+
+
+def test_threads_get_independent_stacks():
+    tracer = Tracer()  # wall clock is fine here
+    seen = {}
+
+    def worker(name):
+        with tracer.span(name) as sp:
+            seen[name] = sp.parent_id
+
+    with tracer.span("main"):
+        t = threading.Thread(target=worker, args=("in-thread",))
+        t.start()
+        t.join()
+    # The worker thread's span must NOT be parented to main's span.
+    assert seen["in-thread"] is None
+    assert {s.name for s in tracer.roots} == {"main", "in-thread"}
+
+
+def test_default_clock_is_wall_time():
+    tracer = Tracer()
+    with tracer.span("a") as sp:
+        pass
+    assert sp.duration >= 0
+
+
+def test_span_repr_and_attributes():
+    tracer = make_tracer()
+    with tracer.span("a") as sp:
+        sp.set_attribute("k", "v")
+    assert isinstance(sp, Span)
+    assert sp.attributes == {"k": "v"}

@@ -122,6 +122,48 @@ def test_process_backend_chunking():
     assert [job for chunk in chunks for job in chunk] == JOBS
 
 
+def test_process_backend_chunk_count_clamped():
+    # Without an explicit chunksize the old heuristic produced one
+    # chunk per len(jobs)//workers jobs — hundreds of tiny pickled
+    # chunks for large batches.  The clamp targets <= workers * 4.
+    backend = ProcessBackend(workers=2)
+    for n in (1, 7, 30, 800):
+        jobs = [(binary_increment(), "1")] * n
+        chunks = backend._chunks(jobs)
+        assert len(chunks) <= backend.workers * 4
+        assert [job for chunk in chunks for job in chunk] == jobs
+    assert len(backend._chunks([(binary_increment(), "1")] * 800)) == 8
+
+
+def test_compile_cache_absorb_merges_hit_miss_only():
+    cache = CompileCache()
+    cache.get(binary_increment())  # one real miss, size 1
+    cache.absorb({"hits": 10, "misses": 2, "size": 99})
+    # size is a point-in-time property of *this* cache, never additive.
+    assert cache.stats() == {"hits": 10, "misses": 3, "size": 1}
+
+
+def test_process_backend_surfaces_worker_cache_stats():
+    backend = ProcessBackend(workers=2, chunksize=4)
+    cache = CompileCache()
+    jobs = [(binary_increment(), "1" * i) for i in range(8)]
+    run_many(jobs, backend=backend, cache=cache)
+    # Two chunks, each compiling the one distinct machine once.
+    assert backend.last_cache_stats["misses"] == 2
+    assert backend.last_cache_stats["hits"] == 6
+    assert cache.stats()["hits"] == 6 and cache.stats()["misses"] == 2
+
+
+def test_serial_backend_reports_delta_not_history():
+    backend = SerialBackend()
+    cache = CompileCache()
+    jobs = [(binary_increment(), "1")] * 4
+    run_many(jobs, backend=backend, cache=cache)
+    assert backend.last_cache_stats == {"hits": 3, "misses": 1, "size": 1}
+    run_many(jobs, backend=backend, cache=cache)  # all hits now
+    assert backend.last_cache_stats == {"hits": 4, "misses": 0, "size": 1}
+
+
 def test_process_backend_matches_serial():
     jobs = JOBS * 2
     expected = run_many(jobs, backend="serial")
