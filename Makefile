@@ -3,11 +3,12 @@ test:
 	PYTHONPATH=src python -m pytest -x -q
 
 # Tier-2: slower checks that are not part of the tier-1 gate.
-# bench-smoke runs the perf-regression and observability harnesses at
-# tiny sizes — it exercises the whole measure/assert/emit pipeline and
-# rewrites BENCH_perf_engine.json / BENCH_obs_overhead.json in
-# seconds, without gating on speedups.
-bench-smoke: obs-smoke
+# bench-smoke runs the perf-regression, observability, and
+# fault-recovery harnesses at tiny sizes — it exercises the whole
+# measure/assert/emit pipeline and rewrites BENCH_perf_engine.json /
+# BENCH_obs_overhead.json / BENCH_fault_recovery.json in seconds,
+# without gating on speedups.
+bench-smoke: obs-smoke faults-smoke
 	python benchmarks/bench_perf_engine.py --smoke
 
 # Observability gate at tiny sizes: disabled-path overhead < 5% on the
@@ -19,6 +20,17 @@ obs-smoke:
 bench-obs:
 	python benchmarks/bench_obs_overhead.py
 
+# Fault-recovery gate at tiny sizes: fault-free supervised overhead
+# < 10% vs the bare backend, and a chaos run (crash + hang +
+# corruption + poison job) returns results identical to a clean run
+# with exactly the poison job quarantined.
+faults-smoke:
+	python benchmarks/bench_fault_recovery.py --smoke
+
+# Full-size fault-recovery gate (same assertions, stabler timings).
+bench-faults:
+	python benchmarks/bench_fault_recovery.py
+
 # Full-size perf run: regenerates BENCH_perf_engine.json and fails
 # unless a >=1e5-step workload shows >=5x compiled speedup.
 bench-perf:
@@ -28,4 +40,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs faults-smoke bench-faults

@@ -11,10 +11,32 @@ faulty components — a :class:`FaultyDisk` that fills up and a
 fault schedules so tests are reproducible.
 :mod:`repro.faults.retry` provides the defensive patterns (retry with
 backoff, circuit breaker) whose value experiment C24 measures.
+:mod:`repro.faults.chaos` scales the same discipline up to the batch
+layer — scheduled worker crashes, hung chunks, corrupted payloads, and
+poison jobs — and :mod:`repro.faults.supervisor` provides the recovery
+path that survives them: deadlines, bounded retries, hedged dispatch,
+pool restarts with graceful degradation, and poison quarantine by
+bisection.
 """
 
+from repro.faults.chaos import (
+    FAULT_KINDS,
+    ChaosBackend,
+    ChaosSchedule,
+    ChunkCorruption,
+    ChunkTimeout,
+    WorkerCrash,
+    job_key,
+    valid_payload,
+)
 from repro.faults.injection import DiskFullError, FaultSchedule, FaultyDisk, FlakyServer, ServerTimeout
 from repro.faults.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+from repro.faults.supervisor import (
+    DeadLetter,
+    SupervisedBackend,
+    SupervisionReport,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "FaultyDisk",
@@ -25,4 +47,16 @@ __all__ = [
     "RetryPolicy",
     "CircuitBreaker",
     "CircuitOpenError",
+    "FAULT_KINDS",
+    "ChaosSchedule",
+    "ChaosBackend",
+    "job_key",
+    "valid_payload",
+    "WorkerCrash",
+    "ChunkTimeout",
+    "ChunkCorruption",
+    "SupervisedBackend",
+    "SupervisorPolicy",
+    "SupervisionReport",
+    "DeadLetter",
 ]

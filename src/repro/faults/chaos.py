@@ -1,0 +1,244 @@
+"""Deterministic chaos for the batch layer: crash, timeout, corruption.
+
+The paper's question — "how difficult is the problem and what is the
+best way to solve it?" — gets sharper when the substrate misbehaves.
+:class:`ChaosSchedule` extends :class:`repro.faults.injection.FaultSchedule`
+so that a fault also carries a *kind*, and :class:`ChaosBackend` sits
+between a supervisor and a real execution backend, injecting the
+scheduled fault at the chunk-dispatch boundary:
+
+* ``"crash"`` — the dispatch settles with :class:`WorkerCrash`, the
+  in-process stand-in for ``BrokenProcessPool`` (the worker died
+  mid-chunk);
+* ``"timeout"`` — the dispatch returns a future that is simply never
+  resolved; only a supervisor deadline, never a sleep, turns it into a
+  fault, so tests stay fast and deterministic;
+* ``"corrupt"`` — the dispatch settles with a payload that fails
+  :func:`valid_payload` (a truncated result list), the shape a torn
+  IPC message would take.
+
+A *poison job* is nastier than a scheduled fault: any chunk containing
+it crashes, every time, no matter how often it is retried — which is
+exactly the behaviour that forces a supervisor to bisect the chunk and
+quarantine the job.  Poison is matched by job *content*
+(:func:`repro.perf.batch.machine_key` plus the tape), not identity, so
+a job decoded twice from the same description is still poison.
+
+Nothing here sleeps, forks, or consults a wall clock: chaos runs are
+reproducible bit-for-bit, which is what lets the recovery gate assert
+that a chaos run equals a clean run job-for-job.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import Future
+
+from repro.faults.injection import FaultSchedule
+from repro.machines.turing import TMResult
+from repro.obs.instrument import OBS
+from repro.perf.batch import _ZERO_STATS, CompileCache, TMJob, machine_key
+
+__all__ = [
+    "FAULT_KINDS",
+    "WorkerCrash",
+    "ChunkTimeout",
+    "ChunkCorruption",
+    "ChaosSchedule",
+    "ChaosBackend",
+    "job_key",
+    "valid_payload",
+]
+
+FAULT_KINDS = ("crash", "timeout", "corrupt")
+
+
+class WorkerCrash(RuntimeError):
+    """The worker executing a chunk died (simulated ``BrokenProcessPool``)."""
+
+
+class ChunkTimeout(TimeoutError):
+    """A chunk missed its deadline."""
+
+
+class ChunkCorruption(RuntimeError):
+    """A chunk's payload failed shape validation."""
+
+
+class ChaosSchedule(FaultSchedule):
+    """A :class:`FaultSchedule` whose faults carry a kind.
+
+    Either ``kinds`` (an explicit ``{dispatch_index: kind}`` script) or
+    ``rates`` (``{kind: probability}``, seeded Bernoulli with total
+    probability at most 1) — not both.  :meth:`next_fault` consumes one
+    slot per dispatch and returns the kind or ``None``; the inherited
+    boolean :meth:`next_faults` stays consistent with it.
+    """
+
+    def __init__(
+        self,
+        *,
+        kinds: Mapping[int, str] | None = None,
+        rates: Mapping[str, float] | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if (kinds is None) == (rates is None):
+            raise ValueError("specify exactly one of kinds= or rates=")
+        unknown = (set(kinds.values()) if kinds is not None else set(rates or {})) - set(
+            FAULT_KINDS
+        )
+        if unknown:
+            raise ValueError(f"unknown fault kinds {sorted(unknown)}; choose from {FAULT_KINDS}")
+        if kinds is not None:
+            super().__init__(failing=set(kinds))
+            self._kinds: dict[int, str] | None = dict(kinds)
+            self._kind_rates: list[tuple[str, float]] | None = None
+        else:
+            assert rates is not None
+            total = float(sum(rates.values()))
+            if any(r < 0 for r in rates.values()) or total > 1.0:
+                raise ValueError("rates must be nonnegative and sum to at most 1")
+            super().__init__(rate=total, seed=seed)
+            self._kinds = None
+            self._kind_rates = sorted(rates.items())
+
+    @staticmethod
+    def never() -> "ChaosSchedule":
+        return ChaosSchedule(kinds={})
+
+    def next_fault(self) -> str | None:
+        """Consume one dispatch slot; return the fault kind or ``None``."""
+        i = self._index
+        self._index += 1
+        if self._kinds is not None:
+            return self._kinds.get(i)
+        assert self._kind_rates is not None
+        draw = float(self._rng.random())
+        acc = 0.0
+        for kind, rate in self._kind_rates:
+            acc += rate
+            if draw < acc:
+                return kind
+        return None
+
+    def next_faults(self) -> bool:
+        return self.next_fault() is not None
+
+
+def job_key(job: TMJob) -> tuple:
+    """Content key of a (machine, tape) job — how poison is matched."""
+    machine, tape = job
+    return (machine_key(machine), tape)
+
+
+def valid_payload(payload: object, njobs: int) -> bool:
+    """True iff ``payload`` has the ``(results, stats, seconds)`` chunk
+    shape with exactly one :class:`TMResult` per job.  The supervisor
+    treats anything else as corruption and retries the chunk."""
+    if not (isinstance(payload, tuple) and len(payload) == 3):
+        return False
+    results, stats, elapsed = payload
+    return (
+        isinstance(results, list)
+        and len(results) == njobs
+        and all(isinstance(r, TMResult) for r in results)
+        and isinstance(stats, Mapping)
+        and isinstance(elapsed, (int, float))
+    )
+
+
+class ChaosBackend:
+    """Inject scheduled faults between a supervisor and ``inner``.
+
+    Satisfies the same chunk-level interface as the real backends
+    (``submit_chunk``/``recover``/``close``), so a
+    :class:`~repro.faults.supervisor.SupervisedBackend` cannot tell
+    chaos from genuine misbehaviour.  Its own :meth:`execute` is the
+    *unsupervised* control: the first injected fault aborts the batch,
+    which is exactly the brittleness supervision exists to fix.
+    """
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        inner,
+        *,
+        schedule: ChaosSchedule | None = None,
+        poison_jobs: Iterable[TMJob] = (),
+    ) -> None:
+        if not hasattr(inner, "submit_chunk"):
+            raise TypeError(f"inner backend {inner!r} has no submit_chunk")
+        self.inner = inner
+        self.schedule = schedule if schedule is not None else ChaosSchedule.never()
+        self._poison = {job_key(job) for job in poison_jobs}
+        self.dispatches = 0
+        self.recoveries = 0
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
+        self._hung: set[Future] = set()
+
+    def submit_chunk(
+        self, chunk: Sequence[TMJob], *, fuel: int, compiled: bool
+    ) -> Future:
+        self.dispatches += 1
+        kind = self.schedule.next_fault()
+        if self._poison and any(job_key(job) in self._poison for job in chunk):
+            kind = "crash"  # poison beats the schedule, every time
+        if kind is None:
+            return self.inner.submit_chunk(chunk, fuel=fuel, compiled=compiled)
+        self.injected[kind] += 1
+        OBS.event("chaos.inject", kind=kind, jobs=len(chunk), dispatch=self.dispatches)
+        fault: Future = Future()
+        if kind == "crash":
+            fault.set_exception(WorkerCrash("chaos: worker lost mid-chunk"))
+        elif kind == "corrupt":
+            fault.set_result(([], dict(_ZERO_STATS), 0.0))
+        else:  # "timeout": never resolved; a deadline must catch it
+            self._hung.add(fault)
+        return fault
+
+    def recover(self) -> None:
+        self.recoveries += 1
+        recover = getattr(self.inner, "recover", None)
+        if recover is not None:
+            recover()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def _chunks(self, jobs: Sequence[TMJob]) -> list[Sequence[TMJob]]:
+        chunker = getattr(self.inner, "_chunks", None)
+        return chunker(jobs) if chunker is not None else [tuple(jobs)]
+
+    def execute(
+        self,
+        jobs: Sequence[TMJob],
+        *,
+        fuel: int,
+        compiled: bool,
+        cache: CompileCache | None = None,
+    ) -> list[TMResult]:
+        self.last_cache_stats = dict(_ZERO_STATS)
+        if not jobs:
+            return []
+        aggregate = dict(_ZERO_STATS)
+        out: list[TMResult] = []
+        for chunk in self._chunks(jobs):
+            future = self.submit_chunk(chunk, fuel=fuel, compiled=compiled)
+            if future in self._hung:
+                future.cancel()
+                raise ChunkTimeout("chaos: chunk hung with no supervisor deadline")
+            payload = future.result()  # raises WorkerCrash on a crash fault
+            if not valid_payload(payload, len(chunk)):
+                raise ChunkCorruption("chaos: chunk payload failed validation")
+            results, stats, _ = payload
+            out.extend(results)
+            for key in ("hits", "misses", "size"):
+                aggregate[key] += stats.get(key, 0)
+        self.last_cache_stats = aggregate
+        if cache is not None:
+            cache.absorb(aggregate)
+        return out

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.obs.instrument import OBS
+from repro.util.rng import make_rng
 
 __all__ = ["RetryPolicy", "RetryOutcome", "CircuitBreaker", "CircuitOpenError"]
 
@@ -36,18 +37,39 @@ class RetryPolicy:
     per-call attempt budget is ``max_attempts``.  ``retry_on`` limits
     which exception types are retried — anything else propagates
     immediately (don't retry a programming error).
+
+    ``jitter="decorrelated"`` replaces the doubling with AWS-style
+    decorrelated jitter — each delay drawn uniformly from
+    ``[base_delay, 3 * previous]``, capped at ``max_delay`` — so
+    concurrent retriers against one struggling dependency don't
+    synchronize into waves.  The stream is seeded
+    (:func:`repro.util.rng.make_rng`), so outcomes stay deterministic;
+    the default is off.
     """
 
     max_attempts: int = 5
     base_delay: float = 0.1
     max_delay: float = 10.0
     retry_on: tuple[type[BaseException], ...] = (OSError, ConnectionError)
+    jitter: str | None = None
+    seed: int | None = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.base_delay < 0 or self.max_delay < self.base_delay:
             raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.jitter not in (None, "decorrelated"):
+            raise ValueError(
+                f"unknown jitter {self.jitter!r}; choose 'decorrelated' or None"
+            )
+        self._rng = make_rng(self.seed) if self.jitter is not None else None
+
+    def _next_delay(self, delay: float) -> float:
+        """The delay after ``delay``: doubled, or decorrelated-jittered."""
+        if self._rng is None:
+            return min(self.max_delay, delay * 2)
+        return min(self.max_delay, float(self._rng.uniform(self.base_delay, delay * 3)))
 
     def call(self, fn: Callable[[], Any]) -> RetryOutcome:
         clock = 0.0
@@ -69,7 +91,7 @@ class RetryPolicy:
                     )
                     if attempt < self.max_attempts:
                         clock += delay
-                        delay = min(self.max_delay, delay * 2)
+                        delay = self._next_delay(delay)
             self._record(self.max_attempts, clock, "failure")
         return RetryOutcome(False, self.max_attempts, clock, last_error=last)
 
@@ -93,10 +115,17 @@ class CircuitBreaker:
     :class:`CircuitOpenError` until ``reset_timeout`` of virtual time
     passes (advanced via :meth:`advance`).  Half-open: one probe call
     is allowed; success closes the circuit, failure re-opens it.
+
+    ``failure_on`` mirrors :attr:`RetryPolicy.retry_on`: only matching
+    exceptions count against the breaker — anything else (a programming
+    error, say) propagates without touching the failure count or the
+    state, because it says nothing about the guarded dependency's
+    health.
     """
 
     failure_threshold: int = 3
     reset_timeout: float = 30.0
+    failure_on: tuple[type[BaseException], ...] = (Exception,)
     _state: str = field(default="closed", init=False)
     _consecutive_failures: int = field(default=0, init=False)
     _opened_at: float = field(default=0.0, init=False)
@@ -109,6 +138,8 @@ class CircuitBreaker:
             raise ValueError("failure_threshold must be >= 1")
         if self.reset_timeout <= 0:
             raise ValueError("reset_timeout must be positive")
+        if not self.failure_on:
+            raise ValueError("failure_on must name at least one exception type")
 
     @property
     def state(self) -> str:
@@ -148,12 +179,14 @@ class CircuitBreaker:
         self.calls_attempted += 1
         try:
             result = fn()
-        except Exception:
+        except self.failure_on:
             self._consecutive_failures += 1
             if self._state == "half-open" or self._consecutive_failures >= self.failure_threshold:
                 self._transition("open")
                 self._opened_at = self._clock
             raise
+        # A non-matching exception propagates out of the ``try`` above
+        # untouched: no count, no transition.
         self._consecutive_failures = 0
         self._transition("closed")
         return result

@@ -1,0 +1,428 @@
+"""Supervised batch execution: deadlines, retries, hedging, quarantine.
+
+The bare backends in :mod:`repro.perf.batch` are the optimistic fast
+path: one poison job, lost worker, or hung chunk aborts the whole
+batch.  :class:`SupervisedBackend` is the deliberate recovery path
+layered on top — the two-systems split from PAPERS.md — and it drives
+any chunk-submitting backend through an event loop of futures
+(``concurrent.futures.wait``, never a bare ``pool.map``) that adds:
+
+* **per-chunk deadlines** — a chunk that outlives
+  ``SupervisorPolicy.chunk_timeout`` wall seconds is abandoned and
+  treated as failed;
+* **bounded retries with virtual backoff** — failed chunks are
+  resubmitted up to ``max_chunk_retries`` times; the exponential
+  backoff is *accounted* (``report.virtual_backoff``) in the style of
+  :class:`repro.faults.retry.RetryPolicy`, never slept;
+* **hedged dispatch** — a straggler past ``hedge_delay`` gets a
+  duplicate submission; the first copy to finish wins and the loser is
+  cancelled;
+* **pool recovery and graceful degradation** — a crash
+  (``BrokenProcessPool``, or its chaos stand-in
+  :class:`~repro.faults.chaos.WorkerCrash`) restarts the inner pool via
+  ``recover()``; once restarts exhaust ``max_pool_restarts`` the
+  supervisor degrades to a fresh in-process
+  :class:`~repro.perf.batch.SerialBackend` and finishes the batch;
+* **poison quarantine by bisection** — a chunk that keeps dying is
+  split in half until the offending job sits alone, and that single-job
+  chunk, once its retries are spent, is quarantined into a dead-letter
+  list.  Every other job still returns its exact result, in order.
+
+``execute`` therefore *never raises* for job-level failures: a
+quarantined slot surfaces as ``None`` in the result list and as a
+:class:`DeadLetter` on ``backend.last_report``.  A fault-free
+supervised run returns results identical to the bare backend's, within
+the <10% overhead budget gated by ``benchmarks/bench_fault_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.faults.chaos import ChunkCorruption, ChunkTimeout, WorkerCrash, valid_payload
+from repro.machines.turing import TMResult
+from repro.obs.instrument import OBS
+from repro.perf.batch import (
+    _ZERO_STATS,
+    CompileCache,
+    SerialBackend,
+    TMJob,
+    _record_cache_metrics,
+    create_backend,
+)
+
+__all__ = [
+    "SupervisorPolicy",
+    "SupervisionReport",
+    "DeadLetter",
+    "SupervisedBackend",
+    "CRASH_TYPES",
+]
+
+# What counts as "the worker died" rather than "the job failed".
+CRASH_TYPES = (BrokenProcessPool, WorkerCrash)
+
+
+@dataclass
+class SupervisorPolicy:
+    """Knobs of the recovery path.
+
+    ``max_chunk_retries`` bounds *resubmissions* of one chunk task:
+    after ``max_chunk_retries + 1`` failed attempts a multi-job chunk is
+    bisected and a single-job chunk is quarantined.  ``chunk_timeout``
+    and ``hedge_delay`` are wall-clock seconds (``None`` disables);
+    backoff between retries is virtual time, never slept.
+    """
+
+    max_chunk_retries: int = 2
+    chunk_timeout: float | None = None
+    hedge_delay: float | None = None
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    max_pool_restarts: int = 4
+    chunksize: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (or None)")
+        if self.hedge_delay is not None and self.hedge_delay <= 0:
+            raise ValueError("hedge_delay must be positive (or None)")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1 (or None)")
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined job: where it sat, what it was, why it died."""
+
+    index: int
+    job: TMJob
+    reason: str
+
+
+@dataclass
+class SupervisionReport:
+    """What one supervised ``execute`` had to do to finish the batch."""
+
+    jobs: int = 0
+    chunks: int = 0
+    retries: int = 0
+    hedges: int = 0
+    bisections: int = 0
+    pool_restarts: int = 0
+    degraded: bool = False
+    virtual_backoff: float = 0.0
+    quarantined: list[DeadLetter] = field(default_factory=list)
+
+    @property
+    def quarantined_indices(self) -> list[int]:
+        return sorted(letter.index for letter in self.quarantined)
+
+
+class _Task:
+    """One in-flight chunk: a contiguous, disjoint slice of the batch."""
+
+    __slots__ = (
+        "offset",
+        "jobs",
+        "attempts",
+        "hedged",
+        "deadline",
+        "hedge_at",
+        "futures",
+        "generation",
+    )
+
+    def __init__(self, offset: int, jobs: Sequence[TMJob]) -> None:
+        self.offset = offset
+        self.jobs = tuple(jobs)
+        self.attempts = 0
+        self.hedged = False
+        self.deadline: float | None = None
+        self.hedge_at: float | None = None
+        self.futures: list[Future] = []
+        self.generation = 0
+
+
+class _Supervision:
+    """The event loop of one supervised ``execute`` call."""
+
+    def __init__(self, backend: "SupervisedBackend", fuel: int, compiled: bool) -> None:
+        self.backend = backend
+        self.policy = backend.policy
+        self.active = backend.inner  # swapped for a SerialBackend on degradation
+        self.fuel = fuel
+        self.compiled = compiled
+        self.report = SupervisionReport()
+        self.aggregate = dict(_ZERO_STATS)
+        self.out: list[TMResult | None] = []
+        self.pending: dict[Future, _Task] = {}
+        # Bumped on every pool restart; a crash from a pre-restart
+        # submission must not trigger another restart (when one worker
+        # dies, every pending future fails with BrokenProcessPool).
+        self.generation = 0
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self, jobs: Sequence[TMJob]) -> list[TMResult | None]:
+        self.out = [None] * len(jobs)
+        self.report.jobs = len(jobs)
+        tasks = [
+            _Task(offset, chunk) for offset, chunk in self.backend.iter_chunks(jobs)
+        ]
+        self.report.chunks = len(tasks)
+        if OBS.enabled:
+            OBS.gauge("batch_queue_depth", len(tasks), backend=self.backend.name)
+        for task in tasks:
+            self._submit(task)
+        while self.pending:
+            done, _ = wait(
+                set(self.pending), timeout=self._next_timeout(), return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                task = self.pending.pop(future, None)
+                if task is None:
+                    continue  # retired by a deadline or a winning hedge
+                self._complete(task, future)
+            self._check_clocks()
+        return self.out
+
+    def _submit(self, task: _Task) -> None:
+        task.attempts += 1
+        future = self._dispatch(task.jobs)
+        task.generation = self.generation
+        now = time.monotonic()
+        task.futures = [future]
+        task.hedged = False
+        timeout, hedge = self.policy.chunk_timeout, self.policy.hedge_delay
+        task.deadline = now + timeout if timeout is not None else None
+        task.hedge_at = now + hedge if hedge is not None else None
+        self.pending[future] = task
+
+    def _dispatch(self, jobs: Sequence[TMJob]) -> Future:
+        """Submit to the active backend; survive a broken submit path."""
+        for _ in range(2):
+            try:
+                return self.active.submit_chunk(jobs, fuel=self.fuel, compiled=self.compiled)
+            except CRASH_TYPES:
+                self._recover()
+        self._degrade()
+        return self.active.submit_chunk(jobs, fuel=self.fuel, compiled=self.compiled)
+
+    # -- completion ---------------------------------------------------------
+
+    def _complete(self, task: _Task, future: Future) -> None:
+        if future in task.futures:
+            task.futures.remove(future)
+        if future.cancelled():
+            return  # a retired straggler; nothing to learn
+        error = future.exception()
+        if error is None:
+            payload = future.result()
+            if valid_payload(payload, len(task.jobs)):
+                self._settle(task, payload)
+                return
+            error = ChunkCorruption(
+                f"chunk payload failed validation ({type(payload).__name__})"
+            )
+        self._failed(task, error)
+
+    def _settle(self, task: _Task, payload: tuple) -> None:
+        results, stats, elapsed = payload
+        self.out[task.offset : task.offset + len(task.jobs)] = results
+        for key in ("hits", "misses", "size"):
+            self.aggregate[key] += stats.get(key, 0)
+        self._retire(task)  # cancel and forget the losing hedge twin, if any
+        if OBS.enabled:
+            OBS.observe("batch_chunk_seconds", elapsed, backend=self.backend.name)
+
+    def _retire(self, task: _Task) -> None:
+        for future in task.futures:
+            future.cancel()
+            self.pending.pop(future, None)
+        task.futures = []
+
+    def _failed(self, task: _Task, error: BaseException) -> None:
+        kind = type(error).__name__
+        if isinstance(error, CRASH_TYPES) and task.generation == self.generation:
+            self._recover()
+        if any(f in self.pending for f in task.futures):
+            return  # a hedge twin is still racing; let it finish the chunk
+        if task.attempts <= self.policy.max_chunk_retries:
+            delay = min(
+                self.policy.max_delay, self.policy.base_delay * 2 ** (task.attempts - 1)
+            )
+            self.report.retries += 1
+            self.report.virtual_backoff += delay
+            if OBS.enabled:
+                OBS.count("batch_chunk_retries_total", kind=kind)
+                OBS.event(
+                    "supervisor.retry",
+                    offset=task.offset,
+                    jobs=len(task.jobs),
+                    attempt=task.attempts,
+                    kind=kind,
+                    backoff=delay,
+                )
+            self._submit(task)
+        elif len(task.jobs) > 1:
+            self._retire(task)
+            mid = len(task.jobs) // 2
+            self.report.bisections += 1
+            OBS.event("supervisor.bisect", offset=task.offset, jobs=len(task.jobs), kind=kind)
+            self._submit(_Task(task.offset, task.jobs[:mid]))
+            self._submit(_Task(task.offset + mid, task.jobs[mid:]))
+        else:
+            self.report.quarantined.append(
+                DeadLetter(task.offset, task.jobs[0], f"{kind}: {error}")
+            )
+            if OBS.enabled:
+                OBS.count("batch_quarantined_jobs")
+                OBS.event("supervisor.quarantine", index=task.offset, reason=kind)
+
+    # -- clocks -------------------------------------------------------------
+
+    def _next_timeout(self) -> float | None:
+        """Seconds until the earliest deadline or hedge point, if any."""
+        marks = []
+        for task in set(self.pending.values()):
+            if task.deadline is not None:
+                marks.append(task.deadline)
+            if task.hedge_at is not None and not task.hedged:
+                marks.append(task.hedge_at)
+        if not marks:
+            return None
+        return max(0.0, min(marks) - time.monotonic())
+
+    def _check_clocks(self) -> None:
+        now = time.monotonic()
+        for task in list(dict.fromkeys(self.pending.values())):
+            if task.deadline is not None and now >= task.deadline:
+                self._retire(task)
+                self._failed(
+                    task,
+                    ChunkTimeout(
+                        f"chunk missed its {self.policy.chunk_timeout}s deadline"
+                    ),
+                )
+            elif task.hedge_at is not None and not task.hedged and now >= task.hedge_at:
+                self._hedge(task)
+
+    def _hedge(self, task: _Task) -> None:
+        task.hedged = True
+        future = self._dispatch(task.jobs)
+        task.futures.append(future)
+        self.pending[future] = task
+        self.report.hedges += 1
+        if OBS.enabled:
+            OBS.count("batch_hedged_total", backend=self.backend.name)
+            OBS.event("supervisor.hedge", offset=task.offset, jobs=len(task.jobs))
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self) -> None:
+        self.generation += 1
+        self.report.pool_restarts += 1
+        if OBS.enabled:
+            OBS.count("batch_pool_restarts_total", backend=self.backend.name)
+            OBS.event("supervisor.pool_restart", restarts=self.report.pool_restarts)
+        if self.report.pool_restarts > self.policy.max_pool_restarts:
+            self._degrade()
+            return
+        recover = getattr(self.active, "recover", None)
+        if recover is not None:
+            recover()
+
+    def _degrade(self) -> None:
+        if self.report.degraded:
+            return
+        self.report.degraded = True
+        close = getattr(self.active, "close", None)
+        if close is not None:
+            close()
+        self.active = SerialBackend()
+        OBS.event("supervisor.degraded", to="serial")
+
+
+class SupervisedBackend:
+    """A :class:`~repro.perf.batch.Backend` that survives its inner one.
+
+    ``inner`` may be a backend name (forwarded to
+    :func:`~repro.perf.batch.create_backend` with ``inner_kwargs``) or
+    any instance exposing ``submit_chunk``.  ``execute`` returns one
+    slot per job, in order: the exact :class:`TMResult` for every job
+    that could be completed, ``None`` for the (rare) quarantined ones,
+    detailed in ``last_report``.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        inner="process",
+        *,
+        policy: SupervisorPolicy | None = None,
+        **inner_kwargs,
+    ) -> None:
+        if isinstance(inner, str):
+            inner = create_backend(inner, **inner_kwargs)
+        elif inner_kwargs:
+            raise ValueError("backend kwargs only apply when inner is a name")
+        if not hasattr(inner, "submit_chunk"):
+            raise TypeError(f"inner backend {inner!r} has no submit_chunk")
+        self.inner = inner
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
+        self.last_report = SupervisionReport()
+
+    def iter_chunks(self, jobs: Sequence[TMJob]):
+        """Yield ``(offset, chunk)`` slices honouring the policy size."""
+        size = self.policy.chunksize
+        if size is None:
+            workers = getattr(self.inner, "workers", None) or getattr(
+                getattr(self.inner, "inner", None), "workers", None
+            )
+            target = min(len(jobs), (workers or 2) * 4)
+            size = -(-len(jobs) // target) if target else 1
+        for i in range(0, len(jobs), size):
+            yield i, jobs[i : i + size]
+
+    def execute(
+        self,
+        jobs: Sequence[TMJob],
+        *,
+        fuel: int,
+        compiled: bool = True,
+        cache: CompileCache | None = None,
+    ) -> list[TMResult | None]:
+        self.last_cache_stats = dict(_ZERO_STATS)
+        self.last_report = SupervisionReport(jobs=len(jobs))
+        if not jobs:
+            return []
+        run = _Supervision(self, fuel, compiled)
+        try:
+            with OBS.span("batch.supervised", backend=self.name, jobs=len(jobs)):
+                out = run.run(jobs)
+        finally:
+            self.last_report = run.report
+            self.last_cache_stats = dict(run.aggregate)
+            close = getattr(run.active, "close", None)
+            if close is not None:
+                close()
+        if cache is not None:
+            cache.absorb(run.aggregate)
+        if OBS.enabled:
+            _record_cache_metrics(
+                self.name, run.aggregate["hits"], run.aggregate["misses"]
+            )
+        return out

@@ -28,7 +28,7 @@ import os
 import time
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Protocol
 
 from repro.machines.turing import TMResult, TuringMachine
@@ -150,6 +150,12 @@ class Backend(Protocol):
     of the most recent ``execute`` — for the process backend that is
     the aggregate over every worker chunk, stats that previously died
     with the pool.
+
+    Beyond ``execute``, the built-in backends expose a chunk-level API
+    (``submit_chunk``/``recover``/``close``) returning
+    :class:`concurrent.futures.Future` objects; that is the surface
+    :class:`repro.faults.supervisor.SupervisedBackend` drives to add
+    deadlines, retries, hedging, and quarantine on top.
     """
 
     name: str
@@ -168,6 +174,28 @@ class SerialBackend:
     def __init__(self) -> None:
         self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
 
+    def submit_chunk(
+        self, chunk: Sequence[TMJob], *, fuel: int, compiled: bool
+    ) -> Future:
+        """Run one chunk inline; return it as an already-settled future.
+
+        Same worker semantics as the process backend (fresh per-chunk
+        cache, stats ride home in the payload), so a supervisor can
+        drive either backend through one interface.
+        """
+        future: Future = Future()
+        try:
+            future.set_result(_run_chunk((tuple(chunk), fuel, compiled)))
+        except BaseException as exc:  # settled, never raised here
+            future.set_exception(exc)
+        return future
+
+    def recover(self) -> None:
+        """Nothing to restart: in-process execution has no pool."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
     def execute(
         self,
         jobs: Sequence[TMJob],
@@ -176,6 +204,9 @@ class SerialBackend:
         compiled: bool,
         cache: CompileCache | None = None,
     ) -> list[TMResult]:
+        # Reset at entry so a failing run can't leave the previous
+        # run's tallies visible.
+        self.last_cache_stats = dict(_ZERO_STATS)
         local = cache
         if local is None and compiled:
             local = CompileCache()
@@ -218,6 +249,35 @@ class ProcessBackend:
             raise ValueError("need at least one worker")
         self.chunksize = chunksize
         self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self, max_workers: int | None = None) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=max_workers or self.workers)
+        return self._pool
+
+    def submit_chunk(
+        self, chunk: Sequence[TMJob], *, fuel: int, compiled: bool
+    ) -> Future:
+        """Submit one chunk to the pool; the supervision hook.
+
+        Callers driving this directly own the pool lifetime: call
+        :meth:`close` when done (``execute`` does so itself).
+        """
+        return self._ensure_pool().submit(_run_chunk, (tuple(chunk), fuel, compiled))
+
+    def recover(self) -> None:
+        """Discard the pool — broken or not — so the next submit starts
+        a fresh one.  This is the restart step after a worker crash
+        surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def _chunks(self, jobs: Sequence[TMJob]) -> list[Sequence[TMJob]]:
         size = self.chunksize
@@ -237,25 +297,37 @@ class ProcessBackend:
         compiled: bool,
         cache: CompileCache | None = None,
     ) -> list[TMResult]:
+        # Reset at entry: a chunk that raises mid-batch used to leave
+        # the previous run's tallies behind.
+        self.last_cache_stats = dict(_ZERO_STATS)
         if not jobs:
-            self.last_cache_stats = dict(_ZERO_STATS)
             return []
         chunks = self._chunks(jobs)
         if OBS.enabled:
             OBS.gauge("batch_queue_depth", len(chunks), backend=self.name)
         aggregate = dict(_ZERO_STATS)
         out: list[TMResult] = []
-        with OBS.span("batch.pool", backend=self.name, chunks=len(chunks)):
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
-                parts = pool.map(_run_chunk, [(chunk, fuel, compiled) for chunk in chunks])
-                for results, stats, elapsed in parts:
+        try:
+            with OBS.span("batch.pool", backend=self.name, chunks=len(chunks)):
+                self._ensure_pool(min(self.workers, len(chunks)))
+                futures = [
+                    self.submit_chunk(chunk, fuel=fuel, compiled=compiled)
+                    for chunk in chunks
+                ]
+                # Collect in submission order: results keep job order.
+                for future in futures:
+                    results, stats, elapsed = future.result()
                     out.extend(results)
                     aggregate["hits"] += stats["hits"]
                     aggregate["misses"] += stats["misses"]
                     aggregate["size"] += stats["size"]
                     if OBS.enabled:
                         OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
-        self.last_cache_stats = aggregate
+        finally:
+            self.close()
+            # Failure-safe: on an exception this reflects exactly the
+            # chunks that completed, never the previous run.
+            self.last_cache_stats = dict(aggregate)
         if cache is not None:
             cache.absorb(aggregate)
         if OBS.enabled:
@@ -263,7 +335,19 @@ class ProcessBackend:
         return out
 
 
-BACKENDS = {"serial": SerialBackend, "process": ProcessBackend}
+def _supervised_backend(**kwargs):
+    # Imported late: the supervisor lives in the faults layer and
+    # itself imports this module.
+    from repro.faults.supervisor import SupervisedBackend
+
+    return SupervisedBackend(**kwargs)
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessBackend,
+    "supervised": _supervised_backend,
+}
 
 
 def create_backend(name: str = "serial", **kwargs) -> Backend:
@@ -289,7 +373,10 @@ def run_many(
     would return — the batch layer changes the cost, never the answer
     (instrumentation included: enabling :data:`OBS` adds a span and
     counters, and ``tm_steps_total{backend=...}`` is defined to equal
-    the sum of per-result step counts).
+    the sum of per-result step counts).  The one exception is the
+    ``supervised`` backend, which may quarantine a poison job rather
+    than fail the batch: its slot holds ``None`` and the dead letter is
+    recorded on ``backend.last_report``.
     """
     if isinstance(backend, str):
         backend = create_backend(backend)
@@ -299,8 +386,14 @@ def run_many(
         results = backend.execute(jobs, fuel=fuel, compiled=compiled, cache=cache)
     if OBS.enabled:
         OBS.count("tm_jobs_total", len(jobs), backend=backend.name)
-        OBS.count("tm_steps_total", sum(r.steps for r in results), backend=backend.name)
         OBS.count(
-            "tm_halts_total", sum(1 for r in results if r.halted), backend=backend.name
+            "tm_steps_total",
+            sum(r.steps for r in results if r is not None),
+            backend=backend.name,
+        )
+        OBS.count(
+            "tm_halts_total",
+            sum(1 for r in results if r is not None and r.halted),
+            backend=backend.name,
         )
     return results

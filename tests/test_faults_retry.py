@@ -122,3 +122,81 @@ def test_breaker_shields_backend():
     # Only the first 2 calls reached the server; 18 were shed.
     assert breaker.calls_attempted == 2
     assert breaker.calls_rejected == 18
+
+
+def test_retry_jitter_default_off_is_pure_doubling():
+    policy = RetryPolicy(max_attempts=4, base_delay=1.0)
+    assert policy.jitter is None
+    server = FlakyServer(lambda x: "ok", schedule=FaultSchedule(rate=1.0))
+    outcome = policy.call(lambda: server.request(None))
+    assert outcome.virtual_time == pytest.approx(1.0 + 2.0 + 4.0)
+
+
+def test_retry_decorrelated_jitter_is_seeded_and_bounded():
+    def failing():
+        raise ConnectionError("down")
+
+    def total_backoff(seed):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, max_delay=8.0, jitter="decorrelated", seed=seed
+        )
+        return policy.call(failing).virtual_time
+
+    assert total_backoff(1) == total_backoff(1)  # deterministic per seed
+    assert total_backoff(1) != total_backoff(2)  # decorrelated across seeds
+    # 5 gaps, each in [base_delay, max_delay]: the jitter stays bounded.
+    assert 5.0 <= total_backoff(1) <= 40.0
+
+
+def test_retry_jitter_desynchronizes_concurrent_retriers():
+    def failing():
+        raise ConnectionError("down")
+
+    times = {
+        RetryPolicy(max_attempts=5, base_delay=1.0, jitter="decorrelated", seed=s)
+        .call(failing)
+        .virtual_time
+        for s in range(8)
+    }
+    assert len(times) > 1  # synchronized retriers would all collide
+
+
+def test_retry_jitter_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter="full")
+
+
+def test_breaker_failure_on_ignores_programming_errors():
+    breaker = CircuitBreaker(failure_threshold=1, failure_on=(ConnectionError,))
+
+    def boom():
+        raise KeyError("a bug, not an outage")
+
+    with pytest.raises(KeyError):
+        breaker.call(boom)
+    assert breaker.state == "closed"  # the bug did not trip the breaker
+
+    def down():
+        raise ConnectionError("outage")
+
+    with pytest.raises(ConnectionError):
+        breaker.call(down)
+    assert breaker.state == "open"
+
+
+def test_breaker_failure_on_does_not_reset_failure_count():
+    breaker = CircuitBreaker(failure_threshold=2, failure_on=(ConnectionError,))
+    with pytest.raises(ConnectionError):
+        breaker.call(lambda: (_ for _ in ()).throw(ConnectionError("one")))
+    with pytest.raises(KeyError):
+        breaker.call(lambda: (_ for _ in ()).throw(KeyError("bug")))
+    # The non-counted error neither tripped the breaker nor wiped the
+    # strike: one more real failure opens it.
+    with pytest.raises(ConnectionError):
+        breaker.call(lambda: (_ for _ in ()).throw(ConnectionError("two")))
+    assert breaker.state == "open"
+
+
+def test_breaker_failure_on_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_on=())

@@ -107,7 +107,7 @@ def test_backend_factory():
     assert backend.workers == 2 and backend.chunksize == 3
     with pytest.raises(ValueError, match="unknown backend"):
         create_backend("gpu")
-    assert set(BACKENDS) == {"serial", "process"}
+    assert set(BACKENDS) == {"serial", "process", "supervised"}
 
 
 def test_process_backend_rejects_zero_workers():
@@ -162,6 +162,52 @@ def test_serial_backend_reports_delta_not_history():
     assert backend.last_cache_stats == {"hits": 3, "misses": 1, "size": 1}
     run_many(jobs, backend=backend, cache=cache)  # all hits now
     assert backend.last_cache_stats == {"hits": 4, "misses": 0, "size": 1}
+
+
+def test_serial_submit_chunk_returns_settled_future():
+    future = SerialBackend().submit_chunk(JOBS, fuel=10_000, compiled=True)
+    assert future.done()
+    results, stats, elapsed = future.result()
+    assert results == reference_results(JOBS)
+    assert stats["misses"] >= 1 and elapsed >= 0
+
+
+def test_process_submit_chunk_and_recover():
+    backend = ProcessBackend(workers=2)
+    try:
+        first = backend.submit_chunk(JOBS[:2], fuel=10_000, compiled=True)
+        assert first.result()[0] == reference_results(JOBS[:2])
+        backend.recover()  # discard the pool; the next submit starts fresh
+        second = backend.submit_chunk(JOBS[2:4], fuel=10_000, compiled=True)
+        assert second.result()[0] == reference_results(JOBS[2:4])
+    finally:
+        backend.close()
+
+
+class RaisingMachine(TuringMachine):
+    """A job whose execution raises (not a worker crash): the whole
+    chunk fails and ``execute`` propagates the error."""
+
+    def run(self, tape_input, *, fuel=10_000):
+        raise RuntimeError("job blew up")
+
+
+def raising_job():
+    base = binary_increment()
+    machine = RaisingMachine(base.delta, base.initial, base.accept_states, base.reject_states)
+    return (machine, "1")
+
+
+@pytest.mark.parametrize("backend_cls", [SerialBackend, ProcessBackend])
+def test_backend_cache_stats_reset_on_failure(backend_cls):
+    # A chunk raising mid-batch used to leave last_cache_stats stale
+    # from the previous, successful run.
+    backend = backend_cls(workers=2) if backend_cls is ProcessBackend else backend_cls()
+    run_many(JOBS, backend=backend)
+    assert backend.last_cache_stats["misses"] > 0
+    with pytest.raises(RuntimeError, match="job blew up"):
+        run_many([raising_job()] * 2, backend=backend, compiled=False)
+    assert backend.last_cache_stats == {"hits": 0, "misses": 0, "size": 0}
 
 
 def test_process_backend_matches_serial():
