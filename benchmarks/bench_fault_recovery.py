@@ -58,13 +58,16 @@ MAX_OVERHEAD_PCT = 10.0
 def measure_supervision_overhead(smoke: bool, *, repeats: int) -> dict:
     """Bare serial vs supervised serial on a fault-free batch.
 
-    One machine repeated over long tapes: per-job work dominates, so
-    the measurement isolates the supervisor's per-chunk cost (futures,
-    wait loop, payload validation) — the thing the budget bounds.
+    One machine over long, *distinct* tapes: per-job work dominates,
+    so the measurement isolates the supervisor's per-chunk cost
+    (futures, wait loop, payload validation) — the thing the budget
+    bounds.  Distinct tapes matter: identical jobs intern down to one
+    on both sides, leaving nothing for the per-chunk cost to amortize
+    against.
     """
     tape_len = 2_400 if smoke else 3_000
     njobs = 32 if smoke else 64
-    jobs = [(binary_increment(), "1" * tape_len)] * njobs
+    jobs = [(binary_increment(), "1" * (tape_len + i)) for i in range(njobs)]
     fuel = 200_000
     bare = SerialBackend()
     supervised = SupervisedBackend(

@@ -22,7 +22,12 @@ any chunk-submitting backend through an event loop of futures
   :class:`~repro.faults.chaos.WorkerCrash`) restarts the inner pool via
   ``recover()``; once restarts exhaust ``max_pool_restarts`` the
   supervisor degrades to a fresh in-process
-  :class:`~repro.perf.batch.SerialBackend` and finishes the batch;
+  :class:`~repro.perf.batch.SerialBackend` and finishes the batch.
+  This composes with :class:`~repro.perf.batch.ProcessBackend`'s warm
+  state for free: ``recover()`` bumps the pool generation, the next
+  ``submit_chunk`` re-seeds worker program tables from the master
+  registry, and a generation-tagged payload can never be served from a
+  pre-restart resident table;
 * **poison quarantine by bisection** — a chunk that keeps dying is
   split in half until the offending job sits alone, and that single-job
   chunk, once its retries are spent, is quarantined into a dead-letter
@@ -51,6 +56,7 @@ from repro.perf.batch import (
     CompileCache,
     SerialBackend,
     TMJob,
+    _intern_batch,
     _record_cache_metrics,
     create_backend,
 )
@@ -385,8 +391,26 @@ class SupervisedBackend:
         self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
         self.last_report = SupervisionReport()
 
+    def recover(self) -> None:
+        """Restart the inner backend's pool (next submit re-seeds it)."""
+        recover = getattr(self.inner, "recover", None)
+        if recover is not None:
+            recover()
+
+    def close(self) -> None:
+        """Release the inner backend's pool and resident tables."""
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
     def iter_chunks(self, jobs: Sequence[TMJob]):
-        """Yield ``(offset, chunk)`` slices honouring the policy size."""
+        """Yield ``(offset, chunk)`` slices honouring the policy size.
+
+        A trailing 1-job chunk (``len(jobs) % size == 1``) is merged
+        into its predecessor, matching
+        :meth:`~repro.perf.batch.ProcessBackend._chunks`: one leftover
+        job is never worth a chunk's dispatch and supervision cost.
+        """
         size = self.policy.chunksize
         if size is None:
             workers = getattr(self.inner, "workers", None) or getattr(
@@ -394,8 +418,12 @@ class SupervisedBackend:
             )
             target = min(len(jobs), (workers or 2) * 4)
             size = -(-len(jobs) // target) if target else 1
-        for i in range(0, len(jobs), size):
-            yield i, jobs[i : i + size]
+        offsets = list(range(0, len(jobs), size))
+        if len(offsets) >= 2 and len(jobs) - offsets[-1] == 1:
+            offsets.pop()
+        for n, i in enumerate(offsets):
+            end = offsets[n + 1] if n + 1 < len(offsets) else len(jobs)
+            yield i, jobs[i:end]
 
     def execute(
         self,
@@ -409,20 +437,39 @@ class SupervisedBackend:
         self.last_report = SupervisionReport(jobs=len(jobs))
         if not jobs:
             return []
+        # Intern like the bare backends: equal jobs are supervised (and
+        # potentially retried, bisected, quarantined) exactly once, so
+        # the fault-free supervised run keeps pace with the interned
+        # fast path.  Poison is matched by content, so deduplication
+        # can never hide it — it just quarantines every duplicate slot.
+        unique, slots, _ = _intern_batch(jobs)
         run = _Supervision(self, fuel, compiled)
         try:
             with OBS.span("batch.supervised", backend=self.name, jobs=len(jobs)):
-                out = run.run(jobs)
+                out_unique = run.run(unique)
         finally:
+            run.report.jobs = len(jobs)
+            if len(unique) != len(jobs) and run.report.quarantined:
+                run.report.quarantined = [
+                    DeadLetter(i, letter.job, letter.reason)
+                    for letter in run.report.quarantined
+                    for i, s in enumerate(slots)
+                    if s == letter.index
+                ]
             self.last_report = run.report
             self.last_cache_stats = dict(run.aggregate)
-            close = getattr(run.active, "close", None)
-            if close is not None:
-                close()
+            # Close only a backend the supervision created itself (the
+            # degraded SerialBackend); the caller's inner backend stays
+            # open so its warm pool and resident program tables survive
+            # into the next execute.  (_degrade already closed inner.)
+            if run.active is not self.inner:
+                close = getattr(run.active, "close", None)
+                if close is not None:
+                    close()
         if cache is not None:
             cache.absorb(run.aggregate)
         if OBS.enabled:
             _record_cache_metrics(
                 self.name, run.aggregate["hits"], run.aggregate["misses"]
             )
-        return out
+        return [out_unique[s] for s in slots]

@@ -46,7 +46,36 @@ __all__ = [
     "disable",
     "observed",
     "NULL_SPAN",
+    "KNOWN_METRICS",
 ]
+
+# The metric namespace, documented in one place.  Purely descriptive —
+# the registry stays schemaless so experiments can add series freely —
+# but dashboards, docs and tests treat this as the source of truth for
+# what each series means.  Kinds: counter | gauge | histogram.
+KNOWN_METRICS: dict[str, tuple[str, str]] = {
+    # engine (per compiled run, never per step)
+    "engine_runs_total": ("counter", "compiled-machine runs started"),
+    "engine_steps_total": ("counter", "steps executed by compiled runs"),
+    "engine_halts_total": ("counter", "compiled runs that halted"),
+    "engine_macro_skips_total": ("counter", "macro-stepped self-scan cells skipped"),
+    # batch (per chunk / per execute)
+    "tm_jobs_total": ("counter", "jobs submitted through run_many"),
+    "tm_steps_total": ("counter", "sum of per-result step counts"),
+    "tm_halts_total": ("counter", "jobs whose machine halted"),
+    "compile_cache_hits_total": ("counter", "jobs served from a compiled table"),
+    "compile_cache_misses_total": ("counter", "jobs that forced a compile"),
+    "batch_chunk_seconds": ("histogram", "wall time of each dispatched chunk"),
+    "batch_queue_depth": ("gauge", "chunks planned by the last dispatch"),
+    "batch_steal_total": ("counter", "chunk pulls beyond the initial one-per-worker wave"),
+    "batch_payload_bytes": ("counter", "pickled bytes shipped to pool workers"),
+    "batch_warm_hits": ("counter", "jobs answered from the warm result memo, pool untouched"),
+    # faults (supervision)
+    "batch_chunk_retries_total": ("counter", "chunk resubmissions after failure"),
+    "batch_hedged_total": ("counter", "duplicate submissions for stragglers"),
+    "batch_pool_restarts_total": ("counter", "inner pool restarts after crashes"),
+    "batch_quarantined_jobs": ("counter", "jobs dead-lettered by bisection"),
+}
 
 
 class _NullSpan:

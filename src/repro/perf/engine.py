@@ -27,6 +27,7 @@ reference interpreter transparently.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import singledispatch
 from typing import Any, Hashable, Protocol, runtime_checkable
@@ -45,6 +46,7 @@ __all__ = [
     "compile_tm",
     "compile_dfa",
     "compile_statemachine",
+    "program_key",
     "run_compiled",
 ]
 
@@ -65,6 +67,46 @@ class CompiledMachine(Protocol):
     source: Any
 
     def describe(self) -> dict[str, int]: ...
+
+
+# ---------------------------------------------------------------------------
+# Content keys — the intern surface shared with the batch layer
+# ---------------------------------------------------------------------------
+
+# program_key is called once per job by the batch layer, and sorting a
+# transition table per call costs more than many compiled runs save.
+# The memo is keyed by id() with the machine held strongly in the
+# entry, so an id can never be recycled while its entry is alive; the
+# `is` check below makes a stale hit impossible either way.
+_KEY_MEMO: OrderedDict[int, tuple[TuringMachine, tuple]] = OrderedDict()
+_KEY_MEMO_MAX = 4096
+
+
+def program_key(machine: TuringMachine) -> tuple:
+    """A hashable content key: equal machines share compiled tables.
+
+    The key covers the class as well as the content, so a subclass
+    that overrides ``run`` (a test double, say) never aliases the base
+    machine in a content-keyed cache.  Keying assumes ``delta`` is not
+    mutated after the first call — the same assumption every compiled
+    table already makes.
+    """
+    entry = _KEY_MEMO.get(id(machine))
+    if entry is not None and entry[0] is machine:
+        _KEY_MEMO.move_to_end(id(machine))
+        return entry[1]
+    cls = type(machine)
+    key = (
+        f"{cls.__module__}.{cls.__qualname__}",
+        machine.initial,
+        machine.accept_states,
+        machine.reject_states,
+        tuple(sorted(machine.delta.items())),
+    )
+    _KEY_MEMO[id(machine)] = (machine, key)
+    if len(_KEY_MEMO) > _KEY_MEMO_MAX:
+        _KEY_MEMO.popitem(last=False)
+    return key
 
 
 # ---------------------------------------------------------------------------

@@ -141,9 +141,14 @@ def test_run_many_span_tree():
 
 
 def test_batch_records_chunk_durations_and_queue_depth():
-    jobs = [(binary_increment(), "1")] * 16
-    with observed() as obs:
-        run_many(jobs, backend=ProcessBackend(workers=2, chunksize=4))
+    # Distinct tapes: identical jobs would be interned down to one.
+    jobs = [(binary_increment(), "1" * (i + 1)) for i in range(16)]
+    backend = ProcessBackend(workers=2, chunksize=4)
+    try:
+        with observed() as obs:
+            run_many(jobs, backend=backend)
+    finally:
+        backend.close()
     snap = obs.registry.snapshot()
     chunk = snap["batch_chunk_seconds"]["series"][0]
     assert chunk["labels"] == {"backend": "process"}
@@ -177,13 +182,19 @@ def test_traced_run_many_identical_to_untraced(plan, fuel):
 
 def test_cache_metrics_recorded_per_backend():
     jobs = [(binary_increment(), "1")] * 6
-    with observed() as obs:
-        run_many(jobs)
-        run_many(jobs, backend=ProcessBackend(workers=2, chunksize=3))
+    backend = ProcessBackend(workers=2, chunksize=3)
+    try:
+        with observed() as obs:
+            run_many(jobs)
+            run_many(jobs, backend=backend)
+    finally:
+        backend.close()
     assert obs.registry.value("compile_cache_misses_total", backend="serial") == 1
     assert obs.registry.value("compile_cache_hits_total", backend="serial") == 5
-    assert obs.registry.value("compile_cache_misses_total", backend="process") == 2
-    assert obs.registry.value("compile_cache_hits_total", backend="process") == 4
+    # Six identical jobs intern down to one program compiled once on
+    # one worker; the five duplicates are hits without even a probe.
+    assert obs.registry.value("compile_cache_misses_total", backend="process") == 1
+    assert obs.registry.value("compile_cache_hits_total", backend="process") == 5
 
 
 # -- machines ----------------------------------------------------------------

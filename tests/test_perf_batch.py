@@ -145,13 +145,21 @@ def test_compile_cache_absorb_merges_hit_miss_only():
 
 def test_process_backend_surfaces_worker_cache_stats():
     backend = ProcessBackend(workers=2, chunksize=4)
-    cache = CompileCache()
-    jobs = [(binary_increment(), "1" * i) for i in range(8)]
-    run_many(jobs, backend=backend, cache=cache)
-    # Two chunks, each compiling the one distinct machine once.
-    assert backend.last_cache_stats["misses"] == 2
-    assert backend.last_cache_stats["hits"] == 6
-    assert cache.stats()["hits"] == 6 and cache.stats()["misses"] == 2
+    try:
+        cache = CompileCache()
+        jobs = [(binary_increment(), "1" * i) for i in range(8)]
+        run_many(jobs, backend=backend, cache=cache)
+        # Two chunks over one distinct machine.  Each *worker* that
+        # sees the program compiles it exactly once into its resident
+        # table — whether both chunks land on one worker or one each
+        # is a scheduling race, so only the bounds are deterministic.
+        stats = backend.last_cache_stats
+        assert stats["hits"] + stats["misses"] == len(jobs)
+        assert 1 <= stats["misses"] <= 2
+        assert cache.stats()["hits"] == stats["hits"]
+        assert cache.stats()["misses"] == stats["misses"]
+    finally:
+        backend.close()
 
 
 def test_serial_backend_reports_delta_not_history():
