@@ -11,8 +11,19 @@ test:
 # the PF2 warm-pool batch gate is enforced even here: the run fails
 # if the persistent warm-cache dispatcher stops beating the reference
 # interpreter by at least 2x the old 2.44x cold-dispatch baseline.
-bench-smoke: obs-smoke faults-smoke
+bench-smoke: obs-smoke faults-smoke runtime-smoke
 	python benchmarks/bench_perf_engine.py --smoke
+
+# Workload-generic runtime gate at tiny sizes: the TM path through
+# repro.runtime keeps the PF2 warm-batch win, and the complang adapter
+# beats its naive parse+compile+run loop >= 2x on a warm pool, with
+# results exactly equal to each adapter's per-job run_direct.
+runtime-smoke:
+	python benchmarks/bench_runtime_mixed.py --smoke
+
+# Full-size mixed-workload runtime run (same gates, stabler timings).
+bench-runtime:
+	python benchmarks/bench_runtime_mixed.py
 
 # Observability gate at tiny sizes: disabled-path overhead < 5% on the
 # compiled-engine hot loop, and a fully-traced run_many is exact.
@@ -43,4 +54,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs faults-smoke bench-faults
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs faults-smoke bench-faults runtime-smoke bench-runtime

@@ -20,9 +20,11 @@ scheduled fault at the chunk-dispatch boundary:
 A *poison job* is nastier than a scheduled fault: any chunk containing
 it crashes, every time, no matter how often it is retried — which is
 exactly the behaviour that forces a supervisor to bisect the chunk and
-quarantine the job.  Poison is matched by job *content*
-(:func:`repro.perf.batch.machine_key` plus the tape), not identity, so
-a job decoded twice from the same description is still poison.
+quarantine the job.  Poison is matched by job *content* — the
+workload adapter's ``content_key`` (for Turing machines,
+:func:`repro.perf.batch.machine_key` plus the tape) — not identity, so
+a job decoded twice from the same description is still poison, for any
+workload kind.
 
 Nothing here sleeps, forks, or consults a wall clock: chaos runs are
 reproducible bit-for-bit, which is what lets the recovery gate assert
@@ -35,9 +37,10 @@ from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import Future
 
 from repro.faults.injection import FaultSchedule
-from repro.machines.turing import TMResult
 from repro.obs.instrument import OBS
-from repro.perf.batch import _ZERO_STATS, CompileCache, TMJob, machine_key
+from repro.runtime.core import _ZERO_STATS, ResidentCache
+from repro.runtime.workload import Job, Workload
+from repro.runtime.workloads.machines import MACHINES
 
 __all__ = [
     "FAULT_KINDS",
@@ -125,23 +128,30 @@ class ChaosSchedule(FaultSchedule):
         return self.next_fault() is not None
 
 
-def job_key(job: TMJob) -> tuple:
-    """Content key of a (machine, tape) job — how poison is matched."""
-    machine, tape = job
-    return (machine_key(machine), tape)
+def job_key(job: Job, workload: Workload | None = None) -> tuple:
+    """Content key of a ``(program, input)`` job — how poison is matched.
+
+    Defaults to the Turing-machine adapter (``(machine_key(machine),
+    tape)``, the historical key); pass the job's workload for any
+    other kind.
+    """
+    return (workload if workload is not None else MACHINES).content_key(job)
 
 
-def valid_payload(payload: object, njobs: int) -> bool:
+def valid_payload(payload: object, njobs: int, workload: Workload | None = None) -> bool:
     """True iff ``payload`` has the ``(results, stats, seconds)`` chunk
-    shape with exactly one :class:`TMResult` per job.  The supervisor
-    treats anything else as corruption and retries the chunk."""
+    shape with exactly one valid result per job — valid in the eyes of
+    ``workload`` (the Turing-machine adapter by default, whose check is
+    an ``isinstance(r, TMResult)``).  The supervisor treats anything
+    else as corruption and retries the chunk."""
     if not (isinstance(payload, tuple) and len(payload) == 3):
         return False
     results, stats, elapsed = payload
+    checker = workload if workload is not None else MACHINES
     return (
         isinstance(results, list)
         and len(results) == njobs
-        and all(isinstance(r, TMResult) for r in results)
+        and all(checker.valid_result(r) for r in results)
         and isinstance(stats, Mapping)
         and isinstance(elapsed, (int, float))
     )
@@ -165,13 +175,18 @@ class ChaosBackend:
         inner,
         *,
         schedule: ChaosSchedule | None = None,
-        poison_jobs: Iterable[TMJob] = (),
+        poison_jobs: Iterable[Job] = (),
     ) -> None:
         if not hasattr(inner, "submit_chunk"):
             raise TypeError(f"inner backend {inner!r} has no submit_chunk")
         self.inner = inner
+        # Chaos is workload-transparent: poison matching and payload
+        # validation use the inner backend's adapter, so a supervisor
+        # over chaos over any workload behaves like one over the bare
+        # backend.
+        self.workload: Workload = getattr(inner, "workload", None) or MACHINES
         self.schedule = schedule if schedule is not None else ChaosSchedule.never()
-        self._poison = {job_key(job) for job in poison_jobs}
+        self._poison = {job_key(job, self.workload) for job in poison_jobs}
         self.dispatches = 0
         self.recoveries = 0
         self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
@@ -179,11 +194,13 @@ class ChaosBackend:
         self._hung: set[Future] = set()
 
     def submit_chunk(
-        self, chunk: Sequence[TMJob], *, fuel: int, compiled: bool
+        self, chunk: Sequence[Job], *, fuel: int, compiled: bool
     ) -> Future:
         self.dispatches += 1
         kind = self.schedule.next_fault()
-        if self._poison and any(job_key(job) in self._poison for job in chunk):
+        if self._poison and any(
+            job_key(job, self.workload) in self._poison for job in chunk
+        ):
             kind = "crash"  # poison beats the schedule, every time
         if kind is None:
             return self.inner.submit_chunk(chunk, fuel=fuel, compiled=compiled)
@@ -209,30 +226,30 @@ class ChaosBackend:
         if close is not None:
             close()
 
-    def _chunks(self, jobs: Sequence[TMJob]) -> list[Sequence[TMJob]]:
+    def _chunks(self, jobs: Sequence[Job]) -> list[Sequence[Job]]:
         chunker = getattr(self.inner, "_chunks", None)
         return chunker(jobs) if chunker is not None else [tuple(jobs)]
 
     def execute(
         self,
-        jobs: Sequence[TMJob],
+        jobs: Sequence[Job],
         *,
         fuel: int,
         compiled: bool,
-        cache: CompileCache | None = None,
-    ) -> list[TMResult]:
+        cache: ResidentCache | None = None,
+    ) -> list:
         self.last_cache_stats = dict(_ZERO_STATS)
         if not jobs:
             return []
         aggregate = dict(_ZERO_STATS)
-        out: list[TMResult] = []
+        out: list = []
         for chunk in self._chunks(jobs):
             future = self.submit_chunk(chunk, fuel=fuel, compiled=compiled)
             if future in self._hung:
                 future.cancel()
                 raise ChunkTimeout("chaos: chunk hung with no supervisor deadline")
             payload = future.result()  # raises WorkerCrash on a crash fault
-            if not valid_payload(payload, len(chunk)):
+            if not valid_payload(payload, len(chunk), workload=self.workload):
                 raise ChunkCorruption("chaos: chunk payload failed validation")
             results, stats, _ = payload
             out.extend(results)

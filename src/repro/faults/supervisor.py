@@ -22,7 +22,8 @@ any chunk-submitting backend through an event loop of futures
   :class:`~repro.faults.chaos.WorkerCrash`) restarts the inner pool via
   ``recover()``; once restarts exhaust ``max_pool_restarts`` the
   supervisor degrades to a fresh in-process
-  :class:`~repro.perf.batch.SerialBackend` and finishes the batch.
+  :class:`~repro.runtime.core.SerialBackend` bound to the same
+  workload and finishes the batch.
   This composes with :class:`~repro.perf.batch.ProcessBackend`'s warm
   state for free: ``recover()`` bumps the pool generation, the next
   ``submit_chunk`` re-seeds worker program tables from the master
@@ -38,6 +39,12 @@ quarantined slot surfaces as ``None`` in the result list and as a
 :class:`DeadLetter` on ``backend.last_report``.  A fault-free
 supervised run returns results identical to the bare backend's, within
 the <10% overhead budget gated by ``benchmarks/bench_fault_recovery.py``.
+
+Supervision is workload-generic: the supervisor reads its
+:class:`~repro.runtime.workload.Workload` off the inner backend (or
+takes one explicitly via ``workload=`` when ``inner`` is a name),
+interns and validates through the adapter, and quarantines poison by
+the adapter's ``content_key`` — nothing here assumes Turing machines.
 """
 
 from __future__ import annotations
@@ -47,19 +54,18 @@ from collections.abc import Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.faults.chaos import ChunkCorruption, ChunkTimeout, WorkerCrash, valid_payload
-from repro.machines.turing import TMResult
 from repro.obs.instrument import OBS
-from repro.perf.batch import (
-    _ZERO_STATS,
-    CompileCache,
-    SerialBackend,
-    TMJob,
-    _intern_batch,
+from repro.runtime import core as _core
+from repro.runtime.core import (
+    ResidentCache,
     _record_cache_metrics,
-    create_backend,
+    _ZERO_STATS,
+    intern_jobs,
 )
+from repro.runtime.workload import Job, Workload, get_workload
 
 __all__ = [
     "SupervisorPolicy",
@@ -112,7 +118,7 @@ class DeadLetter:
     """One quarantined job: where it sat, what it was, why it died."""
 
     index: int
-    job: TMJob
+    job: Job
     reason: str
 
 
@@ -149,7 +155,7 @@ class _Task:
         "generation",
     )
 
-    def __init__(self, offset: int, jobs: Sequence[TMJob]) -> None:
+    def __init__(self, offset: int, jobs: Sequence[Job]) -> None:
         self.offset = offset
         self.jobs = tuple(jobs)
         self.attempts = 0
@@ -171,7 +177,7 @@ class _Supervision:
         self.compiled = compiled
         self.report = SupervisionReport()
         self.aggregate = dict(_ZERO_STATS)
-        self.out: list[TMResult | None] = []
+        self.out: list[Any] = []
         self.pending: dict[Future, _Task] = {}
         # Bumped on every pool restart; a crash from a pre-restart
         # submission must not trigger another restart (when one worker
@@ -180,7 +186,7 @@ class _Supervision:
 
     # -- driving ------------------------------------------------------------
 
-    def run(self, jobs: Sequence[TMJob]) -> list[TMResult | None]:
+    def run(self, jobs: Sequence[Job]) -> list[Any]:
         self.out = [None] * len(jobs)
         self.report.jobs = len(jobs)
         tasks = [
@@ -215,7 +221,7 @@ class _Supervision:
         task.hedge_at = now + hedge if hedge is not None else None
         self.pending[future] = task
 
-    def _dispatch(self, jobs: Sequence[TMJob]) -> Future:
+    def _dispatch(self, jobs: Sequence[Job]) -> Future:
         """Submit to the active backend; survive a broken submit path."""
         for _ in range(2):
             try:
@@ -235,7 +241,7 @@ class _Supervision:
         error = future.exception()
         if error is None:
             payload = future.result()
-            if valid_payload(payload, len(task.jobs)):
+            if valid_payload(payload, len(task.jobs), workload=self.backend.workload):
                 self._settle(task, payload)
                 return
             error = ChunkCorruption(
@@ -356,17 +362,22 @@ class _Supervision:
         close = getattr(self.active, "close", None)
         if close is not None:
             close()
-        self.active = SerialBackend()
+        # Degrade within the same workload: in-process, but still the
+        # adapter's semantics.
+        self.active = _core.SerialBackend(self.backend.workload)
         OBS.event("supervisor.degraded", to="serial")
 
 
 class SupervisedBackend:
-    """A :class:`~repro.perf.batch.Backend` that survives its inner one.
+    """A :class:`~repro.runtime.core.Backend` that survives its inner one.
 
-    ``inner`` may be a backend name (forwarded to
-    :func:`~repro.perf.batch.create_backend` with ``inner_kwargs``) or
-    any instance exposing ``submit_chunk``.  ``execute`` returns one
-    slot per job, in order: the exact :class:`TMResult` for every job
+    ``inner`` may be a backend name (resolved through
+    :func:`repro.runtime.core.create_backend` with ``inner_kwargs``) or
+    any instance exposing ``submit_chunk``.  The supervised workload is
+    read off the inner backend; pass ``workload=`` (an adapter or a
+    kind name) to pick one when ``inner`` is a name — omitted, the
+    Turing-machine adapter keeps the historical behaviour.  ``execute``
+    returns one slot per job, in order: the exact result for every job
     that could be completed, ``None`` for the (rare) quarantined ones,
     detailed in ``last_report``.
     """
@@ -378,15 +389,30 @@ class SupervisedBackend:
         inner="process",
         *,
         policy: SupervisorPolicy | None = None,
+        workload: Workload | str | None = None,
         **inner_kwargs,
     ) -> None:
+        if isinstance(workload, str):
+            workload = get_workload(workload)
         if isinstance(inner, str):
-            inner = create_backend(inner, **inner_kwargs)
+            if workload is None:
+                # Historical default: resolve through the TM frontend's
+                # registry, so inner is the TM-bound backend class.
+                from repro.perf.batch import BACKENDS as _TM_BACKENDS
+
+                inner = _core.create_backend(inner, registry=_TM_BACKENDS, **inner_kwargs)
+            else:
+                inner = _core.create_backend(inner, workload=workload, **inner_kwargs)
         elif inner_kwargs:
             raise ValueError("backend kwargs only apply when inner is a name")
         if not hasattr(inner, "submit_chunk"):
             raise TypeError(f"inner backend {inner!r} has no submit_chunk")
         self.inner = inner
+        self.workload: Workload = (
+            workload
+            if workload is not None
+            else getattr(inner, "workload", None) or get_workload("machines")
+        )
         self.policy = policy if policy is not None else SupervisorPolicy()
         self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
         self.last_report = SupervisionReport()
@@ -403,7 +429,7 @@ class SupervisedBackend:
         if close is not None:
             close()
 
-    def iter_chunks(self, jobs: Sequence[TMJob]):
+    def iter_chunks(self, jobs: Sequence[Job]):
         """Yield ``(offset, chunk)`` slices honouring the policy size.
 
         A trailing 1-job chunk (``len(jobs) % size == 1``) is merged
@@ -427,12 +453,12 @@ class SupervisedBackend:
 
     def execute(
         self,
-        jobs: Sequence[TMJob],
+        jobs: Sequence[Job],
         *,
         fuel: int,
         compiled: bool = True,
-        cache: CompileCache | None = None,
-    ) -> list[TMResult | None]:
+        cache: ResidentCache | None = None,
+    ) -> list[Any]:
         self.last_cache_stats = dict(_ZERO_STATS)
         self.last_report = SupervisionReport(jobs=len(jobs))
         if not jobs:
@@ -440,9 +466,10 @@ class SupervisedBackend:
         # Intern like the bare backends: equal jobs are supervised (and
         # potentially retried, bisected, quarantined) exactly once, so
         # the fault-free supervised run keeps pace with the interned
-        # fast path.  Poison is matched by content, so deduplication
-        # can never hide it — it just quarantines every duplicate slot.
-        unique, slots, _ = _intern_batch(jobs)
+        # fast path.  Poison is matched by the adapter's content key,
+        # so deduplication can never hide it — it just quarantines
+        # every duplicate slot.
+        unique, slots, _ = intern_jobs(self.workload, jobs)
         run = _Supervision(self, fuel, compiled)
         try:
             with OBS.span("batch.supervised", backend=self.name, jobs=len(jobs)):

@@ -16,7 +16,14 @@ from dataclasses import dataclass
 from repro.machines.turing import BLANK, TuringMachine
 from repro.obs.instrument import OBS
 
-__all__ = ["BB_CHAMPIONS", "busy_beaver_machine", "score", "halting_survey", "HaltingReport"]
+__all__ = [
+    "BB_CHAMPIONS",
+    "busy_beaver_machine",
+    "score",
+    "score_sweep",
+    "halting_survey",
+    "HaltingReport",
+]
 
 # (states, (rules…), known sigma score [#1s], known step count)
 # Rules are (state, read, next_state, write, move); halt state is "H".
@@ -99,6 +106,30 @@ def score(machine: TuringMachine, *, fuel: int = 1_000_000, compiled: bool = Fal
     return result.tape.count("1"), result.steps
 
 
+def score_sweep(
+    machines: list[TuringMachine],
+    *,
+    fuel: int = 1_000_000,
+    backend: str = "serial",
+):
+    """Score a whole candidate family through the runtime.
+
+    Routes ``(machine, "")`` jobs through the workload-generic runtime
+    (:func:`repro.runtime.run_jobs`) under the ``busybeaver`` adapter,
+    so a champion hunt gets interning (duplicate candidates score
+    once), warm pools (``backend="process"``) and supervision
+    (``backend="supervised"``) without its own loop.  Returns one
+    :class:`~repro.runtime.workloads.busybeaver.BBScore` per machine,
+    in order — non-halters score with ``halted=False`` rather than
+    raising, since a sweep wants the census, not an abort.
+    """
+    from repro.runtime import run_jobs
+    from repro.runtime.workloads.busybeaver import BUSYBEAVER
+
+    with OBS.span("bb.score_sweep", total=len(machines), fuel=fuel):
+        return run_jobs(BUSYBEAVER, [(m, "") for m in machines], fuel=fuel, backend=backend)
+
+
 @dataclass
 class HaltingReport:
     """Census of a machine family under a fuel bound."""
@@ -126,18 +157,20 @@ def halting_survey(
     ``halted`` — monotonicity that tests verify — but no finite fuel
     empties ``running`` for arbitrary families: the halting problem.
 
-    ``compiled=True`` sweeps the family through the batched engine
-    (:func:`repro.perf.batch.run_many`), which caches compiled tables
-    across the family and can fan out over a process pool via
-    ``backend="process"``.
+    ``compiled=True`` sweeps the family through the workload-generic
+    runtime (:func:`repro.runtime.run_jobs` under the ``machines``
+    adapter), which caches compiled tables across the family and can
+    fan out over a process pool via ``backend="process"``.
     """
     with OBS.span(
         "bb.halting_survey", fuel=fuel, total=len(machines), compiled=compiled
     ):
         if compiled:
-            from repro.perf.batch import run_many
+            from repro.runtime import run_jobs
 
-            results = run_many([(m, "") for m in machines], fuel=fuel, backend=backend)
+            results = run_jobs(
+                "machines", [(m, "") for m in machines], fuel=fuel, backend=backend
+            )
             halted = sum(1 for r in results if r.halted)
         else:
             halted = sum(1 for m in machines if m.run("", fuel=fuel).halted)

@@ -15,7 +15,7 @@ of universality, not encoding efficiency.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections.abc import Sequence
 
 from repro.machines.turing import TMResult, TuringMachine
 from repro.obs.instrument import OBS
@@ -80,6 +80,12 @@ class UniversalMachine:
     keyed by the description string, so replaying the same program on
     many inputs pays decode+compile once.  Results are identical to
     the interpreted path (the compiled engine's contract).
+
+    The LRU is the runtime's generic
+    :class:`~repro.runtime.core.ResidentCache` over the
+    ``encoded_machines`` workload — the same adapter
+    :meth:`run_batch` sweeps whole description batches through, so a
+    private caching loop no longer lives here at all.
     """
 
     DECODE_OVERHEAD = 1  # bookkeeping steps charged for decoding
@@ -87,23 +93,21 @@ class UniversalMachine:
     def __init__(self, *, compiled: bool = False, cache_size: int = 64) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        from repro.runtime.core import ResidentCache
+        from repro.runtime.workloads.machines import ENCODED_MACHINES
+
         self.compiled = compiled
         self.cache_size = cache_size
-        self._compiled_cache: OrderedDict[str, object] = OrderedDict()
+        self._workload = ENCODED_MACHINES
+        self._compiled_cache = ResidentCache(ENCODED_MACHINES, maxsize=cache_size)
 
     def _compiled_for(self, description: str):
-        cached = self._compiled_cache.get(description)
-        if cached is not None:
-            self._compiled_cache.move_to_end(description)
+        before = (self._compiled_cache.hits, self._compiled_cache.misses)
+        program = self._compiled_cache.get(description)
+        if self._compiled_cache.hits > before[0]:
             OBS.count("universal_cache_hits_total")
-            return cached
-        OBS.count("universal_cache_misses_total")
-        from repro.perf.engine import compile_tm
-
-        program = compile_tm(decode_tm(description))
-        self._compiled_cache[description] = program
-        if len(self._compiled_cache) > self.cache_size:
-            self._compiled_cache.popitem(last=False)
+        else:
+            OBS.count("universal_cache_misses_total")
         return program
 
     def run(self, description: str, tape_input: str, *, fuel: int = 10_000) -> TMResult:
@@ -130,3 +134,46 @@ class UniversalMachine:
     def run_machine(self, machine: TuringMachine, tape_input: str, *, fuel: int = 10_000) -> TMResult:
         """Encode-then-run convenience: U(⟨M⟩, x)."""
         return self.run(encode_tm(machine), tape_input, fuel=fuel)
+
+    def run_batch(
+        self,
+        jobs: Sequence[tuple[str, str]],
+        *,
+        fuel: int = 10_000,
+        backend: str = "serial",
+    ) -> list[TMResult]:
+        """Run many ``(description, tape)`` jobs through the runtime.
+
+        The batch face of :meth:`run`: every job pays the same
+        ``DECODE_OVERHEAD`` and returns the identical
+        :class:`TMResult`, but decode+compile is amortised by the
+        runtime's interning (equal descriptions prepare once) and the
+        sweep can fan out over a warm pool via ``backend="process"``
+        or gain quarantine via ``backend="supervised"``.  Only the
+        ``compiled=True`` path exists here — batching an interpreter
+        would amortise nothing.
+        """
+        from repro.runtime import run_jobs
+
+        raw = run_jobs(self._workload, list(jobs), fuel=fuel, backend=backend)
+        mode = "compiled"  # the batch path always runs the lowered tables
+        out = [
+            None
+            if r is None  # a supervised backend may quarantine a job
+            else TMResult(
+                halted=r.halted,
+                accepted=r.accepted,
+                steps=r.steps + self.DECODE_OVERHEAD,
+                tape=r.tape,
+                final_state=r.final_state,
+            )
+            for r in raw
+        ]
+        if OBS.enabled:
+            done = [r for r in out if r is not None]
+            OBS.count("universal_runs_total", len(done), mode=mode)
+            OBS.count("universal_steps_total", sum(r.steps for r in done), mode=mode)
+            halts = sum(1 for r in done if r.halted)
+            if halts:
+                OBS.count("universal_halts_total", halts, mode=mode)
+        return out

@@ -75,6 +75,10 @@ KNOWN_METRICS: dict[str, tuple[str, str]] = {
     "batch_hedged_total": ("counter", "duplicate submissions for stragglers"),
     "batch_pool_restarts_total": ("counter", "inner pool restarts after crashes"),
     "batch_quarantined_jobs": ("counter", "jobs dead-lettered by bisection"),
+    # runtime (workload-generic, labelled {workload=..., backend=...})
+    "runtime_jobs_total": ("counter", "jobs submitted through runtime.run_jobs"),
+    "runtime_unique_jobs_total": ("counter", "jobs left after content-key dedup"),
+    "runtime_cost_total": ("counter", "sum of per-result workload.cost units"),
 }
 
 

@@ -149,10 +149,14 @@ class Multicore:
         """
         if len(machines) != len(inputs):
             raise ValueError("one input per machine required")
-        from repro.perf.batch import run_many
+        from repro.runtime import run_jobs
 
-        results = run_many(
-            list(zip(machines, inputs)), fuel=fuel, compiled=compiled, backend=backend
+        results = run_jobs(
+            "machines",
+            list(zip(machines, inputs)),
+            fuel=fuel,
+            compiled=compiled,
+            backend=backend,
         )
 
         def countdown(result):

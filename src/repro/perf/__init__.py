@@ -12,7 +12,10 @@ the equivalence is property-tested, which is what licenses the speed.
 :mod:`repro.perf.batch` executes batches of (machine, input) jobs with
 a keyed LRU compile cache and pluggable execution backends (serial, or
 a chunked process pool), so universal-machine replays and busy-beaver
-sweeps amortise compilation and can use every core.
+sweeps amortise compilation and can use every core.  Since the runtime
+extraction it is the Turing-machine frontend of
+:mod:`repro.runtime` — the workload-generic execution layer every
+subsystem shares.
 """
 
 from repro.perf.batch import (

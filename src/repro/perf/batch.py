@@ -1,5 +1,17 @@
 """Batched execution of (machine, input) jobs with compile caching.
 
+This module is the Turing-machine *frontend* of the workload-generic
+runtime (:mod:`repro.runtime`): the interning, warm-pool and adaptive
+dispatch machinery that grew up here now lives in
+:mod:`repro.runtime.core`, parameterized by a
+:class:`~repro.runtime.workload.Workload` adapter, and the TM path is
+the :data:`~repro.runtime.workloads.machines.MACHINES` adapter bound
+back into the same public surface.  Nothing observable changed:
+``run_many`` keeps its signature, its spans and metrics, and its
+byte-identical results; :class:`CompileCache`, :class:`SerialBackend`
+and :class:`ProcessBackend` are the generic machinery with the TM
+workload pre-bound.
+
 Busy-beaver sweeps, halting surveys and universal-machine replays run
 the *same* machines over and over; compiling once and reusing the
 tables is where batching wins.  :class:`CompileCache` is a keyed LRU
@@ -10,57 +22,37 @@ Execution backends are pluggable in the style of ChainerMN's
 communicators: ``create_backend("serial")`` or
 ``create_backend("process", workers=4)`` both satisfy the same
 interface, and :func:`run_many` accepts either a name or an instance.
+See the :mod:`repro.runtime.core` docstring for the three mechanisms —
+payload interning, persistent warm workers, adaptive dispatch with a
+work-stealing tail — that make the batch layer change the cost but
+never the answer.
 
-The batch layer changes the cost, never the answer, through three
-mechanisms (ChainerMN's lesson: multi-worker speedup lives or dies on
-amortising communication, not on the per-worker kernel):
-
-* **Payload interning.**  A pre-pass dedups jobs by content — equal
-  ``(machine, input)`` pairs execute once and share the result — and
-  assigns every unique program a compact integer id.  Workers hold a
-  resident program table keyed by those ids, so steady-state chunk
-  payloads are ``(program_id, input)`` tuples plus the fuel: the
-  dominant payload (the transition table) crosses the process boundary
-  at most once per worker, at pool warm-up.
-* **Persistent warm workers.**  A :class:`ProcessBackend`'s pool and
-  its per-worker program tables survive across ``execute()`` calls.
-  ``warm()`` seeds the tables up front; ``invalidate()`` drops every
-  resident table, the result memo and the cost model.  Tables are
-  generation-tagged: a pool restart (``recover()``, the fault
-  supervisor's crash path, or a fork-unsafe pid change) bumps the
-  generation, so no stale table can ever serve a post-restart chunk.
-* **Adaptive dispatch with a work-stealing tail.**  ``execute`` plans
-  chunks from a cost model calibrated on observed per-job step counts
-  (an EWMA per program, fed back from every completed chunk).  Each
-  dispatch takes a ``1/(2·workers)`` share of the *remaining*
-  estimated cost, so chunk sizes decay geometrically: the tail of the
-  batch is pulled off the straggler queue in ever-halving pieces by
-  whichever worker goes idle first, bounding tail latency by a single
-  job's cost.  Pulls beyond the initial one-per-worker wave are
-  counted as steals (``batch_steal_total``).
-
-Worker compile stats ride home with each chunk's results: the backend
-folds them into the caller's :class:`CompileCache` (via
-:meth:`CompileCache.absorb`), exposes the aggregate as
-``backend.last_cache_stats`` and a dispatch summary (chunks, steals,
-bytes shipped, warm hits) as ``backend.last_dispatch``, and — when
-:data:`repro.obs.instrument.OBS` is enabled — into the metrics
-registry, alongside per-chunk durations and the dispatch queue depth.
+Migration note for importers: everything exported here keeps working.
+New code that is not TM-specific should import the generic pieces from
+:mod:`repro.runtime` (``run_jobs``, ``SerialBackend(workload)``,
+``ProcessBackend(workload, ...)``, ``resolve_backend``) instead.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
-import time
-from collections import OrderedDict, deque
-from collections.abc import Mapping, Sequence
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from typing import Protocol
+from collections.abc import Sequence
 
 from repro.machines.turing import TMResult, TuringMachine
 from repro.obs.instrument import OBS
-from repro.perf.engine import CompiledTM, compile_tm, program_key
+from repro.perf.engine import program_key
+from repro.runtime import core as _core
+from repro.runtime.core import (
+    Backend,
+    ProgramNotResident,
+    ResidentCache,
+    _execute_entries,
+    _record_cache_metrics,
+    _worker_warm,
+    _ZERO_STATS,
+    resolve_backend,
+)
+from repro.runtime.workloads.machines import MACHINES
 
 __all__ = [
     "TMJob",
@@ -81,65 +73,22 @@ TMJob = tuple[TuringMachine, str]
 # tests key on it.
 machine_key = program_key
 
+# Worker-side sentinel for machines whose alphabet the engine rejects;
+# re-exported for compatibility (the generic name is _UNPREPARABLE).
+_UNCOMPILABLE = _core._UNPREPARABLE
+_WORKER = _core._WORKER
 
-class ProgramNotResident(RuntimeError):
-    """A worker was handed a program id it has no table or source for.
 
-    Only reachable through torn dispatch state (e.g. a hand-built
-    payload); ``execute`` and ``submit_chunk`` always ship the machine
-    alongside any id the pool was not warmed with.  A supervisor
-    treats it like any other chunk failure and retries.
+class CompileCache(ResidentCache):
+    """A keyed LRU cache of compiled transition tables.
+
+    The TM-bound :class:`~repro.runtime.core.ResidentCache`: keys are
+    :func:`machine_key` content keys, values the compiled tables of
+    :func:`repro.perf.engine.compile_tm`.
     """
 
-
-class CompileCache:
-    """A keyed LRU cache of compiled transition tables."""
-
     def __init__(self, maxsize: int = 128) -> None:
-        if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
-        self.maxsize = maxsize
-        self._entries: OrderedDict[tuple, CompiledTM] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, machine: TuringMachine) -> CompiledTM:
-        key = machine_key(machine)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.misses += 1
-        entry = compile_tm(machine)
-        self._entries[key] = entry
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return entry
-
-    def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
-
-    def absorb(self, stats: Mapping[str, int]) -> None:
-        """Fold another cache's hit/miss counts into this one's.
-
-        ``size`` is deliberately not additive — the other cache's
-        entries live (or lived) elsewhere; only the effectiveness
-        counters travel.
-        """
-        self.hits += int(stats.get("hits", 0))
-        self.misses += int(stats.get("misses", 0))
-
-
-_ZERO_STATS = {"hits": 0, "misses": 0, "size": 0}
-
-
-def _record_cache_metrics(backend: str, hits: int, misses: int) -> None:
-    OBS.count("compile_cache_hits_total", hits, backend=backend)
-    OBS.count("compile_cache_misses_total", misses, backend=backend)
+        super().__init__(MACHINES, maxsize)
 
 
 def _intern_batch(jobs: Sequence[TMJob]) -> tuple[list[TMJob], list[int], list[tuple]]:
@@ -150,77 +99,22 @@ def _intern_batch(jobs: Sequence[TMJob]) -> tuple[list[TMJob], list[int], list[t
     ``u``'s machine.  Equal jobs (same program content, same tape)
     execute once — determinism of the machines makes sharing exact.
     """
-    index: dict[tuple, int] = {}
-    unique: list[TMJob] = []
-    unique_keys: list[tuple] = []
-    slots: list[int] = []
-    for machine, tape in jobs:
-        key = program_key(machine)
-        u = index.get((key, tape))
-        if u is None:
-            u = index[(key, tape)] = len(unique)
-            unique.append((machine, tape))
-            unique_keys.append(key)
-        slots.append(u)
-    return unique, slots, unique_keys
+    return _core.intern_jobs(MACHINES, jobs)
 
 
 def _run_jobs(
     jobs: Sequence[TMJob], fuel: int, compiled: bool, cache: CompileCache | None = None
 ) -> list[TMResult]:
     """The shared inner loop: run jobs in order, reusing compiles."""
-    if not compiled:
-        return [machine.run(tape, fuel=fuel) for machine, tape in jobs]
-    cache = cache if cache is not None else CompileCache()
-    out = []
-    for machine, tape in jobs:
-        try:
-            program = cache.get(machine)
-        except ValueError:  # uncompilable alphabet: reference fallback
-            out.append(machine.run(tape, fuel=fuel))
-            continue
-        out.append(program.run(tape, fuel=fuel))
-    return out
+    return _core.run_job_loop(MACHINES, jobs, fuel, compiled, cache)
 
 
 def _run_chunk(
     payload: tuple[Sequence[TMJob], int, bool],
 ) -> tuple[list[TMResult], dict[str, int], float]:
-    """Uninterned chunk entry point (module-level so it pickles).
-
-    The serial backend's ``submit_chunk`` runs this inline so a
-    supervisor sees identical worker semantics on either backend: a
-    fresh per-chunk cache whose hit/miss counts — and the chunk's wall
-    time — ride home with the results.
-    """
+    """Uninterned chunk entry point, in the legacy TM payload shape."""
     jobs, fuel, compiled = payload
-    start = time.perf_counter()
-    cache = CompileCache() if compiled else None
-    results = _run_jobs(jobs, fuel, compiled, cache)
-    stats = cache.stats() if cache is not None else dict(_ZERO_STATS)
-    return results, stats, time.perf_counter() - start
-
-
-# ---------------------------------------------------------------------------
-# Worker-side resident state (process-pool side of payload interning)
-# ---------------------------------------------------------------------------
-
-# One resident table per worker process: program id -> compiled table
-# (or _UNCOMPILABLE), plus the machine sources to compile from.
-# Sources arrive either through the pool initializer (warm seeding —
-# under fork they transfer by inheritance, zero pickles) or shipped
-# inside a chunk payload (at most once per chunk for an unseeded
-# program).  Compilation is lazy and counted as a miss in the chunk
-# that triggers it; later jobs on the same worker are hits.
-_UNCOMPILABLE = object()
-_WORKER: dict = {"generation": -1, "programs": {}, "machines": {}}
-
-
-def _worker_warm(generation: int, seeds: Sequence[tuple[int, TuringMachine]]) -> None:
-    """Pool initializer: install this generation's seeded sources."""
-    _WORKER["generation"] = generation
-    _WORKER["programs"] = {}
-    _WORKER["machines"] = dict(seeds)
+    return _core._run_chunk((MACHINES, jobs, fuel, compiled))
 
 
 def _run_interned_chunk(
@@ -231,192 +125,32 @@ def _run_interned_chunk(
     ``payload`` is ``(generation, entries, shipped, fuel, compiled)``
     with ``entries`` a sequence of ``(program_id, tape)`` and
     ``shipped`` the machine sources for ids the master could not
-    assume resident.  A generation older than the payload's means the
-    table belongs to a pre-restart pool: it is dropped wholesale
-    before any entry is served.
+    assume resident — the legacy TM shape; the pool itself now submits
+    :func:`repro.runtime.core._run_workload_chunk`, whose payload also
+    carries the workload.  A generation older than the worker table's
+    means the table belongs to a pre-restart pool: it is dropped
+    wholesale before any entry is served.
     """
     if isinstance(payload, bytes):
-        # The master pre-pickles the payload (to measure the bytes it
-        # ships, and to pickle shipped programs exactly once); unwrap.
         payload = pickle.loads(payload)
     generation, entries, shipped, fuel, compiled = payload
-    start = time.perf_counter()
-    if _WORKER["generation"] != generation:
-        _WORKER["generation"] = generation
-        _WORKER["programs"] = {}
-        _WORKER["machines"] = {}
-    machines = _WORKER["machines"]
-    if shipped:
-        machines.update(shipped)
-    programs = _WORKER["programs"]
-    hits = misses = 0
-    results: list[TMResult] = []
-    for pid, tape in entries:
-        if not compiled:
-            machine = machines.get(pid)
-            if machine is None:
-                raise ProgramNotResident(f"program {pid} not resident (gen {generation})")
-            results.append(machine.run(tape, fuel=fuel))
-            continue
-        program = programs.get(pid)
-        if program is None:
-            machine = machines.get(pid)
-            if machine is None:
-                raise ProgramNotResident(f"program {pid} not resident (gen {generation})")
-            misses += 1
-            try:
-                program = compile_tm(machine)
-            except ValueError:  # uncompilable alphabet: reference fallback
-                program = _UNCOMPILABLE
-            programs[pid] = program
-        else:
-            hits += 1
-        if program is _UNCOMPILABLE:
-            results.append(machines[pid].run(tape, fuel=fuel))
-        else:
-            results.append(program.run(tape, fuel=fuel))
-    stats = {"hits": hits, "misses": misses, "size": len(programs)}
-    return results, stats, time.perf_counter() - start
+    return _execute_entries(MACHINES, generation, entries, shipped, fuel, compiled)
 
 
-class Backend(Protocol):
-    """The pluggable execution interface (cf. ChainerMN communicators).
-
-    ``last_cache_stats`` holds the compile-cache hit/miss/size tallies
-    of the most recent ``execute``; ``last_dispatch`` summarises how
-    that call was dispatched (jobs, unique jobs, chunks, steals,
-    payload bytes, warm hits).
-
-    Beyond ``execute``, the built-in backends expose a chunk-level API
-    (``submit_chunk``/``recover``/``close``) returning
-    :class:`concurrent.futures.Future` objects; that is the surface
-    :class:`repro.faults.supervisor.SupervisedBackend` drives to add
-    deadlines, retries, hedging, and quarantine on top.
-    """
-
-    name: str
-    last_cache_stats: dict[str, int]
-
-    def execute(
-        self, jobs: Sequence[TMJob], *, fuel: int, compiled: bool, cache: CompileCache | None
-    ) -> list[TMResult]: ...
-
-
-class SerialBackend:
-    """In-process execution; the default and the baseline.
-
-    Jobs are interned (equal jobs run once, results shared) but there
-    is no pool to keep warm: cross-call reuse comes from passing a
-    caller-owned :class:`CompileCache`.
-    """
-
-    name = "serial"
+class SerialBackend(_core.SerialBackend):
+    """In-process execution of TM jobs; the default and the baseline."""
 
     def __init__(self) -> None:
-        self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
-        self.last_dispatch: dict[str, int] = {}
-
-    def submit_chunk(
-        self, chunk: Sequence[TMJob], *, fuel: int, compiled: bool
-    ) -> Future:
-        """Run one chunk inline; return it as an already-settled future.
-
-        Same worker semantics as the process backend (fresh per-chunk
-        cache, stats ride home in the payload), so a supervisor can
-        drive either backend through one interface.
-        """
-        future: Future = Future()
-        try:
-            future.set_result(_run_chunk((tuple(chunk), fuel, compiled)))
-        except BaseException as exc:  # settled, never raised here
-            future.set_exception(exc)
-        return future
-
-    def recover(self) -> None:
-        """Nothing to restart: in-process execution has no pool."""
-
-    def close(self) -> None:
-        """Nothing to release."""
-
-    def execute(
-        self,
-        jobs: Sequence[TMJob],
-        *,
-        fuel: int,
-        compiled: bool,
-        cache: CompileCache | None = None,
-    ) -> list[TMResult]:
-        # Reset at entry so a failing run can't leave the previous
-        # run's tallies visible.
-        self.last_cache_stats = dict(_ZERO_STATS)
-        self.last_dispatch = {}
-        unique, slots, _ = _intern_batch(jobs)
-        local = cache
-        if local is None and compiled:
-            local = CompileCache()
-        before = local.stats() if local is not None else dict(_ZERO_STATS)
-        start = time.perf_counter()
-        with OBS.span("batch.chunk", backend=self.name, jobs=len(jobs)):
-            unique_results = _run_jobs(unique, fuel, compiled, local)
-        results = [unique_results[s] for s in slots]
-        elapsed = time.perf_counter() - start
-        after = local.stats() if local is not None else dict(_ZERO_STATS)
-        # Delta, not totals: a caller-shared cache carries history from
-        # previous batches that must not be re-counted.  A deduped
-        # duplicate reused a compiled program without even a cache
-        # probe — the purest hit there is — so it counts as one (in
-        # compiled mode; reference mode has no programs to reuse).
-        deduped = len(jobs) - len(unique)
-        self.last_cache_stats = {
-            "hits": after["hits"] - before["hits"] + (deduped if compiled else 0),
-            "misses": after["misses"] - before["misses"],
-            "size": after["size"],
-        }
-        self.last_dispatch = {
-            "jobs": len(jobs),
-            "unique_jobs": len(unique),
-            "deduped": deduped,
-            "chunks": 1 if jobs else 0,
-            "steals": 0,
-            "payload_bytes": 0,
-            "warm_hits": 0,
-        }
-        if OBS.enabled:
-            OBS.gauge("batch_queue_depth", 1, backend=self.name)
-            OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
-            _record_cache_metrics(
-                self.name, self.last_cache_stats["hits"], self.last_cache_stats["misses"]
-            )
-        return results
+        super().__init__(MACHINES)
 
 
-class ProcessBackend:
-    """Chunked execution on a persistent ``concurrent.futures`` pool.
+class ProcessBackend(_core.ProcessBackend):
+    """TM jobs chunked onto a persistent warm process pool.
 
-    The pool — and every worker's resident program table — survives
-    across ``execute()`` calls.  Lifecycle:
-
-    * ``warm(jobs=..., machines=...)`` registers programs and (re)builds
-      the pool with them seeded, so workers never see those transition
-      tables in a chunk payload at all;
-    * ``execute`` registers any new programs as it meets them (seeding
-      them if the pool is not built yet, shipping them at most once per
-      chunk otherwise) and keeps a bounded memo of results, so a warm
-      backend answers repeated jobs without touching the pool;
-    * ``recover()`` discards a (possibly broken) pool; the next submit
-      builds a fresh one, re-seeded, under a new generation;
-    * ``invalidate()`` additionally drops the program registry, the
-      result memo and the cost model;
-    * ``close()`` releases the pool but keeps the warm master state, so
-      reopening re-seeds automatically.
-
-    ``chunksize=None`` enables adaptive dispatch: chunk sizes follow a
-    per-program cost model and decay toward single jobs at the tail
-    (see the module docstring).  An explicit ``chunksize`` keeps the
-    static split of :meth:`_chunks`.
+    The TM-bound :class:`repro.runtime.core.ProcessBackend`; see there
+    for the warm lifecycle (``warm``/``invalidate``/``recover``/
+    ``close``), the resident program tables and the adaptive dispatch.
     """
-
-    name = "process"
 
     def __init__(
         self,
@@ -426,35 +160,9 @@ class ProcessBackend:
         memo_size: int = 4096,
         table_size: int = 4096,
     ) -> None:
-        self.workers = workers or os.cpu_count() or 1
-        if self.workers < 1:
-            raise ValueError("need at least one worker")
-        if chunksize is not None and chunksize < 1:
-            raise ValueError("chunksize must be >= 1 (or None for adaptive dispatch)")
-        if memo_size < 0:
-            raise ValueError("memo_size must be >= 0")
-        if table_size < 1:
-            raise ValueError("table_size must be >= 1")
-        self.chunksize = chunksize
-        self.memo_size = memo_size
-        self.table_size = table_size
-        self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
-        self.last_dispatch: dict[str, int] = {}
-        self._pool: ProcessPoolExecutor | None = None
-        self._owner_pid = os.getpid()
-        # Master-side intern state.  generation tags worker tables to a
-        # pool incarnation; _known maps program id -> (content key,
-        # machine) for re-seeding; _seeded is the subset baked into the
-        # current pool's initializer (resident on *every* worker).
-        self.generation = 0
-        self._key_ids: dict[tuple, int] = {}
-        self._next_id = 0
-        self._known: OrderedDict[int, tuple[tuple, TuringMachine]] = OrderedDict()
-        self._seeded: set[int] = set()
-        self._memo: OrderedDict[tuple, TMResult] = OrderedDict()
-        self._cost: dict[int, float] = {}
-
-    # -- warm lifecycle ------------------------------------------------------
+        super().__init__(
+            MACHINES, workers, chunksize, memo_size=memo_size, table_size=table_size
+        )
 
     def warm(
         self,
@@ -462,336 +170,9 @@ class ProcessBackend:
         jobs: Sequence[TMJob] = (),
         machines: Sequence[TuringMachine] = (),
     ) -> "ProcessBackend":
-        """Register programs and build the pool with them seeded.
-
-        Under a forking start method the seeds transfer to workers by
-        memory inheritance — zero pickles; under spawn they are pickled
-        once per worker, in the initializer arguments.  Either way no
-        chunk payload ever carries a seeded program's table.
-        """
-        fresh = False
-        for machine in list(machines) + [machine for machine, _ in jobs]:
-            pid = self._register(machine)
-            fresh = fresh or pid not in self._seeded
-        if self._pool is not None and fresh:
-            self.close()  # rebuild below so the new programs are seeded
-        self._ensure_pool()
+        """Register machines and build the pool with them seeded."""
+        super().warm(jobs=jobs, programs=machines)
         return self
-
-    def invalidate(self) -> None:
-        """Drop every warm table: pool, program registry, memo, costs."""
-        self.close()
-        self._key_ids.clear()
-        self._known.clear()
-        self._memo.clear()
-        self._cost.clear()
-
-    def recover(self) -> None:
-        """Discard the pool — broken or not — so the next submit starts
-        a fresh one under a new generation, re-seeded from the program
-        registry.  This is the restart step after a worker crash
-        surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`."""
-        pool, self._pool = self._pool, None
-        self._seeded = set()
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-
-    def close(self) -> None:
-        pool, self._pool = self._pool, None
-        self._seeded = set()
-        if pool is not None:
-            pool.shutdown()
-
-    def __del__(self) -> None:  # pragma: no cover - GC timing
-        try:
-            if os.getpid() == self._owner_pid:
-                self.close()
-        except Exception:
-            pass
-
-    # -- intern bookkeeping --------------------------------------------------
-
-    def _register(self, machine: TuringMachine) -> int:
-        """Intern a machine; returns its compact program id."""
-        key = program_key(machine)
-        pid = self._key_ids.get(key)
-        if pid is None:
-            pid = self._next_id
-            self._next_id += 1
-            self._key_ids[key] = pid
-        self._known[pid] = (key, machine)
-        self._known.move_to_end(pid)
-        if len(self._known) > self.table_size:
-            old_pid, (old_key, _) = self._known.popitem(last=False)
-            self._key_ids.pop(old_key, None)
-            self._seeded.discard(old_pid)
-            self._cost.pop(old_pid, None)
-        return pid
-
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is not None and os.getpid() != self._owner_pid:
-            # Fork-unsafe state: this object was copied into a child
-            # process.  The pool's queues and worker processes belong
-            # to the parent — drop the reference (never shut the
-            # parent's workers down from here) and rebuild.
-            self._pool = None
-            self._seeded = set()
-        if self._pool is None:
-            self.generation += 1
-            seeds = [(pid, machine) for pid, (_, machine) in self._known.items()]
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_worker_warm,
-                initargs=(self.generation, seeds),
-            )
-            self._seeded = {pid for pid, _ in seeds}
-            self._owner_pid = os.getpid()
-        return self._pool
-
-    # -- chunk-level API (the supervision surface) ---------------------------
-
-    def _submit_entries(
-        self,
-        pool: ProcessPoolExecutor,
-        entries: Sequence[tuple[int, str]],
-        *,
-        fuel: int,
-        compiled: bool,
-    ) -> tuple[Future, int]:
-        """Submit interned entries; returns ``(future, payload_bytes)``.
-
-        Ships the machine source for any id the current pool was not
-        seeded with — at most once per chunk, however many entries
-        reference it.
-        """
-        shipped: dict[int, TuringMachine] = {}
-        for pid, _ in entries:
-            if pid not in self._seeded and pid not in shipped:
-                shipped[pid] = self._known[pid][1]
-        payload = (self.generation, tuple(entries), shipped, fuel, compiled)
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        return pool.submit(_run_interned_chunk, blob), len(blob)
-
-    def submit_chunk(
-        self, chunk: Sequence[TMJob], *, fuel: int, compiled: bool
-    ) -> Future:
-        """Submit one chunk to the pool; the supervision hook.
-
-        The chunk is interned on the way in (compact ids, resident
-        tables), so a supervisor composes with warm pools for free:
-        hedged duplicates re-ship nothing, and after ``recover()`` the
-        next submit re-seeds under a fresh generation.  Callers driving
-        this directly own the pool lifetime: call :meth:`close` (or
-        let ``run_many`` close backends it created by name).
-        """
-        entries = [(self._register(machine), tape) for machine, tape in chunk]
-        future, _ = self._submit_entries(
-            self._ensure_pool(), entries, fuel=fuel, compiled=compiled
-        )
-        return future
-
-    # -- dispatch planning ---------------------------------------------------
-
-    def _chunks(self, jobs: Sequence[TMJob]) -> list[Sequence[TMJob]]:
-        """Static split: ``chunksize``-sized slices, order-preserving.
-
-        ``chunksize=None`` targets roughly 4 chunks per worker and
-        never more.  A trailing 1-job chunk (``len % size == 1``) is
-        merged into its predecessor: a chunk's fixed dispatch cost is
-        never paid to ship a single leftover job.
-        """
-        size = self.chunksize
-        if size is None:
-            # Ceil-divide toward at most workers*4 chunks; the old
-            # floor-divide gave every job its own chunk whenever
-            # len(jobs) < workers*4.
-            target = min(len(jobs), self.workers * 4)
-            size = -(-len(jobs) // target) if target else 1
-        elif size < 1:
-            raise ValueError("chunksize must be >= 1")
-        chunks = [jobs[i : i + size] for i in range(0, len(jobs), size)]
-        if len(chunks) >= 2 and len(chunks[-1]) == 1:
-            chunks[-2:] = [[*chunks[-2], *chunks[-1]]]
-        return chunks
-
-    def _estimate(self, pid: int) -> float:
-        """Estimated relative cost of one job of program ``pid``."""
-        est = self._cost.get(pid)
-        if est is not None:
-            return max(est, 1.0)
-        if self._cost:
-            return max(sum(self._cost.values()) / len(self._cost), 1.0)
-        return 1.0
-
-    def _observe_cost(self, pid: int, steps: int) -> None:
-        self._cost[pid] = 0.5 * self._cost.get(pid, float(steps)) + 0.5 * steps
-
-    # -- execution -----------------------------------------------------------
-
-    def execute(
-        self,
-        jobs: Sequence[TMJob],
-        *,
-        fuel: int,
-        compiled: bool,
-        cache: CompileCache | None = None,
-    ) -> list[TMResult]:
-        # Reset at entry: a chunk that raises mid-batch used to leave
-        # the previous run's tallies behind.
-        self.last_cache_stats = dict(_ZERO_STATS)
-        self.last_dispatch = {}
-        if not jobs:
-            return []
-        unique, slots, _ = _intern_batch(jobs)
-        pids = [self._register(machine) for machine, _ in unique]
-
-        # Warm memo: a (program, tape, fuel) triple this backend has
-        # already answered never goes back to the pool.
-        unique_results: list[TMResult | None] = [None] * len(unique)
-        pending: list[int] = []
-        for u, (pid, (_, tape)) in enumerate(zip(pids, unique)):
-            memoed = self._memo.get((pid, tape, fuel, compiled))
-            if memoed is not None:
-                self._memo.move_to_end((pid, tape, fuel, compiled))
-                unique_results[u] = memoed
-            else:
-                pending.append(u)
-
-        aggregate = dict(_ZERO_STATS)
-        chunks = steals = payload_bytes = 0
-        try:
-            if pending:
-                with OBS.span(
-                    "batch.pool", backend=self.name, jobs=len(jobs), pending=len(pending)
-                ):
-                    chunks, steals, payload_bytes = self._dispatch(
-                        pending, unique, pids, unique_results, aggregate, fuel, compiled
-                    )
-        finally:
-            # Failure-safe: on an exception this reflects exactly the
-            # chunks that completed, never the previous run.
-            executed = set(pending)
-            dup_of_executed = sum(1 for s in slots if s in executed) - len(executed)
-            warm_hits = sum(1 for s in slots if s not in executed)
-            self.last_cache_stats = {
-                "hits": aggregate["hits"] + (dup_of_executed if compiled else 0),
-                "misses": aggregate["misses"],
-                "size": aggregate["size"],
-            }
-            self.last_dispatch = {
-                "jobs": len(jobs),
-                "unique_jobs": len(unique),
-                "deduped": len(jobs) - len(unique),
-                "chunks": chunks,
-                "steals": steals,
-                "payload_bytes": payload_bytes,
-                "warm_hits": warm_hits,
-            }
-        out = [unique_results[s] for s in slots]
-        if any(r is None for r in out):  # pragma: no cover - defensive
-            raise RuntimeError("dispatch completed with unfilled result slots")
-        for u, (pid, (_, tape)) in enumerate(zip(pids, unique)):
-            if self.memo_size and unique_results[u] is not None:
-                self._memo[(pid, tape, fuel, compiled)] = unique_results[u]
-        while len(self._memo) > self.memo_size:
-            self._memo.popitem(last=False)
-        if cache is not None:
-            cache.absorb(self.last_cache_stats)
-        if OBS.enabled:
-            OBS.gauge("batch_queue_depth", chunks, backend=self.name)
-            _record_cache_metrics(
-                self.name, self.last_cache_stats["hits"], self.last_cache_stats["misses"]
-            )
-            if steals:
-                OBS.count("batch_steal_total", steals, backend=self.name)
-            if payload_bytes:
-                OBS.count("batch_payload_bytes", payload_bytes, backend=self.name)
-            if warm_hits:
-                OBS.count("batch_warm_hits", warm_hits, backend=self.name)
-        return out
-
-    def _dispatch(
-        self,
-        pending: list[int],
-        unique: Sequence[TMJob],
-        pids: Sequence[int],
-        unique_results: list[TMResult | None],
-        aggregate: dict[str, int],
-        fuel: int,
-        compiled: bool,
-    ) -> tuple[int, int, int]:
-        """Drive the pool over ``pending`` unique-job indices.
-
-        Returns ``(chunks, steals, payload_bytes)``.  Chunk *contents*
-        are deterministic — each pull takes a ``1/(2·workers)`` share
-        of the remaining estimated cost off the front of the straggler
-        queue — only the chunk→worker assignment races.
-        """
-        pool = self._ensure_pool()
-        static = self.chunksize is not None
-        if static:
-            spans = deque(self._chunks(pending))
-            remainder: deque[int] = deque()
-            remaining_cost = 0.0
-            estimates: dict[int, float] = {}
-        else:
-            spans = deque()
-            remainder = deque(pending)
-            estimates = {u: self._estimate(pids[u]) for u in pending}
-            remaining_cost = sum(estimates.values())
-
-        def next_span() -> list[int] | None:
-            nonlocal remaining_cost
-            if static:
-                return list(spans.popleft()) if spans else None
-            if not remainder:
-                return None
-            share = max(1.0, remaining_cost / (2 * self.workers))
-            span: list[int] = []
-            acc = 0.0
-            while remainder and (not span or acc < share):
-                u = remainder.popleft()
-                span.append(u)
-                acc += estimates[u]
-            remaining_cost -= acc
-            return span
-
-        chunks = steals = payload_bytes = 0
-        in_flight: dict[Future, list[int]] = {}
-        try:
-            while True:
-                while len(in_flight) < self.workers:
-                    span = next_span()
-                    if span is None:
-                        break
-                    entries = [(pids[u], unique[u][1]) for u in span]
-                    future, size = self._submit_entries(
-                        pool, entries, fuel=fuel, compiled=compiled
-                    )
-                    payload_bytes += size
-                    if chunks >= self.workers:
-                        steals += 1  # a pull beyond the initial wave
-                    chunks += 1
-                    in_flight[future] = span
-                if not in_flight:
-                    break
-                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
-                for future in done:
-                    span = in_flight.pop(future)
-                    results, stats, elapsed = future.result()
-                    for u, result in zip(span, results):
-                        unique_results[u] = result
-                        self._observe_cost(pids[u], result.steps)
-                    aggregate["hits"] += stats["hits"]
-                    aggregate["misses"] += stats["misses"]
-                    aggregate["size"] = max(aggregate["size"], stats["size"])
-                    if OBS.enabled:
-                        OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
-        except BaseException:
-            for future in in_flight:
-                future.cancel()
-            raise
-        return chunks, steals, payload_bytes
 
 
 def _supervised_backend(**kwargs):
@@ -811,11 +192,7 @@ BACKENDS = {
 
 def create_backend(name: str = "serial", **kwargs) -> Backend:
     """Factory over :data:`BACKENDS`, by name."""
-    try:
-        cls = BACKENDS[name]
-    except KeyError:
-        raise ValueError(f"unknown backend {name!r}; choose from {sorted(BACKENDS)}") from None
-    return cls(**kwargs)
+    return _core.create_backend(name, registry=BACKENDS, **kwargs)
 
 
 def run_many(
@@ -842,9 +219,7 @@ def run_many(
     pass an instance to keep its pool (and warm caches) alive across
     calls.
     """
-    owned = isinstance(backend, str)
-    if owned:
-        backend = create_backend(backend)
+    backend, owned = resolve_backend(backend, registry=BACKENDS)
     try:
         with OBS.span(
             "batch.run_many", backend=backend.name, jobs=len(jobs), compiled=compiled

@@ -1,0 +1,57 @@
+"""The workload-generic runtime: one execution waist for every subsystem.
+
+The repo's fastest, most robust execution path — payload interning,
+warm process pools, adaptive work-stealing dispatch, supervision —
+used to be monomorphic over Turing-machine jobs.  This package is that
+stack lifted to a narrow waist: any subsystem that runs pure
+``(program, input)`` jobs plugs in through a small
+:class:`~repro.runtime.workload.Workload` adapter and gets the whole
+stack unchanged.
+
+    from repro.runtime import run_jobs
+    results = run_jobs("complang", jobs, backend="process")
+
+:mod:`repro.perf.batch` remains the TM-specialised frontend (same
+public surface, byte-identical results); the adapters live in
+:mod:`repro.runtime.workloads`.
+"""
+
+from repro.runtime.core import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    ProgramNotResident,
+    ResidentCache,
+    SerialBackend,
+    create_backend,
+    intern_jobs,
+    resolve_backend,
+    run_job_loop,
+    run_jobs,
+)
+from repro.runtime.workload import (
+    Job,
+    Workload,
+    WorkloadBase,
+    get_workload,
+    register_workload,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "Job",
+    "ProcessBackend",
+    "ProgramNotResident",
+    "ResidentCache",
+    "SerialBackend",
+    "Workload",
+    "WorkloadBase",
+    "create_backend",
+    "get_workload",
+    "intern_jobs",
+    "register_workload",
+    "resolve_backend",
+    "run_job_loop",
+    "run_jobs",
+]

@@ -1,0 +1,153 @@
+"""The ``Workload`` adapter protocol: what the runtime's narrow waist
+executes.
+
+Wing's hourglass (modelled in :mod:`repro.netstack.hourglass`) wins by
+letting many applications share one automated spanning layer.  The
+runtime is that layer for *execution*: every subsystem that runs
+``(program, input)`` jobs — Turing machines, complang bytecode, DPLL
+solves, busy-beaver sweeps — plugs in through a small adapter instead
+of reimplementing its own batching, caching, pooling and supervision.
+
+An adapter answers five questions about its domain:
+
+* ``program_key(program)`` — a hashable *content* key (two programs
+  with equal keys must behave identically), the intern surface for
+  dedup, resident tables and compile caches;
+* ``content_key(job)`` — the key of a whole ``(program, input)`` job;
+  equal keys mean equal results (machine determinism makes result
+  sharing exact), and poison quarantine matches on it;
+* ``prepare(program)`` — lower the program once into a *resident* form
+  (compile a TM, assemble a VM); ``ValueError`` means "this program
+  cannot be prepared, fall back to ``run_direct``";
+* ``execute(resident, input, fuel)`` — run the resident form on one
+  input under a fuel bound;
+* ``run_direct(program, input, fuel)`` — the adapter's honest
+  per-job path, with no cross-job amortisation; the semantic oracle
+  every backend must match exactly.
+
+Adapters must be **pure** (results depend only on the job), their
+inputs hashable (memo keys), and the adapter object itself picklable —
+it rides inside chunk payloads to pool workers.  Results should be
+picklable too, or the process backend cannot ship them home.
+
+Adapters register by ``kind`` so backends can be created by name
+anywhere (:func:`get_workload`); the built-in kinds lazy-import so
+``import repro.runtime`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "Workload",
+    "WorkloadBase",
+    "Job",
+    "get_workload",
+    "register_workload",
+]
+
+# A job is (program, input): the program is interned and prepared once,
+# the input varies per job.
+Job = tuple[Any, Any]
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """The adapter interface the runtime executes through."""
+
+    kind: str
+
+    def program_key(self, program: Any) -> Any: ...
+
+    def content_key(self, job: Job) -> Any: ...
+
+    def prepare(self, program: Any) -> Any: ...
+
+    def execute(self, resident: Any, input: Any, fuel: int) -> Any: ...
+
+    def run_direct(self, program: Any, input: Any, fuel: int) -> Any: ...
+
+    def cost(self, result: Any) -> float: ...
+
+    def valid_result(self, result: Any) -> bool: ...
+
+
+class WorkloadBase:
+    """Defaults for :class:`Workload` implementations.
+
+    Subclasses set ``kind`` and override ``execute`` (plus whichever of
+    the other hooks the domain needs).  The defaults assume the program
+    is its own content key and needs no lowering.
+    """
+
+    kind: str = "generic"
+    #: When set, ``valid_result`` becomes an isinstance check — the
+    #: shape a corrupted chunk payload cannot fake.
+    result_type: type | None = None
+
+    def program_key(self, program: Any) -> Any:
+        return program
+
+    def content_key(self, job: Job) -> Any:
+        program, input = job
+        return (self.program_key(program), input)
+
+    def prepare(self, resident: Any) -> Any:
+        return resident
+
+    def execute(self, resident: Any, input: Any, fuel: int) -> Any:
+        raise NotImplementedError
+
+    def run_direct(self, program: Any, input: Any, fuel: int) -> Any:
+        return self.execute(self.prepare(program), input, fuel)
+
+    def cost(self, result: Any) -> float:
+        """Relative cost of the job that produced ``result`` (feeds the
+        adaptive dispatcher's EWMA model; any positive unit works)."""
+        return 1.0
+
+    def valid_result(self, result: Any) -> bool:
+        if self.result_type is not None:
+            return isinstance(result, self.result_type)
+        return result is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<workload {self.kind!r}>"
+
+
+# -- registry ----------------------------------------------------------------
+
+_REGISTRY: dict[str, Workload] = {}
+
+# kind -> module that registers it on import.  Keeps `import
+# repro.runtime` from dragging in every subsystem.
+_LAZY = {
+    "machines": "repro.runtime.workloads.machines",
+    "encoded_machines": "repro.runtime.workloads.machines",
+    "complang": "repro.runtime.workloads.complang",
+    "sat": "repro.runtime.workloads.sat",
+    "busybeaver": "repro.runtime.workloads.busybeaver",
+}
+
+
+def register_workload(workload: Workload) -> Workload:
+    """Register (or replace) the adapter for ``workload.kind``."""
+    _REGISTRY[workload.kind] = workload
+    return workload
+
+
+def get_workload(kind: str) -> Workload:
+    """Look an adapter up by kind, importing built-ins on demand."""
+    found = _REGISTRY.get(kind)
+    if found is not None:
+        return found
+    module = _LAZY.get(kind)
+    if module is not None:
+        import_module(module)
+        found = _REGISTRY.get(kind)
+        if found is not None:
+            return found
+    known = sorted(set(_REGISTRY) | set(_LAZY))
+    raise ValueError(f"unknown workload {kind!r}; choose from {known}")

@@ -1,0 +1,21 @@
+"""Built-in workload adapters for the runtime's narrow waist.
+
+Each module defines one (or two) :class:`~repro.runtime.workload.Workload`
+adapters and registers them by kind:
+
+* :mod:`~repro.runtime.workloads.machines` — ``machines`` (Turing
+  machines through :mod:`repro.perf.engine`) and ``encoded_machines``
+  (universal-machine descriptions, decoded then compiled);
+* :mod:`~repro.runtime.workloads.complang` — ``complang`` (MiniLang
+  programs lowered once to stack-machine bytecode);
+* :mod:`~repro.runtime.workloads.sat` — ``sat`` (DPLL solves of CNF
+  formulas under option tuples);
+* :mod:`~repro.runtime.workloads.busybeaver` — ``busybeaver``
+  (compiled blank-tape sweeps scored as ``BBScore``).
+
+Import a module (or call :func:`repro.runtime.get_workload`) to get the
+singleton adapter; the modules are lazy-loaded by kind so importing the
+runtime never drags in every subsystem.
+"""
+
+from __future__ import annotations
