@@ -11,7 +11,7 @@ test:
 # the PF2 warm-pool batch gate is enforced even here: the run fails
 # if the persistent warm-cache dispatcher stops beating the reference
 # interpreter by at least 2x the old 2.44x cold-dispatch baseline.
-bench-smoke: obs-smoke faults-smoke runtime-smoke
+bench-smoke: obs-smoke faults-smoke runtime-smoke ensemble-smoke
 	python benchmarks/bench_perf_engine.py --smoke
 
 # Workload-generic runtime gate at tiny sizes: the TM path through
@@ -24,6 +24,18 @@ runtime-smoke:
 # Full-size mixed-workload runtime run (same gates, stabler timings).
 bench-runtime:
 	python benchmarks/bench_runtime_mixed.py
+
+# Ensemble census gate at tiny sizes: the lock-step numpy backend must
+# match the compiled per-machine path exactly, ship the sharded census
+# home with zero pickled result bytes (shared memory only), and keep a
+# relaxed warm-speedup floor.  The full 5x census gate is bench-ensemble.
+ensemble-smoke:
+	python benchmarks/bench_ensemble.py --smoke
+
+# Full-size ensemble census: a 10^4-machine enumerated family must sweep
+# >= 5x faster warm than the serial runtime, exactly equal.
+bench-ensemble:
+	python benchmarks/bench_ensemble.py
 
 # Observability gate at tiny sizes: disabled-path overhead < 5% on the
 # compiled-engine hot loop, and a fully-traced run_many is exact.
@@ -54,4 +66,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs faults-smoke bench-faults runtime-smoke bench-runtime
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs faults-smoke bench-faults runtime-smoke bench-runtime ensemble-smoke bench-ensemble

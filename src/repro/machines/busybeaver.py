@@ -19,6 +19,7 @@ from repro.obs.instrument import OBS
 __all__ = [
     "BB_CHAMPIONS",
     "busy_beaver_machine",
+    "enumerate_machines",
     "score",
     "score_sweep",
     "halting_survey",
@@ -82,6 +83,69 @@ def busy_beaver_machine(n: int) -> TuringMachine:
     return TuringMachine.from_rules(rules, initial="A", accept=["H"])
 
 
+def enumerate_machines(n: int, limit: int, seed: int = 0) -> list[TuringMachine]:
+    """A deterministic sample of the n-state 2-symbol machine space.
+
+    The classical busy-beaver family: states ``A``.. plus the halt
+    state ``Z``, tape alphabet ``{BLANK, "1"}``, and every one of the
+    ``2n`` table slots defined with a ``(next, write, move)`` choice
+    from the ``4(n+1)`` possibilities (moves ``L``/``R``; entering
+    ``Z`` halts on the next step, so the halting transition is counted
+    — the convention under which BB(4) = 107 steps).
+
+    The space has ``(4(n+1))**(2n)`` machines.  When ``limit`` covers
+    it, the whole family is returned in canonical mixed-radix order;
+    otherwise a ``seed``-determined sample of ``limit`` *distinct*
+    machines is drawn.  Same ``(n, limit, seed)`` → same list, always —
+    census benchmarks and property tests depend on it.
+    """
+    if n < 1:
+        raise ValueError("need at least one state")
+    if n > 25:
+        raise ValueError("state alphabet A..Y caps n at 25")
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+    states = [chr(ord("A") + i) for i in range(n)]
+    targets = states + ["Z"]
+    writes = (BLANK, "1")
+    moves = ("L", "R")
+    base = 4 * (n + 1)
+    slots = [(s, sym) for s in states for sym in (BLANK, "1")]
+
+    def decode(digits) -> TuringMachine:
+        delta = {}
+        for slot, d in zip(slots, digits):
+            d = int(d)
+            delta[slot] = (targets[d >> 2], writes[d & 1], moves[(d >> 1) & 1])
+        return TuringMachine(
+            delta=delta, initial="A", accept_states=frozenset({"Z"})
+        )
+
+    total = base ** (2 * n)
+    if limit >= total:
+        machines = []
+        for index in range(total):
+            digits = []
+            for _ in slots:
+                index, d = divmod(index, base)
+                digits.append(d)
+            machines.append(decode(digits))
+        return machines
+
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed)
+    seen: set[tuple[int, ...]] = set()
+    machines = []
+    while len(machines) < limit:
+        digits = tuple(int(d) for d in rng.integers(0, base, size=2 * n))
+        if digits in seen:
+            continue
+        seen.add(digits)
+        machines.append(decode(digits))
+    return machines
+
+
 def score(machine: TuringMachine, *, fuel: int = 1_000_000, compiled: bool = False) -> tuple[int, int]:
     """(number of 1s on the final tape, steps) for a halting machine.
 
@@ -110,7 +174,7 @@ def score_sweep(
     machines: list[TuringMachine],
     *,
     fuel: int = 1_000_000,
-    backend: str = "serial",
+    backend: str = "ensemble",
 ):
     """Score a whole candidate family through the runtime.
 
@@ -118,7 +182,11 @@ def score_sweep(
     (:func:`repro.runtime.run_jobs`) under the ``busybeaver`` adapter,
     so a champion hunt gets interning (duplicate candidates score
     once), warm pools (``backend="process"``) and supervision
-    (``backend="supervised"``) without its own loop.  Returns one
+    (``backend="supervised"``) without its own loop.  The default
+    ``backend="ensemble"`` steps the whole homogeneous family in numpy
+    lock-step (:mod:`repro.runtime.ensemble`) and falls back to the
+    compiled per-machine path for ineligible members — results are
+    identical either way.  Returns one
     :class:`~repro.runtime.workloads.busybeaver.BBScore` per machine,
     in order — non-halters score with ``halted=False`` rather than
     raising, since a sweep wants the census, not an abort.
@@ -149,7 +217,7 @@ def halting_survey(
     *,
     fuel: int,
     compiled: bool = False,
-    backend: str = "serial",
+    backend: str = "ensemble",
 ) -> HaltingReport:
     """Run every machine for ``fuel`` steps; count who halted.
 
@@ -159,8 +227,10 @@ def halting_survey(
 
     ``compiled=True`` sweeps the family through the workload-generic
     runtime (:func:`repro.runtime.run_jobs` under the ``machines``
-    adapter), which caches compiled tables across the family and can
-    fan out over a process pool via ``backend="process"``.
+    adapter).  The default ``backend="ensemble"`` batches the family
+    into numpy lock-step (ineligible machines fall back to the warm
+    compiled path, same verdicts); ``backend="process"`` fans out over
+    a warm process pool instead.
     """
     with OBS.span(
         "bb.halting_survey", fuel=fuel, total=len(machines), compiled=compiled

@@ -79,6 +79,12 @@ KNOWN_METRICS: dict[str, tuple[str, str]] = {
     "runtime_jobs_total": ("counter", "jobs submitted through runtime.run_jobs"),
     "runtime_unique_jobs_total": ("counter", "jobs left after content-key dedup"),
     "runtime_cost_total": ("counter", "sum of per-result workload.cost units"),
+    # ensemble (lock-step population execution, labelled {backend=...})
+    "ensemble_batches_total": ("counter", "ensemble execute/shard batches run"),
+    "ensemble_machines_total": ("counter", "jobs answered by lock-step families"),
+    "ensemble_lock_steps_total": ("counter", "lock-step iterations across families"),
+    "ensemble_fallback_jobs_total": ("counter", "jobs routed to the per-machine fallback"),
+    "ensemble_shm_bytes_total": ("counter", "result bytes moved via shared memory"),
 }
 
 

@@ -77,9 +77,13 @@ class CompiledMachine(Protocol):
 # transition table per call costs more than many compiled runs save.
 # The memo is keyed by id() with the machine held strongly in the
 # entry, so an id can never be recycled while its entry is alive; the
-# `is` check below makes a stale hit impossible either way.
+# `is` check below makes a stale hit impossible either way.  Sized to
+# hold an ensemble census (populations of a few 10^4): at 4096 a
+# 10^4-machine sweep evicted every entry per pass, re-sorting every
+# table on every call.  Entries are a ref plus a small key tuple, so
+# even full this stays a few MB.
 _KEY_MEMO: OrderedDict[int, tuple[TuringMachine, tuple]] = OrderedDict()
-_KEY_MEMO_MAX = 4096
+_KEY_MEMO_MAX = 65536
 
 
 def program_key(machine: TuringMachine) -> tuple:

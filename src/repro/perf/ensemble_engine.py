@@ -1,0 +1,419 @@
+"""Lock-step numpy execution of whole Turing-machine populations.
+
+The compiled engine (:mod:`repro.perf.engine`) makes *one* machine
+fast; the paper's "what is computable?" exemplars — busy-beaver
+censuses, fuel-bounded halting surveys — run *millions of small
+machines*, and there the per-machine Python overhead (a ``program_key``
+sort, a ``compile_tm`` table build, a result object) dominates the
+actual stepping.  This module turns the population itself into the
+unit of execution:
+
+* every machine's transition table is lowered into one shared dense
+  array ``table[pop, states, symbols]`` of packed int32 *codes*
+  (``(next_state+1) << 16 | write << 8 | (move+1)``, with ``0``
+  meaning "no rule / halting state" — the same all-``None``-row trick
+  :class:`~repro.perf.engine.CompiledTM` uses);
+* the population's live state is three arrays — ``state``, ``head``
+  and a shared growable tape *window* ``tape[pop, W]`` of interned
+  symbol bytes;
+* one survey step is a handful of fancy-indexing operations across the
+  whole live population: gather the read symbols, gather the codes,
+  settle the machines whose code is 0, scatter the writes, add the
+  moves.  Halted and escaped machines are masked out of the live index
+  so later lock steps touch only the survivors; when any head hits the
+  window edge the window is reallocated (amortised doubling, like the
+  compiled engine's segmented tape).
+
+Equivalence contract: for every machine in the family and every input,
+the outcome row is *identical* to ``machine.run(input, fuel=fuel)`` —
+the same honest halted / still-running trichotomy, the same step
+count, the same rendered tape and final state.  The property tests in
+``tests/test_runtime_ensemble.py`` check this against both the
+reference interpreter and the compiled per-machine path over
+randomized enumerated families, including machines that escape the
+initial window and machines that never halt under the fuel bound.
+
+A machine is *ensemble-eligible* when its states and its (input-
+extended) alphabet fit the family's caps; :exc:`EnsembleIneligible`
+routes the rest back to the per-machine warm path.  Long-tail
+stragglers can be abandoned mid-flight (``straggler_cutoff``): the
+survivors' partial work is discarded and the caller reruns them
+through the per-machine path, so macro-step acceleration — which the
+lock-step loop deliberately does not replicate — still covers lone
+spinners under huge fuels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.machines.turing import BLANK, MOVE_OFFSET, TuringMachine
+
+__all__ = [
+    "EnsembleIneligible",
+    "MachineSpec",
+    "EnsembleFamily",
+    "EnsembleOutcome",
+    "lower_machine",
+    "compile_family",
+    "run_family",
+]
+
+# Hard ceiling: tape cells are uint8, so a row's alphabet (including
+# symbols interned from the input at load time) can never exceed 256.
+_MAX_SYMBOLS = 256
+
+# Initial padding on each side of the widest input; the window doubles
+# on a boundary hit, so a small margin only costs a few reallocations.
+_PAD = 16
+
+
+class EnsembleIneligible(ValueError):
+    """This job cannot join the lock-step family (caps, types); run it
+    through the per-machine path instead."""
+
+
+@dataclass
+class MachineSpec:
+    """One machine lowered for ensemble packing, cached per program.
+
+    Everything stays in plain Python lists: a census lowers tens of
+    thousands of machines and per-machine numpy small-array
+    construction costs more than the lock-step run itself.
+    :func:`compile_family` concatenates the lists across the family
+    and stamps every rule with *one* fancy-index scatter.  Interning
+    mirrors :func:`repro.perf.engine.compile_tm` (sorted states,
+    ``BLANK`` first then sorted symbols) so the two paths agree cell
+    for cell.
+    """
+
+    state_names: list[str]
+    symbol_names: list[str]
+    symbol_ids: dict[str, int]
+    initial_id: int
+    accept_ids: list[int]    # state ids flagged accepting
+    rule_states: list[int]   # parallel per-rule scatter coordinates
+    rule_symbols: list[int]
+    rule_codes: list[int]    # packed (next+1)<<16 | write<<8 | move+1
+
+    @property
+    def n_states(self) -> int:
+        return len(self.state_names)
+
+    @property
+    def n_symbols(self) -> int:
+        return len(self.symbol_names)
+
+
+def lower_machine(
+    machine: TuringMachine, *, max_states: int = 64, max_symbols: int = 32
+) -> MachineSpec:
+    """Lower one machine into a family-row spec.
+
+    Raises :exc:`EnsembleIneligible` when the machine exceeds the
+    family caps — the caller keeps it on the per-machine path.
+    """
+    if not isinstance(machine, TuringMachine):
+        raise EnsembleIneligible(f"not a TuringMachine: {type(machine).__name__}")
+    delta = machine.delta
+    states = {machine.initial}
+    states.update(machine.accept_states)
+    states.update(machine.reject_states)
+    symbols = {BLANK}
+    for (s, sym), (t, wsym, _) in delta.items():
+        states.add(s)
+        states.add(t)
+        symbols.add(sym)
+        symbols.add(wsym)
+    if len(states) > max_states:
+        raise EnsembleIneligible(
+            f"{len(states)} states exceeds the ensemble cap {max_states}"
+        )
+    state_names = sorted(states)
+    state_ids = {s: i for i, s in enumerate(state_names)}
+    symbols.discard(BLANK)
+    symbol_names = [BLANK] + sorted(symbols)
+    if len(symbol_names) > min(max_symbols, _MAX_SYMBOLS):
+        raise EnsembleIneligible(
+            f"{len(symbol_names)} symbols exceeds the ensemble cap {max_symbols}"
+        )
+    symbol_ids = {c: i for i, c in enumerate(symbol_names)}
+    halting = machine.accept_states | machine.reject_states
+    rule_states: list[int] = []
+    rule_symbols: list[int] = []
+    rule_codes: list[int] = []
+    for (s, sym), (t, wsym, move) in delta.items():
+        if s in halting:
+            continue  # the reference checks halt states before rules
+        rule_states.append(state_ids[s])
+        rule_symbols.append(symbol_ids[sym])
+        rule_codes.append(
+            ((state_ids[t] + 1) << 16) | (symbol_ids[wsym] << 8) | (MOVE_OFFSET[move] + 1)
+        )
+    return MachineSpec(
+        state_names=state_names,
+        symbol_names=symbol_names,
+        symbol_ids=symbol_ids,
+        initial_id=state_ids[machine.initial],
+        accept_ids=[state_ids[s] for s in machine.accept_states if s in state_ids],
+        rule_states=rule_states,
+        rule_symbols=rule_symbols,
+        rule_codes=rule_codes,
+    )
+
+
+def intern_input(spec: MachineSpec, tape_input: str, *, max_symbols: int = 32) -> list[str]:
+    """Input symbols outside the machine's alphabet, in first-seen order.
+
+    They intern to fresh ids past the machine's table (no rules, so
+    reading one halts — exactly the reference's ``delta.get`` miss) but
+    must survive onto the rendered tape.  Raises
+    :exc:`EnsembleIneligible` when the extended alphabet overflows the
+    family cap.
+    """
+    if not isinstance(tape_input, str):
+        raise EnsembleIneligible(f"ensemble input must be str, not {type(tape_input).__name__}")
+    extras = [c for c in dict.fromkeys(tape_input) if c not in spec.symbol_ids]
+    if spec.n_symbols + len(extras) > min(max_symbols, _MAX_SYMBOLS):
+        raise EnsembleIneligible("input symbols overflow the ensemble alphabet cap")
+    return extras
+
+
+@dataclass
+class EnsembleFamily:
+    """A whole population compiled into dense lock-step arrays.
+
+    Single-use: :func:`run_family` consumes ``tape``/``head`` in place.
+    """
+
+    table: np.ndarray        # (E, S, K) int32 packed codes; 0 = halt/no rule
+    accept: np.ndarray       # (E, S) bool
+    initial: np.ndarray      # (E,) int32
+    tape: np.ndarray         # (E, W) uint8 window, blank == 0
+    head: np.ndarray         # (E,) int64 window positions
+    state_names: list[list[str]]
+    names: list[list[str]]   # per-row symbol names, input extras included
+
+    @property
+    def population(self) -> int:
+        return self.table.shape[0]
+
+
+def compile_family(
+    entries: list[tuple[MachineSpec, list[str], str]]
+) -> EnsembleFamily:
+    """Stack ``(spec, input_extras, input)`` rows into one family.
+
+    One scatter stamps every machine's rules into the shared
+    ``(pop, states, symbols)`` table; inputs are interned into the
+    initial tape window with a shared left/right margin.
+    """
+    pop = len(entries)
+    n_states = max(spec.n_states for spec, _, _ in entries)
+    n_symbols = max(spec.n_symbols + len(extras) for spec, extras, _ in entries)
+    table = np.zeros((pop, n_states, n_symbols), dtype=np.int32)
+    accept = np.zeros((pop, n_states), dtype=bool)
+    initial_ids: list[int] = []
+    state_names: list[list[str]] = []
+    names: list[list[str]] = []
+
+    # Flat Python accumulation + one materialisation per axis + one
+    # scatter: at census scale this is ~3x cheaper than building
+    # per-machine arrays and concatenating them.
+    r_rows: list[int] = []
+    r_states: list[int] = []
+    r_symbols: list[int] = []
+    r_codes: list[int] = []
+    a_rows: list[int] = []
+    a_states: list[int] = []
+    for e, (spec, extras, _) in enumerate(entries):
+        initial_ids.append(spec.initial_id)
+        state_names.append(spec.state_names)
+        names.append(spec.symbol_names + extras if extras else spec.symbol_names)
+        codes = spec.rule_codes
+        if codes:
+            r_rows.extend([e] * len(codes))
+            r_states.extend(spec.rule_states)
+            r_symbols.extend(spec.rule_symbols)
+            r_codes.extend(codes)
+        if spec.accept_ids:
+            a_rows.extend([e] * len(spec.accept_ids))
+            a_states.extend(spec.accept_ids)
+    if r_rows:
+        table[
+            np.array(r_rows, dtype=np.int32),
+            np.array(r_states, dtype=np.int32),
+            np.array(r_symbols, dtype=np.int32),
+        ] = np.array(r_codes, dtype=np.int32)
+    if a_rows:
+        accept[np.array(a_rows, dtype=np.int32), np.array(a_states, dtype=np.int32)] = True
+    initial = np.array(initial_ids, dtype=np.int32)
+
+    width = max(len(tape_input) for _, _, tape_input in entries)
+    tape = np.zeros((pop, width + 2 * _PAD), dtype=np.uint8)
+    head = np.full(pop, _PAD, dtype=np.int64)
+    for e, (spec, extras, tape_input) in enumerate(entries):
+        if not tape_input:
+            continue
+        ids = dict(spec.symbol_ids)
+        for i, c in enumerate(extras):
+            ids[c] = spec.n_symbols + i
+        tape[e, _PAD : _PAD + len(tape_input)] = [ids[c] for c in tape_input]
+    return EnsembleFamily(
+        table=table,
+        accept=accept,
+        initial=initial,
+        tape=tape,
+        head=head,
+        state_names=state_names,
+        names=names,
+    )
+
+
+@dataclass
+class EnsembleOutcome:
+    """Per-row outcomes plus lazy decoders for tapes and state names.
+
+    Rows flagged ``abandoned`` hit the straggler cutoff: their
+    ``halted``/``steps`` values are meaningless and the caller must
+    rerun them from scratch through the per-machine path.
+    """
+
+    family: EnsembleFamily
+    halted: np.ndarray       # (E,) bool
+    accepted: np.ndarray     # (E,) bool
+    steps: np.ndarray        # (E,) int64
+    final_state: np.ndarray  # (E,) int32
+    abandoned: np.ndarray    # (E,) bool
+    lock_steps: int
+    grows: int
+    _trans_memo: dict = field(default_factory=dict, repr=False)
+    _count_memo: dict = field(default_factory=dict, repr=False)
+
+    def state_name(self, row: int) -> str:
+        return self.family.state_names[row][int(self.final_state[row])]
+
+    def tape_string(self, row: int) -> str:
+        """The same trimmed tape string the reference renders."""
+        core = self.family.tape[row].tobytes().strip(b"\x00")
+        if not core:
+            return ""
+        names = self.family.names[row]
+        key = tuple(names)
+        trans = self._trans_memo.get(key)
+        if trans is None:
+            if all(len(n) == 1 and ord(n) < 128 for n in names):
+                trans = bytes(
+                    ord(names[i]) if i < len(names) else 0 for i in range(256)
+                )
+            else:
+                trans = False  # multi-char or non-ascii symbols: slow path
+            self._trans_memo[key] = trans
+        if trans is False:
+            return "".join(names[b] for b in core)
+        return core.translate(trans).decode("ascii")
+
+    def count_symbol(self, char: str) -> np.ndarray:
+        """Per-row occurrences of ``char`` on the final tape.
+
+        Vectorised across the whole population — the busy-beaver sigma
+        count without rendering a single tape string.  ``BLANK`` is
+        indistinguishable from window padding, so it cannot be counted.
+        """
+        if char == BLANK:
+            raise ValueError("cannot count the blank symbol: it is the window padding")
+        counts = self._count_memo.get(char)
+        if counts is None:
+            names = self.family.names
+            targets = np.fromiter(
+                (names[e].index(char) if char in names[e] else -1 for e in range(len(names))),
+                dtype=np.int16,
+                count=len(names),
+            )
+            counts = (self.family.tape == targets[:, None]).sum(axis=1)
+            counts[targets < 0] = 0
+            self._count_memo[char] = counts
+        return counts
+
+
+def run_family(
+    family: EnsembleFamily, *, fuel: int, straggler_cutoff: int = 0
+) -> EnsembleOutcome:
+    """Step the whole population in lock-step until everyone settles.
+
+    One iteration = one transition for every live machine: two gathers
+    (read symbol, packed code), a zero-test that settles halters, a
+    scatter of the writes, and vectorised head/state updates.  The
+    window grows (amortised doubling, on whichever side was hit) the
+    moment any live head steps off an edge.
+
+    With ``straggler_cutoff > 0`` the loop stops early once at most
+    that many machines remain live before the fuel runs out; they come
+    back flagged ``abandoned`` with no partial state leaked.
+    """
+    pop = family.population
+    tape, head = family.tape, family.head
+    halted = np.zeros(pop, dtype=bool)
+    accepted = np.zeros(pop, dtype=bool)
+    steps = np.zeros(pop, dtype=np.int64)
+    final_state = family.initial.astype(np.int32, copy=True)
+    abandoned = np.zeros(pop, dtype=bool)
+
+    idx = np.arange(pop)
+    st = family.initial.astype(np.int32, copy=True)
+    h = head.copy()  # live heads, compacted alongside idx/st
+    table, accept = family.table, family.accept
+    width = tape.shape[1]
+    t = 0
+    grows = 0
+    while t < fuel and idx.size:
+        if straggler_cutoff and idx.size <= straggler_cutoff:
+            abandoned[idx] = True
+            idx = idx[:0]
+            break
+        sym = tape[idx, h]
+        code = table[idx, st, sym]
+        if not code.min():  # some machine has no rule: settle it now
+            live = code != 0
+            dead_idx = idx[~live]
+            dead_st = st[~live]
+            halted[dead_idx] = True
+            steps[dead_idx] = t
+            accepted[dead_idx] = accept[dead_idx, dead_st]
+            final_state[dead_idx] = dead_st
+            idx, st, code, h = idx[live], st[live], code[live], h[live]
+            if not idx.size:
+                break
+        tape[idx, h] = (code >> 8) & 0xFF
+        h += (code & 0xFF) - 1
+        st = (code >> 16) - 1
+        t += 1
+        lo = h.min()
+        hi = h.max()
+        if lo < 0 or hi >= width:
+            left = width if lo < 0 else 0
+            right = width if hi >= width else 0
+            wider = np.zeros((pop, width + left + right), dtype=np.uint8)
+            wider[:, left : left + width] = tape
+            tape = wider
+            if left:
+                h += left
+            width = tape.shape[1]
+            family.tape = tape
+            grows += 1
+    if idx.size:  # fuel exhausted: the honest "still running" verdict
+        final_state[idx] = st
+        steps[idx] = fuel
+    return EnsembleOutcome(
+        family=family,
+        halted=halted,
+        accepted=accepted,
+        steps=steps,
+        final_state=final_state,
+        abandoned=abandoned,
+        lock_steps=t,
+        grows=grows,
+    )

@@ -40,6 +40,9 @@ from repro.runtime.workload import (
 __all__ = [
     "BACKENDS",
     "Backend",
+    "EnsembleBackend",
+    "EnsembleCapable",
+    "EnsembleProcessBackend",
     "Job",
     "ProcessBackend",
     "ProgramNotResident",
@@ -55,3 +58,18 @@ __all__ = [
     "run_job_loop",
     "run_jobs",
 ]
+
+# The ensemble layer pulls in numpy; resolve its exports lazily so
+# `import repro.runtime` stays as cheap as the workload registry's
+# lazy imports promise.
+_ENSEMBLE_EXPORTS = frozenset(
+    {"EnsembleBackend", "EnsembleCapable", "EnsembleProcessBackend"}
+)
+
+
+def __getattr__(name: str):
+    if name in _ENSEMBLE_EXPORTS:
+        from repro.runtime import ensemble
+
+        return getattr(ensemble, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

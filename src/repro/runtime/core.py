@@ -392,6 +392,8 @@ class SerialBackend:
             "steals": 0,
             "payload_bytes": 0,
             "warm_hits": 0,
+            "memo_hits": 0,  # no cross-call result memo in-process
+            "ensemble_jobs": 0,
         }
         if OBS.enabled:
             OBS.gauge("batch_queue_depth", 1, backend=self.name)
@@ -692,6 +694,11 @@ class ProcessBackend:
                 "misses": aggregate["misses"],
                 "size": aggregate["size"],
             }
+            # warm_hits is kept as the historical alias; memo_hits is
+            # the explicit field that disambiguates "answered from the
+            # warm result memo" from "nothing ran" — a memo-served
+            # batch reports chunks=0, payload_bytes=0 *and* memo_hits=N
+            # rather than looking like an empty dispatch.
             self.last_dispatch = {
                 "jobs": len(jobs),
                 "unique_jobs": len(unique),
@@ -700,6 +707,8 @@ class ProcessBackend:
                 "steals": steals,
                 "payload_bytes": payload_bytes,
                 "warm_hits": warm_hits,
+                "memo_hits": warm_hits,
+                "ensemble_jobs": 0,
             }
         out = [unique_results[s] for s in slots]
         if any(r is None for r in out):  # pragma: no cover - defensive
@@ -816,10 +825,26 @@ def _supervised_backend(workload: Workload, **kwargs):
     return SupervisedBackend(workload=workload, **kwargs)
 
 
+def _ensemble_backend(workload: Workload, **kwargs):
+    # Late import: the ensemble layer pulls in numpy and the lock-step
+    # engine, which plain serial/process users never need.
+    from repro.runtime.ensemble import EnsembleBackend
+
+    return EnsembleBackend(workload, **kwargs)
+
+
+def _ensemble_process_backend(workload: Workload, **kwargs):
+    from repro.runtime.ensemble import EnsembleProcessBackend
+
+    return EnsembleProcessBackend(workload, **kwargs)
+
+
 BACKENDS = {
     "serial": SerialBackend,
     "process": ProcessBackend,
     "supervised": _supervised_backend,
+    "ensemble": _ensemble_backend,
+    "ensemble_process": _ensemble_process_backend,
 }
 
 

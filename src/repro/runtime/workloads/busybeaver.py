@@ -39,7 +39,16 @@ def _score_of(result: TMResult) -> BBScore:
 
 
 class BusyBeaverWorkload(WorkloadBase):
-    """(TuringMachine, tape) jobs scored as :class:`BBScore`."""
+    """(TuringMachine, tape) jobs scored as :class:`BBScore`.
+
+    The adapter is :class:`~repro.runtime.ensemble.EnsembleCapable` and
+    the ideal case for it: a score is three fixed-width numbers, so an
+    ensemble shard ships a whole census home as flat arrays through
+    shared memory — zero result objects pickled.  ``tolist()`` in the
+    hooks matters: it yields Python ``int``/``bool`` (not numpy
+    scalars), keeping results byte-identical to the per-machine path
+    under pickling.
+    """
 
     kind = "busybeaver"
     result_type = BBScore
@@ -58,6 +67,41 @@ class BusyBeaverWorkload(WorkloadBase):
 
     def cost(self, result: BBScore) -> float:
         return result.steps
+
+    # -- EnsembleCapable -----------------------------------------------------
+
+    def ensemble_program(self, program: TuringMachine) -> TuringMachine:
+        return program  # lower_machine type-checks and caps it
+
+    def ensemble_results(self, outcome) -> list[BBScore]:
+        return [
+            BBScore(ones=o, steps=s, halted=h)
+            for o, s, h in zip(
+                outcome.count_symbol("1").tolist(),
+                outcome.steps.tolist(),
+                outcome.halted.tolist(),
+            )
+        ]
+
+    def ensemble_fields(self) -> tuple[tuple[str, str], ...]:
+        return (("ones", "<i8"), ("steps", "<i8"), ("halted", "|b1"))
+
+    def ensemble_pack(self, outcome) -> dict[str, Any]:
+        return {
+            "ones": outcome.count_symbol("1"),
+            "steps": outcome.steps,
+            "halted": outcome.halted,
+        }
+
+    def ensemble_unpack(self, arrays: dict[str, Any]) -> list[BBScore]:
+        return [
+            BBScore(ones=o, steps=s, halted=h)
+            for o, s, h in zip(
+                arrays["ones"].tolist(),
+                arrays["steps"].tolist(),
+                arrays["halted"].tolist(),
+            )
+        ]
 
 
 BUSYBEAVER = register_workload(BusyBeaverWorkload())

@@ -48,6 +48,43 @@ class MachineWorkload(WorkloadBase):
     def cost(self, result: TMResult) -> float:
         return result.steps
 
+    # -- EnsembleCapable -----------------------------------------------------
+    # Full TMResults carry rendered tapes (variable width), so there is
+    # no fixed-width shm schema: ``ensemble_fields() is None`` keeps
+    # the process backend on the pickled result channel for this
+    # adapter, while the in-process ensemble still lock-steps the
+    # family.
+
+    def ensemble_program(self, program: TuringMachine) -> TuringMachine:
+        return program
+
+    def ensemble_results(self, outcome) -> list[TMResult]:
+        return [
+            TMResult(
+                halted=h,
+                accepted=a,
+                steps=s,
+                tape=outcome.tape_string(row),
+                final_state=outcome.state_name(row),
+            )
+            for row, (h, a, s) in enumerate(
+                zip(
+                    outcome.halted.tolist(),
+                    outcome.accepted.tolist(),
+                    outcome.steps.tolist(),
+                )
+            )
+        ]
+
+    def ensemble_fields(self) -> None:
+        return None
+
+    def ensemble_pack(self, outcome):  # pragma: no cover - no schema
+        raise NotImplementedError("machines results have no fixed-width schema")
+
+    def ensemble_unpack(self, arrays):  # pragma: no cover - no schema
+        raise NotImplementedError("machines results have no fixed-width schema")
+
 
 class EncodedMachineWorkload(WorkloadBase):
     """(description, tape) jobs: decode once, compile once, run many.

@@ -170,11 +170,16 @@ def test_warm_memo_answers_repeats_without_the_pool():
         jobs = [(m(), "101") for m in MACHINES] * 2
         first = run_many(jobs, backend=backend)
         assert backend.last_dispatch["warm_hits"] == 0
+        assert backend.last_dispatch["memo_hits"] == 0
         with observed() as obs:
             second = run_many(jobs, backend=backend)
         assert second == first
         summary = backend.last_dispatch
         assert summary["warm_hits"] == len(jobs)
+        # memo_hits is the explicit disambiguator: a memo-served batch
+        # reports chunks=0 and payload_bytes=0 *plus* memo_hits=N, so
+        # "nothing ran" and "everything was memoed" read differently.
+        assert summary["memo_hits"] == len(jobs)
         assert summary["chunks"] == 0 and summary["payload_bytes"] == 0
         assert obs.registry.value("batch_warm_hits", backend="process") == len(jobs)
     finally:
