@@ -37,14 +37,24 @@ ensemble-smoke:
 bench-ensemble:
 	python benchmarks/bench_ensemble.py
 
-# Observability gate at tiny sizes: disabled-path overhead < 5% on the
-# compiled-engine hot loop, and a fully-traced run_many is exact.
+# Observability gate at tiny sizes: the obs test files (metrics,
+# telemetry piggyback, flight recorder, report, metric-name hygiene),
+# the ops report on a demo snapshot, then the overhead bench —
+# disabled-path < 5% on the compiled-engine hot loop, fully-traced
+# run_many exact, and cross-process telemetry within 10% of off.
 obs-smoke:
+	PYTHONPATH=src python -m pytest -x -q tests/test_obs_metrics.py tests/test_obs_instrument.py tests/test_obs_telemetry.py tests/test_obs_flight.py tests/test_obs_report.py tests/test_obs_hygiene.py
+	PYTHONPATH=src python -m repro.obs.report
 	python benchmarks/bench_obs_overhead.py --smoke
 
 # Full-size observability gate (same assertions, stabler timings).
 bench-obs:
 	python benchmarks/bench_obs_overhead.py
+
+# Render the ops report — by default from a live demo sweep, or from
+# a saved snapshot: make obs-report ARGS="--snapshot obs.json".
+obs-report:
+	PYTHONPATH=src python -m repro.obs.report $(ARGS)
 
 # Fault-recovery gate at tiny sizes: fault-free supervised overhead
 # < 10% vs the bare backend, and a chaos run (crash + hang +
@@ -66,4 +76,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs faults-smoke bench-faults runtime-smoke bench-runtime ensemble-smoke bench-ensemble
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs obs-report faults-smoke bench-faults runtime-smoke bench-runtime ensemble-smoke bench-ensemble

@@ -38,6 +38,7 @@ from concurrent.futures import Future
 
 from repro.faults.injection import FaultSchedule
 from repro.obs.instrument import OBS
+from repro.obs.telemetry import absorb_chunk_telemetry
 from repro.runtime.core import _ZERO_STATS, ResidentCache
 from repro.runtime.workload import Job, Workload
 from repro.runtime.workloads.machines import MACHINES
@@ -191,6 +192,7 @@ class ChaosBackend:
         self.recoveries = 0
         self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
         self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
+        self.last_dispatch: dict[str, int] = {}
         self._hung: set[Future] = set()
 
     def submit_chunk(
@@ -239,11 +241,16 @@ class ChaosBackend:
         cache: ResidentCache | None = None,
     ) -> list:
         self.last_cache_stats = dict(_ZERO_STATS)
+        self.last_dispatch = {}
         if not jobs:
             return []
         aggregate = dict(_ZERO_STATS)
         out: list = []
-        for chunk in self._chunks(jobs):
+        injected_before = sum(self.injected.values())
+        chunks = self._chunks(jobs)
+        if OBS.enabled:
+            OBS.gauge("batch_queue_depth", len(chunks), backend=self.name)
+        for chunk in chunks:
             future = self.submit_chunk(chunk, fuel=fuel, compiled=compiled)
             if future in self._hung:
                 future.cancel()
@@ -252,10 +259,22 @@ class ChaosBackend:
             if not valid_payload(payload, len(chunk), workload=self.workload):
                 raise ChunkCorruption("chaos: chunk payload failed validation")
             results, stats, _ = payload
+            absorb_chunk_telemetry(stats)
             out.extend(results)
             for key in ("hits", "misses", "size"):
                 aggregate[key] += stats.get(key, 0)
         self.last_cache_stats = aggregate
+        self.last_dispatch = {
+            "jobs": len(jobs),
+            "unique_jobs": len(jobs),  # chaos does not intern; the inner does
+            "deduped": 0,
+            "chunks": len(chunks),
+            "steals": 0,
+            "payload_bytes": 0,
+            "warm_hits": 0,
+            "memo_hits": 0,
+            "injected": sum(self.injected.values()) - injected_before,
+        }
         if cache is not None:
             cache.absorb(aggregate)
         return out

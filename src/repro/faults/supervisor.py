@@ -54,10 +54,12 @@ from collections.abc import Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.faults.chaos import ChunkCorruption, ChunkTimeout, WorkerCrash, valid_payload
 from repro.obs.instrument import OBS
+from repro.obs.telemetry import absorb_chunk_telemetry, job_digest
 from repro.runtime import core as _core
 from repro.runtime.core import (
     ResidentCache,
@@ -201,7 +203,12 @@ class _Supervision:
             done, _ = wait(
                 set(self.pending), timeout=self._next_timeout(), return_when=FIRST_COMPLETED
             )
-            for future in done:
+            # ``done`` is a set; settle in batch order so retries,
+            # bisections and merged telemetry land deterministically.
+            for future in sorted(
+                done,
+                key=lambda f: self.pending[f].offset if f in self.pending else -1,
+            ):
                 task = self.pending.pop(future, None)
                 if task is None:
                     continue  # retired by a deadline or a winning hedge
@@ -211,7 +218,7 @@ class _Supervision:
 
     def _submit(self, task: _Task) -> None:
         task.attempts += 1
-        future = self._dispatch(task.jobs)
+        future = self._dispatch_traced(task)
         task.generation = self.generation
         now = time.monotonic()
         task.futures = [future]
@@ -220,6 +227,28 @@ class _Supervision:
         task.deadline = now + timeout if timeout is not None else None
         task.hedge_at = now + hedge if hedge is not None else None
         self.pending[future] = task
+
+    def _dispatch_traced(self, task: _Task, *, hedge: bool = False) -> Future:
+        """Dispatch one task under a ``supervisor.dispatch`` span.
+
+        The span is open *at submit time*, which is when the payload
+        builders read :func:`~repro.obs.telemetry.current_context` —
+        so every worker's ``worker.chunk`` span adopts under exactly
+        the dispatch that submitted it, and the span's content-key
+        digests tie each job to that attempt in the merged trace.
+        """
+        if not OBS.enabled:
+            return self._dispatch(task.jobs)
+        keys = [job_digest(self.backend.workload, job) for job in task.jobs]
+        with OBS.span(
+            "supervisor.dispatch",
+            offset=task.offset,
+            jobs=len(task.jobs),
+            attempt=task.attempts,
+            hedge=hedge,
+            keys=keys,
+        ):
+            return self._dispatch(task.jobs)
 
     def _dispatch(self, jobs: Sequence[Job]) -> Future:
         """Submit to the active backend; survive a broken submit path."""
@@ -251,6 +280,9 @@ class _Supervision:
 
     def _settle(self, task: _Task, payload: tuple) -> None:
         results, stats, elapsed = payload
+        # Pop-and-merge before aggregation; the pop also keeps a losing
+        # hedge twin (same stats dict never reaches here twice) honest.
+        absorb_chunk_telemetry(stats)
         self.out[task.offset : task.offset + len(task.jobs)] = results
         for key in ("hits", "misses", "size"):
             self.aggregate[key] += stats.get(key, 0)
@@ -292,6 +324,13 @@ class _Supervision:
             mid = len(task.jobs) // 2
             self.report.bisections += 1
             OBS.event("supervisor.bisect", offset=task.offset, jobs=len(task.jobs), kind=kind)
+            self._postmortem(
+                "retry_exhausted",
+                offset=task.offset,
+                jobs=len(task.jobs),
+                attempts=task.attempts,
+                error=kind,
+            )
             self._submit(_Task(task.offset, task.jobs[:mid]))
             self._submit(_Task(task.offset + mid, task.jobs[mid:]))
         else:
@@ -301,6 +340,40 @@ class _Supervision:
             if OBS.enabled:
                 OBS.count("batch_quarantined_jobs")
                 OBS.event("supervisor.quarantine", index=task.offset, reason=kind)
+                self._postmortem(
+                    "quarantine",
+                    key=job_digest(self.backend.workload, task.jobs[0]),
+                    index=task.offset,
+                    attempts=task.attempts,
+                    error=kind,
+                )
+
+    # -- post-mortems --------------------------------------------------------
+
+    def _postmortem(self, reason: str, *, key: str | None = None, **context) -> None:
+        """Dump the flight ring as one deterministic JSONL post-mortem.
+
+        The ring holds the recent event tail from *every* process —
+        worker entries arrived with the merged telemetry deltas — so
+        the dump reconstructs the lead-up to a quarantine, retry
+        exhaustion or pool restart without any always-on log volume.
+        ``key`` is the poison job's content-key digest when there is
+        one, matching the ``keys`` attribute on dispatch spans.
+        """
+        if not OBS.enabled:
+            return
+        jsonl = OBS.flight.dump_jsonl(reason=reason, key=key, **context)
+        record: dict[str, Any] = {"reason": reason, "key": key, "jsonl": jsonl}
+        directory = self.backend.flight_dir
+        if directory is not None:
+            path = Path(directory) / (
+                f"flight-{len(self.backend.last_postmortems):03d}"
+                f"-{reason}{'-' + key if key else ''}.jsonl"
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(jsonl, encoding="utf-8")
+            record["path"] = str(path)
+        self.backend.last_postmortems.append(record)
 
     # -- clocks -------------------------------------------------------------
 
@@ -332,7 +405,7 @@ class _Supervision:
 
     def _hedge(self, task: _Task) -> None:
         task.hedged = True
-        future = self._dispatch(task.jobs)
+        future = self._dispatch_traced(task, hedge=True)
         task.futures.append(future)
         self.pending[future] = task
         self.report.hedges += 1
@@ -348,6 +421,7 @@ class _Supervision:
         if OBS.enabled:
             OBS.count("batch_pool_restarts_total", backend=self.backend.name)
             OBS.event("supervisor.pool_restart", restarts=self.report.pool_restarts)
+            self._postmortem("pool_restart", restarts=self.report.pool_restarts)
         if self.report.pool_restarts > self.policy.max_pool_restarts:
             self._degrade()
             return
@@ -390,6 +464,7 @@ class SupervisedBackend:
         *,
         policy: SupervisorPolicy | None = None,
         workload: Workload | str | None = None,
+        flight_dir: str | Path | None = None,
         **inner_kwargs,
     ) -> None:
         if isinstance(workload, str):
@@ -414,8 +489,11 @@ class SupervisedBackend:
             else getattr(inner, "workload", None) or get_workload("machines")
         )
         self.policy = policy if policy is not None else SupervisorPolicy()
+        self.flight_dir = Path(flight_dir) if flight_dir is not None else None
         self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
         self.last_report = SupervisionReport()
+        self.last_dispatch: dict[str, Any] = {}
+        self.last_postmortems: list[dict[str, Any]] = []
 
     def recover(self) -> None:
         """Restart the inner backend's pool (next submit re-seeds it)."""
@@ -461,6 +539,8 @@ class SupervisedBackend:
     ) -> list[Any]:
         self.last_cache_stats = dict(_ZERO_STATS)
         self.last_report = SupervisionReport(jobs=len(jobs))
+        self.last_dispatch = {}
+        self.last_postmortems = []
         if not jobs:
             return []
         # Intern like the bare backends: equal jobs are supervised (and
@@ -485,6 +565,22 @@ class SupervisedBackend:
                 ]
             self.last_report = run.report
             self.last_cache_stats = dict(run.aggregate)
+            self.last_dispatch = {
+                "jobs": len(jobs),
+                "unique_jobs": len(unique),
+                "deduped": len(jobs) - len(unique),
+                "chunks": run.report.chunks,
+                "steals": 0,
+                "payload_bytes": 0,
+                "warm_hits": 0,
+                "memo_hits": 0,
+                "retries": run.report.retries,
+                "hedges": run.report.hedges,
+                "bisections": run.report.bisections,
+                "pool_restarts": run.report.pool_restarts,
+                "degraded": run.report.degraded,
+                "quarantined": len(run.report.quarantined),
+            }
             # Close only a backend the supervision created itself (the
             # degraded SerialBackend); the caller's inner backend stays
             # open so its warm pool and resident program tables survive

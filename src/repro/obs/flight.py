@@ -1,0 +1,94 @@
+"""A flight recorder: the last N events, kept cheap, dumped on demand.
+
+Aviation flight recorders answer the question a crash leaves behind —
+"what was happening just before?" — without taxing the flight itself.
+This module is the same idea for the runtime: a bounded ring buffer of
+recent instrumentation events that every process keeps while the
+:data:`~repro.obs.instrument.OBS` hook is enabled, costing one deque
+append per event and a fixed amount of memory, and that the supervisor
+dumps as a deterministic JSONL post-mortem when something actually goes
+wrong (retry exhaustion, a pool restart, a poison quarantine).
+
+Entries are plain dicts — the same ``{"name", "time", "attributes"}``
+records spans collect as events — so a worker's ring travels home
+inside the piggybacked telemetry delta (:mod:`repro.obs.telemetry`)
+and merges into the parent's ring with :meth:`FlightRecorder.extend`.
+
+:meth:`FlightRecorder.dump_jsonl` renders the ring as one header line
+(the dump's reason and key) followed by one JSON object per entry, in
+arrival order.  Under a :class:`~repro.obs.trace.VirtualClock` the dump
+is byte-identical run to run, which is what lets the causality test in
+``tests/test_obs_flight.py`` assert on post-mortems literally.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from collections.abc import Iterable
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """A thread-safe bounded ring of recent event records.
+
+    ``capacity`` bounds memory: the ring keeps the *most recent*
+    entries, silently shedding the oldest — a post-mortem cares about
+    the moments before the failure, not the start of the flight.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, entry: dict) -> None:
+        """Record one event dict (``{"name", "time", ...}``)."""
+        with self._lock:
+            self._entries.append(entry)
+
+    def record(self, name: str, *, time: float = 0.0, **attributes: object) -> None:
+        """Convenience: build and append an event record."""
+        entry: dict = {"name": name, "time": time}
+        if attributes:
+            entry["attributes"] = attributes
+        self.append(entry)
+
+    def extend(self, entries: Iterable[dict]) -> None:
+        """Fold another ring's snapshot in (e.g. a worker's delta)."""
+        with self._lock:
+            self._entries.extend(entries)
+
+    def snapshot(self) -> list[dict]:
+        """The ring's contents, oldest first, as a plain list."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def dump_jsonl(self, *, reason: str, key: str | None = None, **context: object) -> str:
+        """Render the ring as a deterministic JSONL post-mortem.
+
+        The first line is a header carrying ``reason`` (what triggered
+        the dump), the job's content-key digest when there is one, and
+        any extra ``context``; each following line is one recorded
+        event.  Values that are not JSON-able are stringified rather
+        than dropped — a post-mortem must never fail to write.
+        """
+        entries = self.snapshot()
+        header: dict = {"kind": "flight_postmortem", "reason": reason, "entries": len(entries)}
+        if key is not None:
+            header["key"] = key
+        header.update(context)
+        lines = [json.dumps(header, sort_keys=True, default=str)]
+        lines.extend(json.dumps(entry, sort_keys=True, default=str) for entry in entries)
+        return "\n".join(lines) + "\n"

@@ -32,9 +32,10 @@ Anything that quacks like :class:`ObsHook` can stand in for the real
 from __future__ import annotations
 
 from collections.abc import Iterator
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import ContextManager, Protocol, runtime_checkable
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer
 
@@ -85,6 +86,45 @@ KNOWN_METRICS: dict[str, tuple[str, str]] = {
     "ensemble_lock_steps_total": ("counter", "lock-step iterations across families"),
     "ensemble_fallback_jobs_total": ("counter", "jobs routed to the per-machine fallback"),
     "ensemble_shm_bytes_total": ("counter", "result bytes moved via shared memory"),
+    # engine internals (per compiled run)
+    "engine_macro_cells_total": ("counter", "tape cells crossed by macro-stepped scans"),
+    "engine_tape_grows_total": ("counter", "tape window extensions during compiled runs"),
+    # busy-beaver sweeps and halting surveys
+    "bb_runs_total": ("counter", "busy-beaver candidate runs started"),
+    "bb_steps_total": ("counter", "steps executed by busy-beaver candidates"),
+    "bb_halts_total": ("counter", "busy-beaver candidates that halted"),
+    "bb_survey_machines_total": ("counter", "machines enumerated by halting surveys"),
+    "bb_survey_halted_total": ("counter", "survey machines that halted in fuel"),
+    "bb_survey_running_total": ("counter", "survey machines still running at fuel"),
+    # universal machine (encoded-program replays)
+    "universal_runs_total": ("counter", "universal-machine replays started"),
+    "universal_steps_total": ("counter", "steps executed by universal replays"),
+    "universal_halts_total": ("counter", "universal replays that halted"),
+    "universal_cache_hits_total": ("counter", "replays served from the decode cache"),
+    "universal_cache_misses_total": ("counter", "replays that forced a decode"),
+    # netstack (layered packet simulation)
+    "net_hops_total": ("counter", "router hops taken by forwarded packets"),
+    "net_delivered_total": ("counter", "packets delivered to their destination"),
+    "net_ttl_expired_total": ("counter", "packets dropped on TTL expiry"),
+    "net_frames_dropped_total": ("counter", "link frames lost to injected noise"),
+    "transport_segments_sent_total": ("counter", "transport segments put on the wire"),
+    "transport_retransmits_total": ("counter", "segments re-sent after a loss"),
+    "transport_rounds_total": ("counter", "stop-and-wait rounds driven"),
+    "transport_failures_total": ("counter", "transfers abandoned after max retries"),
+    # faults (retry / circuit breaker)
+    "retry_calls_total": ("counter", "calls wrapped by a retry policy"),
+    "retry_attempts_total": ("counter", "individual attempts across retries"),
+    "retry_backoff_virtual_time": ("histogram", "virtual backoff accounted per call"),
+    "circuit_rejected_total": ("counter", "calls rejected by an open circuit"),
+    "circuit_transitions_total": ("counter", "circuit-breaker state transitions"),
+    # simulated multicore
+    "multicore_steps_total": ("counter", "machine steps driven by the scheduler"),
+    "multicore_utilisation": ("gauge", "fraction of core slots doing work"),
+    "multicore_core_utilisation": ("gauge", "per-core fraction of time doing work"),
+    # cross-process telemetry (worker deltas merged by the parent)
+    "runtime_worker_chunks_total": ("counter", "chunks executed, labelled per worker pid"),
+    "runtime_worker_busy_seconds_total": ("counter", "wall seconds workers spent in chunks"),
+    "telemetry_deltas_merged_total": ("counter", "worker telemetry deltas merged by parents"),
 }
 
 
@@ -135,10 +175,14 @@ class Instrumentation:
     """
 
     def __init__(
-        self, registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.flight = flight if flight is not None else FlightRecorder()
         self.enabled = False
 
     # -- switching ----------------------------------------------------------
@@ -148,12 +192,15 @@ class Instrumentation:
         *,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        flight: FlightRecorder | None = None,
     ) -> "Instrumentation":
         """Turn recording on, optionally swapping in sinks; idempotent."""
         if registry is not None:
             self.registry = registry
         if tracer is not None:
             self.tracer = tracer
+        if flight is not None:
+            self.flight = flight
         self.enabled = True
         return self
 
@@ -181,17 +228,40 @@ class Instrumentation:
 
     def event(self, name: str, **attributes: object) -> None:
         if self.enabled:
-            self.tracer.event(name, **attributes)
+            record = self.tracer.event(name, **attributes)
+            if record is None:
+                # No open span to live in — the flight ring still
+                # keeps it (one clock reading, same as a span event).
+                record = {"name": name, "time": self.tracer.clock()}
+                if attributes:
+                    record["attributes"] = attributes
+            self.flight.append(record)
+
+    def atomic(self) -> ContextManager:
+        """Registry-lock scope for multi-series bursts; no-op while
+        disabled (see :meth:`MetricsRegistry.atomic`)."""
+        if self.enabled:
+            return self.registry.atomic()
+        return nullcontext()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text export with ``KNOWN_METRICS`` HELP lines."""
+        return self.registry.render_prometheus(
+            help={name: doc for name, (_, doc) in KNOWN_METRICS.items()}
+        )
 
 
 OBS = Instrumentation()
 
 
 def enable(
-    *, registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    flight: FlightRecorder | None = None,
 ) -> Instrumentation:
     """Turn the global hook on (see :meth:`Instrumentation.enable`)."""
-    return OBS.enable(registry=registry, tracer=tracer)
+    return OBS.enable(registry=registry, tracer=tracer, flight=flight)
 
 
 def disable() -> None:
@@ -201,7 +271,10 @@ def disable() -> None:
 
 @contextmanager
 def observed(
-    *, registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    flight: FlightRecorder | None = None,
 ) -> Iterator[Instrumentation]:
     """Scoped enable with fresh sinks; restores prior state on exit.
 
@@ -217,11 +290,12 @@ def observed(
     handle = Instrumentation(
         registry=registry if registry is not None else MetricsRegistry(),
         tracer=tracer if tracer is not None else Tracer(),
+        flight=flight if flight is not None else FlightRecorder(),
     )
     handle.enabled = True
-    previous = (OBS.enabled, OBS.registry, OBS.tracer)
-    OBS.enable(registry=handle.registry, tracer=handle.tracer)
+    previous = (OBS.enabled, OBS.registry, OBS.tracer, OBS.flight)
+    OBS.enable(registry=handle.registry, tracer=handle.tracer, flight=handle.flight)
     try:
         yield handle
     finally:
-        OBS.enabled, OBS.registry, OBS.tracer = previous
+        OBS.enabled, OBS.registry, OBS.tracer, OBS.flight = previous

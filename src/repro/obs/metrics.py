@@ -39,7 +39,8 @@ import json
 import re
 import threading
 from bisect import bisect_left
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
 
 __all__ = [
     "Counter",
@@ -165,6 +166,12 @@ def _format_labels(labels: dict[str, str]) -> str:
     return "{" + ",".join(f'{k}="{v}"' for k, v in escaped) + "}"
 
 
+def _escape_help(text: str) -> str:
+    # HELP lines escape only backslash and newline (no quotes to
+    # close), per the text exposition format.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 class _Metric:
     """One named metric: a kind, optional bucket bounds, and its series."""
 
@@ -190,6 +197,9 @@ class MetricsRegistry:
         self.max_series_per_metric = max_series_per_metric
         self._lock = threading.RLock()
         self._metrics: dict[str, _Metric] = {}
+        # Emission fast path: a name is validated against the regex
+        # once, not on each of the millions of increments behind it.
+        self._valid_names: set[str] = set()
 
     # -- series accessors ---------------------------------------------------
 
@@ -216,12 +226,17 @@ class MetricsRegistry:
         kind: str,
         bounds: tuple[float, ...] | None = None,
     ):
-        if not _NAME_RE.match(name):
-            raise ValueError(f"invalid metric name {name!r}")
-        for label in labels:
-            if not _LABEL_RE.match(label):
-                raise ValueError(f"invalid label name {label!r}")
-        key = _label_key(labels)
+        if name not in self._valid_names:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            self._valid_names.add(name)
+        if labels:
+            for label in labels:
+                if not _LABEL_RE.match(label):
+                    raise ValueError(f"invalid label name {label!r}")
+            key = _label_key(labels)
+        else:
+            key = ()
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
@@ -249,6 +264,62 @@ class MetricsRegistry:
                     series = Histogram(name, label_strs, self._lock, metric.bounds)
                 metric.series[key] = series
             return series
+
+    # -- multi-series atomicity ---------------------------------------------
+
+    @contextmanager
+    def atomic(self):
+        """Hold the registry lock across a multi-series update.
+
+        Logically-paired series (cache hits *and* misses, a burst of
+        ``runtime_*`` counters) are updated at separate call sites,
+        each taking the lock on its own — so a concurrent
+        :meth:`snapshot` could observe the first update without the
+        second.  Wrapping the burst in ``with registry.atomic():``
+        makes the whole batch one critical section (the lock is
+        reentrant, so the inner ``inc``/``set``/``observe`` calls are
+        free).  Snapshots, exports and merges all take the same lock
+        and therefore see every batch entirely or not at all.
+        """
+        with self._lock:
+            yield self
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process merge primitive: a worker snapshots its
+        process-local registry, the snapshot rides home in the chunk
+        payload, and the parent merges it here — counters add,
+        histograms add bucket-by-bucket (decumulated back to per-bucket
+        increments), and gauges take the incoming value (last writer
+        wins; gauges are instantaneous readings, not totals).  The
+        whole merge happens under the registry lock, so a concurrent
+        snapshot sees either none or all of a worker's delta.
+
+        Raises ``ValueError`` on a kind or bucket-bound conflict with
+        an existing metric — a malformed delta must be loud, not
+        silently absorbed into the wrong series.
+        """
+        with self._lock:
+            for name in sorted(snapshot):
+                payload = snapshot[name]
+                kind = payload["kind"]
+                for entry in payload["series"]:
+                    labels = entry.get("labels") or {}
+                    if kind == "counter":
+                        self.counter(name, **labels).inc(entry["value"])
+                    elif kind == "gauge":
+                        self.gauge(name, **labels).set(entry["value"])
+                    else:
+                        buckets = entry["buckets"]
+                        bounds = tuple(float(b) for b, _ in buckets[:-1])
+                        series = self.histogram(name, buckets=bounds or None, **labels)
+                        previous = 0
+                        for slot, (_, cum) in enumerate(buckets):
+                            series.bucket_counts[slot] += cum - previous
+                            previous = cum
+                        series.sum += entry["sum"]
+                        series.count += entry["count"]
 
     # -- reading ------------------------------------------------------------
 
@@ -297,12 +368,21 @@ class MetricsRegistry:
         dumps_kwargs.setdefault("sort_keys", True)
         return json.dumps(self.snapshot(), **dumps_kwargs)
 
-    def render_prometheus(self) -> str:
-        """The Prometheus text exposition format."""
+    def render_prometheus(self, help: Mapping[str, str] | None = None) -> str:
+        """The Prometheus text exposition format.
+
+        ``help`` maps metric names to description strings; a metric
+        with an entry gets a ``# HELP`` line (backslashes and newlines
+        escaped per the format) ahead of its ``# TYPE`` line.  The
+        instrumentation layer passes its ``KNOWN_METRICS`` docs here.
+        """
         lines: list[str] = []
         with self._lock:
             for name in sorted(self._metrics):
                 metric = self._metrics[name]
+                doc = help.get(name) if help else None
+                if doc:
+                    lines.append(f"# HELP {name} {_escape_help(doc)}")
                 lines.append(f"# TYPE {name} {metric.kind}")
                 for key in sorted(metric.series):
                     series = metric.series[key]

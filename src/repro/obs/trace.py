@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
 from functools import wraps
 from itertools import count
@@ -102,12 +102,15 @@ class Span:
     def duration(self) -> float | None:
         return None if self.end is None else self.end - self.start
 
-    def event(self, name: str, **attributes: object) -> None:
-        """A timestamped point event inside this span."""
+    def event(self, name: str, **attributes: object) -> dict:
+        """A timestamped point event inside this span; returns the
+        record (the flight recorder mirrors it without re-reading the
+        clock, keeping virtual-time traces identical either way)."""
         record: dict = {"name": name, "time": self._clock()}
         if attributes:
             record["attributes"] = attributes
         self.events.append(record)
+        return record
 
     def set_attribute(self, key: str, value: object) -> None:
         self.attributes[key] = value
@@ -220,12 +223,91 @@ class Tracer:
 
         return decorate
 
-    def event(self, name: str, **attributes: object) -> None:
-        """Attach an event to the current span; silently dropped when
-        no span is open (events without context have no tree to live in)."""
+    def event(self, name: str, **attributes: object) -> dict | None:
+        """Attach an event to the current span; returns the record, or
+        ``None`` when no span is open (events without context have no
+        tree to live in — the flight recorder still keeps those)."""
         current = self.current
         if current is not None:
-            current.event(name, **attributes)
+            return current.event(name, **attributes)
+        return None
+
+    def adopt(
+        self,
+        spans: Sequence[dict],
+        *,
+        trace_id: int | None = None,
+        parent_id: int | None = None,
+    ) -> list[Span]:
+        """Graft foreign finished spans into this tracer.
+
+        ``spans`` are flat span dicts (``as_dict(nested=False)``, in
+        finish order) from *another* tracer — typically a worker
+        process's, carried home in a telemetry delta.  Every span gets
+        a fresh id from this tracer's counter (foreign ids collide
+        with local ones by construction), parent/child links inside the
+        delta are remapped, and the delta's roots are re-parented under
+        ``parent_id`` / re-traced under ``trace_id`` (usually the
+        span that dispatched the chunk).  With no ``trace_id`` each
+        adopted root starts its own trace, exactly as a local root
+        would.  Returns the adopted :class:`Span` objects in the given
+        finish order; they are appended to ``finished`` (and the roots
+        to the live parent's children when it is still open on this
+        thread, else to ``roots``) so :meth:`to_jsonl` exports one
+        merged story.
+        """
+        if not spans:
+            return []
+        with self._lock:
+            id_map = {d["span_id"]: next(self._ids) for d in spans}
+            rebuilt: dict[int, Span] = {}
+            for d in spans:
+                sp = Span(
+                    d["name"],
+                    id_map[d["span_id"]],
+                    0,  # trace ids assigned from the roots below
+                    None,
+                    d["start"],
+                    dict(d.get("attributes") or {}),
+                    self.clock,
+                )
+                sp.end = d.get("end")
+                sp.status = d.get("status", "ok")
+                sp.events = list(d.get("events") or ())
+                rebuilt[d["span_id"]] = sp
+            roots: list[Span] = []
+            for d in spans:
+                sp = rebuilt[d["span_id"]]
+                parent = rebuilt.get(d.get("parent_id"))
+                if parent is not None:
+                    sp.parent_id = parent.span_id
+                    parent.children.append(sp)
+                else:
+                    sp.parent_id = parent_id
+                    roots.append(sp)
+
+            def _set_trace(span: Span, tid: int) -> None:
+                span.trace_id = tid
+                for child in span.children:
+                    _set_trace(child, tid)
+
+            for root in roots:
+                _set_trace(root, trace_id if trace_id is not None else root.span_id)
+            # Attach under the live parent span when it is open on this
+            # thread — the common case: the dispatcher merges a chunk's
+            # delta while its own span is still running.
+            attached = False
+            if parent_id is not None:
+                for candidate in reversed(self._stack()):
+                    if candidate.span_id == parent_id:
+                        candidate.children.extend(roots)
+                        attached = True
+                        break
+            if not attached:
+                self.roots.extend(roots)
+            adopted = [rebuilt[d["span_id"]] for d in spans]
+            self.finished.extend(adopted)
+            return adopted
 
     def span_trees(self) -> list[dict]:
         """Every root span as a nested dict tree."""

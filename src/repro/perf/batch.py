@@ -226,17 +226,20 @@ def run_many(
         ):
             results = backend.execute(jobs, fuel=fuel, compiled=compiled, cache=cache)
             if OBS.enabled:
-                OBS.count("tm_jobs_total", len(jobs), backend=backend.name)
-                OBS.count(
-                    "tm_steps_total",
-                    sum(r.steps for r in results if r is not None),
-                    backend=backend.name,
-                )
-                OBS.count(
-                    "tm_halts_total",
-                    sum(1 for r in results if r is not None and r.halted),
-                    backend=backend.name,
-                )
+                # One atomic burst: a concurrent snapshot never sees
+                # tm_jobs_total bumped with tm_steps_total still stale.
+                with OBS.atomic():
+                    OBS.count("tm_jobs_total", len(jobs), backend=backend.name)
+                    OBS.count(
+                        "tm_steps_total",
+                        sum(r.steps for r in results if r is not None),
+                        backend=backend.name,
+                    )
+                    OBS.count(
+                        "tm_halts_total",
+                        sum(1 for r in results if r is not None and r.halted),
+                        backend=backend.name,
+                    )
                 # Log-visible dispatch record: chunks, steals, payload
                 # bytes and warm hits land in the trace, so a dispatch
                 # regression is diagnosable from a single run's spans.

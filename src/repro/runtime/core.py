@@ -45,6 +45,11 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from typing import Any, Protocol
 
 from repro.obs.instrument import OBS
+from repro.obs.telemetry import (
+    absorb_chunk_telemetry,
+    current_context,
+    run_captured,
+)
 from repro.runtime.workload import Job, Workload, get_workload
 
 __all__ = [
@@ -126,8 +131,11 @@ _ZERO_STATS = {"hits": 0, "misses": 0, "size": 0}
 
 
 def _record_cache_metrics(backend: str, hits: int, misses: int) -> None:
-    OBS.count("compile_cache_hits_total", hits, backend=backend)
-    OBS.count("compile_cache_misses_total", misses, backend=backend)
+    # One atomic burst: a snapshot can never see hits updated while
+    # the paired misses still hold the previous batch's value.
+    with OBS.atomic():
+        OBS.count("compile_cache_hits_total", hits, backend=backend)
+        OBS.count("compile_cache_misses_total", misses, backend=backend)
 
 
 def intern_jobs(
@@ -179,22 +187,36 @@ def run_job_loop(
     return out
 
 
-def _run_chunk(
-    payload: tuple[Workload, Sequence[Job], int, bool],
-) -> tuple[list[Any], dict[str, int], float]:
+def _run_chunk(payload: tuple) -> tuple[list[Any], dict[str, int], float]:
     """Uninterned chunk entry point (module-level so it pickles).
 
     The serial backend's ``submit_chunk`` runs this inline so a
     supervisor sees identical worker semantics on either backend: a
     fresh per-chunk cache whose hit/miss counts — and the chunk's wall
     time — ride home with the results.
+
+    ``payload`` is ``(workload, jobs, fuel, compiled)`` plus an
+    optional trailing :class:`~repro.obs.telemetry.TraceContext`; when
+    one rides, the chunk body runs under a worker-side telemetry
+    capture and its delta piggybacks in the stats dict.
     """
-    workload, jobs, fuel, compiled = payload
-    start = time.perf_counter()
-    cache = ResidentCache(workload) if compiled else None
-    results = run_job_loop(workload, jobs, fuel, compiled, cache)
-    stats = cache.stats() if cache is not None else dict(_ZERO_STATS)
-    return results, stats, time.perf_counter() - start
+    workload, jobs, fuel, compiled = payload[:4]
+    ctx = payload[4] if len(payload) > 4 else None
+
+    def body() -> tuple[list[Any], dict[str, int], float]:
+        start = time.perf_counter()
+        cache = ResidentCache(workload) if compiled else None
+        results = run_job_loop(workload, jobs, fuel, compiled, cache)
+        stats = cache.stats() if cache is not None else dict(_ZERO_STATS)
+        return results, stats, time.perf_counter() - start
+
+    if ctx is None:
+        return body()
+    # No per-job key digests here: hashing every job's content key
+    # would dwarf a small chunk's real work.  The supervisor stamps
+    # digests on its dispatch spans, where retries make them earn
+    # their cost; the plain runtime links chunks by span ancestry.
+    return run_captured(ctx, body, kind=workload.kind, jobs=len(jobs))
 
 
 # ---------------------------------------------------------------------------
@@ -278,14 +300,25 @@ def _run_workload_chunk(payload) -> tuple[list[Any], dict[str, int], float]:
     """Interned chunk entry point: ``(results, cache stats, seconds)``.
 
     ``payload`` is ``(workload, generation, entries, shipped, fuel,
-    compiled)``, possibly pre-pickled: the master pickles it up front
-    to measure the bytes it ships (and to pickle shipped programs
-    exactly once), so unwrap before dispatching.
+    compiled)`` plus an optional trailing
+    :class:`~repro.obs.telemetry.TraceContext`, possibly pre-pickled:
+    the master pickles it up front to measure the bytes it ships (and
+    to pickle shipped programs exactly once), so unwrap before
+    dispatching.  A riding context wraps execution in a worker-side
+    telemetry capture whose delta piggybacks home in the stats dict.
     """
     if isinstance(payload, bytes):
         payload = pickle.loads(payload)
-    workload, generation, entries, shipped, fuel, compiled = payload
-    return _execute_entries(workload, generation, entries, shipped, fuel, compiled)
+    workload, generation, entries, shipped, fuel, compiled = payload[:6]
+    ctx = payload[6] if len(payload) > 6 else None
+    if ctx is None:
+        return _execute_entries(workload, generation, entries, shipped, fuel, compiled)
+    return run_captured(
+        ctx,
+        lambda: _execute_entries(workload, generation, entries, shipped, fuel, compiled),
+        kind=workload.kind,
+        jobs=len(entries),
+    )
 
 
 class Backend(Protocol):
@@ -339,7 +372,11 @@ class SerialBackend:
         """
         future: Future = Future()
         try:
-            future.set_result(_run_chunk((self.workload, tuple(chunk), fuel, compiled)))
+            future.set_result(
+                _run_chunk(
+                    (self.workload, tuple(chunk), fuel, compiled, current_context())
+                )
+            )
         except BaseException as exc:  # settled, never raised here
             future.set_exception(exc)
         return future
@@ -584,7 +621,10 @@ class ProcessBackend:
         for pid, _ in entries:
             if pid not in self._seeded and pid not in shipped:
                 shipped[pid] = self._known[pid][1]
+        ctx = current_context()
         payload = (self.workload, self.generation, tuple(entries), shipped, fuel, compiled)
+        if ctx is not None:
+            payload = (*payload, ctx)
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         return pool.submit(_run_workload_chunk, blob), len(blob)
 
@@ -802,6 +842,7 @@ class ProcessBackend:
                 for future in done:
                     span = in_flight.pop(future)
                     results, stats, elapsed = future.result()
+                    absorb_chunk_telemetry(stats)
                     for u, result in zip(span, results):
                         unique_results[u] = result
                         self._observe_cost(pids[u], self.workload.cost(result))
@@ -939,19 +980,19 @@ def run_jobs(
             results = backend.execute(jobs, fuel=fuel, compiled=compiled, cache=cache)
             if OBS.enabled:
                 labels = {"workload": workload.kind, "backend": backend.name}
-                OBS.count("runtime_jobs_total", len(jobs), **labels)
-                OBS.count(
-                    "runtime_cost_total",
-                    sum(workload.cost(r) for r in results if r is not None),
-                    **labels,
-                )
                 summary = getattr(backend, "last_dispatch", None)
-                if summary:
+                total_cost = sum(workload.cost(r) for r in results if r is not None)
+                # One atomic burst per run: a concurrent snapshot sees
+                # all three runtime_* series updated or none of them.
+                with OBS.atomic():
+                    OBS.count("runtime_jobs_total", len(jobs), **labels)
+                    OBS.count("runtime_cost_total", total_cost, **labels)
                     OBS.count(
                         "runtime_unique_jobs_total",
-                        summary.get("unique_jobs", len(jobs)),
+                        summary.get("unique_jobs", len(jobs)) if summary else len(jobs),
                         **labels,
                     )
+                if summary:
                     OBS.event(
                         "runtime.dispatch_summary",
                         workload=workload.kind,
@@ -959,7 +1000,6 @@ def run_jobs(
                         **summary,
                     )
                 else:
-                    OBS.count("runtime_unique_jobs_total", len(jobs), **labels)
                     OBS.event(
                         "runtime.dispatch_summary",
                         workload=workload.kind,

@@ -43,6 +43,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, wait
 from typing import Any, Protocol, runtime_checkable
 
 from repro.obs.instrument import OBS
+from repro.obs.telemetry import absorb_chunk_telemetry, current_context, run_captured
 from repro.perf.ensemble_engine import (
     EnsembleIneligible,
     EnsembleOutcome,
@@ -321,10 +322,21 @@ class EnsembleBackend:
         :meth:`SerialBackend.submit_chunk`, so a supervisor can drive
         the ensemble path through the same event loop."""
         future: Future = Future()
-        try:
+
+        def body() -> tuple[list[Any], dict[str, int], float]:
             start = time.perf_counter()
             results, stats, _ = self._run(chunk, fuel=fuel, compiled=compiled)
-            future.set_result((results, stats, time.perf_counter() - start))
+            return results, stats, time.perf_counter() - start
+
+        try:
+            future.set_result(
+                run_captured(
+                    current_context(),
+                    body,
+                    kind=self.workload.kind,
+                    jobs=len(chunk),
+                )
+            )
         except BaseException as exc:  # settled, never raised here
             future.set_exception(exc)
         return future
@@ -387,6 +399,7 @@ class EnsembleBackend:
         if cache is not None:
             cache.absorb(self.last_cache_stats)
         if OBS.enabled:
+            OBS.gauge("batch_queue_depth", 1 if jobs else 0, backend=self.name)
             OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
             _record_cache_metrics(self.name, stats["hits"], stats["misses"])
             _count_ensemble_obs(self.name, stats, batches=1 if jobs else 0)
@@ -434,38 +447,47 @@ def _run_ensemble_shard(blob: bytes) -> tuple[Any, dict[str, int], float]:
     block, ``spill`` is the full result list, counted the same way.
     """
     payload = pickle.loads(blob)
-    (workload, jobs, fuel, compiled, shm_name, fields, caps) = payload
-    start = time.perf_counter()
-    results, stats, pack_info = _run_ensemble(
-        workload, jobs, fuel=fuel, compiled=compiled, **caps
-    )
-    spill: Any = results
-    if shm_name is not None:
-        from multiprocessing import resource_tracker, shared_memory
+    workload, jobs, fuel, compiled, shm_name, fields, caps = payload[:7]
+    ctx = payload[7] if len(payload) > 7 else None
 
-        shm = shared_memory.SharedMemory(name=shm_name)
-        try:
-            # CPython registers the segment with a resource tracker on
-            # every open, not just on create.  Under spawn the worker
-            # has its *own* tracker, which would unlink the parent's
-            # block at worker exit — undo the registration.  Under fork
-            # the tracker process is shared with the parent, so the
-            # extra register was a set-add no-op and unregistering here
-            # would strip the parent's own registration instead.
-            import multiprocessing
+    def body() -> tuple[Any, dict[str, int], float]:
+        start = time.perf_counter()
+        results, stats, pack_info = _run_ensemble(
+            workload, jobs, fuel=fuel, compiled=compiled, **caps
+        )
+        spill: Any = results
+        if shm_name is not None:
+            from multiprocessing import resource_tracker, shared_memory
 
-            if multiprocessing.get_start_method() != "fork":
-                try:
-                    resource_tracker.unregister(shm._name, "shared_memory")
-                except Exception:
-                    pass
-            spill = _pack_shm(workload, shm, fields, len(jobs), results, pack_info)
-        finally:
-            shm.close()
-    stats["result_bytes"] = (
-        len(pickle.dumps(spill, protocol=pickle.HIGHEST_PROTOCOL)) if spill else 0
-    )
-    return spill, stats, time.perf_counter() - start
+            shm = shared_memory.SharedMemory(name=shm_name)
+            try:
+                # CPython registers the segment with a resource tracker on
+                # every open, not just on create.  Under spawn the worker
+                # has its *own* tracker, which would unlink the parent's
+                # block at worker exit — undo the registration.  Under fork
+                # the tracker process is shared with the parent, so the
+                # extra register was a set-add no-op and unregistering here
+                # would strip the parent's own registration instead.
+                import multiprocessing
+
+                if multiprocessing.get_start_method() != "fork":
+                    try:
+                        resource_tracker.unregister(shm._name, "shared_memory")
+                    except Exception:
+                        pass
+                spill = _pack_shm(workload, shm, fields, len(jobs), results, pack_info)
+            finally:
+                shm.close()
+        stats["result_bytes"] = (
+            len(pickle.dumps(spill, protocol=pickle.HIGHEST_PROTOCOL)) if spill else 0
+        )
+        return spill, stats, time.perf_counter() - start
+
+    # The telemetry delta rides in the stats dict, not the spill: it
+    # never counts against the zero-pickled-result-bytes accounting.
+    if ctx is None:
+        return body()
+    return run_captured(ctx, body, kind=workload.kind, jobs=len(jobs))
 
 
 def _pack_shm(
@@ -612,10 +634,11 @@ class EnsembleProcessBackend:
             shm = shared_memory.SharedMemory(create=True, size=nbytes)
             shm_name = shm.name
             self._live_shm.add(shm)
-        blob = pickle.dumps(
-            (self.workload, tuple(chunk), fuel, compiled, shm_name, fields, self._caps),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        payload = (self.workload, tuple(chunk), fuel, compiled, shm_name, fields, self._caps)
+        ctx = current_context()
+        if ctx is not None:
+            payload = (*payload, ctx)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         outer: Future = Future()
         outer.payload_bytes = len(blob)
         outer.shm_bytes = shm.size if shm is not None else 0
@@ -710,6 +733,10 @@ class EnsembleProcessBackend:
                 wait(futures)
                 for future in futures:
                     results, stats, elapsed = future.result()
+                    # Merge on this (consuming) thread, never in the
+                    # done-callback: Tracer.adopt grafts under the span
+                    # stack of whoever calls it.
+                    absorb_chunk_telemetry(stats)
                     out.extend(results)
                     for key in aggregate:
                         aggregate[key] += stats.get(key, 0)
@@ -741,6 +768,7 @@ class EnsembleProcessBackend:
         if cache is not None:
             cache.absorb(self.last_cache_stats)
         if OBS.enabled:
+            OBS.gauge("batch_queue_depth", len(shards), backend=self.name)
             _record_cache_metrics(self.name, aggregate["hits"], aggregate["misses"])
             _count_ensemble_obs(self.name, aggregate, batches=len(shards))
             OBS.count("ensemble_shm_bytes_total", shm_bytes, backend=self.name)

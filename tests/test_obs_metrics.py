@@ -185,3 +185,108 @@ def test_thread_safety_of_counter_increments():
     for t in threads:
         t.join()
     assert reg.value("c_total") == 8_000
+
+
+def test_prometheus_escapes_newlines_in_label_values():
+    # Regression for the full escape triple: backslash, quote, newline.
+    reg = MetricsRegistry()
+    reg.counter("c_total", path='line1\nline2', note='q"\\').inc()
+    text = reg.render_prometheus()
+    assert 'path="line1\\nline2"' in text
+    assert 'note="q\\"\\\\"' in text
+    assert "\nline2" not in text.split("# TYPE")[-1].splitlines()[1:]  # no raw newline inside a sample
+
+
+def test_prometheus_help_lines_escaped():
+    reg = MetricsRegistry()
+    reg.counter("runs_total").inc(3)
+    text = reg.render_prometheus(help={"runs_total": "runs\nwith newline \\ backslash"})
+    assert "# HELP runs_total runs\\nwith newline \\\\ backslash\n" in text
+    assert text.index("# HELP runs_total") < text.index("# TYPE runs_total")
+    # No entry for a metric -> no HELP line, just TYPE.
+    reg.counter("other_total").inc()
+    text = reg.render_prometheus(help={"runs_total": "doc"})
+    assert "# HELP other_total" not in text and "# TYPE other_total" in text
+
+
+def test_snapshot_atomic_under_burst():
+    """A snapshot taken while another thread bursts paired counters
+    inside ``atomic()`` never sees one counter of the pair ahead."""
+    reg = MetricsRegistry()
+    hits = reg.counter("hits_total")
+    misses = reg.counter("misses_total")
+    stop = threading.Event()
+    torn = []
+
+    def burst():
+        while not stop.is_set():
+            with reg.atomic():
+                hits.inc()
+                misses.inc()
+
+    def watch():
+        for _ in range(2_000):
+            snap = reg.snapshot()
+            h = snap.get("hits_total", {"series": [{"value": 0}]})["series"][0]["value"]
+            m = snap.get("misses_total", {"series": [{"value": 0}]})["series"][0]["value"]
+            if h != m:
+                torn.append((h, m))
+        stop.set()
+
+    writer = threading.Thread(target=burst)
+    reader = threading.Thread(target=watch)
+    writer.start()
+    reader.start()
+    reader.join()
+    stop.set()
+    writer.join()
+    assert torn == []
+
+
+def test_merge_adds_counters_and_histograms():
+    src = MetricsRegistry()
+    src.counter("c_total", backend="w").inc(3)
+    src.gauge("depth").set(5)
+    src.histogram("lat", buckets=[1.0, 10.0]).observe(0.5)
+    src.histogram("lat", buckets=[1.0, 10.0]).observe(20.0)
+    dst = MetricsRegistry()
+    dst.counter("c_total", backend="w").inc(4)
+    dst.histogram("lat", buckets=[1.0, 10.0]).observe(2.0)
+    dst.merge(src.snapshot())
+    assert dst.value("c_total", backend="w") == 7
+    assert dst.value("depth") == 5
+    h = dst.histogram("lat", buckets=[1.0, 10.0])
+    assert h.count == 3
+    assert h.sum == 22.5
+    cumulative = dict(h.cumulative())
+    assert cumulative[1.0] == 1 and cumulative[10.0] == 2 and cumulative[float("inf")] == 3
+
+
+def test_merge_twice_doubles_merge_is_not_idempotent_by_design():
+    # merge() is additive on purpose; idempotence lives in the
+    # telemetry layer's pop-before-merge.
+    src = MetricsRegistry()
+    src.counter("c_total").inc(2)
+    snap = src.snapshot()
+    dst = MetricsRegistry()
+    dst.merge(snap)
+    dst.merge(snap)
+    assert dst.value("c_total") == 4
+
+
+def test_merge_gauge_last_writer_wins():
+    src = MetricsRegistry()
+    src.gauge("depth", backend="b").set(9)
+    dst = MetricsRegistry()
+    dst.gauge("depth", backend="b").set(2)
+    dst.merge(src.snapshot())
+    assert dst.value("depth", backend="b") == 9
+
+
+def test_merge_kind_conflict_raises():
+    src = MetricsRegistry()
+    src.counter("x_total").inc()
+    dst = MetricsRegistry()
+    dst.gauge("x_total").set(1)
+    with pytest.raises(ValueError, match="is a gauge"):
+        dst.merge(src.snapshot())
