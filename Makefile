@@ -3,15 +3,16 @@ test:
 	PYTHONPATH=src python -m pytest -x -q
 
 # Tier-2: slower checks that are not part of the tier-1 gate.
-# bench-smoke runs the perf-regression, observability, and
-# fault-recovery harnesses at tiny sizes — it exercises the whole
+# bench-smoke runs the perf-regression, observability, fault-recovery,
+# and durable-journal harnesses at tiny sizes — it exercises the whole
 # measure/assert/emit pipeline and rewrites BENCH_perf_engine.json /
-# BENCH_obs_overhead.json / BENCH_fault_recovery.json in seconds.
+# BENCH_obs_overhead.json / BENCH_fault_recovery.json /
+# BENCH_journal.json in seconds.
 # The full-size engine speedup gates are skipped at smoke sizes, but
 # the PF2 warm-pool batch gate is enforced even here: the run fails
 # if the persistent warm-cache dispatcher stops beating the reference
 # interpreter by at least 2x the old 2.44x cold-dispatch baseline.
-bench-smoke: obs-smoke faults-smoke runtime-smoke ensemble-smoke
+bench-smoke: obs-smoke faults-smoke runtime-smoke ensemble-smoke journal-smoke
 	python benchmarks/bench_perf_engine.py --smoke
 
 # Workload-generic runtime gate at tiny sizes: the TM path through
@@ -67,6 +68,18 @@ faults-smoke:
 bench-faults:
 	python benchmarks/bench_fault_recovery.py
 
+# Durable-journal gate at tiny sizes: fault-free journaled overhead
+# < 10% vs the bare backend; a sweep hard-killed (os._exit, no
+# cleanup) mid-way resumes byte-identically with every durable
+# completion served from the journal and zero re-executions; a
+# journaled dead letter survives the restart and replays after a fix.
+journal-smoke:
+	python benchmarks/bench_journal_resume.py --smoke
+
+# Full-size journal resume gate (same assertions, stabler timings).
+bench-journal:
+	python benchmarks/bench_journal_resume.py
+
 # Full-size perf run: regenerates BENCH_perf_engine.json and fails
 # unless a >=1e5-step workload shows >=5x compiled speedup.
 bench-perf:
@@ -76,4 +89,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs obs-report faults-smoke bench-faults runtime-smoke bench-runtime ensemble-smoke bench-ensemble
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs obs-report faults-smoke bench-faults journal-smoke bench-journal runtime-smoke bench-runtime ensemble-smoke bench-ensemble

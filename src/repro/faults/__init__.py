@@ -12,15 +12,20 @@ fault schedules so tests are reproducible.
 :mod:`repro.faults.retry` provides the defensive patterns (retry with
 backoff, circuit breaker) whose value experiment C24 measures.
 :mod:`repro.faults.chaos` scales the same discipline up to the batch
-layer — scheduled worker crashes, hung chunks, corrupted payloads, and
-poison jobs — and :mod:`repro.faults.supervisor` provides the recovery
-path that survives them: deadlines, bounded retries, hedged dispatch,
-pool restarts with graceful degradation, and poison quarantine by
-bisection.
+layer — scheduled worker crashes, hung chunks, corrupted payloads,
+hard kills (``os._exit``, the ``kill -9`` stand-in), and poison jobs —
+and :mod:`repro.faults.supervisor` provides the recovery path that
+survives them: deadlines, bounded retries, hedged dispatch, pool
+restarts with graceful degradation, poison quarantine by bisection,
+and on-demand dead-letter replay.  :mod:`repro.faults.recovery` is the
+deliberate half of the durable job journal
+(:mod:`repro.runtime.journal`): it replays the append-only log after a
+hard crash, tolerating torn tails, so sweeps resume exactly-once.
 """
 
 from repro.faults.chaos import (
     FAULT_KINDS,
+    KILL_EXIT_CODE,
     ChaosBackend,
     ChaosSchedule,
     ChunkCorruption,
@@ -30,6 +35,7 @@ from repro.faults.chaos import (
     valid_payload,
 )
 from repro.faults.injection import DiskFullError, FaultSchedule, FaultyDisk, FlakyServer, ServerTimeout
+from repro.faults.recovery import RecoveredState, recover_journal, replay_record_job
 from repro.faults.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
 from repro.faults.supervisor import (
     DeadLetter,
@@ -48,8 +54,12 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "FAULT_KINDS",
+    "KILL_EXIT_CODE",
     "ChaosSchedule",
     "ChaosBackend",
+    "RecoveredState",
+    "recover_journal",
+    "replay_record_job",
     "job_key",
     "valid_payload",
     "WorkerCrash",

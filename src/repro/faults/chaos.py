@@ -15,7 +15,14 @@ scheduled fault at the chunk-dispatch boundary:
   fault, so tests stay fast and deterministic;
 * ``"corrupt"`` — the dispatch settles with a payload that fails
   :func:`valid_payload` (a truncated result list), the shape a torn
-  IPC message would take.
+  IPC message would take;
+* ``"kill"`` — the process dies *hard*, without cleanup: by default
+  :func:`os._exit`, so no ``finally`` blocks, no ``atexit``, no
+  buffered writes survive — the deterministic stand-in for ``kill -9``
+  that the journal's resume gate is built on.  Run the victim in a
+  child process (see ``benchmarks/bench_journal_resume.py``); tests
+  that must survive pass ``kill_action=`` to observe the kill instead,
+  in which case the dispatch settles as a :class:`WorkerCrash`.
 
 A *poison job* is nastier than a scheduled fault: any chunk containing
 it crashes, every time, no matter how often it is retried — which is
@@ -33,7 +40,8 @@ that a chaos run equals a clean run job-for-job.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+import os
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from concurrent.futures import Future
 
 from repro.faults.injection import FaultSchedule
@@ -45,6 +53,7 @@ from repro.runtime.workloads.machines import MACHINES
 
 __all__ = [
     "FAULT_KINDS",
+    "KILL_EXIT_CODE",
     "WorkerCrash",
     "ChunkTimeout",
     "ChunkCorruption",
@@ -54,7 +63,20 @@ __all__ = [
     "valid_payload",
 ]
 
-FAULT_KINDS = ("crash", "timeout", "corrupt")
+FAULT_KINDS = ("crash", "timeout", "corrupt", "kill")
+
+#: Exit status a hard kill reports, mirroring a SIGKILL's ``128 + 9``.
+KILL_EXIT_CODE = 137
+
+
+def _hard_kill(code: int = KILL_EXIT_CODE) -> None:  # pragma: no cover - dies
+    """Die without cleanup — the real ``"kill"`` action.
+
+    ``os._exit`` skips ``finally`` blocks, ``atexit`` handlers and
+    stdio/file flushes, which is the point: anything not already
+    fsynced is lost, exactly like ``kill -9``.
+    """
+    os._exit(code)
 
 
 class WorkerCrash(RuntimeError):
@@ -177,6 +199,8 @@ class ChaosBackend:
         *,
         schedule: ChaosSchedule | None = None,
         poison_jobs: Iterable[Job] = (),
+        kill_action: Callable[[int], None] | None = None,
+        kill_code: int = KILL_EXIT_CODE,
     ) -> None:
         if not hasattr(inner, "submit_chunk"):
             raise TypeError(f"inner backend {inner!r} has no submit_chunk")
@@ -187,6 +211,8 @@ class ChaosBackend:
         # backend.
         self.workload: Workload = getattr(inner, "workload", None) or MACHINES
         self.schedule = schedule if schedule is not None else ChaosSchedule.never()
+        self._kill_action = kill_action
+        self.kill_code = kill_code
         self._poison = {job_key(job, self.workload) for job in poison_jobs}
         self.dispatches = 0
         self.recoveries = 0
@@ -209,7 +235,15 @@ class ChaosBackend:
         self.injected[kind] += 1
         OBS.event("chaos.inject", kind=kind, jobs=len(chunk), dispatch=self.dispatches)
         fault: Future = Future()
-        if kind == "crash":
+        if kind == "kill":
+            # Hard death, no cleanup.  The default action never
+            # returns; a test-seam kill_action that does return sees
+            # the dispatch settle as a crash, so the supervisor's view
+            # stays deterministic either way.
+            action = self._kill_action if self._kill_action is not None else _hard_kill
+            action(self.kill_code)
+            fault.set_exception(WorkerCrash("chaos: process hard-killed mid-chunk"))
+        elif kind == "crash":
             fault.set_exception(WorkerCrash("chaos: worker lost mid-chunk"))
         elif kind == "corrupt":
             fault.set_result(([], dict(_ZERO_STATS), 0.0))

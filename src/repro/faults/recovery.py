@@ -1,0 +1,138 @@
+"""Deterministic crash recovery: replay the journal, repair, resume.
+
+This is the deliberate half of the two-systems split whose reflexive
+half is :mod:`repro.runtime.journal`: the hot path only appends; this
+module reads the whole log back after a crash and reconstructs exactly
+what was committed.
+
+Recovery invariants (pinned by the torn-write property tests in
+``tests/test_faults_recovery.py``):
+
+* **Prefix-exact.**  Recovery yields precisely the records whose
+  frames were fully committed, in append order.  A segment truncated
+  at *any* byte offset inside its final frame recovers the same state
+  as if that record had never been appended — no exception, no
+  phantom, no half-read result.
+* **Truncate-and-warn, never raise.**  A torn tail is expected after a
+  hard crash (``kill -9`` between buffer and fsync); the scan reports
+  it, optionally repairs the file, and carries on.  Corruption is a
+  *condition to recover from*, not an error to propagate.
+* **Completion supersedes.**  Replaying records in order, a
+  ``completed`` record wins over an earlier ``submitted`` (the job is
+  done) and over an earlier ``dead_lettered`` with the same key (the
+  job was replayed after a fix).  A ``submitted`` with no later
+  outcome was in flight at the crash — it simply runs again.
+
+The functions here are pure over the journal directory; the writer
+side (and the backend that serves recovered results) lives in
+:mod:`repro.runtime.journal`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.instrument import OBS
+from repro.runtime.journal import _unpack, scan_segment, segment_paths
+from repro.runtime.workload import Job
+
+__all__ = [
+    "RecoveredState",
+    "recover_journal",
+    "replay_record_job",
+]
+
+
+@dataclass
+class RecoveredState:
+    """Everything a resumed sweep needs to know about a journal.
+
+    ``completed`` maps content-key digests to unpickled results — the
+    exactly-once memo.  ``dead_letters`` maps digests to their (raw)
+    records, pickled job included.  ``in_flight`` holds digests that
+    were submitted but saw no outcome before the crash: the jobs a
+    resume re-executes.
+    """
+
+    directory: Path
+    records: list[dict] = field(default_factory=list)
+    completed: dict[str, Any] = field(default_factory=dict)
+    dead_letters: dict[str, dict] = field(default_factory=dict)
+    in_flight: set[str] = field(default_factory=set)
+    segments: int = 0
+    torn_segments: int = 0
+    torn_bytes: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not self.records
+
+
+def recover_journal(directory: Path | str, *, repair: bool = False) -> RecoveredState:
+    """Scan every segment and replay the records into a
+    :class:`RecoveredState`.
+
+    Torn tails are tolerated per segment (see the module invariants);
+    with ``repair=True`` the torn bytes are also truncated off the
+    files, which is what the journal writer does to its tail segment
+    on open.  This function itself never raises for torn or missing
+    data: an absent directory is just an empty journal.
+    """
+    state = RecoveredState(directory=Path(directory))
+    paths = segment_paths(directory)
+    state.segments = len(paths)
+    for path in paths:
+        scan = scan_segment(path)
+        if scan.torn:
+            dropped = path.stat().st_size - scan.good_bytes
+            state.torn_segments += 1
+            state.torn_bytes += dropped
+            warnings.warn(
+                f"journal segment {path.name}: dropping {dropped} torn bytes"
+                f" after {len(scan.records)} committed records",
+                stacklevel=2,
+            )
+            if OBS.enabled:
+                OBS.count("journal_torn_total")
+            if repair:
+                with open(path, "r+b") as handle:
+                    handle.truncate(scan.good_bytes)
+        state.records.extend(scan.records)
+    for record in state.records:
+        kind = record.get("kind")
+        key = record.get("key")
+        if not isinstance(key, str):
+            continue
+        if kind == "submitted":
+            if key not in state.completed and key not in state.dead_letters:
+                state.in_flight.add(key)
+        elif kind == "completed":
+            try:
+                state.completed[key] = _unpack(record["result"])
+            except Exception:
+                # An undecodable result behind a valid CRC means the
+                # pickle referenced something this process can no
+                # longer import — treat the key as never completed
+                # rather than poisoning the resume.
+                warnings.warn(
+                    f"journal record seq={record.get('seq')}: result"
+                    " failed to unpickle; key treated as incomplete",
+                    stacklevel=2,
+                )
+                continue
+            state.in_flight.discard(key)
+            state.dead_letters.pop(key, None)  # a replay fixed it
+        elif kind == "dead_lettered":
+            state.dead_letters[key] = record
+            state.in_flight.discard(key)
+    return state
+
+
+def replay_record_job(record: dict) -> Job:
+    """Unpickle the job a ``dead_lettered`` record carries."""
+    if record.get("kind") != "dead_lettered":
+        raise ValueError(f"not a dead-letter record: {record.get('kind')!r}")
+    return _unpack(record["job"])

@@ -492,8 +492,12 @@ class SupervisedBackend:
         self.flight_dir = Path(flight_dir) if flight_dir is not None else None
         self.last_cache_stats: dict[str, int] = dict(_ZERO_STATS)
         self.last_report = SupervisionReport()
+        self.last_replay_report: SupervisionReport | None = None
         self.last_dispatch: dict[str, Any] = {}
         self.last_postmortems: list[dict[str, Any]] = []
+        self._last_results: list[Any] = []
+        self._last_fuel: int | None = None
+        self._last_compiled = True
 
     def recover(self) -> None:
         """Restart the inner backend's pool (next submit re-seeds it)."""
@@ -595,4 +599,73 @@ class SupervisedBackend:
             _record_cache_metrics(
                 self.name, run.aggregate["hits"], run.aggregate["misses"]
             )
-        return [out_unique[s] for s in slots]
+        out = [out_unique[s] for s in slots]
+        # Retained for replay_dead_letters: recovered results merge
+        # into this list, slot by slot, after a fix.
+        self._last_results = out
+        self._last_fuel = fuel
+        self._last_compiled = compiled
+        return out
+
+    def replay_dead_letters(
+        self, *, fuel: int | None = None, compiled: bool | None = None
+    ) -> list[Any]:
+        """Re-execute the last run's quarantined jobs; merge what recovers.
+
+        The deliberate path after a fix: the inner backend's pool is
+        restarted first (a fresh generation, so no pre-crash worker
+        state can serve the retry), then every :class:`DeadLetter` on
+        ``last_report`` runs through a fresh supervision under the same
+        policy — a job that dies again is simply quarantined again.
+        Recovered results are merged into the last ``execute``'s result
+        list *in index order*, ``last_report.quarantined`` shrinks to
+        the letters that still stand, and the merged list is returned.
+        ``fuel``/``compiled`` default to the values of the run that
+        quarantined them.
+
+        The replay's own supervision report (retries, restarts, its
+        still-dead letters) is kept on ``last_replay_report``.
+        """
+        letters = sorted(self.last_report.quarantined, key=lambda l: l.index)
+        if not letters:
+            self.last_replay_report = None
+            return list(self._last_results)
+        replay_fuel = fuel if fuel is not None else (self._last_fuel or 10_000)
+        replay_compiled = compiled if compiled is not None else self._last_compiled
+        self.recover()  # fresh generation for the second chance
+        # Dedup by content: the expanded duplicate slots of one poison
+        # job replay it once and share the outcome.
+        unique, slots, _ = intern_jobs(self.workload, [l.job for l in letters])
+        run = _Supervision(self, replay_fuel, replay_compiled)
+        try:
+            with OBS.span(
+                "supervisor.replay", backend=self.name, jobs=len(letters)
+            ):
+                out_unique = run.run(unique)
+        finally:
+            self.last_replay_report = run.report
+            if run.active is not self.inner:
+                close = getattr(run.active, "close", None)
+                if close is not None:
+                    close()
+        still_dead: list[DeadLetter] = []
+        recovered = 0
+        for letter, s in zip(letters, slots):
+            result = out_unique[s]
+            if result is None:
+                still_dead.append(letter)
+            else:
+                recovered += 1
+                if letter.index < len(self._last_results):
+                    self._last_results[letter.index] = result
+        still_ids = {id(letter) for letter in still_dead}
+        self.last_report.quarantined = [
+            letter for letter in self.last_report.quarantined if id(letter) in still_ids
+        ]
+        if OBS.enabled:
+            OBS.event(
+                "supervisor.replayed",
+                recovered=recovered,
+                still_dead=len(still_dead),
+            )
+        return list(self._last_results)

@@ -125,6 +125,14 @@ KNOWN_METRICS: dict[str, tuple[str, str]] = {
     "runtime_worker_chunks_total": ("counter", "chunks executed, labelled per worker pid"),
     "runtime_worker_busy_seconds_total": ("counter", "wall seconds workers spent in chunks"),
     "telemetry_deltas_merged_total": ("counter", "worker telemetry deltas merged by parents"),
+    # durable job journal (append-only segments + crash resume)
+    "journal_records_total": ("counter", "journal records appended, labelled by kind"),
+    "journal_bytes_total": ("counter", "framed bytes appended to journal segments"),
+    "journal_fsyncs_total": ("counter", "durability barriers (flush+fsync) performed"),
+    "journal_segments_total": ("counter", "journal segment files opened or rotated"),
+    "journal_hits_total": ("counter", "jobs served from the journal memo, 0 re-executions"),
+    "journal_replayed_total": ("counter", "dead-lettered jobs recovered by replay"),
+    "journal_torn_total": ("counter", "torn segment tails truncated during recovery"),
 }
 
 

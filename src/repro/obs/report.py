@@ -154,6 +154,30 @@ def render(snapshot: Mapping, *, postmortems: list[dict] | None = None) -> str:
             f" warm_hits={_fmt(warm)} shm_bytes={_fmt(shm)}"
         )
 
+    # -- journal (durable sweeps) -------------------------------------------
+    journal_records = _series(snapshot, "journal_records_total")
+    journal_hits = _total(snapshot, "journal_hits_total")
+    journal_torn = _total(snapshot, "journal_torn_total")
+    journal_replayed = _total(snapshot, "journal_replayed_total")
+    if journal_records or journal_hits or journal_torn or journal_replayed:
+        lines.append("")
+        lines.append("-- journal --")
+        by_kind = {
+            entry["labels"].get("kind", "?"): entry["value"]
+            for entry in journal_records
+        }
+        kinds = " ".join(
+            f"{kind}={_fmt(value)}" for kind, value in sorted(by_kind.items())
+        )
+        lines.append(
+            f"records: {kinds or '(none)'}  bytes={_fmt(_total(snapshot, 'journal_bytes_total'))}"
+            f" fsyncs={_fmt(_total(snapshot, 'journal_fsyncs_total'))}"
+        )
+        lines.append(
+            f"resume: hits={_fmt(journal_hits)} replayed={_fmt(journal_replayed)}"
+            f" torn_tails={_fmt(journal_torn)}"
+        )
+
     # -- supervision --------------------------------------------------------
     retries = _total(snapshot, "batch_chunk_retries_total")
     hedges = _total(snapshot, "batch_hedged_total")

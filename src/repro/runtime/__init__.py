@@ -44,6 +44,8 @@ __all__ = [
     "EnsembleCapable",
     "EnsembleProcessBackend",
     "Job",
+    "Journal",
+    "JournaledBackend",
     "ProcessBackend",
     "ProgramNotResident",
     "ResidentCache",
@@ -59,12 +61,14 @@ __all__ = [
     "run_jobs",
 ]
 
-# The ensemble layer pulls in numpy; resolve its exports lazily so
-# `import repro.runtime` stays as cheap as the workload registry's
-# lazy imports promise.
+# The ensemble layer pulls in numpy and the journal layer pulls in the
+# recovery scanner; resolve both sets of exports lazily so `import
+# repro.runtime` stays as cheap as the workload registry's lazy
+# imports promise.
 _ENSEMBLE_EXPORTS = frozenset(
     {"EnsembleBackend", "EnsembleCapable", "EnsembleProcessBackend"}
 )
+_JOURNAL_EXPORTS = frozenset({"Journal", "JournaledBackend"})
 
 
 def __getattr__(name: str):
@@ -72,4 +76,8 @@ def __getattr__(name: str):
         from repro.runtime import ensemble
 
         return getattr(ensemble, name)
+    if name in _JOURNAL_EXPORTS:
+        from repro.runtime import journal
+
+        return getattr(journal, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -880,12 +880,20 @@ def _ensemble_process_backend(workload: Workload, **kwargs):
     return EnsembleProcessBackend(workload, **kwargs)
 
 
+def _journaled_backend(workload: Workload, **kwargs):
+    # Late import: the journal layer is only paid for when asked for.
+    from repro.runtime.journal import JournaledBackend
+
+    return JournaledBackend(workload=workload, **kwargs)
+
+
 BACKENDS = {
     "serial": SerialBackend,
     "process": ProcessBackend,
     "supervised": _supervised_backend,
     "ensemble": _ensemble_backend,
     "ensemble_process": _ensemble_process_backend,
+    "journaled": _journaled_backend,
 }
 
 
@@ -902,12 +910,31 @@ def create_backend(
     resolved workload as its first argument; frontend registries (e.g.
     :data:`repro.perf.batch.BACKENDS`) bind their own workload, so
     their factories are called with ``kwargs`` only.
+
+    Composite names stack wrapping backends left to right:
+    ``"journaled:supervised:process"`` resolves the head factory with
+    ``inner=`` set to the rest of the name, which the wrapper resolves
+    recursively through this same function — so any chain of
+    ``journaled`` / ``supervised`` over a leaf backend can be named in
+    one string (wrapper-specific kwargs like ``journal_dir`` still pass
+    through ``kwargs``).
     """
     reg = registry if registry is not None else BACKENDS
-    try:
-        factory = reg[name]
-    except KeyError:
-        raise ValueError(f"unknown backend {name!r}; choose from {sorted(reg)}") from None
+    factory = reg.get(name)
+    if factory is None and ":" in name:
+        head, _, rest = name.partition(":")
+        factory = reg.get(head)
+        if factory is not None:
+            if "inner" in kwargs:
+                raise ValueError(
+                    f"composite backend name {name!r} conflicts with inner= kwarg"
+                )
+            kwargs["inner"] = rest
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(reg)}"
+            " (wrappers compose as 'journaled:<inner>' / 'supervised:<inner>')"
+        )
     if registry is not None:
         return factory(**kwargs)
     if isinstance(workload, str):

@@ -135,3 +135,63 @@ def test_chaos_backend_requires_chunk_interface():
 
     with pytest.raises(TypeError):
         ChaosBackend(NoChunks())
+
+
+# -- hard kills --------------------------------------------------------------
+
+
+def test_kill_exit_code_is_sigkill_shaped():
+    from repro.faults.chaos import KILL_EXIT_CODE
+
+    assert KILL_EXIT_CODE == 137  # 128 + SIGKILL
+
+
+def test_schedule_accepts_kill_kind():
+    schedule = ChaosSchedule(kinds={1: "kill"})
+    assert [schedule.next_fault() for _ in range(3)] == [None, "kill", None]
+
+
+def test_kill_action_seam_observes_the_kill():
+    from repro.faults.chaos import KILL_EXIT_CODE
+
+    seen = []
+    chaos = ChaosBackend(
+        SerialBackend(),
+        schedule=ChaosSchedule(kinds={0: "kill"}),
+        kill_action=seen.append,
+    )
+    # When the seam returns (a real kill never does), the dispatch
+    # settles as a crash, so the batch aborts like any dead worker.
+    with pytest.raises(WorkerCrash):
+        chaos.execute(JOBS, fuel=1000, compiled=True)
+    assert seen == [KILL_EXIT_CODE]
+    assert chaos.injected["kill"] == 1
+
+
+def test_kill_code_override_reaches_the_action():
+    seen = []
+    chaos = ChaosBackend(
+        SerialBackend(),
+        schedule=ChaosSchedule(kinds={0: "kill"}),
+        kill_action=seen.append,
+        kill_code=9,
+    )
+    with pytest.raises(WorkerCrash):
+        chaos.execute(JOBS, fuel=1000, compiled=True)
+    assert seen == [9]
+
+
+def test_supervisor_survives_observed_kill():
+    """With the seam in place a kill looks like a worker crash, and the
+    supervisor recovers the chunk exactly as it would any dead pool."""
+    from repro.faults.supervisor import SupervisedBackend, SupervisorPolicy
+
+    chaos = ChaosBackend(
+        SerialBackend(),
+        schedule=ChaosSchedule(kinds={0: "kill"}),
+        kill_action=lambda code: None,
+    )
+    backend = SupervisedBackend(inner=chaos, policy=SupervisorPolicy(max_chunk_retries=2))
+    assert backend.execute(JOBS, fuel=10_000, compiled=True) == reference_results(JOBS)
+    assert backend.last_report.retries >= 1
+    assert chaos.injected["kill"] == 1

@@ -1,0 +1,290 @@
+"""Recovery-path tests: torn-write properties, journal replay
+semantics, and the kill -9 resume gate run against a real subprocess."""
+
+import base64
+import os
+import subprocess
+import sys
+import textwrap
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.faults.chaos import KILL_EXIT_CODE
+from repro.faults.recovery import recover_journal, replay_record_job
+from repro.machines.turing import binary_increment
+from repro.runtime.core import SerialBackend
+from repro.runtime.journal import (
+    Journal,
+    JournaledBackend,
+    encode_frame,
+    journal_key,
+    scan_segment,
+    segment_paths,
+)
+from repro.runtime.workloads.machines import MACHINES
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def write_journal(directory, entries):
+    """A committed journal with the given (kind, key, fields) entries."""
+    with Journal(directory) as journal:
+        for kind, key, fields in entries:
+            journal.append(kind, key, **fields)
+    [segment] = segment_paths(directory)
+    return segment
+
+
+# -- recover_journal replay semantics ----------------------------------------
+
+
+def test_missing_directory_is_an_empty_journal(tmp_path):
+    state = recover_journal(tmp_path / "never-created")
+    assert state.empty
+    assert state.completed == {} and state.dead_letters == {} and state.in_flight == set()
+
+
+def test_empty_directory_is_an_empty_journal(tmp_path):
+    assert recover_journal(tmp_path).empty
+
+
+def test_submitted_without_outcome_is_in_flight(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append_submitted("k1", fuel=10)
+        journal.append_submitted("k2", fuel=10)
+        journal.append_completed("k1", 41)
+    state = recover_journal(tmp_path)
+    assert state.completed == {"k1": 41}
+    assert state.in_flight == {"k2"}
+
+
+def test_completion_supersedes_dead_letter(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.append_dead_lettered(
+            "k1", (binary_increment(), "1"), index=0, reason="poison", fuel=10
+        )
+        journal.append_completed("k1", "fixed")
+    state = recover_journal(tmp_path)
+    assert state.completed == {"k1": "fixed"}
+    assert state.dead_letters == {}
+
+
+def test_dead_letter_discards_in_flight_and_survives(tmp_path):
+    job = (binary_increment(), "11")
+    with Journal(tmp_path) as journal:
+        journal.append_submitted("k1", fuel=10)
+        journal.append_dead_lettered("k1", job, index=3, reason="poison", fuel=10)
+    state = recover_journal(tmp_path)
+    assert state.in_flight == set()
+    record = state.dead_letters["k1"]
+    assert record["reason"] == "poison" and record["fuel"] == 10
+    assert replay_record_job(record) == job
+
+
+def test_replay_record_job_rejects_other_kinds():
+    with pytest.raises(ValueError, match="not a dead-letter"):
+        replay_record_job({"kind": "completed"})
+
+
+def test_undecodable_result_means_incomplete_not_poisoned(tmp_path):
+    bogus = base64.b64encode(b"these are not pickle bytes").decode("ascii")
+    write_journal(
+        tmp_path,
+        [
+            ("submitted", "k1", {"fuel": 10}),
+            ("completed", "k1", {"result": bogus}),
+        ],
+    )
+    with pytest.warns(UserWarning, match="failed to unpickle"):
+        state = recover_journal(tmp_path)
+    assert "k1" not in state.completed
+    assert state.in_flight == {"k1"}  # the resume simply runs it again
+
+
+def test_recovery_spans_rotated_segments(tmp_path):
+    with Journal(tmp_path, segment_bytes=150, sync_every=1) as journal:
+        for i in range(10):
+            journal.append_completed(f"k{i}", i)
+    state = recover_journal(tmp_path)
+    assert state.segments > 1
+    assert state.completed == {f"k{i}": i for i in range(10)}
+
+
+# -- torn-write properties ---------------------------------------------------
+
+
+def committed_journal(directory):
+    """Five committed records; returns (segment path, records)."""
+    segment = write_journal(
+        directory,
+        [
+            ("submitted", "key-a", {"fuel": 50}),
+            ("completed", "key-a", {"result": base64.b64encode(b"\x80\x04N.").decode()}),
+            ("submitted", "key-b", {"fuel": 50}),
+            ("dead_lettered", "key-c", {"reason": "poison", "fuel": 50}),
+            ("submitted", "key-d", {"fuel": 50}),
+        ],
+    )
+    return segment, scan_segment(segment).records
+
+
+def test_truncation_at_every_offset_of_the_final_record(tmp_path):
+    """The satellite property: a segment cut at ANY byte inside its
+    final frame recovers exactly the prefix of committed entries —
+    never an exception, never a phantom."""
+    segment, records = committed_journal(tmp_path)
+    data = segment.read_bytes()
+    final_frame = encode_frame(records[-1])
+    assert data.endswith(final_frame)
+    start = len(data) - len(final_frame)
+    for cut in range(start, len(data)):
+        segment.write_bytes(data[:cut])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            state = recover_journal(tmp_path)
+        assert state.records == records[:-1], f"cut at byte {cut}"
+        # cut == start is a clean frame boundary (no torn bytes at
+        # all); every later cut leaves a detectable torn tail.
+        assert state.torn_segments == (0 if cut == start else 1)
+    segment.write_bytes(data)  # intact again: everything recovers
+    assert recover_journal(tmp_path).records == records
+
+
+def test_single_byte_corruption_never_yields_a_phantom(tmp_path):
+    """Flip one byte anywhere in the final frame: CRC/framing reject
+    it, and recovery still returns a strict prefix of the committed
+    records with no exception."""
+    segment, records = committed_journal(tmp_path)
+    data = segment.read_bytes()
+    final_frame = encode_frame(records[-1])
+    start = len(data) - len(final_frame)
+    for offset in range(start, len(data)):
+        mutated = bytearray(data)
+        mutated[offset] ^= 0xFF
+        segment.write_bytes(bytes(mutated))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            state = recover_journal(tmp_path)
+        assert state.records == records[:-1], f"flip at byte {offset}"
+    segment.write_bytes(data)
+
+
+def test_repair_truncates_the_torn_bytes(tmp_path):
+    segment, records = committed_journal(tmp_path)
+    data = segment.read_bytes()
+    segment.write_bytes(data[:-3])
+    with pytest.warns(UserWarning, match="torn"):
+        state = recover_journal(tmp_path, repair=True)
+    assert state.records == records[:-1]
+    assert state.torn_bytes == len(encode_frame(records[-1])) - 3
+    # The file was actually repaired: a re-scan sees no tear.
+    assert not scan_segment(segment).torn
+    assert recover_journal(tmp_path).torn_segments == 0
+
+
+def test_garbage_only_segment_recovers_to_nothing(tmp_path):
+    path = tmp_path / "seg-00000001.jnl"
+    path.write_bytes(b"\x00\xffnot a journal at all")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        state = recover_journal(tmp_path)
+    assert state.records == [] and state.torn_segments == 1
+
+
+# -- the resume gate: kill -9 a real sweep, recover, resume ------------------
+
+KILL_CHILD = textwrap.dedent(
+    """
+    import sys
+    from repro.faults.chaos import ChaosBackend, ChaosSchedule
+    from repro.machines.turing import binary_increment
+    from repro.runtime.core import SerialBackend
+    from repro.runtime.journal import JournaledBackend
+    from repro.runtime.workloads.machines import MACHINES
+
+    jobs = [(binary_increment(), "1" * (i + 1)) for i in range(12)]
+    chaos = ChaosBackend(
+        SerialBackend(MACHINES), schedule=ChaosSchedule(kinds={2: "kill"})
+    )
+    backend = JournaledBackend(
+        chaos, journal_dir=sys.argv[1], commit_every=3, sync_every=1
+    )
+    backend.execute(jobs, fuel=5_000)
+    print("UNREACHABLE")  # the kill at dispatch 2 must have fired
+    sys.exit(3)
+    """
+)
+
+
+def test_hard_killed_sweep_resumes_byte_identical(tmp_path):
+    journal_dir = tmp_path / "journal"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-c", KILL_CHILD, str(journal_dir)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == KILL_EXIT_CODE, proc.stderr
+    assert "UNREACHABLE" not in proc.stdout  # os._exit skipped everything
+
+    jobs = [(binary_increment(), "1" * (i + 1)) for i in range(12)]
+    clean = [machine.run(tape, fuel=5_000) for machine, tape in jobs]
+
+    # The first two commits (6 jobs) were fsynced before the kill; the
+    # third slice's submitted barrier landed but its completions died
+    # with the process.
+    state = recover_journal(journal_dir)
+    assert len(state.completed) == 6
+    assert len(state.in_flight) == 3
+    assert state.dead_letters == {}
+
+    resumed = JournaledBackend(SerialBackend(MACHINES), journal_dir=journal_dir)
+    try:
+        out = resumed.execute(jobs, fuel=5_000)
+        assert out == clean  # byte-identical final results
+        summary = resumed.last_dispatch
+        assert summary["journal_hits"] == 6  # completed keys: 0 re-executions
+        assert summary["journal_dead_hits"] == 0
+    finally:
+        resumed.close()
+
+    # And the sweep is now fully durable: a third run is all hits.
+    again = JournaledBackend(SerialBackend(MACHINES), journal_dir=journal_dir)
+    try:
+        assert again.execute(jobs, fuel=5_000) == clean
+        assert again.last_dispatch["journal_hits"] == 12
+        assert again.last_dispatch["journal_records"] == 0
+    finally:
+        again.close()
+
+
+def test_journaled_replay_dead_letters_after_fix(tmp_path):
+    """A dead-lettered job journaled in one process is replayable in
+    the next: the completion supersedes the quarantine durably."""
+    job = (binary_increment(), "101")
+    digest = journal_key(MACHINES, job, 5_000)
+    with Journal(tmp_path) as journal:
+        journal.append_dead_lettered(digest, job, index=0, reason="poison", fuel=5_000)
+
+    backend = JournaledBackend(SerialBackend(MACHINES), journal_dir=tmp_path)
+    try:
+        # Quarantine survived the restart: the key is served dead.
+        out = backend.execute([job], fuel=5_000)
+        assert out == [None]
+        assert len(backend.last_dead_letters) == 1
+
+        recovered = backend.replay_dead_letters()
+        expected = job[0].run(job[1], fuel=5_000)
+        assert recovered == {digest: expected}
+        assert backend.execute([job], fuel=5_000) == [expected]
+    finally:
+        backend.close()
+
+    # Durable: a fresh process sees the completion, not the quarantine.
+    fresh = recover_journal(tmp_path)
+    assert fresh.dead_letters == {}
+    assert fresh.completed[digest] == expected

@@ -257,3 +257,82 @@ def test_real_broken_process_pool_quarantine_and_recovery():
     healthy = JOBS[:4]
     assert run_many(healthy, backend=backend, compiled=False) == CLEAN[:4]
     assert backend.last_report.quarantined == []
+
+
+# -- dead-letter replay ------------------------------------------------------
+
+
+def test_replay_dead_letters_recovers_after_fix():
+    poison_index = 7
+    backend = chaotic(
+        poison=[JOBS[poison_index]],
+        chunksize=4,
+        max_chunk_retries=1,
+        max_pool_restarts=100,
+    )
+    results = backend.execute(JOBS, fuel=10_000, compiled=True)
+    assert results[poison_index] is None
+    assert backend.last_report.quarantined_indices == [poison_index]
+
+    backend.inner._poison.clear()  # "deploy the fix"
+    merged = backend.replay_dead_letters()
+    assert merged == CLEAN  # recovered result merged in index order
+    assert backend.last_report.quarantined == []
+    assert backend.last_replay_report is not None
+    assert backend.last_replay_report.quarantined == []
+
+
+def test_replay_still_poison_stays_quarantined():
+    poison_index = 3
+    backend = chaotic(
+        poison=[JOBS[poison_index]],
+        chunksize=4,
+        max_chunk_retries=1,
+        max_pool_restarts=100,
+    )
+    backend.execute(JOBS, fuel=10_000, compiled=True)
+
+    merged = backend.replay_dead_letters()  # nothing fixed: dies again
+    assert merged[poison_index] is None
+    assert backend.last_report.quarantined_indices == [poison_index]
+    assert backend.last_replay_report.quarantined_indices == [0]
+
+
+def test_replay_with_nothing_quarantined_is_a_noop():
+    backend = chaotic()
+    results = backend.execute(JOBS, fuel=10_000, compiled=True)
+    assert results == CLEAN
+    assert backend.replay_dead_letters() == CLEAN
+    assert backend.last_replay_report is None
+
+
+def test_replay_merges_multiple_letters_in_order():
+    poisoned = [2, 9]
+    backend = chaotic(
+        poison=[JOBS[i] for i in poisoned],
+        chunksize=4,
+        max_chunk_retries=1,
+        max_pool_restarts=100,
+    )
+    results = backend.execute(JOBS, fuel=10_000, compiled=True)
+    assert [i for i, r in enumerate(results) if r is None] == poisoned
+
+    backend.inner._poison.clear()
+    merged = backend.replay_dead_letters()
+    assert merged == CLEAN
+    assert backend.last_report.quarantined == []
+
+
+def test_replay_uses_a_fresh_generation():
+    poison_index = 5
+    backend = chaotic(
+        poison=[JOBS[poison_index]],
+        chunksize=4,
+        max_chunk_retries=1,
+        max_pool_restarts=100,
+    )
+    backend.execute(JOBS, fuel=10_000, compiled=True)
+    recoveries_before = backend.inner.recoveries
+    backend.inner._poison.clear()
+    backend.replay_dead_letters()
+    assert backend.inner.recoveries > recoveries_before
