@@ -4,15 +4,16 @@ test:
 
 # Tier-2: slower checks that are not part of the tier-1 gate.
 # bench-smoke runs the perf-regression, observability, fault-recovery,
-# and durable-journal harnesses at tiny sizes — it exercises the whole
-# measure/assert/emit pipeline and rewrites BENCH_perf_engine.json /
-# BENCH_obs_overhead.json / BENCH_fault_recovery.json /
-# BENCH_journal.json in seconds.
+# durable-journal, and multi-node comm harnesses at tiny sizes — it
+# exercises the whole measure/assert/emit pipeline and rewrites
+# BENCH_perf_engine.json / BENCH_obs_overhead.json /
+# BENCH_fault_recovery.json / BENCH_journal.json / BENCH_comm.json in
+# seconds.
 # The full-size engine speedup gates are skipped at smoke sizes, but
 # the PF2 warm-pool batch gate is enforced even here: the run fails
 # if the persistent warm-cache dispatcher stops beating the reference
 # interpreter by at least 2x the old 2.44x cold-dispatch baseline.
-bench-smoke: obs-smoke faults-smoke runtime-smoke ensemble-smoke journal-smoke
+bench-smoke: obs-smoke faults-smoke runtime-smoke ensemble-smoke journal-smoke comm-smoke
 	python benchmarks/bench_perf_engine.py --smoke
 
 # Workload-generic runtime gate at tiny sizes: the TM path through
@@ -80,6 +81,18 @@ journal-smoke:
 bench-journal:
 	python benchmarks/bench_journal_resume.py
 
+# Multi-node comm gate at tiny sizes: a two-node sharded sweep is
+# byte-identical to SerialBackend, a chaos node-kill recovers exactly
+# (nothing lost, nothing duplicated), and at >= 4 CPUs a 2-node x
+# 2-worker hierarchical sweep beats a single process pool >= 1.6x
+# (the throughput gate skips gracefully below 4 CPUs).
+comm-smoke:
+	python benchmarks/bench_comm.py --smoke
+
+# Full-size comm gate (same assertions, stabler timings).
+bench-comm:
+	python benchmarks/bench_comm.py
+
 # Full-size perf run: regenerates BENCH_perf_engine.json and fails
 # unless a >=1e5-step workload shows >=5x compiled speedup.
 bench-perf:
@@ -89,4 +102,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs obs-report faults-smoke bench-faults journal-smoke bench-journal runtime-smoke bench-runtime ensemble-smoke bench-ensemble
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs obs-report faults-smoke bench-faults journal-smoke bench-journal comm-smoke bench-comm runtime-smoke bench-runtime ensemble-smoke bench-ensemble

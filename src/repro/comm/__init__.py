@@ -1,0 +1,565 @@
+"""Multi-node communicators: one narrow surface over many transports.
+
+Wing's "using abstraction and decomposition when attacking a large
+complex task" is the whole design: the distributed backend
+(:mod:`repro.comm.dist`) never touches a socket — it talks to a
+*communicator*, obtained from :func:`create_communicator` by name the
+way ChainerMN selects ``naive`` / ``hierarchical`` / ``single_node``
+topologies.  The deliberate ("System 2") topology choice happens once,
+at that registry call; the hot path only ever sees ``send`` /
+``scatter`` / ``recv`` / ``all_gather``.
+
+Topologies:
+
+* ``"single_node"`` — every node is an in-process thread speaking the
+  real wire protocol over a ``socketpair``.  No subprocess spawn cost,
+  no parallelism: the transport-faithful loopback that correctness
+  tests (byte-identity, node-kill chaos) run on.
+* ``"naive"`` — one subprocess per node on TCP loopback, each
+  executing its chunks serially in the node process.  Real process
+  isolation, real kill semantics, one worker per node.
+* ``"hierarchical"`` — one subprocess per node, each hosting its own
+  warm ``ProcessPoolExecutor`` of ``workers_per_node`` workers (the
+  two-level tree: coordinator → nodes → workers).  This is the
+  throughput topology benched by ``benchmarks/bench_comm.py``.
+
+Wire format: every message is one pickle framed by
+:func:`repro.util.framing.frame` — ``{len:08x} {crc:08x} {payload}\\n``,
+the exact codec the durable journal writes to disk — so a torn stream
+is detected the same way a torn segment is.  Node loss surfaces as
+:class:`NodeLost` from :meth:`Communicator.recv`; the distributed
+backend converts it into the supervisor's ``WorkerCrash`` vocabulary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import secrets
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.util.framing import HEADER_BYTES, FrameError, read_frame, write_frame
+
+__all__ = [
+    "COMMUNICATORS",
+    "Communicator",
+    "LoopbackCommunicator",
+    "NodeLost",
+    "TcpCommunicator",
+    "create_communicator",
+]
+
+
+class NodeLost(ConnectionError):
+    """A node's connection died (killed, crashed, or torn stream)."""
+
+    def __init__(self, node: int, reason: str = "connection lost") -> None:
+        super().__init__(f"comm node {node}: {reason}")
+        self.node = node
+
+
+#: Reader-thread sentinel: the link hit EOF or a torn frame.
+_LOST = object()
+
+
+class _Link:
+    """One node's connection: socket, reader, counters, epoch."""
+
+    __slots__ = (
+        "node",
+        "sock",
+        "rfile",
+        "wlock",
+        "epoch",
+        "proc",
+        "alive",
+        "bytes_sent",
+        "bytes_recv",
+    )
+
+    def __init__(self, node: int, sock: socket.socket, rfile: Any, epoch: int) -> None:
+        self.node = node
+        self.sock = sock
+        self.rfile = rfile
+        self.wlock = threading.Lock()
+        self.epoch = epoch
+        self.proc: subprocess.Popen | None = None
+        self.alive = True
+        self.bytes_sent = 0
+        self.bytes_recv = 0
+
+    def close(self) -> None:
+        self.alive = False
+        # Shut the socket down first: it wakes a reader thread blocked
+        # inside ``rfile.read`` (whose buffered-IO lock ``rfile.close``
+        # would otherwise wait on — i.e. deadlock) with an immediate EOF.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        for closer in (self.rfile, self.sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+
+class Communicator:
+    """The narrow multi-node surface: send / scatter / recv / all-gather.
+
+    ``size`` nodes are attached at construction; each link has a
+    daemon reader thread funnelling decoded messages into one event
+    queue, so :meth:`recv` is the single consumption point (exactly
+    one thread should drain it).  Events carry the link *epoch* they
+    arrived under: anything queued before a :meth:`restart_node` is
+    silently dropped, so a restarted node can never be confused with
+    its previous incarnation.
+
+    :meth:`all_gather` is the barrier convenience for callers with no
+    traffic in flight (scatter one request per node, collect exactly
+    one reply per node, in node order); the distributed backend
+    multiplexes many chunks instead and drains :meth:`recv` itself.
+    """
+
+    name = "base"
+
+    def __init__(
+        self, nodes: int, *, workers_per_node: int = 1, connect_timeout: float = 30.0
+    ) -> None:
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        self.size = nodes
+        self.workers_per_node = workers_per_node
+        self.connect_timeout = connect_timeout
+        self.restarts = 0
+        self._links: list[_Link | None] = [None] * nodes
+        self._events: queue.Queue = queue.Queue()
+        self._closing = False
+
+    # -- transport hooks (subclasses) ---------------------------------------
+
+    def _open_link(self, node: int) -> _Link:
+        raise NotImplementedError
+
+    def _reap_link(self, link: _Link) -> None:
+        """Release transport resources behind a closed link."""
+
+    # -- link lifecycle ------------------------------------------------------
+
+    def _attach(self, node: int) -> _Link:
+        old = self._links[node]
+        link = self._open_link(node)
+        link.epoch = old.epoch + 1 if old is not None else 0
+        self._links[node] = link
+        reader = threading.Thread(
+            target=self._read_loop, args=(link,), daemon=True, name=f"comm-read-{node}"
+        )
+        reader.start()
+        return link
+
+    def _read_loop(self, link: _Link) -> None:
+        while True:
+            try:
+                payload = read_frame(link.rfile)
+            except (FrameError, OSError, ValueError):
+                payload = None
+            if payload is None:
+                self._events.put((link.node, link.epoch, _LOST))
+                return
+            link.bytes_recv += HEADER_BYTES + len(payload) + 1
+            try:
+                message = pickle.loads(payload)
+            except Exception:
+                self._events.put((link.node, link.epoch, _LOST))
+                return
+            self._events.put((link.node, link.epoch, message))
+
+    # -- the narrow surface --------------------------------------------------
+
+    def send(self, node: int, message: Any) -> int:
+        """Frame and send one message to ``node``; returns bytes sent."""
+        link = self._links[node]
+        if link is None or not link.alive:
+            raise NodeLost(node, "not connected")
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            with link.wlock:
+                sent = write_frame(link.sock, payload)
+        except OSError as exc:
+            link.alive = False
+            raise NodeLost(node, f"send failed: {exc}") from exc
+        link.bytes_sent += sent
+        return sent
+
+    def scatter(self, messages: Any) -> int:
+        """Send ``messages[i]`` to node ``i`` (``None`` entries skip).
+
+        Returns total bytes sent.  This is the distribution half of a
+        barrier; pair with :meth:`all_gather` (or route the replies
+        yourself through :meth:`recv`).
+        """
+        if len(messages) != self.size:
+            raise ValueError(f"scatter needs {self.size} messages, got {len(messages)}")
+        return sum(
+            self.send(node, message)
+            for node, message in enumerate(messages)
+            if message is not None
+        )
+
+    def recv(self, timeout: float | None = None) -> tuple[int, Any] | None:
+        """Next ``(node, message)`` from any node; ``None`` on timeout.
+
+        Raises :class:`NodeLost` when a link dies — once per death;
+        stale events from a pre-restart epoch are dropped silently.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            try:
+                node, epoch, message = self._events.get(timeout=remaining)
+            except queue.Empty:
+                return None
+            link = self._links[node]
+            if link is None or epoch != link.epoch:
+                continue  # a previous incarnation of this node
+            if message is _LOST:
+                link.alive = False
+                if self._closing:
+                    continue
+                raise NodeLost(node)
+            return node, message
+
+    def all_gather(self, messages: Any, timeout: float | None = None) -> list[Any]:
+        """Scatter one message per node; collect one reply per node.
+
+        Replies come back in node order regardless of arrival order —
+        the deterministic gather the distributed sweep's byte-identity
+        rests on.  Only valid with no other traffic in flight.
+        """
+        self.scatter(messages)
+        replies: dict[int, Any] = {}
+        expect = {n for n, m in enumerate(messages) if m is not None}
+        while expect - set(replies):
+            got = self.recv(timeout)
+            if got is None:
+                missing = sorted(expect - set(replies))
+                raise TimeoutError(f"all_gather: no reply from nodes {missing}")
+            node, message = got
+            replies[node] = message
+        return [replies.get(n) for n in range(self.size)]
+
+    # -- failure & lifecycle -------------------------------------------------
+
+    def alive_nodes(self) -> list[int]:
+        return [n for n, link in enumerate(self._links) if link is not None and link.alive]
+
+    def kill_node(self, node: int) -> bool:
+        """Chaos seam: make ``node`` die abruptly (no goodbye frame)."""
+        raise NotImplementedError
+
+    def restart_node(self, node: int) -> None:
+        """Tear down ``node``'s link (if any) and attach a fresh one.
+
+        The new link gets a new epoch, so anything the dead
+        incarnation still had queued is dropped, never replayed.
+        """
+        if self._closing:
+            raise RuntimeError("communicator is closed")
+        link = self._links[node]
+        if link is not None:
+            link.close()
+            self._reap_link(link)
+        self._attach(node)
+        self.restarts += 1
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(link.bytes_sent for link in self._links if link is not None)
+
+    @property
+    def bytes_recv(self) -> int:
+        return sum(link.bytes_recv for link in self._links if link is not None)
+
+    def close(self) -> None:
+        if self._closing:
+            return
+        self._closing = True
+        for node, link in enumerate(self._links):
+            if link is not None and link.alive:
+                try:
+                    self.send(node, ("shutdown", {}))
+                except NodeLost:
+                    pass
+        for link in self._links:
+            if link is not None:
+                link.close()
+                self._reap_link(link)
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- handshake helper ----------------------------------------------------
+
+    def _expect_hello(self, rfile: Any, *, token: str, node: int | None = None) -> int:
+        """Read and validate a node's hello frame; returns its node id."""
+        payload = read_frame(rfile)
+        if payload is None:
+            raise ConnectionError("peer closed before hello")
+        op, body = pickle.loads(payload)
+        if op != "hello" or body.get("token") != token:
+            raise ConnectionError(f"bad hello: {op!r}")
+        got = int(body["node"])
+        if node is not None and got != node:
+            raise ConnectionError(f"hello from node {got}, expected {node}")
+        return got
+
+
+class LoopbackCommunicator(Communicator):
+    """``single_node``: every node is an in-process thread.
+
+    Each node runs the real :class:`repro.comm.node.NodeServer` over
+    one end of a ``socketpair`` — the full wire protocol with zero
+    subprocess spawns, which keeps multi-node correctness tests (and
+    the node-kill chaos property) cheap enough for tier-1.  Threads
+    share the GIL, so this topology proves protocols, not throughput.
+    """
+
+    name = "single_node"
+
+    def __init__(
+        self, nodes: int, *, workers_per_node: int = 0, connect_timeout: float = 30.0
+    ) -> None:
+        super().__init__(
+            nodes, workers_per_node=workers_per_node, connect_timeout=connect_timeout
+        )
+        self._token = secrets.token_hex(8)
+        for node in range(nodes):
+            self._attach(node)
+
+    def _open_link(self, node: int) -> _Link:
+        from repro.comm.node import NodeServer
+
+        ours, theirs = socket.socketpair()
+        server = NodeServer(
+            theirs,
+            node,
+            workers=self.workers_per_node,
+            token=self._token,
+            in_process=True,
+        )
+        thread = threading.Thread(
+            target=server.serve, daemon=True, name=f"comm-node-{node}"
+        )
+        thread.start()
+        ours.settimeout(self.connect_timeout)
+        rfile = ours.makefile("rb")
+        self._expect_hello(rfile, token=self._token, node=node)
+        ours.settimeout(None)
+        return _Link(node, ours, rfile, 0)
+
+    def kill_node(self, node: int) -> bool:
+        """Slam the coordinator-side socket shut: the node thread's next
+        read or write fails and it exits — the in-process stand-in for
+        SIGKILL, seen by the reader as the same torn stream."""
+        link = self._links[node]
+        if link is None or not link.alive:
+            return False
+        link.close()
+        return True
+
+
+class TcpCommunicator(Communicator):
+    """``naive`` / ``hierarchical``: one subprocess per node on loopback.
+
+    The coordinator listens on ``127.0.0.1:<ephemeral>`` and spawns
+    ``python -m repro.comm.node`` per node; nodes dial back and
+    authenticate with a per-communicator token.  ``workers_per_node ==
+    0`` is the ``naive`` topology (the node executes chunks serially
+    in its own process); ``>= 1`` is ``hierarchical`` (the node hosts
+    its own warm pool, seeded by shard messages).
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self, nodes: int, *, workers_per_node: int = 0, connect_timeout: float = 30.0
+    ) -> None:
+        super().__init__(
+            nodes, workers_per_node=workers_per_node, connect_timeout=connect_timeout
+        )
+        self._token = secrets.token_hex(8)
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(connect_timeout)
+        self._port = self._listener.getsockname()[1]
+        procs: dict[int, subprocess.Popen] = {}
+        try:
+            # Spawn everything first, then accept: node startup cost
+            # (a fresh interpreter importing repro) is paid once, in
+            # parallel, not nodes times in sequence.
+            for node in range(nodes):
+                procs[node] = self._spawn(node)
+            for _ in range(nodes):
+                node, sock, rfile = self._accept()
+                link = _Link(node, sock, rfile, 0)
+                link.proc = procs.pop(node)
+                self._links[node] = link
+                reader = threading.Thread(
+                    target=self._read_loop,
+                    args=(link,),
+                    daemon=True,
+                    name=f"comm-read-{node}",
+                )
+                reader.start()
+            if procs:
+                raise ConnectionError(f"nodes {sorted(procs)} never connected")
+        except BaseException:
+            for proc in procs.values():  # spawned but never attached
+                if proc.poll() is None:
+                    proc.kill()
+            self.close()
+            raise
+
+    def _spawn(self, node: int) -> subprocess.Popen:
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.comm.node",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(self._port),
+            "--node",
+            str(node),
+            "--workers",
+            str(self.workers_per_node),
+            "--token",
+            self._token,
+        ]
+        return subprocess.Popen(argv, env=env)
+
+    def _accept(self) -> tuple[int, socket.socket, Any]:
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            if time.monotonic() > deadline:
+                raise ConnectionError("timed out waiting for node handshakes")
+            try:
+                sock, _ = self._listener.accept()
+            except TimeoutError as exc:
+                raise ConnectionError("timed out waiting for node handshakes") from exc
+            sock.settimeout(self.connect_timeout)
+            rfile = sock.makefile("rb")
+            try:
+                node = self._expect_hello(rfile, token=self._token)
+            except (ConnectionError, FrameError, OSError):
+                rfile.close()
+                sock.close()
+                continue  # a stray dial-in; keep waiting for real nodes
+            sock.settimeout(None)
+            return node, sock, rfile
+
+    def _open_link(self, node: int) -> _Link:
+        proc = self._spawn(node)
+        try:
+            got, sock, rfile = self._accept()
+        except BaseException:
+            proc.kill()
+            raise
+        if got != node:  # pragma: no cover - defensive
+            sock.close()
+            proc.kill()
+            raise ConnectionError(f"hello from node {got}, expected {node}")
+        link = _Link(node, sock, rfile, 0)
+        link.proc = proc
+        return link
+
+    def _reap_link(self, link: _Link) -> None:
+        proc = link.proc
+        if proc is None:
+            return
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    def kill_node(self, node: int) -> bool:
+        """SIGKILL the node subprocess — the real thing, no cleanup."""
+        link = self._links[node]
+        if link is None or not link.alive or link.proc is None:
+            return False
+        link.proc.kill()
+        return True
+
+    def close(self) -> None:
+        if self._closing:
+            return
+        super().close()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def _make_loopback(nodes: int, **kwargs: Any) -> Communicator:
+    return LoopbackCommunicator(nodes, **kwargs)
+
+
+def _make_naive(nodes: int, *, workers_per_node: int = 0, **kwargs: Any) -> Communicator:
+    comm = TcpCommunicator(nodes, workers_per_node=0, **kwargs)
+    comm.name = "naive"
+    return comm
+
+
+def _make_hierarchical(
+    nodes: int, *, workers_per_node: int = 1, **kwargs: Any
+) -> Communicator:
+    comm = TcpCommunicator(nodes, workers_per_node=max(1, workers_per_node), **kwargs)
+    comm.name = "hierarchical"
+    return comm
+
+
+COMMUNICATORS = {
+    "single_node": _make_loopback,
+    "naive": _make_naive,
+    "hierarchical": _make_hierarchical,
+}
+
+
+def create_communicator(
+    name: str = "naive",
+    *,
+    nodes: int = 2,
+    workers_per_node: int = 1,
+    connect_timeout: float = 30.0,
+) -> Communicator:
+    """Topology registry, ChainerMN-style: deliberate choice, once.
+
+    ``"single_node"`` (in-process threads), ``"naive"`` (subprocess
+    per node, serial execution) or ``"hierarchical"`` (subprocess per
+    node, each hosting a ``workers_per_node`` warm pool).
+    """
+    factory = COMMUNICATORS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown communicator {name!r}; choose from {sorted(COMMUNICATORS)}"
+        )
+    return factory(
+        nodes, workers_per_node=workers_per_node, connect_timeout=connect_timeout
+    )

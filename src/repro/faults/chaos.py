@@ -22,7 +22,15 @@ scheduled fault at the chunk-dispatch boundary:
   that the journal's resume gate is built on.  Run the victim in a
   child process (see ``benchmarks/bench_journal_resume.py``); tests
   that must survive pass ``kill_action=`` to observe the kill instead,
-  in which case the dispatch settles as a :class:`WorkerCrash`.
+  in which case the dispatch settles as a :class:`WorkerCrash`;
+* ``"node_kill"`` — one whole *node* of a multi-node backend dies
+  (SIGKILL of a ``repro.comm`` node subprocess, or the loopback
+  equivalent).  When the inner backend exposes a ``kill_node`` seam
+  (:class:`repro.comm.dist.DistBackend` does) the node really dies and
+  the chunk is dispatched into the dying fabric — the loss surfaces
+  exactly as it would in production, through the backend's own
+  node-loss detection and restart.  Inner backends without the seam
+  see a plain ``"crash"`` instead, so schedules stay portable.
 
 A *poison job* is nastier than a scheduled fault: any chunk containing
 it crashes, every time, no matter how often it is retried — which is
@@ -63,7 +71,7 @@ __all__ = [
     "valid_payload",
 ]
 
-FAULT_KINDS = ("crash", "timeout", "corrupt", "kill")
+FAULT_KINDS = ("crash", "timeout", "corrupt", "kill", "node_kill")
 
 #: Exit status a hard kill reports, mirroring a SIGKILL's ``128 + 9``.
 KILL_EXIT_CODE = 137
@@ -234,6 +242,16 @@ class ChaosBackend:
             return self.inner.submit_chunk(chunk, fuel=fuel, compiled=compiled)
         self.injected[kind] += 1
         OBS.event("chaos.inject", kind=kind, jobs=len(chunk), dispatch=self.dispatches)
+        if kind == "node_kill":
+            killer = getattr(self.inner, "kill_node", None)
+            if killer is not None:
+                # Kill a real node, then dispatch the chunk into the
+                # dying fabric: the loss surfaces through the inner
+                # backend's own detection (WorkerCrash on the future),
+                # never as a synthetic fault.
+                killer()
+                return self.inner.submit_chunk(chunk, fuel=fuel, compiled=compiled)
+            kind = "crash"  # no node seam: portable degradation
         fault: Future = Future()
         if kind == "kill":
             # Hard death, no cleanup.  The default action never

@@ -133,6 +133,13 @@ KNOWN_METRICS: dict[str, tuple[str, str]] = {
     "journal_hits_total": ("counter", "jobs served from the journal memo, 0 re-executions"),
     "journal_replayed_total": ("counter", "dead-lettered jobs recovered by replay"),
     "journal_torn_total": ("counter", "torn segment tails truncated during recovery"),
+    # multi-node communicator (sharded dispatch over framed TCP)
+    "comm_chunks_total": ("counter", "chunks dispatched to comm nodes, labelled per node"),
+    "comm_bytes_sent_total": ("counter", "framed bytes sent to comm nodes"),
+    "comm_bytes_recv_total": ("counter", "framed bytes received from comm nodes"),
+    "comm_shards_total": ("counter", "program-table shard messages barriered to nodes"),
+    "comm_node_restarts_total": ("counter", "comm nodes restarted after a loss"),
+    "comm_nodes": ("gauge", "live nodes attached to the distributed backend"),
 }
 
 

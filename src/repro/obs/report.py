@@ -178,6 +178,25 @@ def render(snapshot: Mapping, *, postmortems: list[dict] | None = None) -> str:
             f" torn_tails={_fmt(journal_torn)}"
         )
 
+    # -- comm (multi-node sharded sweeps) -----------------------------------
+    comm_chunks = _series(snapshot, "comm_chunks_total")
+    comm_nodes = _total(snapshot, "comm_nodes")
+    if comm_chunks or comm_nodes:
+        lines.append("")
+        lines.append("-- comm --")
+        lines.append(
+            f"nodes={_fmt(comm_nodes)}"
+            f" shards={_fmt(_total(snapshot, 'comm_shards_total'))}"
+            f" node_restarts={_fmt(_total(snapshot, 'comm_node_restarts_total'))}"
+            f" sent_bytes={_fmt(_total(snapshot, 'comm_bytes_sent_total'))}"
+            f" recv_bytes={_fmt(_total(snapshot, 'comm_bytes_recv_total'))}"
+        )
+        total_chunks = sum(e["value"] for e in comm_chunks) or None
+        for entry in sorted(comm_chunks, key=lambda e: e["labels"].get("node", "")):
+            node = entry["labels"].get("node", "?")
+            share = f" share={entry['value'] / total_chunks:.0%}" if total_chunks else ""
+            lines.append(f"node={node}  chunks={_fmt(entry['value'])}{share}")
+
     # -- supervision --------------------------------------------------------
     retries = _total(snapshot, "batch_chunk_retries_total")
     hedges = _total(snapshot, "batch_hedged_total")

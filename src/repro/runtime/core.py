@@ -55,6 +55,7 @@ from repro.runtime.workload import Job, Workload, get_workload
 __all__ = [
     "Backend",
     "BACKENDS",
+    "WRAPPER_BACKENDS",
     "ProcessBackend",
     "ProgramNotResident",
     "ResidentCache",
@@ -248,6 +249,7 @@ def _execute_entries(
     shipped: Mapping[int, Any],
     fuel: int,
     compiled: bool,
+    table: dict | None = None,
 ) -> tuple[list[Any], dict[str, int], float]:
     """Serve interned entries from the worker's resident table.
 
@@ -256,16 +258,22 @@ def _execute_entries(
     assume resident.  A generation older than the payload's means the
     table belongs to a pre-restart pool: it is dropped wholesale
     before any entry is served.
+
+    ``table`` defaults to the per-process :data:`_WORKER` state; the
+    comm layer's in-process loopback nodes pass their own dicts so two
+    node threads sharing one process never share (and never thrash)
+    one generation-tagged table.
     """
     start = time.perf_counter()
-    if _WORKER["generation"] != generation:
-        _WORKER["generation"] = generation
-        _WORKER["programs"] = {}
-        _WORKER["machines"] = {}
-    machines = _WORKER["machines"]
+    worker = table if table is not None else _WORKER
+    if worker["generation"] != generation:
+        worker["generation"] = generation
+        worker["programs"] = {}
+        worker["machines"] = {}
+    machines = worker["machines"]
     if shipped:
         machines.update(shipped)
-    programs = _WORKER["programs"]
+    programs = worker["programs"]
     hits = misses = 0
     results: list[Any] = []
     for pid, input in entries:
@@ -887,6 +895,14 @@ def _journaled_backend(workload: Workload, **kwargs):
     return JournaledBackend(workload=workload, **kwargs)
 
 
+def _dist_backend(workload: Workload, **kwargs):
+    # Late import: the comm layer (sockets, node subprocesses) is only
+    # paid for when a distributed backend is asked for.
+    from repro.comm.dist import DistBackend
+
+    return DistBackend(workload, **kwargs)
+
+
 BACKENDS = {
     "serial": SerialBackend,
     "process": ProcessBackend,
@@ -894,7 +910,45 @@ BACKENDS = {
     "ensemble": _ensemble_backend,
     "ensemble_process": _ensemble_process_backend,
     "journaled": _journaled_backend,
+    "dist": _dist_backend,
 }
+
+#: Backend names whose factories wrap another backend (they accept
+#: ``inner=``).  Only these may appear as prefixes in a composite name
+#: like ``"journaled:supervised:dist"``; any registry entry may be the
+#: leaf.
+WRAPPER_BACKENDS = frozenset({"journaled", "supervised"})
+
+
+def _check_composite(name: str, reg: Mapping[str, Any]) -> None:
+    """Validate a composite backend name's whole prefix chain up front.
+
+    ``create_backend`` resolves composites recursively, one wrapper at
+    a time — so without this check a typo deep in the chain (or a
+    non-wrapper used as a prefix, like ``"process:serial"``) would only
+    surface after the outer wrappers were already constructed, as a
+    confusing unknown-backend or unexpected-kwarg error.
+    """
+    parts = name.split(":")
+    wrappers = sorted(WRAPPER_BACKENDS & set(reg))
+    for part in parts[:-1]:
+        if part in WRAPPER_BACKENDS and part in reg:
+            continue
+        if part in reg:
+            raise ValueError(
+                f"backend {part!r} cannot wrap another backend in {name!r};"
+                f" composable wrapper prefixes are {wrappers}"
+            )
+        raise ValueError(
+            f"unknown wrapper prefix {part!r} in composite backend {name!r};"
+            f" composable wrapper prefixes are {wrappers}"
+        )
+    leaf = parts[-1]
+    if leaf not in reg:
+        raise ValueError(
+            f"unknown leaf backend {leaf!r} in composite backend {name!r};"
+            f" choose from {sorted(reg)}"
+        )
 
 
 def create_backend(
@@ -911,17 +965,23 @@ def create_backend(
     :data:`repro.perf.batch.BACKENDS`) bind their own workload, so
     their factories are called with ``kwargs`` only.
 
-    Composite names stack wrapping backends left to right:
-    ``"journaled:supervised:process"`` resolves the head factory with
-    ``inner=`` set to the rest of the name, which the wrapper resolves
-    recursively through this same function — so any chain of
-    ``journaled`` / ``supervised`` over a leaf backend can be named in
-    one string (wrapper-specific kwargs like ``journal_dir`` still pass
-    through ``kwargs``).
+    Composite names stack wrapping backends left to right as a generic
+    prefix chain: every segment before the last must be a registered
+    wrapper (one of :data:`WRAPPER_BACKENDS` — they accept ``inner=``)
+    and the last segment any registered leaf, so
+    ``"journaled:supervised:process"``, ``"journaled:dist"`` and
+    ``"journaled:ensemble_process"`` all compose the same way.  The
+    chain is validated up front — an unknown prefix, a non-wrapper
+    prefix, or an unknown leaf each fail with an error naming the
+    offending segment — then the head factory is called with ``inner=``
+    set to the rest of the name, which the wrapper resolves recursively
+    through this same function (wrapper-specific kwargs like
+    ``journal_dir`` still pass through ``kwargs``).
     """
     reg = registry if registry is not None else BACKENDS
     factory = reg.get(name)
     if factory is None and ":" in name:
+        _check_composite(name, reg)
         head, _, rest = name.partition(":")
         factory = reg.get(head)
         if factory is not None:

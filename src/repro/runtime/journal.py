@@ -48,11 +48,9 @@ from __future__ import annotations
 
 import base64
 import hashlib
-import json
 import os
 import pickle
 import warnings
-import zlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,6 +59,7 @@ from typing import Any
 from repro.obs.instrument import OBS
 from repro.runtime import core as _core
 from repro.runtime.workload import Job, Workload, get_workload
+from repro.util.framing import HEADER_BYTES, encode_record, scan_records
 
 __all__ = [
     "HEADER_BYTES",
@@ -73,10 +72,6 @@ __all__ = [
     "scan_segment",
     "segment_paths",
 ]
-
-#: ``{length:08x} {crc:08x} `` — two fixed-width hex fields, space-set
-#: so segments stay eyeballable with ``less``.
-HEADER_BYTES = 18
 
 _SEGMENT_GLOB = "seg-*.jnl"
 
@@ -121,12 +116,11 @@ def _unpack(text: str) -> Any:
 def encode_frame(record: dict) -> bytes:
     """One journal line: ``{len:08x} {crc:08x} {json}\\n``.
 
-    The payload is compact JSON (no embedded newlines: JSON escapes
-    them inside strings and base64 carries none), so every frame is
-    exactly one text line and the CRC spans exactly the payload bytes.
+    The codec lives in :mod:`repro.util.framing` — the comm wire
+    protocol frames its messages with the same implementation — and
+    this name stays as the journal-facing alias.
     """
-    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
-    return b"%08x %08x " % (len(payload), zlib.crc32(payload)) + payload + b"\n"
+    return encode_record(record)
 
 
 @dataclass
@@ -148,37 +142,8 @@ def scan_segment(path: Path) -> ScanResult:
     data, which is the recovery invariant the torn-write property
     tests pin down byte by byte.
     """
-    data = Path(path).read_bytes()
-    records: list[dict] = []
-    offset = 0
-    size = len(data)
-    while offset < size:
-        end = offset + HEADER_BYTES
-        if end > size:
-            break
-        header = data[offset:end]
-        if header[8:9] != b" " or header[17:18] != b" ":
-            break
-        try:
-            length = int(header[:8], 16)
-            crc = int(header[9:17], 16)
-        except ValueError:
-            break
-        stop = end + length
-        if stop + 1 > size:
-            break  # payload (or its newline) cut mid-write
-        payload = data[end:stop]
-        if data[stop : stop + 1] != b"\n" or zlib.crc32(payload) != crc:
-            break
-        try:
-            record = json.loads(payload)
-        except ValueError:
-            break
-        if not isinstance(record, dict):
-            break
-        records.append(record)
-        offset = stop + 1
-    return ScanResult(records=records, good_bytes=offset, torn=offset < size)
+    records, good_bytes, torn = scan_records(Path(path).read_bytes())
+    return ScanResult(records=records, good_bytes=good_bytes, torn=torn)
 
 
 def segment_paths(directory: Path | str) -> list[Path]:

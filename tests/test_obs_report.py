@@ -117,6 +117,68 @@ def test_render_sections_from_fixture():
     assert text.endswith("\n")
 
 
+def test_render_comm_section():
+    snapshot = {
+        "comm_chunks_total": {
+            "kind": "counter",
+            "series": [
+                {"labels": {"node": "0"}, "value": 3},
+                {"labels": {"node": "1"}, "value": 1},
+            ],
+        },
+        "comm_nodes": {"kind": "gauge", "series": [{"labels": {}, "value": 2}]},
+        "comm_shards_total": {"kind": "counter", "series": [{"labels": {}, "value": 2}]},
+        "comm_node_restarts_total": {
+            "kind": "counter",
+            "series": [{"labels": {}, "value": 1}],
+        },
+        "comm_bytes_sent_total": {
+            "kind": "counter",
+            "series": [{"labels": {}, "value": 2048}],
+        },
+        "comm_bytes_recv_total": {
+            "kind": "counter",
+            "series": [{"labels": {}, "value": 1024}],
+        },
+    }
+    text = render(snapshot)
+    assert "-- comm --" in text
+    assert "nodes=2 shards=2 node_restarts=1 sent_bytes=2048 recv_bytes=1024" in text
+    assert "node=0  chunks=3 share=75%" in text
+    assert "node=1  chunks=1 share=25%" in text
+
+
+def test_dist_sweep_emits_comm_metrics_into_the_report():
+    """End to end: an observed loopback dist sweep produces a report
+    with a comm section driven by real per-node counters."""
+    from repro.machines.turing import binary_increment, palindrome_checker
+    from repro.obs.instrument import observed
+    from repro.runtime.core import create_backend, run_jobs
+
+    jobs = [
+        (binary_increment(), "1011"),
+        (palindrome_checker(), "abba"),
+        (binary_increment(), "111"),
+        (palindrome_checker(), "aba"),
+    ]
+    with observed() as obs:
+        backend = create_backend(
+            "dist",
+            workload="machines",
+            nodes=2,
+            topology="single_node",
+            workers_per_node=0,
+        )
+        try:
+            run_jobs("machines", jobs, fuel=5_000, backend=backend)
+        finally:
+            backend.close()
+    text = render(obs.registry.snapshot())
+    assert "-- comm --" in text
+    assert "nodes=2" in text
+    assert "node=" in text and "chunks=" in text
+
+
 def test_render_postmortem_section():
     text = render({}, postmortems=[{"reason": "quarantine", "key": "abc"}])
     assert "-- post-mortems --" in text

@@ -265,7 +265,7 @@ def test_composite_backend_names(tmp_path):
 
 
 def test_unknown_composite_head_still_errors():
-    with pytest.raises(ValueError, match="unknown backend"):
+    with pytest.raises(ValueError, match="unknown wrapper prefix 'meteor'"):
         create_backend("meteor:serial", workload="machines")
 
 
