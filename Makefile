@@ -7,13 +7,13 @@ test:
 # durable-journal, and multi-node comm harnesses at tiny sizes — it
 # exercises the whole measure/assert/emit pipeline and rewrites
 # BENCH_perf_engine.json / BENCH_obs_overhead.json /
-# BENCH_fault_recovery.json / BENCH_journal.json / BENCH_comm.json in
-# seconds.
+# BENCH_fault_recovery.json / BENCH_journal.json / BENCH_comm.json /
+# BENCH_sched.json in seconds.
 # The full-size engine speedup gates are skipped at smoke sizes, but
 # the PF2 warm-pool batch gate is enforced even here: the run fails
 # if the persistent warm-cache dispatcher stops beating the reference
 # interpreter by at least 2x the old 2.44x cold-dispatch baseline.
-bench-smoke: obs-smoke faults-smoke runtime-smoke ensemble-smoke journal-smoke comm-smoke
+bench-smoke: obs-smoke faults-smoke runtime-smoke ensemble-smoke journal-smoke comm-smoke sched-smoke
 	python benchmarks/bench_perf_engine.py --smoke
 
 # Workload-generic runtime gate at tiny sizes: the TM path through
@@ -93,6 +93,19 @@ comm-smoke:
 bench-comm:
 	python benchmarks/bench_comm.py
 
+# Incremental-scheduler gate at tiny sizes: staggered one-at-a-time
+# session submission reaches >= 70% of one-shot execute() throughput
+# (the full-size run holds the real 80% floor) with
+# pickle-byte-identical results, and latency-class singles submitted
+# mid-sweep settle without waiting for the bulk sweep
+# (the latency leg skips gracefully below 2 CPUs, CM1-style).
+sched-smoke:
+	python benchmarks/bench_scheduler.py --smoke
+
+# Full-size scheduler gate (10^4 staggered jobs, stabler timings).
+bench-sched:
+	python benchmarks/bench_scheduler.py
+
 # Full-size perf run: regenerates BENCH_perf_engine.json and fails
 # unless a >=1e5-step workload shows >=5x compiled speedup.
 bench-perf:
@@ -102,4 +115,4 @@ bench-perf:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
 
-.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs obs-report faults-smoke bench-faults journal-smoke bench-journal comm-smoke bench-comm runtime-smoke bench-runtime ensemble-smoke bench-ensemble
+.PHONY: test bench bench-smoke bench-perf obs-smoke bench-obs obs-report faults-smoke bench-faults journal-smoke bench-journal comm-smoke bench-comm runtime-smoke bench-runtime ensemble-smoke bench-ensemble sched-smoke bench-sched

@@ -165,11 +165,16 @@ def throughput_gate(smoke: bool, *, repeats: int) -> dict:
     """
     cpus = os.cpu_count() or 1
     if cpus < MIN_CPUS:
+        # The skip record carries the detected CPU count and the exact
+        # gate it would have been held to, so a skipped artifact is
+        # still self-describing.
         return {
             "name": "dist_throughput",
             "skipped": True,
             "reason": f"needs >= {MIN_CPUS} CPUs for 2 nodes x 2 workers, have {cpus}",
             "cpus": cpus,
+            "min_cpus": MIN_CPUS,
+            "gate": {"min_speedup": MIN_SPEEDUP},
         }
     half = 240 if smoke else 420
     njobs = 16 if smoke else 48

@@ -49,8 +49,9 @@ from typing import Any
 
 from repro.comm import Communicator, NodeLost, create_communicator
 from repro.obs.instrument import OBS
-from repro.obs.telemetry import absorb_chunk_telemetry, current_context
+from repro.obs.telemetry import current_context
 from repro.runtime import core as _core
+from repro.runtime.lifecycle import ChunkSettler, enter_close, mark_open
 from repro.runtime.workload import Job, Workload
 
 __all__ = ["DistBackend"]
@@ -210,6 +211,7 @@ class DistBackend:
             )
             self._receiver.start()
             self._shard_all()
+            mark_open(self)
         return self.comm
 
     def _shard_message(self, node: int) -> tuple[Any, list[int], Future]:
@@ -277,6 +279,8 @@ class DistBackend:
             self._restart_node(node)
 
     def close(self) -> None:
+        if not enter_close(self):
+            return
         self._stop.set()
         comm, self.comm = self.comm, None
         if comm is not None and os.getpid() == self._owner_pid:
@@ -531,7 +535,8 @@ class DistBackend:
             else:
                 pending.append(u)
 
-        aggregate = dict(_core._ZERO_STATS)
+        settler = ChunkSettler(self.name)
+        aggregate = settler.aggregate
         chunks = payload_bytes = 0
         restarts_before = self.node_restarts
         degraded_before = self.degraded_jobs
@@ -550,7 +555,7 @@ class DistBackend:
                     nodes=self.nodes,
                 ):
                     chunks, payload_bytes = self._dispatch(
-                        pending, unique, pids, unique_results, aggregate, fuel, compiled
+                        pending, unique, pids, unique_results, settler, fuel, compiled
                     )
         finally:
             executed = set(pending)
@@ -619,7 +624,7 @@ class DistBackend:
         unique: Sequence[Job],
         pids: Sequence[int],
         unique_results: list[Any],
-        aggregate: dict[str, int],
+        settler: ChunkSettler,
         fuel: int,
         compiled: bool,
     ) -> tuple[int, int]:
@@ -686,10 +691,7 @@ class DistBackend:
                 self._observe_cost(pids[u], self.workload.cost(result))
             self.degraded_jobs += len(leftovers)
             if local is not None:
-                stats = local.stats()
-                aggregate["hits"] += stats["hits"]
-                aggregate["misses"] += stats["misses"]
-                aggregate["size"] = max(aggregate["size"], stats["size"])
+                settler.absorb_stats(local.stats())
 
         while True:
             with self._lock:
@@ -737,17 +739,12 @@ class DistBackend:
                 node, span = in_flight.pop(future)
                 node_inflight[node] -= 1
                 try:
-                    results, stats, elapsed = future.result()
+                    payload = future.result()
                 except crash:
                     requeue(node, span)  # node lost; restart happens at loop top
                     continue
-                absorb_chunk_telemetry(stats)
+                results = settler.settle(payload)
                 for u, result in zip(span, results):
                     unique_results[u] = result
                     self._observe_cost(pids[u], self.workload.cost(result))
-                aggregate["hits"] += stats["hits"]
-                aggregate["misses"] += stats["misses"]
-                aggregate["size"] = max(aggregate["size"], stats["size"])
-                if OBS.enabled:
-                    OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
         return chunks, payload_bytes

@@ -59,7 +59,7 @@ from typing import Any
 
 from repro.faults.chaos import ChunkCorruption, ChunkTimeout, WorkerCrash, valid_payload
 from repro.obs.instrument import OBS
-from repro.obs.telemetry import absorb_chunk_telemetry, job_digest
+from repro.obs.telemetry import job_digest
 from repro.runtime import core as _core
 from repro.runtime.core import (
     ResidentCache,
@@ -67,6 +67,8 @@ from repro.runtime.core import (
     _ZERO_STATS,
     intern_jobs,
 )
+from repro.runtime import lifecycle as _lifecycle
+from repro.runtime.lifecycle import ChunkSettler, enter_close, plan_chunks
 from repro.runtime.workload import Job, Workload, get_workload
 
 __all__ = [
@@ -178,7 +180,11 @@ class _Supervision:
         self.fuel = fuel
         self.compiled = compiled
         self.report = SupervisionReport()
-        self.aggregate = dict(_ZERO_STATS)
+        # The supervisor's historical aggregation sums per-chunk cache
+        # sizes (chunks run on a fresh cache each); the shared settler
+        # keeps that exact behaviour under size_mode="sum".
+        self.settler = ChunkSettler(backend.name, size_mode="sum")
+        self.aggregate = self.settler.aggregate
         self.out: list[Any] = []
         self.pending: dict[Future, _Task] = {}
         # Bumped on every pool restart; a crash from a pre-restart
@@ -279,16 +285,12 @@ class _Supervision:
         self._failed(task, error)
 
     def _settle(self, task: _Task, payload: tuple) -> None:
-        results, stats, elapsed = payload
-        # Pop-and-merge before aggregation; the pop also keeps a losing
-        # hedge twin (same stats dict never reaches here twice) honest.
-        absorb_chunk_telemetry(stats)
+        # The settler pops-and-merges the piggybacked telemetry before
+        # aggregating; the pop also keeps a losing hedge twin (same
+        # stats dict never reaches here twice) honest.
+        results = self.settler.settle(payload)
         self.out[task.offset : task.offset + len(task.jobs)] = results
-        for key in ("hits", "misses", "size"):
-            self.aggregate[key] += stats.get(key, 0)
         self._retire(task)  # cancel and forget the losing hedge twin, if any
-        if OBS.enabled:
-            OBS.observe("batch_chunk_seconds", elapsed, backend=self.backend.name)
 
     def _retire(self, task: _Task) -> None:
         for future in task.futures:
@@ -507,6 +509,8 @@ class SupervisedBackend:
 
     def close(self) -> None:
         """Release the inner backend's pool and resident tables."""
+        if not enter_close(self):
+            return
         close = getattr(self.inner, "close", None)
         if close is not None:
             close()
@@ -514,24 +518,18 @@ class SupervisedBackend:
     def iter_chunks(self, jobs: Sequence[Job]):
         """Yield ``(offset, chunk)`` slices honouring the policy size.
 
-        A trailing 1-job chunk (``len(jobs) % size == 1``) is merged
-        into its predecessor, matching
-        :meth:`~repro.perf.batch.ProcessBackend._chunks`: one leftover
-        job is never worth a chunk's dispatch and supervision cost.
+        The split (including the trailing 1-job merge — one leftover
+        job is never worth a chunk's dispatch and supervision cost) is
+        the shared planner in :mod:`repro.runtime.lifecycle`, the same
+        one :meth:`ProcessBackend._chunks` uses.
         """
-        size = self.policy.chunksize
-        if size is None:
-            workers = getattr(self.inner, "workers", None) or getattr(
-                getattr(self.inner, "inner", None), "workers", None
-            )
-            target = min(len(jobs), (workers or 2) * 4)
-            size = -(-len(jobs) // target) if target else 1
-        offsets = list(range(0, len(jobs), size))
-        if len(offsets) >= 2 and len(jobs) - offsets[-1] == 1:
-            offsets.pop()
-        for n, i in enumerate(offsets):
-            end = offsets[n + 1] if n + 1 < len(offsets) else len(jobs)
-            yield i, jobs[i:end]
+        workers = getattr(self.inner, "workers", None) or getattr(
+            getattr(self.inner, "inner", None), "workers", None
+        )
+        for plan in plan_chunks(
+            jobs, chunksize=self.policy.chunksize, workers=workers or 2
+        ):
+            yield plan.offset, plan.jobs
 
     def execute(
         self,
@@ -547,6 +545,9 @@ class SupervisedBackend:
         self.last_postmortems = []
         if not jobs:
             return []
+        # Executing re-acquires resources through the inner backend
+        # (its pool rebuilds lazily), so the close guard resets here.
+        _lifecycle.mark_open(self)
         # Intern like the bare backends: equal jobs are supervised (and
         # potentially retried, bisected, quarantined) exactly once, so
         # the fault-free supervised run keeps pace with the interned

@@ -80,6 +80,10 @@ KNOWN_METRICS: dict[str, tuple[str, str]] = {
     "runtime_jobs_total": ("counter", "jobs submitted through runtime.run_jobs"),
     "runtime_unique_jobs_total": ("counter", "jobs left after content-key dedup"),
     "runtime_cost_total": ("counter", "sum of per-result workload.cost units"),
+    # session scheduler (incremental job lifecycle, micro-batching)
+    "runtime_inflight_jobs": ("gauge", "jobs accepted by a session, not yet settled"),
+    "runtime_flush_total": ("counter", "scheduler flushes, labelled by reason"),
+    "runtime_queue_age_seconds": ("histogram", "submit-to-dispatch wait, labelled by priority"),
     # ensemble (lock-step population execution, labelled {backend=...})
     "ensemble_batches_total": ("counter", "ensemble execute/shard batches run"),
     "ensemble_machines_total": ("counter", "jobs answered by lock-step families"),

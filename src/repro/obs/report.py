@@ -110,6 +110,37 @@ def render(snapshot: Mapping, *, postmortems: list[dict] | None = None) -> str:
                 f" mean={_fmt(mean)}s p50={_fmt(p50)}s p99={_fmt(p99)}s"
             )
 
+    # -- session scheduler (micro-batching lifecycle) -----------------------
+    flush_rows = _series(snapshot, "runtime_flush_total")
+    queue_age = _series(snapshot, "runtime_queue_age_seconds")
+    inflight = _series(snapshot, "runtime_inflight_jobs")
+    if flush_rows or queue_age or inflight:
+        lines.append("")
+        lines.append("-- scheduler --")
+        if flush_rows:
+            by_reason = {
+                entry["labels"].get("reason", "?"): entry["value"]
+                for entry in flush_rows
+            }
+            reasons = " ".join(
+                f"{reason}={_fmt(value)}" for reason, value in sorted(by_reason.items())
+            )
+            lines.append(f"flushes: {reasons}")
+        for entry in inflight:
+            lines.append(
+                f"{_label_str(entry['labels'])}  inflight_jobs={_fmt(entry['value'])}"
+            )
+        for entry in queue_age:
+            count = entry.get("count", 0)
+            buckets = entry.get("buckets", [])
+            p50 = quantile(buckets, count, 0.50)
+            p99 = quantile(buckets, count, 0.99)
+            mean = entry.get("sum", 0.0) / count if count else None
+            lines.append(
+                f"queue age {_label_str(entry['labels'])}  jobs={count}"
+                f" mean={_fmt(mean)}s p50={_fmt(p50)}s p99={_fmt(p99)}s"
+            )
+
     # -- queue depth (last dispatch's plan) ---------------------------------
     depth = _series(snapshot, "batch_queue_depth")
     if depth:

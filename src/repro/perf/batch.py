@@ -58,7 +58,9 @@ __all__ = [
     "TMJob",
     "CompileCache",
     "ProgramNotResident",
+    "TMSession",
     "machine_key",
+    "open_session",
     "run_many",
     "create_backend",
     "BACKENDS",
@@ -252,3 +254,62 @@ def run_many(
             if close is not None:
                 close()
     return results
+
+
+class TMSession:
+    """The TM-bound face of :class:`repro.runtime.session.Session`.
+
+    Same incremental lifecycle — submit one ``(machine, tape_input)``
+    job at a time, get a per-job future, micro-batching and interning
+    behind it — with the workload kind pinned to ``"machines"`` so TM
+    callers never name it.  ``run_many`` over a list and a drained
+    session over the same submissions return pickle-byte-identical
+    results.
+    """
+
+    def __init__(self, session) -> None:
+        self._session = session
+
+    def submit(
+        self,
+        job: TMJob,
+        *,
+        fuel: int = 10_000,
+        compiled: bool = True,
+        priority: str = "bulk",
+    ):
+        return self._session.submit(
+            "machines", job, fuel=fuel, compiled=compiled, priority=priority
+        )
+
+    def run_many(
+        self, jobs: Sequence[TMJob], *, fuel: int = 10_000, compiled: bool = True
+    ) -> list[TMResult]:
+        return self._session.execute("machines", jobs, fuel=fuel, compiled=compiled)
+
+    def drain(self) -> None:
+        self._session.drain()
+
+    def stats(self) -> dict:
+        return self._session.stats()
+
+    def close(self) -> None:
+        self._session.close()
+
+    def __enter__(self) -> "TMSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_session(backend: str | Backend = "serial", **kwargs) -> TMSession:
+    """Open an incremental TM session over any backend string.
+
+    Keyword arguments pass through to
+    :class:`repro.runtime.session.Session` (``max_batch``, ``window``,
+    ``backend_kwargs=...``, …).
+    """
+    from repro.runtime.session import Session
+
+    return TMSession(Session(backend, **kwargs))

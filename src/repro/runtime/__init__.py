@@ -44,17 +44,21 @@ __all__ = [
     "EnsembleCapable",
     "EnsembleProcessBackend",
     "Job",
+    "JobFuture",
     "Journal",
     "JournaledBackend",
     "ProcessBackend",
     "ProgramNotResident",
     "ResidentCache",
+    "Scheduler",
     "SerialBackend",
+    "Session",
     "Workload",
     "WorkloadBase",
     "create_backend",
     "get_workload",
     "intern_jobs",
+    "open_session",
     "register_workload",
     "resolve_backend",
     "run_job_loop",
@@ -69,6 +73,7 @@ _ENSEMBLE_EXPORTS = frozenset(
     {"EnsembleBackend", "EnsembleCapable", "EnsembleProcessBackend"}
 )
 _JOURNAL_EXPORTS = frozenset({"Journal", "JournaledBackend"})
+_SESSION_EXPORTS = frozenset({"JobFuture", "Scheduler", "Session", "open_session"})
 
 
 def __getattr__(name: str):
@@ -80,4 +85,8 @@ def __getattr__(name: str):
         from repro.runtime import journal
 
         return getattr(journal, name)
+    if name in _SESSION_EXPORTS:
+        from repro.runtime import session
+
+        return getattr(session, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

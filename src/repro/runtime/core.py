@@ -45,11 +45,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from typing import Any, Protocol
 
 from repro.obs.instrument import OBS
-from repro.obs.telemetry import (
-    absorb_chunk_telemetry,
-    current_context,
-    run_captured,
-)
+from repro.obs.telemetry import current_context, run_captured
+from repro.runtime.lifecycle import ChunkSettler, enter_close, mark_open, plan_chunks
 from repro.runtime.workload import Job, Workload, get_workload
 
 __all__ = [
@@ -393,7 +390,8 @@ class SerialBackend:
         """Nothing to restart: in-process execution has no pool."""
 
     def close(self) -> None:
-        """Nothing to release."""
+        """Nothing to release; idempotent like every backend's close."""
+        enter_close(self)
 
     def execute(
         self,
@@ -558,6 +556,8 @@ class ProcessBackend:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
+        if not enter_close(self):
+            return
         pool, self._pool = self._pool, None
         self._seeded = set()
         if pool is not None:
@@ -607,6 +607,7 @@ class ProcessBackend:
             )
             self._seeded = {pid for pid, _ in seeds}
             self._owner_pid = os.getpid()
+            mark_open(self)
         return self._pool
 
     # -- chunk-level API (the supervision surface) ---------------------------
@@ -657,26 +658,17 @@ class ProcessBackend:
     # -- dispatch planning ---------------------------------------------------
 
     def _chunks(self, jobs: Sequence) -> list[Sequence]:
-        """Static split: ``chunksize``-sized slices, order-preserving.
+        """Static split via the shared planner, order-preserving.
 
         ``chunksize=None`` targets roughly 4 chunks per worker and
-        never more.  A trailing 1-job chunk (``len % size == 1``) is
-        merged into its predecessor: a chunk's fixed dispatch cost is
-        never paid to ship a single leftover job.
+        never more; the trailing 1-job merge lives in
+        :func:`repro.runtime.lifecycle.plan_chunks` now, shared with
+        the supervisor and the session scheduler.
         """
-        size = self.chunksize
-        if size is None:
-            # Ceil-divide toward at most workers*4 chunks; the old
-            # floor-divide gave every job its own chunk whenever
-            # len(jobs) < workers*4.
-            target = min(len(jobs), self.workers * 4)
-            size = -(-len(jobs) // target) if target else 1
-        elif size < 1:
-            raise ValueError("chunksize must be >= 1")
-        chunks = [jobs[i : i + size] for i in range(0, len(jobs), size)]
-        if len(chunks) >= 2 and len(chunks[-1]) == 1:
-            chunks[-2:] = [[*chunks[-2], *chunks[-1]]]
-        return chunks
+        return [
+            list(plan.jobs)
+            for plan in plan_chunks(jobs, chunksize=self.chunksize, workers=self.workers)
+        ]
 
     def _estimate(self, pid: int) -> float:
         """Estimated relative cost of one job of program ``pid``."""
@@ -721,7 +713,8 @@ class ProcessBackend:
             else:
                 pending.append(u)
 
-        aggregate = dict(_ZERO_STATS)
+        settler = ChunkSettler(self.name)
+        aggregate = settler.aggregate
         chunks = steals = payload_bytes = 0
         try:
             if pending:
@@ -729,7 +722,7 @@ class ProcessBackend:
                     "batch.pool", backend=self.name, jobs=len(jobs), pending=len(pending)
                 ):
                     chunks, steals, payload_bytes = self._dispatch(
-                        pending, unique, pids, unique_results, aggregate, fuel, compiled
+                        pending, unique, pids, unique_results, settler, fuel, compiled
                     )
         finally:
             # Failure-safe: on an exception this reflects exactly the
@@ -787,7 +780,7 @@ class ProcessBackend:
         unique: Sequence[Job],
         pids: Sequence[int],
         unique_results: list[Any],
-        aggregate: dict[str, int],
+        settler: ChunkSettler,
         fuel: int,
         compiled: bool,
     ) -> tuple[int, int, int]:
@@ -849,16 +842,10 @@ class ProcessBackend:
                 done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
                 for future in done:
                     span = in_flight.pop(future)
-                    results, stats, elapsed = future.result()
-                    absorb_chunk_telemetry(stats)
+                    results = settler.settle(future.result())
                     for u, result in zip(span, results):
                         unique_results[u] = result
                         self._observe_cost(pids[u], self.workload.cost(result))
-                    aggregate["hits"] += stats["hits"]
-                    aggregate["misses"] += stats["misses"]
-                    aggregate["size"] = max(aggregate["size"], stats["size"])
-                    if OBS.enabled:
-                        OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
         except BaseException:
             for future in in_flight:
                 future.cancel()
@@ -927,7 +914,17 @@ def _check_composite(name: str, reg: Mapping[str, Any]) -> None:
     a time — so without this check a typo deep in the chain (or a
     non-wrapper used as a prefix, like ``"process:serial"``) would only
     surface after the outer wrappers were already constructed, as a
-    confusing unknown-backend or unexpected-kwarg error.
+    confusing unknown-backend or unexpected-kwarg error.  Every error
+    names the full requested chain, not just the offending segment, so
+    a failure deep inside ``"journaled:supervised:dist"`` still points
+    at the string the caller actually wrote.
+
+    Ordering is validated too: ``supervised`` drives its inner
+    backend's chunk-level ``submit_chunk`` surface, which the wrapper
+    backends themselves do not expose — so ``"supervised:journaled"``
+    (or ``"supervised:supervised"``) is rejected here with the valid
+    ordering spelled out, instead of surfacing later as a bare
+    ``TypeError`` from the supervisor's constructor.
     """
     parts = name.split(":")
     wrappers = sorted(WRAPPER_BACKENDS & set(reg))
@@ -949,6 +946,14 @@ def _check_composite(name: str, reg: Mapping[str, Any]) -> None:
             f"unknown leaf backend {leaf!r} in composite backend {name!r};"
             f" choose from {sorted(reg)}"
         )
+    for outer, inner in zip(parts, parts[1:]):
+        if outer == "supervised" and inner in WRAPPER_BACKENDS and inner in reg:
+            raise ValueError(
+                f"wrapper {inner!r} cannot sit under 'supervised' in composite"
+                f" backend {name!r}: 'supervised' drives its inner backend's"
+                f" submit_chunk surface, which wrapper backends do not expose;"
+                f" order the chain as 'journaled:supervised:{parts[-1]}' instead"
+            )
 
 
 def create_backend(

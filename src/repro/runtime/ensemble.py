@@ -43,7 +43,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, wait
 from typing import Any, Protocol, runtime_checkable
 
 from repro.obs.instrument import OBS
-from repro.obs.telemetry import absorb_chunk_telemetry, current_context, run_captured
+from repro.obs.telemetry import current_context, run_captured
 from repro.perf.ensemble_engine import (
     EnsembleIneligible,
     EnsembleOutcome,
@@ -59,6 +59,7 @@ from repro.runtime.core import (
     intern_jobs,
     run_job_loop,
 )
+from repro.runtime.lifecycle import ChunkSettler, enter_close, mark_open
 from repro.runtime.workload import Job, Workload
 
 __all__ = [
@@ -346,6 +347,7 @@ class EnsembleBackend:
 
     def close(self) -> None:
         """Nothing to release; the spec cache stays warm on purpose."""
+        enter_close(self)
 
     # -- execution -----------------------------------------------------------
 
@@ -585,6 +587,7 @@ class EnsembleProcessBackend:
             self.generation += 1
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
             self._owner_pid = os.getpid()
+            mark_open(self)
         return self._pool
 
     def recover(self) -> None:
@@ -596,6 +599,8 @@ class EnsembleProcessBackend:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
+        if not enter_close(self):
+            return
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown()
@@ -711,15 +716,14 @@ class EnsembleProcessBackend:
         unique, slots, _ = intern_jobs(self.workload, jobs)
         deduped = len(jobs) - len(unique)
         shards = self._shards(unique)
-        aggregate = {
-            "hits": 0,
-            "misses": 0,
-            "size": 0,
-            "ensemble_jobs": 0,
-            "fallback_jobs": 0,
-            "lock_steps": 0,
-            "result_bytes": 0,
-        }
+        # Per-shard cache sizes (and the lock-step counters) sum:
+        # every shard ran on its own fresh state.
+        settler = ChunkSettler(
+            self.name,
+            size_mode="sum",
+            extra_keys=("ensemble_jobs", "fallback_jobs", "lock_steps", "result_bytes"),
+        )
+        aggregate = settler.aggregate
         payload_bytes = shm_bytes = 0
         out: list[Any] = []
         with OBS.span("batch.ensemble", backend=self.name, jobs=len(jobs)):
@@ -732,16 +736,10 @@ class EnsembleProcessBackend:
                     futures.append(future)
                 wait(futures)
                 for future in futures:
-                    results, stats, elapsed = future.result()
-                    # Merge on this (consuming) thread, never in the
+                    # Settle on this (consuming) thread, never in the
                     # done-callback: Tracer.adopt grafts under the span
                     # stack of whoever calls it.
-                    absorb_chunk_telemetry(stats)
-                    out.extend(results)
-                    for key in aggregate:
-                        aggregate[key] += stats.get(key, 0)
-                    if OBS.enabled:
-                        OBS.observe("batch_chunk_seconds", elapsed, backend=self.name)
+                    out.extend(settler.settle(future.result()))
             except BaseException:
                 for future in futures:
                     future.cancel()

@@ -58,6 +58,7 @@ from typing import Any
 
 from repro.obs.instrument import OBS
 from repro.runtime import core as _core
+from repro.runtime import lifecycle as _lifecycle
 from repro.runtime.workload import Job, Workload, get_workload
 from repro.util.framing import HEADER_BYTES, encode_record, scan_records
 
@@ -399,6 +400,8 @@ class JournaledBackend:
             recover()
 
     def close(self) -> None:
+        if not _lifecycle.enter_close(self):
+            return
         self.journal.close()
         close = getattr(self.inner, "close", None)
         if close is not None:

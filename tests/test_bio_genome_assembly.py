@@ -1,7 +1,7 @@
 """Tests for genome generation, shotgun fragmentation, and assembly."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.bio.assembly import GreedyAssembler, identity, n50, suffix_prefix_overlap
@@ -143,8 +143,18 @@ def test_assembler_empty_input():
 @settings(max_examples=15, deadline=None)
 @given(st.integers(0, 10_000))
 def test_assembly_identity_property(seed):
-    """High-coverage error-free assembly reconstructs most of the genome."""
+    """High-coverage error-free assembly reconstructs most of the genome
+    whenever the reads actually tile it with assemblable overlaps.
+
+    An unlucky sampling can leave two consecutive read starts more than
+    read_length - min_overlap apart (or a long uncovered head), in which
+    case no assembler could bridge the gap — those draws are filtered
+    with assume() rather than asserted on.
+    """
     genome = random_genome(200, seed=seed)
     reads = shotgun_fragments(genome, coverage=10.0, read_length=50, seed=seed)
+    starts = sorted(r.origin for r in reads)
+    assume(starts[0] <= 30)
+    assume(all(b - a <= 50 - 12 for a, b in zip(starts, starts[1:])))
     result = GreedyAssembler(min_overlap=12).assemble(reads)
     assert identity(result.longest, genome) > 0.8

@@ -303,3 +303,83 @@ def test_supervised_backend_by_name_carries_workload():
         ]
     finally:
         backend.close()
+
+
+# -- composite chain validation (full-chain error naming, ordering) ----------
+
+
+def test_composite_error_names_full_requested_chain():
+    """A typo deep in a chain points at the string the caller wrote."""
+    with pytest.raises(ValueError, match=r"'journaled:supervised:dost'"):
+        create_backend("journaled:supervised:dost", workload="machines")
+    with pytest.raises(ValueError, match=r"'process:serial'"):
+        create_backend("process:serial", workload="machines")
+
+
+def test_supervised_cannot_wrap_another_wrapper():
+    """Ordering matters: 'supervised' drives submit_chunk, which the
+    wrapper backends do not expose — the error spells out the fix."""
+    with pytest.raises(ValueError) as err:
+        create_backend("supervised:journaled", workload="machines")
+    message = str(err.value)
+    assert "'supervised:journaled'" in message  # the full requested chain
+    assert "journaled:supervised:" in message  # the valid ordering
+
+
+def test_journaled_supervised_dist_chain_composes(tmp_path):
+    jobs = [(3, 2), (4, 1), (3, 2), (5, 5)]
+    expected = run_jobs(SCALE, jobs, backend="serial")
+    backend = create_backend(
+        "journaled:supervised:dist",
+        workload=SCALE,
+        journal_dir=tmp_path,
+        nodes=2,
+        topology="single_node",
+        workers_per_node=0,
+    )
+    try:
+        assert run_jobs(SCALE, jobs, backend=backend) == expected
+    finally:
+        backend.close()
+
+
+# -- idempotent close across every backend -----------------------------------
+
+CLOSE_SPECS = [
+    pytest.param("serial", {}, id="serial"),
+    pytest.param("process", {"workers": 2}, id="process"),
+    pytest.param("supervised", {"inner": "serial"}, id="supervised"),
+    pytest.param("ensemble", {}, id="ensemble"),
+    pytest.param("ensemble_process", {"workers": 2}, id="ensemble_process"),
+    pytest.param("journaled:serial", {}, id="journaled"),
+    pytest.param(
+        "dist",
+        {"nodes": 2, "topology": "single_node", "workers_per_node": 0},
+        id="dist",
+    ),
+]
+
+
+@pytest.mark.parametrize("spec,kwargs", CLOSE_SPECS)
+def test_backend_close_is_idempotent(spec, kwargs, tmp_path):
+    if spec.startswith("journaled"):
+        kwargs = dict(kwargs, journal_dir=tmp_path)
+    backend = create_backend(spec, workload="machines", **kwargs)
+    backend.close()
+    backend.close()  # double close is a no-op by the shared guard
+
+
+def test_process_backend_close_execute_close_reopens():
+    """The close guard resets when the pool lazily rebuilds."""
+    from repro.machines.turing import binary_increment
+
+    backend = create_backend("process", workload="machines", workers=2)
+    jobs = [(binary_increment(), "11")]
+    try:
+        backend.close()
+        first = backend.execute(jobs, fuel=1_000, compiled=True)
+        backend.close()  # must actually release the rebuilt pool
+        again = backend.execute(jobs, fuel=1_000, compiled=True)
+        assert [r.tape for r in again] == [r.tape for r in first]
+    finally:
+        backend.close()
